@@ -1,0 +1,92 @@
+//! Random-sampling baseline under the same budget interface.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::pool::{AlPool, AlResult};
+use crate::ActiveLearner;
+
+/// Uniform random selection — the control every AL method must beat.
+#[derive(Debug, Clone)]
+pub struct RandomAl {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomAl {
+    fn default() -> Self {
+        Self { seed: 42 }
+    }
+}
+
+impl ActiveLearner for RandomAl {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn select(&self, pool: &mut AlPool, budget: usize) -> AlResult {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rows = pool.unlabeled_rows();
+        rows.shuffle(&mut rng);
+        for row in rows.into_iter().take(budget) {
+            pool.query(row);
+        }
+        AlResult::from_pool(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morer_data::ErProblem;
+    use morer_ml::dataset::FeatureMatrix;
+
+    fn problem(n: usize) -> ErProblem {
+        let mut features = FeatureMatrix::new(1);
+        let mut labels = Vec::new();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            features.push_row(&[i as f64 / n as f64]);
+            labels.push(i % 2 == 0);
+            pairs.push((i as u32, (i + n) as u32));
+        }
+        ErProblem {
+            id: 0,
+            sources: (0, 1),
+            pairs,
+            features,
+            labels,
+            feature_names: vec!["f".into()],
+        }
+    }
+
+    #[test]
+    fn spends_exactly_budget() {
+        let p = problem(100);
+        let mut pool = AlPool::from_problems(&[&p]);
+        let r = RandomAl::default().select(&mut pool, 25);
+        assert_eq!(r.labels_used, 25);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let p = problem(60);
+        let mut a = AlPool::from_problems(&[&p]);
+        let mut b = AlPool::from_problems(&[&p]);
+        let mut c = AlPool::from_problems(&[&p]);
+        let ra = RandomAl { seed: 1 }.select(&mut a, 10);
+        let rb = RandomAl { seed: 1 }.select(&mut b, 10);
+        let rc = RandomAl { seed: 2 }.select(&mut c, 10);
+        assert_eq!(ra.selected_rows, rb.selected_rows);
+        assert_ne!(ra.selected_rows, rc.selected_rows);
+    }
+
+    #[test]
+    fn over_budget_caps_at_pool_size() {
+        let p = problem(10);
+        let mut pool = AlPool::from_problems(&[&p]);
+        let r = RandomAl::default().select(&mut pool, 100);
+        assert_eq!(r.labels_used, 10);
+    }
+}

@@ -1,0 +1,102 @@
+//! Record-uniqueness scores (paper Eqs. 11-12).
+//!
+//! The Bootstrap AL extension scores each similarity feature vector by how
+//! *unique* its two records are across problem clusters, "similar to the
+//! inverse document frequency (IDF), considering the related records as words
+//! and the cluster as documents". We use the IDF orientation
+//! `s_r(r) = ln(|C_P| / |C_P|r|)` — records that occur in fewer clusters are
+//! more informative. (The paper's Eq. 12 prints the ratio inverted, which
+//! would make the score non-positive; the IDF analogy fixes the orientation.)
+
+use std::collections::HashMap;
+
+/// Cluster-occurrence index of records, yielding IDF-like uniqueness scores.
+#[derive(Debug, Clone, Default)]
+pub struct UniquenessIndex {
+    clusters_of_record: HashMap<u32, usize>,
+    total_clusters: usize,
+}
+
+impl UniquenessIndex {
+    /// Build from `(record uid, cluster id)` occurrence pairs (duplicates
+    /// within the same cluster are fine).
+    pub fn from_occurrences<I: IntoIterator<Item = (u32, usize)>>(occurrences: I) -> Self {
+        let mut per_record: HashMap<u32, std::collections::HashSet<usize>> = HashMap::new();
+        let mut clusters: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for (uid, cluster) in occurrences {
+            per_record.entry(uid).or_default().insert(cluster);
+            clusters.insert(cluster);
+        }
+        Self {
+            clusters_of_record: per_record.into_iter().map(|(k, v)| (k, v.len())).collect(),
+            total_clusters: clusters.len(),
+        }
+    }
+
+    /// Total number of clusters `|C_P|`.
+    pub fn total_clusters(&self) -> usize {
+        self.total_clusters
+    }
+
+    /// `s_r(r) = ln(|C_P| / |C_P|r|)` (Eq. 12, IDF orientation); 0 for
+    /// unknown records or a single-cluster index.
+    pub fn record_score(&self, uid: u32) -> f64 {
+        if self.total_clusters == 0 {
+            return 0.0;
+        }
+        let occ = self.clusters_of_record.get(&uid).copied().unwrap_or(1).max(1);
+        (self.total_clusters as f64 / occ as f64).ln()
+    }
+
+    /// `s(w) = [s_r(src(w)) + s_r(tgt(w))] / 2` (Eq. 11).
+    pub fn pair_score(&self, src: u32, tgt: u32) -> f64 {
+        (self.record_score(src) + self.record_score(tgt)) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> UniquenessIndex {
+        // record 1 appears in clusters {0,1,2}; record 2 in {0}; record 3 in {1}
+        UniquenessIndex::from_occurrences(vec![
+            (1, 0),
+            (1, 1),
+            (1, 2),
+            (1, 1), // duplicate occurrence, ignored
+            (2, 0),
+            (3, 1),
+        ])
+    }
+
+    #[test]
+    fn rarer_records_score_higher() {
+        let idx = index();
+        assert_eq!(idx.total_clusters(), 3);
+        let common = idx.record_score(1); // in all 3 clusters -> ln(1) = 0
+        let rare = idx.record_score(2); // in 1 of 3 -> ln(3)
+        assert!((common - 0.0).abs() < 1e-12);
+        assert!((rare - 3.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_records_score_like_singletons() {
+        let idx = index();
+        assert!((idx.record_score(99) - 3.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_score_averages() {
+        let idx = index();
+        let expected = (0.0 + 3.0f64.ln()) / 2.0;
+        assert!((idx.pair_score(1, 2) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_index_is_neutral() {
+        let idx = UniquenessIndex::default();
+        assert_eq!(idx.record_score(1), 0.0);
+        assert_eq!(idx.pair_score(1, 2), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Embedding-based similarity features for heterogeneous schemas — the
+//! strategy the paper recommends when sources share no common attributes
+//! (§4.2: "we recommend generating record embeddings based on the available
+//! attributes for each data source and calculating similarities between
+//! these embeddings"; restated as future work in §7).
+//!
+//! Records are serialized Ditto-style (missing attributes simply vanish from
+//! the text), embedded with hashed n-grams, and compared with cosine at
+//! several granularities. The result is a normal [`ErProblem`] whose feature
+//! space is schema-free, so the whole MoRER pipeline — distribution
+//! analysis, clustering, model reuse — applies unchanged.
+
+use std::collections::HashMap;
+
+use morer_data::record::MultiSourceDataset;
+use morer_data::ErProblem;
+use morer_embed::serialize::serialize_record;
+use morer_embed::{cosine, Embedder, EmbedderConfig};
+use morer_ml::dataset::FeatureMatrix;
+
+/// Configuration of the embedding feature space.
+#[derive(Debug, Clone)]
+pub struct EmbeddingFeatureConfig {
+    /// Hash-embedding dimensionality.
+    pub dim: usize,
+    /// Also emit one cosine per shared attribute (embedding of that
+    /// attribute's value alone). `false` = whole-record cosine only.
+    pub per_attribute: bool,
+}
+
+impl Default for EmbeddingFeatureConfig {
+    fn default() -> Self {
+        Self { dim: 256, per_attribute: true }
+    }
+}
+
+/// Build an [`ErProblem`] over `pairs` whose features are embedding cosines
+/// instead of attribute-wise string similarities.
+///
+/// Features: `cos(record)` followed by one `cos(<attribute>)` per schema
+/// attribute when `per_attribute` is set (missing values embed to the zero
+/// vector, giving cosine 0 — the same "maximally dissimilar" convention as
+/// [`morer_sim::MissingValuePolicy::Zero`]).
+pub fn embedding_problem(
+    id: usize,
+    dataset: &MultiSourceDataset,
+    sources: (usize, usize),
+    pairs: Vec<(u32, u32)>,
+    config: &EmbeddingFeatureConfig,
+) -> ErProblem {
+    let attributes = dataset.schema.attributes().to_vec();
+    // fit IDF on the records involved
+    let mut uids: Vec<u32> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+    uids.sort_unstable();
+    uids.dedup();
+    let corpus: Vec<String> = uids
+        .iter()
+        .map(|&uid| serialize_record(&attributes, &dataset.record(uid).values))
+        .collect();
+    let embedder = Embedder::fit(EmbedderConfig { dim: config.dim, ..Default::default() }, &corpus);
+
+    // whole-record embeddings
+    let record_emb: HashMap<u32, Vec<f32>> = uids
+        .iter()
+        .zip(&corpus)
+        .map(|(&uid, text)| (uid, embedder.embed(text)))
+        .collect();
+    // per-attribute embeddings
+    let attr_emb: Vec<HashMap<u32, Vec<f32>>> = if config.per_attribute {
+        (0..attributes.len())
+            .map(|a| {
+                uids.iter()
+                    .map(|&uid| {
+                        let value = dataset.record(uid).value(a).unwrap_or("");
+                        (uid, embedder.embed(value))
+                    })
+                    .collect()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut feature_names = vec!["cos(record)".to_owned()];
+    if config.per_attribute {
+        feature_names.extend(attributes.iter().map(|a| format!("cos({a})")));
+    }
+    let mut features = FeatureMatrix::new(feature_names.len());
+    let mut labels = Vec::with_capacity(pairs.len());
+    for &(a, b) in &pairs {
+        let mut row = Vec::with_capacity(feature_names.len());
+        row.push(f64::from(cosine(&record_emb[&a], &record_emb[&b])).clamp(0.0, 1.0));
+        for per_attr in &attr_emb {
+            row.push(f64::from(cosine(&per_attr[&a], &per_attr[&b])).clamp(0.0, 1.0));
+        }
+        features.push_row(&row);
+        labels.push(dataset.is_match(a, b));
+    }
+    ErProblem { id, sources, pairs, features, labels, feature_names }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::tiny_benchmark;
+
+    #[test]
+    fn embedding_problem_mirrors_string_problem_shape() {
+        let bench = tiny_benchmark();
+        let base = &bench.problems[0];
+        let p = embedding_problem(
+            base.id,
+            &bench.dataset,
+            base.sources,
+            base.pairs.clone(),
+            &EmbeddingFeatureConfig::default(),
+        );
+        assert_eq!(p.num_pairs(), base.num_pairs());
+        assert_eq!(p.labels, base.labels);
+        // cos(record) + one per attribute
+        assert_eq!(p.num_features(), 1 + bench.dataset.schema.len());
+        for f in 0..p.num_features() {
+            for v in p.feature_column(f) {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_features_separate_matches() {
+        let bench = tiny_benchmark();
+        let base = &bench.problems[0];
+        let p = embedding_problem(
+            0,
+            &bench.dataset,
+            base.sources,
+            base.pairs.clone(),
+            &EmbeddingFeatureConfig::default(),
+        );
+        let match_mean: f64 = {
+            let vals: Vec<f64> = (0..p.num_pairs())
+                .filter(|&i| p.labels[i])
+                .map(|i| p.features.get(i, 0))
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        let nonmatch_mean: f64 = {
+            let vals: Vec<f64> = (0..p.num_pairs())
+                .filter(|&i| !p.labels[i])
+                .map(|i| p.features.get(i, 0))
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        assert!(
+            match_mean > nonmatch_mean + 0.1,
+            "match {match_mean} vs nonmatch {nonmatch_mean}"
+        );
+    }
+
+    #[test]
+    fn record_only_variant_has_single_feature() {
+        let bench = tiny_benchmark();
+        let base = &bench.problems[0];
+        let p = embedding_problem(
+            0,
+            &bench.dataset,
+            base.sources,
+            base.pairs.clone(),
+            &EmbeddingFeatureConfig { per_attribute: false, ..Default::default() },
+        );
+        assert_eq!(p.num_features(), 1);
+        assert_eq!(p.feature_names, vec!["cos(record)".to_owned()]);
+    }
+
+    #[test]
+    fn pipeline_runs_on_embedding_feature_space() {
+        use morer_core::prelude::*;
+        let bench = tiny_benchmark();
+        let cfg = EmbeddingFeatureConfig { dim: 128, per_attribute: true };
+        let embedded: Vec<ErProblem> = bench
+            .problems
+            .iter()
+            .map(|p| embedding_problem(p.id, &bench.dataset, p.sources, p.pairs.clone(), &cfg))
+            .collect();
+        let initial: Vec<&ErProblem> = bench.initial.iter().map(|&i| &embedded[i]).collect();
+        let unsolved: Vec<&ErProblem> = bench.unsolved.iter().map(|&i| &embedded[i]).collect();
+        let config = MorerConfig { budget: 200, ..MorerConfig::default() };
+        let (mut morer, _) = Morer::build(initial, &config);
+        let (counts, _) = morer.solve_and_score(&unsolved);
+        assert!(counts.f1() > 0.5, "F1 = {}", counts.f1());
+    }
+}

@@ -1,0 +1,164 @@
+//! Two-component diagonal Gaussian mixture fitted with EM — the probability
+//! model behind the ZeroER baseline.
+
+/// A fitted two-component diagonal Gaussian mixture over feature vectors.
+#[derive(Debug, Clone)]
+pub struct TwoComponentGmm {
+    /// Mixing weight of the "match" component.
+    pub weight_match: f64,
+    /// Per-feature means of the match component.
+    pub mean_match: Vec<f64>,
+    /// Per-feature variances of the match component.
+    pub var_match: Vec<f64>,
+    /// Per-feature means of the non-match component.
+    pub mean_nonmatch: Vec<f64>,
+    /// Per-feature variances of the non-match component.
+    pub var_nonmatch: Vec<f64>,
+}
+
+const VAR_FLOOR: f64 = 1e-4;
+
+impl TwoComponentGmm {
+    /// Fit by EM. Components are initialized from the rows above/below the
+    /// per-row mean-feature median, and the higher-mean component is labeled
+    /// "match" (ZeroER's assumption that matches are more similar).
+    ///
+    /// Returns `None` for fewer than 4 rows or zero features.
+    pub fn fit(rows: &[Vec<f64>], iterations: usize) -> Option<Self> {
+        let n = rows.len();
+        let t = rows.first().map_or(0, Vec::len);
+        if n < 4 || t == 0 {
+            return None;
+        }
+        // init: split by mean-feature value
+        let scores: Vec<f64> = rows.iter().map(|r| r.iter().sum::<f64>() / t as f64).collect();
+        let mut sorted = scores.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[n / 2];
+        let mut resp: Vec<f64> = scores
+            .iter()
+            .map(|&s| if s > median { 0.9 } else { 0.1 })
+            .collect();
+
+        let mut model = Self {
+            weight_match: 0.5,
+            mean_match: vec![0.0; t],
+            var_match: vec![1.0; t],
+            mean_nonmatch: vec![0.0; t],
+            var_nonmatch: vec![1.0; t],
+        };
+        for _ in 0..iterations.max(1) {
+            // M step
+            let wm: f64 = resp.iter().sum();
+            let wn = n as f64 - wm;
+            if wm < 1e-9 || wn < 1e-9 {
+                break;
+            }
+            model.weight_match = wm / n as f64;
+            for f in 0..t {
+                let mm: f64 = rows.iter().zip(&resp).map(|(r, &g)| g * r[f]).sum::<f64>() / wm;
+                let mn: f64 =
+                    rows.iter().zip(&resp).map(|(r, &g)| (1.0 - g) * r[f]).sum::<f64>() / wn;
+                let vm: f64 = rows
+                    .iter()
+                    .zip(&resp)
+                    .map(|(r, &g)| g * (r[f] - mm).powi(2))
+                    .sum::<f64>()
+                    / wm;
+                let vn: f64 = rows
+                    .iter()
+                    .zip(&resp)
+                    .map(|(r, &g)| (1.0 - g) * (r[f] - mn).powi(2))
+                    .sum::<f64>()
+                    / wn;
+                model.mean_match[f] = mm;
+                model.mean_nonmatch[f] = mn;
+                model.var_match[f] = vm.max(VAR_FLOOR);
+                model.var_nonmatch[f] = vn.max(VAR_FLOOR);
+            }
+            // E step
+            for (i, row) in rows.iter().enumerate() {
+                resp[i] = model.posterior_match(row);
+            }
+        }
+        // orient: the match component must have the larger mean similarity
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        if mean(&model.mean_match) < mean(&model.mean_nonmatch) {
+            std::mem::swap(&mut model.mean_match, &mut model.mean_nonmatch);
+            std::mem::swap(&mut model.var_match, &mut model.var_nonmatch);
+            model.weight_match = 1.0 - model.weight_match;
+        }
+        Some(model)
+    }
+
+    fn log_density(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
+        x.iter()
+            .zip(mean.iter().zip(var))
+            .map(|(&xi, (&m, &v))| {
+                -0.5 * ((2.0 * std::f64::consts::PI * v).ln() + (xi - m).powi(2) / v)
+            })
+            .sum()
+    }
+
+    /// Posterior probability of the match component for a feature vector.
+    pub fn posterior_match(&self, x: &[f64]) -> f64 {
+        let lm = self.weight_match.max(1e-12).ln()
+            + Self::log_density(x, &self.mean_match, &self.var_match);
+        let ln = (1.0 - self.weight_match).max(1e-12).ln()
+            + Self::log_density(x, &self.mean_nonmatch, &self.var_nonmatch);
+        let max = lm.max(ln);
+        let em = (lm - max).exp();
+        let en = (ln - max).exp();
+        em / (em + en)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bimodal_rows() -> Vec<Vec<f64>> {
+        let mut rows = Vec::new();
+        for i in 0..60 {
+            let j = (i % 7) as f64 / 70.0;
+            if i % 4 == 0 {
+                rows.push(vec![0.85 + j, 0.8 + j]);
+            } else {
+                rows.push(vec![0.15 + j, 0.1 + j]);
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn separates_bimodal_data() {
+        let rows = bimodal_rows();
+        let gmm = TwoComponentGmm::fit(&rows, 40).unwrap();
+        assert!(gmm.posterior_match(&[0.9, 0.85]) > 0.9);
+        assert!(gmm.posterior_match(&[0.1, 0.12]) < 0.1);
+        // ~25% of rows are high
+        assert!((gmm.weight_match - 0.25).abs() < 0.15, "{}", gmm.weight_match);
+    }
+
+    #[test]
+    fn match_component_has_higher_mean() {
+        let gmm = TwoComponentGmm::fit(&bimodal_rows(), 40).unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&gmm.mean_match) > mean(&gmm.mean_nonmatch));
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(TwoComponentGmm::fit(&[], 10).is_none());
+        assert!(TwoComponentGmm::fit(&vec![vec![0.5]; 3], 10).is_none());
+        assert!(TwoComponentGmm::fit(&vec![vec![]; 10], 10).is_none());
+    }
+
+    #[test]
+    fn constant_data_stays_finite() {
+        let rows = vec![vec![0.5, 0.5]; 20];
+        let gmm = TwoComponentGmm::fit(&rows, 20).unwrap();
+        let p = gmm.posterior_match(&[0.5, 0.5]);
+        assert!(p.is_finite());
+    }
+}

@@ -1,0 +1,20 @@
+//! Microbenchmark of candidate-pair generation (token blocking) on generated
+//! product sources.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use morer_data::blocking::{token_blocking, TokenBlockingConfig};
+use morer_data::{computer, DatasetScale};
+
+fn bench_blocking(c: &mut Criterion) {
+    let bench = computer(DatasetScale::Default, 42);
+    let a = &bench.dataset.sources[0].records;
+    let b = &bench.dataset.sources[1].records;
+    let config = TokenBlockingConfig::default();
+    c.bench_function(
+        &format!("token_blocking_{}x{}_records", a.len(), b.len()),
+        |bch| bch.iter(|| token_blocking(black_box(a), black_box(b), &config)),
+    );
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

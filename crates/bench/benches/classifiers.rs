@@ -1,0 +1,52 @@
+//! Microbenchmarks of classifier training and prediction (the cost centres
+//! of model generation and the Bootstrap committee).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use morer_ml::forest::{RandomForest, RandomForestConfig};
+use morer_ml::linear::{LogisticRegression, LogisticRegressionConfig};
+use morer_ml::tree::{DecisionTree, DecisionTreeConfig};
+use morer_ml::TrainingSet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn training_data(n: usize) -> TrainingSet {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..5).map(|_| rng.gen::<f64>()).collect();
+        labels.push(row.iter().sum::<f64>() / 5.0 > 0.5);
+        rows.push(row);
+    }
+    TrainingSet::from_rows(&rows, &labels)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = training_data(1000);
+    let mut group = c.benchmark_group("classifier_fit_1000x5");
+    group.bench_function("decision_tree", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            DecisionTree::fit(black_box(&data), &DecisionTreeConfig::default(), &mut rng)
+        })
+    });
+    group.bench_function("random_forest_32", |b| {
+        b.iter(|| RandomForest::fit(black_box(&data), &RandomForestConfig::default()))
+    });
+    group.bench_function("logistic_regression", |b| {
+        b.iter(|| LogisticRegression::fit(black_box(&data), &LogisticRegressionConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let data = training_data(1000);
+    let forest = RandomForest::fit(&data, &RandomForestConfig::default());
+    let x = [0.4, 0.6, 0.5, 0.7, 0.3];
+    c.bench_function("random_forest_predict", |b| {
+        b.iter(|| forest.predict_proba(black_box(&x)))
+    });
+}
+
+criterion_group!(benches, bench_training, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Microbenchmarks of the community-detection algorithms on a
+//! ring-of-cliques graph (the shape of a well-separated ER problem graph).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use morer_graph::community::{
+    label_propagation, leiden, louvain, LabelPropagationConfig, LeidenConfig, LouvainConfig,
+};
+use morer_graph::Graph;
+
+fn ring_of_cliques(num_cliques: usize, clique_size: usize) -> Graph {
+    let n = num_cliques * clique_size;
+    let mut g = Graph::new(n);
+    for c in 0..num_cliques {
+        let base = c * clique_size;
+        for i in 0..clique_size {
+            for j in (i + 1)..clique_size {
+                g.add_edge(base + i, base + j, 0.9);
+            }
+        }
+        let next = ((c + 1) % num_cliques) * clique_size;
+        g.add_edge(base, next, 0.3);
+    }
+    g
+}
+
+fn bench_community(c: &mut Criterion) {
+    // ~ the size of the Dexter ER problem graph (276 nodes)
+    let g = ring_of_cliques(28, 10);
+    let mut group = c.benchmark_group("community_detection_280_nodes");
+    group.bench_function("leiden", |b| {
+        b.iter(|| leiden(black_box(&g), &LeidenConfig::default()))
+    });
+    group.bench_function("louvain", |b| {
+        b.iter(|| louvain(black_box(&g), &LouvainConfig::default()))
+    });
+    group.bench_function("label_propagation", |b| {
+        b.iter(|| label_propagation(black_box(&g), &LabelPropagationConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_community);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Microbenchmarks of the two-sample distribution tests that drive ER
+//! problem analysis (paper §4.2).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use morer_stats::tests::{ks_statistic, psi, wasserstein_distance};
+
+fn samples(n: usize, shift: f64) -> (Vec<f64>, Vec<f64>) {
+    let a: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+    let b: Vec<f64> = a.iter().map(|x| (x + shift).min(1.0)).collect();
+    (a, b)
+}
+
+fn bench_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distribution_tests");
+    for n in [500usize, 4000] {
+        let (a, b) = samples(n, 0.1);
+        group.bench_with_input(BenchmarkId::new("ks", n), &n, |bch, _| {
+            bch.iter(|| ks_statistic(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("wasserstein", n), &n, |bch, _| {
+            bch.iter(|| wasserstein_distance(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("psi", n), &n, |bch, _| {
+            bch.iter(|| psi(black_box(&a), black_box(&b), 100))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tests);
+criterion_main!(benches);

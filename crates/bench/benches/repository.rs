@@ -1,0 +1,32 @@
+//! End-to-end microbenchmarks of repository construction and model search
+//! (the operations an ER matching service performs per request).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use morer_core::prelude::*;
+use morer_data::{computer, DatasetScale};
+
+fn bench_repository(c: &mut Criterion) {
+    let bench = computer(DatasetScale::Tiny, 42);
+    let config = MorerConfig { budget: 200, ..MorerConfig::default() };
+
+    let mut group = c.benchmark_group("repository");
+    // repository construction trains real models; keep sampling modest
+    group.sample_size(10);
+    group.bench_function("build_wdc_tiny", |b| {
+        b.iter(|| Morer::build(black_box(bench.initial_problems()), &config))
+    });
+
+    let (morer, _) = Morer::build(bench.initial_problems(), &config);
+    let unsolved = &bench.problems[bench.unsolved[0]];
+    group.bench_function("solve_sel_base", |b| {
+        b.iter_batched(
+            || morer.clone(),
+            |mut m| m.solve(black_box(unsolved)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repository);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Microbenchmarks of the similarity kernels (the innermost loop of feature
+//! vector generation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use morer_sim::string_sim::{jaccard_tokens, jaro_winkler, levenshtein_sim, monge_elkan};
+use morer_sim::{AttributeComparator, ComparisonScheme, SimilarityFunction};
+
+const A: &str = "Canon EOS-750D Professional DSLR Camera 24 MP";
+const B: &str = "canon eos 750d dslr camera professional kit";
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    group.bench_function("jaccard_tokens", |b| {
+        b.iter(|| jaccard_tokens(black_box(A), black_box(B)))
+    });
+    group.bench_function("levenshtein", |b| {
+        b.iter(|| levenshtein_sim(black_box(A), black_box(B)))
+    });
+    group.bench_function("jaro_winkler", |b| {
+        b.iter(|| jaro_winkler(black_box(A), black_box(B)))
+    });
+    group.bench_function("monge_elkan", |b| {
+        b.iter(|| monge_elkan(black_box(A), black_box(B)))
+    });
+    group.finish();
+}
+
+fn bench_scheme(c: &mut Criterion) {
+    let scheme = ComparisonScheme::new()
+        .with(AttributeComparator::new(0, "title", SimilarityFunction::JaccardTokens))
+        .with(AttributeComparator::new(1, "brand", SimilarityFunction::JaroWinkler))
+        .with(AttributeComparator::new(2, "model", SimilarityFunction::Levenshtein))
+        .with(AttributeComparator::new(3, "price", SimilarityFunction::NumericDiff));
+    let left = vec![
+        Some(A.to_owned()),
+        Some("Canon".to_owned()),
+        Some("EOS-750D".to_owned()),
+        Some("699.99".to_owned()),
+    ];
+    let right = vec![
+        Some(B.to_owned()),
+        Some("canon".to_owned()),
+        Some("EOS750D".to_owned()),
+        Some("701.00".to_owned()),
+    ];
+    c.bench_function("comparison_scheme_4_features", |b| {
+        b.iter(|| scheme.compare(black_box(&left), black_box(&right)))
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_scheme);
+criterion_main!(benches);

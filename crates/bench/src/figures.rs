@@ -1,0 +1,135 @@
+//! Printers for the paper's figures (textual series; each block prints the
+//! data a plot would show).
+
+use morer_core::prelude::*;
+use morer_stats::Histogram;
+
+use crate::runs::{load_benchmark, RunResult};
+use crate::Options;
+
+/// Fig. 2: per-ER-problem `jaccard(title)` histograms, matches vs
+/// non-matches, on the WDC-computer dataset (log-scale counts in the paper;
+/// we print raw bin counts).
+pub fn fig2(opts: &Options) {
+    println!("\n=== Fig. 2: jaccard(title) distributions per ER problem (WDC-computer) ===");
+    let bench = load_benchmark("wdc", opts.scale, opts.seed);
+    let bins = 10;
+    for (title, want_match) in [("(a) Matches", true), ("(b) Non-Matches", false)] {
+        println!("\n{title} — bin counts over [0,1], {bins} bins:");
+        print!("{:<10}", "problem");
+        for b in 0..bins {
+            print!(" {:>6.2}", (b as f64 + 0.5) / bins as f64);
+        }
+        println!();
+        for p in bench.initial_problems().iter().take(6) {
+            let values: Vec<f64> = (0..p.num_pairs())
+                .filter(|&i| p.labels[i] == want_match)
+                .map(|i| p.features.get(i, 0))
+                .collect();
+            let h = Histogram::unit(&values, bins);
+            print!("D{}-D{:<6}", p.sources.0, p.sources.1);
+            for &c in h.counts() {
+                print!(" {c:>6}");
+            }
+            println!();
+        }
+    }
+}
+
+/// Fig. 5: runtime comparison with the analysis/clustering (striped) and
+/// selection (dotted) overheads of MoRER broken out.
+pub fn fig5(matrix: &[RunResult]) {
+    println!("\n=== Fig. 5: runtime comparison (seconds; log-scale in the paper) ===");
+    let mut datasets: Vec<String> = Vec::new();
+    for r in matrix {
+        if !datasets.contains(&r.dataset) {
+            datasets.push(r.dataset.clone());
+        }
+    }
+    for dataset in &datasets {
+        println!("\n--- {dataset} ---");
+        println!(
+            "{:<14} {:>7} {:>10} {:>10} {:>10} {:>9}",
+            "method", "budget", "total s", "analysis s", "select s", "labels"
+        );
+        for r in matrix.iter().filter(|r| &r.dataset == dataset) {
+            println!(
+                "{:<14} {:>7} {:>10.2} {:>10.2} {:>10.2} {:>9}",
+                r.method,
+                format!("{}", r.budget),
+                r.runtime.as_secs_f64(),
+                r.overhead.as_secs_f64(),
+                r.selection.as_secs_f64(),
+                r.labels_used
+            );
+        }
+    }
+}
+
+/// Fig. 6: F1 per distribution test (KS/WD/PSI/C2ST) × AL method × budget.
+pub fn fig6(opts: &Options) {
+    println!("\n=== Fig. 6: distribution tests x AL methods x budgets (F1) ===");
+    for name in &opts.datasets {
+        let bench = load_benchmark(name, opts.scale, opts.seed);
+        println!("\n--- {} ---", bench.name);
+        print!("{:<10} {:>6}", "AL", "B");
+        for test in DistributionTest::all() {
+            print!(" {:>6}", test.name());
+        }
+        println!();
+        for (al_name, method) in [("BS", AlMethod::Bootstrap), ("Almser", AlMethod::Almser)] {
+            for &b in &opts.budgets {
+                print!("{al_name:<10} {b:>6}");
+                for test in DistributionTest::all() {
+                    let config = MorerConfig {
+                        budget: b,
+                        training: TrainingMode::ActiveLearning(method),
+                        distribution_test: test,
+                        seed: opts.seed,
+                        ..MorerConfig::default()
+                    };
+                    let (mut morer, _) = Morer::build(bench.initial_problems(), &config);
+                    let (counts, _) = morer.solve_and_score(&bench.unsolved_problems());
+                    print!(" {:>6.3}", counts.f1());
+                }
+                println!();
+            }
+        }
+    }
+}
+
+/// Fig. 7: selection strategies `sel_base` vs `sel_cov(t_cov)` — (a) F1 and
+/// (b) total labeling effort, Bootstrap AL, budget 1000.
+pub fn fig7(opts: &Options) {
+    println!("\n=== Fig. 7: selection strategies (Bootstrap AL, b = 1000) ===");
+    let strategies: [(&str, SelectionStrategy); 4] = [
+        ("base", SelectionStrategy::Base),
+        ("cov(0.1)", SelectionStrategy::Coverage { t_cov: 0.1 }),
+        ("cov(0.25)", SelectionStrategy::Coverage { t_cov: 0.25 }),
+        ("cov(0.5)", SelectionStrategy::Coverage { t_cov: 0.5 }),
+    ];
+    println!("{:<12} {:>10} {:>8} {:>8} {:>8} {:>10}", "dataset", "strategy", "P", "R", "F1", "labels");
+    for name in &opts.datasets {
+        let bench = load_benchmark(name, opts.scale, opts.seed);
+        for (label, strategy) in strategies {
+            let config = MorerConfig {
+                budget: 1000,
+                selection: strategy,
+                seed: opts.seed,
+                ..MorerConfig::default()
+            };
+            let (mut morer, _) = Morer::build(bench.initial_problems(), &config);
+            let (counts, _) = morer.solve_and_score(&bench.unsolved_problems());
+            println!(
+                "{:<12} {:>10} {:>8.3} {:>8.3} {:>8.3} {:>10}",
+                bench.name,
+                label,
+                counts.precision(),
+                counts.recall(),
+                counts.f1(),
+                morer.labels_used()
+            );
+        }
+    }
+}
+

@@ -1,0 +1,270 @@
+//! Budget distribution across clusters (paper §4.4, Eqs. 4-9).
+//!
+//! Every cluster receives the floor `b_min`; the remainder is split between
+//! non-singleton and singleton clusters proportionally to how many ER tasks
+//! each group holds (Eqs. 6-7), and within each group proportionally to the
+//! clusters' total feature-vector counts (Eqs. 8-9). When even the floors
+//! exceed `b_tot` (Eq. 4), singleton clusters are merged into their
+//! most-similar non-singleton cluster first.
+
+use morer_graph::Graph;
+
+/// Result of budget allocation: (possibly merged) clusters and their label
+/// budgets, aligned by index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetAllocation {
+    /// Cluster membership (positional problem indices).
+    pub clusters: Vec<Vec<usize>>,
+    /// Label budget per cluster.
+    pub budgets: Vec<usize>,
+}
+
+/// Allocate `b_tot` across `clusters` (Eqs. 4-9).
+///
+/// * `sizes[i]` — number of similarity feature vectors of problem `i`
+///   (`total_{C_i}` of Eq. 8 is the sum over the cluster's problems);
+/// * `graph` — the ER problem similarity graph, used to pick the merge
+///   target for singleton clusters when Eq. 4 forces merging.
+pub fn allocate(
+    mut clusters: Vec<Vec<usize>>,
+    sizes: &[usize],
+    graph: &Graph,
+    b_tot: usize,
+    b_min: usize,
+) -> BudgetAllocation {
+    clusters.retain(|c| !c.is_empty());
+    if clusters.is_empty() {
+        return BudgetAllocation { clusters, budgets: Vec::new() };
+    }
+
+    // Eq. 4: merge singletons into non-singletons while the floors do not fit.
+    if clusters.len() * b_min > b_tot {
+        clusters = merge_singletons(clusters, graph);
+    }
+    // If floors still do not fit (e.g. all-singleton graph merged into few
+    // clusters), shrink the effective floor. A zero total budget legitimately
+    // yields zero floors (and zero training data).
+    let b_min = if b_tot == 0 { 0 } else { b_min.min(b_tot / clusters.len().max(1)).max(1) };
+
+    let cluster_vectors: Vec<usize> =
+        clusters.iter().map(|c| c.iter().map(|&p| sizes[p]).sum()).collect();
+    let is_singleton: Vec<bool> = clusters.iter().map(|c| c.len() == 1).collect();
+    let total_tasks: usize = clusters.iter().map(Vec::len).sum();
+    let ns_tasks: usize =
+        clusters.iter().zip(&is_singleton).filter(|(_, &s)| !s).map(|(c, _)| c.len()).sum();
+    let s_tasks = total_tasks - ns_tasks;
+
+    // Eq. 5
+    let b_rem = b_tot.saturating_sub(b_min * clusters.len());
+    // Eqs. 6-7 (interpreted over tasks, which sums to 1)
+    let ratio_ns = ns_tasks as f64 / total_tasks.max(1) as f64;
+    let ratio_s = s_tasks as f64 / total_tasks.max(1) as f64;
+    let ns_vectors: f64 = cluster_vectors
+        .iter()
+        .zip(&is_singleton)
+        .filter(|(_, &s)| !s)
+        .map(|(&v, _)| v as f64)
+        .sum();
+    let s_vectors: f64 = cluster_vectors
+        .iter()
+        .zip(&is_singleton)
+        .filter(|(_, &s)| s)
+        .map(|(&v, _)| v as f64)
+        .sum();
+
+    // Eqs. 8-9 with largest-remainder rounding so Σ budgets == b_tot
+    let shares: Vec<f64> = cluster_vectors
+        .iter()
+        .zip(&is_singleton)
+        .map(|(&v, &s)| {
+            let (group_vectors, ratio) = if s { (s_vectors, ratio_s) } else { (ns_vectors, ratio_ns) };
+            if group_vectors <= 0.0 {
+                0.0
+            } else {
+                (v as f64 / group_vectors) * b_rem as f64 * ratio
+            }
+        })
+        .collect();
+    let mut budgets: Vec<usize> = shares.iter().map(|&s| b_min + s.floor() as usize).collect();
+    let assigned: usize = budgets.iter().sum();
+    let mut leftover = b_tot.saturating_sub(assigned);
+    let mut order: Vec<usize> = (0..clusters.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = shares[a] - shares[a].floor();
+        let fb = shares[b] - shares[b].floor();
+        fb.total_cmp(&fa).then(a.cmp(&b))
+    });
+    for &i in order.iter().cycle().take(clusters.len() * 2) {
+        if leftover == 0 {
+            break;
+        }
+        budgets[i] += 1;
+        leftover -= 1;
+    }
+    // Never allocate more labels than a cluster has vectors; freed budget
+    // flows to clusters that still have headroom so the total stays b_tot
+    // whenever the pool is large enough.
+    for (b, &v) in budgets.iter_mut().zip(&cluster_vectors) {
+        *b = (*b).min(v);
+    }
+    let mut freed = b_tot.saturating_sub(budgets.iter().sum());
+    while freed > 0 {
+        let mut gave = false;
+        for i in 0..budgets.len() {
+            if freed == 0 {
+                break;
+            }
+            if budgets[i] < cluster_vectors[i] {
+                let headroom = (cluster_vectors[i] - budgets[i]).min(freed);
+                budgets[i] += headroom;
+                freed -= headroom;
+                gave = true;
+            }
+        }
+        if !gave {
+            break; // every cluster saturated: total pool smaller than b_tot
+        }
+    }
+
+    BudgetAllocation { clusters, budgets }
+}
+
+/// Merge every singleton cluster into the non-singleton cluster holding the
+/// problem it is most similar to (strongest `G_P` edge); singletons with no
+/// edge to any non-singleton are pooled into one fallback cluster.
+fn merge_singletons(clusters: Vec<Vec<usize>>, graph: &Graph) -> Vec<Vec<usize>> {
+    let (mut non_singletons, singletons): (Vec<Vec<usize>>, Vec<Vec<usize>>) =
+        clusters.into_iter().partition(|c| c.len() > 1);
+    if singletons.is_empty() {
+        return non_singletons;
+    }
+    let mut orphans: Vec<usize> = Vec::new();
+    for singleton in singletons {
+        let p = singleton[0];
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, members) in non_singletons.iter().enumerate() {
+            let affinity: f64 = members
+                .iter()
+                .filter_map(|&q| graph.edge_weight(p, q))
+                .fold(f64::NEG_INFINITY, f64::max);
+            if affinity.is_finite() && best.is_none_or(|(_, w)| affinity > w) {
+                best = Some((ci, affinity));
+            }
+        }
+        match best {
+            Some((ci, _)) => non_singletons[ci].push(p),
+            None => orphans.push(p),
+        }
+    }
+    if !orphans.is_empty() {
+        non_singletons.push(orphans);
+    }
+    non_singletons
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_with_edges(n: usize, edges: &[(usize, usize, f64)]) -> Graph {
+        Graph::from_edges(n, edges)
+    }
+
+    #[test]
+    fn total_budget_is_respected_exactly() {
+        let clusters = vec![vec![0, 1], vec![2, 3, 4], vec![5]];
+        let sizes = vec![200, 200, 600, 600, 600, 400];
+        let g = graph_with_edges(6, &[]);
+        let alloc = allocate(clusters, &sizes, &g, 1000, 50);
+        assert_eq!(alloc.budgets.iter().sum::<usize>(), 1000);
+        assert!(alloc.budgets.iter().all(|&b| b >= 50));
+    }
+
+    #[test]
+    fn bigger_clusters_get_bigger_budgets() {
+        let clusters = vec![vec![0, 1], vec![2, 3]];
+        let sizes = vec![50, 50, 500, 500];
+        let g = graph_with_edges(4, &[]);
+        let alloc = allocate(clusters, &sizes, &g, 1000, 50);
+        assert!(alloc.budgets[1] > alloc.budgets[0]);
+    }
+
+    #[test]
+    fn eq4_merges_singletons_when_floors_dont_fit() {
+        // 5 clusters × b_min 100 = 500 > b_tot 300 → singletons must merge
+        let clusters = vec![vec![0, 1], vec![2], vec![3], vec![4], vec![5]];
+        let sizes = vec![100; 6];
+        let g = graph_with_edges(
+            6,
+            &[(2, 0, 0.9), (3, 1, 0.8), (4, 0, 0.7), (5, 1, 0.6)],
+        );
+        let alloc = allocate(clusters, &sizes, &g, 300, 100);
+        // all singletons merged into the one non-singleton cluster
+        assert_eq!(alloc.clusters.len(), 1);
+        assert_eq!(alloc.clusters[0].len(), 6);
+        assert_eq!(alloc.budgets.iter().sum::<usize>(), 300);
+    }
+
+    #[test]
+    fn orphan_singletons_pool_together() {
+        // no non-singleton exists; singletons have no merge target
+        let clusters = vec![vec![0], vec![1], vec![2], vec![3]];
+        let sizes = vec![100; 4];
+        let g = graph_with_edges(4, &[]);
+        let alloc = allocate(clusters, &sizes, &g, 100, 50);
+        assert_eq!(alloc.clusters.len(), 1);
+        assert_eq!(alloc.budgets[0], 100);
+    }
+
+    #[test]
+    fn budget_capped_by_cluster_vectors() {
+        let clusters = vec![vec![0], vec![1]];
+        let sizes = vec![10, 10_000];
+        let g = graph_with_edges(2, &[]);
+        let alloc = allocate(clusters, &sizes, &g, 1000, 50);
+        let idx_small = alloc.clusters.iter().position(|c| c == &vec![0]).unwrap();
+        assert!(alloc.budgets[idx_small] <= 10);
+    }
+
+    #[test]
+    fn singleton_merge_prefers_strongest_edge() {
+        let clusters = vec![vec![0, 1], vec![2, 3], vec![4]];
+        let sizes = vec![100; 5];
+        // 4 is similar to cluster {2,3} (edge to 3) and weakly to {0,1}
+        let g = graph_with_edges(5, &[(4, 3, 0.95), (4, 0, 0.2)]);
+        let alloc = allocate(clusters, &sizes, &g, 120, 50);
+        let merged = alloc.clusters.iter().find(|c| c.contains(&4)).unwrap();
+        assert!(merged.contains(&2) && merged.contains(&3));
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = graph_with_edges(0, &[]);
+        let alloc = allocate(Vec::new(), &[], &g, 100, 10);
+        assert!(alloc.clusters.is_empty());
+        assert!(alloc.budgets.is_empty());
+    }
+
+    #[test]
+    fn proportionality_follows_eq9() {
+        // two non-singleton clusters, no singletons: b(C) = b_min + share
+        let clusters = vec![vec![0, 1], vec![2, 3]];
+        let sizes = vec![1000, 1000, 3000, 3000];
+        let g = graph_with_edges(4, &[]);
+        let alloc = allocate(clusters, &sizes, &g, 1000, 100);
+        // b_rem = 800, shares 2000/8000 and 6000/8000 → 100+200 and 100+600
+        assert_eq!(alloc.budgets, vec![300, 700]);
+    }
+
+    #[test]
+    fn capped_budget_flows_to_other_clusters() {
+        // cluster 1 can absorb what the tiny cluster 0 cannot take
+        let clusters = vec![vec![0], vec![1, 2]];
+        let sizes = vec![10, 5000, 5000];
+        let g = graph_with_edges(3, &[]);
+        let alloc = allocate(clusters, &sizes, &g, 1000, 50);
+        assert_eq!(alloc.budgets.iter().sum::<usize>(), 1000);
+        let small = alloc.clusters.iter().position(|c| c.contains(&0)).unwrap();
+        assert_eq!(alloc.budgets[small], 10);
+    }
+}

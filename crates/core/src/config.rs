@@ -1,0 +1,190 @@
+//! MoRER configuration (paper Table 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::clustering::ClusteringAlgorithm;
+use crate::distribution::DistributionTest;
+use morer_ml::model::ModelConfig;
+
+/// Which active-learning method selects training data per cluster (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlMethod {
+    /// Bootstrap uncertainty sampling (Mozafari et al.).
+    Bootstrap,
+    /// Graph-boosted Almser (Primpeli & Bizer).
+    Almser,
+    /// Uniform random baseline.
+    Random,
+}
+
+impl AlMethod {
+    /// Short name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Bootstrap => "bootstrap",
+            Self::Almser => "almser",
+            Self::Random => "random",
+        }
+    }
+}
+
+/// How per-cluster training data is obtained (Table 3 "model generation").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrainingMode {
+    /// Active learning under the global budget `b_tot`.
+    ActiveLearning(AlMethod),
+    /// Fully supervised on a fraction of each initial problem's labeled
+    /// vectors (the paper's "50%" and "all" columns).
+    Supervised {
+        /// Fraction of available labeled vectors used (0, 1].
+        fraction: f64,
+    },
+}
+
+/// Strategy for assigning models to new ER problems (§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// `sel_base`: most similar cluster, no integration or retraining.
+    Base,
+    /// `sel_cov`: integrate into `G_P`, recluster, retrain when the unsolved
+    /// coverage (Eq. 13) exceeds the threshold.
+    Coverage {
+        /// Retraining threshold `t_cov` (paper sweeps 0.1 / 0.25 / 0.5).
+        t_cov: f64,
+    },
+}
+
+/// Full MoRER configuration with the paper's defaults (Table 3 bold values).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MorerConfig {
+    /// Distribution test for `sim_p` (default KS).
+    pub distribution_test: DistributionTest,
+    /// Graph clustering algorithm (default Leiden).
+    pub clustering: ClusteringAlgorithm,
+    /// Total labeling budget `b_tot`.
+    pub budget: usize,
+    /// Per-cluster minimum budget `b_min`.
+    pub budget_min: usize,
+    /// Training mode (default: Bootstrap AL).
+    pub training: TrainingMode,
+    /// Classifier family per cluster (default: random forest).
+    pub model: ModelConfig,
+    /// Selection strategy for new problems (default `sel_base`).
+    pub selection: SelectionStrategy,
+    /// Edges below this `sim_p` are pruned from the ER problem graph.
+    pub min_edge_similarity: f64,
+    /// Multiply Bootstrap uncertainty by the record-uniqueness score
+    /// (Eqs. 11-12).
+    pub use_uniqueness_score: bool,
+    /// Weight per-feature distribution similarities by their pooled stddev
+    /// (§4.2; `false` disables the weighting for the ablation bench).
+    pub weight_features_by_stddev: bool,
+    /// Cap on rows per problem consumed by the distribution tests
+    /// (subsampling keeps analysis O(1) in problem size).
+    pub analysis_sample_cap: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MorerConfig {
+    fn default() -> Self {
+        Self {
+            distribution_test: DistributionTest::KolmogorovSmirnov,
+            clustering: ClusteringAlgorithm::default_leiden(),
+            budget: 1000,
+            budget_min: 50,
+            training: TrainingMode::ActiveLearning(AlMethod::Bootstrap),
+            model: ModelConfig::default(),
+            selection: SelectionStrategy::Base,
+            min_edge_similarity: 0.5,
+            use_uniqueness_score: false,
+            weight_features_by_stddev: true,
+            analysis_sample_cap: 4000,
+            seed: 42,
+        }
+    }
+}
+
+impl MorerConfig {
+    /// The [`crate::distribution::AnalysisOptions`] this configuration
+    /// implies.
+    pub fn analysis_options(&self) -> crate::distribution::AnalysisOptions {
+        crate::distribution::AnalysisOptions {
+            test: self.distribution_test,
+            sample_cap: self.analysis_sample_cap,
+            weight_by_stddev: self.weight_features_by_stddev,
+            seed: self.seed,
+        }
+    }
+}
+
+impl MorerConfig {
+    /// Render the Table-3-style parameter overview.
+    pub fn parameter_table(&self) -> Vec<(String, String)> {
+        vec![
+            ("distribution test".into(), self.distribution_test.name().into()),
+            ("clustering".into(), self.clustering.name().into()),
+            ("b_tot".into(), self.budget.to_string()),
+            ("b_min".into(), self.budget_min.to_string()),
+            (
+                "model generation".into(),
+                match self.training {
+                    TrainingMode::ActiveLearning(m) => format!("AL ({})", m.name()),
+                    TrainingMode::Supervised { fraction } => {
+                        format!("supervised ({:.0}%)", fraction * 100.0)
+                    }
+                },
+            ),
+            (
+                "selection method".into(),
+                match self.selection {
+                    SelectionStrategy::Base => "sel_base".into(),
+                    SelectionStrategy::Coverage { t_cov } => format!("sel_cov({t_cov})"),
+                },
+            ),
+            ("min edge similarity".into(), format!("{}", self.min_edge_similarity)),
+            ("uniqueness score".into(), self.use_uniqueness_score.to_string()),
+            ("seed".into(), self.seed.to_string()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_table3() {
+        let c = MorerConfig::default();
+        assert_eq!(c.distribution_test, DistributionTest::KolmogorovSmirnov);
+        assert_eq!(c.budget, 1000);
+        assert!(matches!(c.training, TrainingMode::ActiveLearning(AlMethod::Bootstrap)));
+        assert!(matches!(c.selection, SelectionStrategy::Base));
+    }
+
+    #[test]
+    fn parameter_table_lists_everything() {
+        let c = MorerConfig::default();
+        let t = c.parameter_table();
+        assert!(t.iter().any(|(k, v)| k == "b_tot" && v == "1000"));
+        assert!(t.iter().any(|(k, v)| k == "distribution test" && v == "KS"));
+        assert!(t.iter().any(|(k, v)| k == "selection method" && v == "sel_base"));
+    }
+
+    #[test]
+    fn selection_strategy_formats() {
+        let c = MorerConfig {
+            selection: SelectionStrategy::Coverage { t_cov: 0.25 },
+            ..Default::default()
+        };
+        let t = c.parameter_table();
+        assert!(t.iter().any(|(_, v)| v == "sel_cov(0.25)"));
+    }
+
+    #[test]
+    fn al_method_names() {
+        assert_eq!(AlMethod::Bootstrap.name(), "bootstrap");
+        assert_eq!(AlMethod::Almser.name(), "almser");
+        assert_eq!(AlMethod::Random.name(), "random");
+    }
+}

@@ -1,0 +1,381 @@
+//! Similarity distribution analysis between ER problems (paper §4.2).
+//!
+//! The univariate tests (KS, WD, PSI) compare each feature's distribution
+//! independently; per-feature similarities are aggregated into `sim_p` with
+//! weights proportional to the feature's pooled standard deviation — "to
+//! consider the discriminative power of these features". The classifier
+//! two-sample test (C2ST) trains a classifier to tell the two problems'
+//! vector sets apart and defines `sim_p` as the inverse F1.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use morer_data::ErProblem;
+use morer_graph::Graph;
+use morer_ml::dataset::{FeatureMatrix, TrainingSet};
+use morer_ml::forest::{RandomForest, RandomForestConfig};
+use morer_ml::metrics::PairCounts;
+use morer_stats::describe::{stddev, weighted_mean};
+use morer_stats::UnivariateTest;
+
+/// The distribution tests evaluated in the paper (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistributionTest {
+    /// Kolmogorov-Smirnov (Eq. 1).
+    KolmogorovSmirnov,
+    /// Wasserstein distance (Eq. 2).
+    Wasserstein,
+    /// Population Stability Index (Eq. 3).
+    Psi,
+    /// Classifier two-sample test (multivariate).
+    C2st,
+}
+
+impl DistributionTest {
+    /// Short name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::KolmogorovSmirnov => "KS",
+            Self::Wasserstein => "WD",
+            Self::Psi => "PSI",
+            Self::C2st => "C2ST",
+        }
+    }
+
+    /// All tests, for sweeps (Fig. 6).
+    pub fn all() -> [Self; 4] {
+        [Self::KolmogorovSmirnov, Self::Wasserstein, Self::Psi, Self::C2st]
+    }
+
+    fn univariate(self) -> Option<UnivariateTest> {
+        match self {
+            Self::KolmogorovSmirnov => Some(UnivariateTest::KolmogorovSmirnov),
+            Self::Wasserstein => Some(UnivariateTest::Wasserstein),
+            Self::Psi => Some(UnivariateTest::Psi),
+            Self::C2st => None,
+        }
+    }
+}
+
+/// A bag of similarity feature vectors standing in for one side of a
+/// distribution comparison — either a full ER problem or a cluster's stored
+/// representatives `P_C`.
+pub trait FeatureSample {
+    /// Number of features `t`.
+    fn num_features(&self) -> usize;
+    /// Column `f` of the sample.
+    fn feature_column(&self, f: usize) -> Vec<f64>;
+    /// All rows (for the multivariate C2ST).
+    fn rows(&self) -> &FeatureMatrix;
+}
+
+impl FeatureSample for ErProblem {
+    fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+    fn feature_column(&self, f: usize) -> Vec<f64> {
+        self.features.column(f)
+    }
+    fn rows(&self) -> &FeatureMatrix {
+        &self.features
+    }
+}
+
+impl FeatureSample for FeatureMatrix {
+    fn num_features(&self) -> usize {
+        self.cols()
+    }
+    fn feature_column(&self, f: usize) -> Vec<f64> {
+        self.column(f)
+    }
+    fn rows(&self) -> &FeatureMatrix {
+        self
+    }
+}
+
+/// Options for the distribution analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisOptions {
+    /// Which two-sample test computes per-feature similarity.
+    pub test: DistributionTest,
+    /// Rows consumed per side (seeded subsampling keeps analysis O(1) in
+    /// problem size).
+    pub sample_cap: usize,
+    /// Weight per-feature similarities by their pooled stddev (§4.2's
+    /// "discriminative power"); `false` = plain mean (ablation).
+    pub weight_by_stddev: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AnalysisOptions {
+    /// Paper defaults: KS test, stddev weighting on.
+    pub fn new(test: DistributionTest, sample_cap: usize, seed: u64) -> Self {
+        Self { test, sample_cap, weight_by_stddev: true, seed }
+    }
+}
+
+/// `sim_p` between two feature samples (paper §4.2), in `[0, 1]`, with the
+/// default stddev weighting.
+pub fn problem_similarity<A: FeatureSample + ?Sized, B: FeatureSample + ?Sized>(
+    a: &A,
+    b: &B,
+    test: DistributionTest,
+    sample_cap: usize,
+    seed: u64,
+) -> f64 {
+    problem_similarity_with(a, b, &AnalysisOptions::new(test, sample_cap, seed))
+}
+
+/// `sim_p` with explicit [`AnalysisOptions`].
+pub fn problem_similarity_with<A: FeatureSample + ?Sized, B: FeatureSample + ?Sized>(
+    a: &A,
+    b: &B,
+    opts: &AnalysisOptions,
+) -> f64 {
+    assert_eq!(a.num_features(), b.num_features(), "feature spaces must agree (§4.2)");
+    match opts.test.univariate() {
+        Some(uni) => {
+            let t = a.num_features();
+            let mut sims = Vec::with_capacity(t);
+            let mut weights = Vec::with_capacity(t);
+            for f in 0..t {
+                let ca = subsample(a.feature_column(f), opts.sample_cap, opts.seed ^ f as u64);
+                let cb =
+                    subsample(b.feature_column(f), opts.sample_cap, opts.seed ^ (f as u64) << 8);
+                sims.push(uni.similarity(&ca, &cb));
+                if opts.weight_by_stddev {
+                    // discriminative power: pooled stddev across both problems
+                    let mut pooled = ca;
+                    pooled.extend_from_slice(&cb);
+                    weights.push(stddev(&pooled));
+                } else {
+                    weights.push(1.0);
+                }
+            }
+            weighted_mean(&sims, &weights).clamp(0.0, 1.0)
+        }
+        None => c2st_similarity(a.rows(), b.rows(), opts.sample_cap, opts.seed),
+    }
+}
+
+/// Classifier two-sample test: train a forest to separate the two samples;
+/// `sim_p = 1 − F1` on a held-out third (balanced subsamples, so F1 ≈ 0.5
+/// for indistinguishable problems → sim ≈ 0.5; F1 → 1 for distinct ones).
+fn c2st_similarity(a: &FeatureMatrix, b: &FeatureMatrix, sample_cap: usize, seed: u64) -> f64 {
+    let cap = sample_cap.clamp(16, 2000).min(a.rows()).min(b.rows());
+    if cap < 4 {
+        // not enough data to distinguish: fall back to KS on feature 0
+        return 1.0;
+    }
+    let rows_a = sample_rows(a, cap, seed);
+    let rows_b = sample_rows(b, cap, seed ^ 0xA5A5);
+    // label: does the row come from problem b?
+    let mut train = TrainingSet::new(a.cols());
+    let mut test_rows: Vec<(Vec<f64>, bool)> = Vec::new();
+    let split_a = (rows_a.len() * 2) / 3;
+    let split_b = (rows_b.len() * 2) / 3;
+    for (i, r) in rows_a.iter().enumerate() {
+        if i < split_a {
+            train.push(r, false);
+        } else {
+            test_rows.push((r.clone(), false));
+        }
+    }
+    for (i, r) in rows_b.iter().enumerate() {
+        if i < split_b {
+            train.push(r, true);
+        } else {
+            test_rows.push((r.clone(), true));
+        }
+    }
+    let forest = RandomForest::fit(
+        &train,
+        &RandomForestConfig { n_trees: 16, max_depth: 8, seed, ..Default::default() },
+    );
+    let mut counts = PairCounts::new();
+    for (row, label) in &test_rows {
+        counts.record(forest.predict(row), *label);
+    }
+    (1.0 - counts.f1()).clamp(0.0, 1.0)
+}
+
+fn subsample(mut col: Vec<f64>, cap: usize, seed: u64) -> Vec<f64> {
+    if col.len() <= cap {
+        return col;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    col.shuffle(&mut rng);
+    col.truncate(cap);
+    col
+}
+
+fn sample_rows(m: &FeatureMatrix, cap: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut idx: Vec<usize> = (0..m.rows()).collect();
+    if idx.len() > cap {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        idx.truncate(cap);
+    }
+    idx.into_iter().map(|i| m.row(i).to_vec()).collect()
+}
+
+/// Build the ER problem similarity graph `G_P` over `problems` (§4.3):
+/// vertices are problems (indexed positionally), edges weighted by `sim_p`,
+/// pruned below `min_edge_similarity`. Pairwise analysis runs in parallel.
+pub fn build_problem_graph(
+    problems: &[&ErProblem],
+    test: DistributionTest,
+    min_edge_similarity: f64,
+    sample_cap: usize,
+    seed: u64,
+) -> Graph {
+    build_problem_graph_with(
+        problems,
+        &AnalysisOptions::new(test, sample_cap, seed),
+        min_edge_similarity,
+    )
+}
+
+/// [`build_problem_graph`] with explicit [`AnalysisOptions`].
+pub fn build_problem_graph_with(
+    problems: &[&ErProblem],
+    opts: &AnalysisOptions,
+    min_edge_similarity: f64,
+) -> Graph {
+    let n = problems.len();
+    let pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
+    let sims: Vec<((usize, usize), f64)> = pairs
+        .par_iter()
+        .map(|&(i, j)| {
+            let local = AnalysisOptions {
+                seed: opts.seed ^ ((i as u64) << 20) ^ j as u64,
+                ..*opts
+            };
+            ((i, j), problem_similarity_with(problems[i], problems[j], &local))
+        })
+        .collect();
+    let mut g = Graph::new(n);
+    for ((i, j), s) in sims {
+        if s >= min_edge_similarity {
+            g.add_edge(i, j, s);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic problem whose match similarities centre on `mu`.
+    fn synthetic_problem(id: usize, mu: f64, n: usize) -> ErProblem {
+        let mut features = FeatureMatrix::new(2);
+        let mut labels = Vec::new();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            let jitter = ((i * 37) % 100) as f64 / 1000.0;
+            let is_match = i % 3 == 0;
+            let base = if is_match { mu } else { 0.15 };
+            features.push_row(&[(base + jitter).min(1.0), (base * 0.9 + jitter).min(1.0)]);
+            labels.push(is_match);
+            pairs.push((i as u32, (i + n) as u32));
+        }
+        ErProblem {
+            id,
+            sources: (0, 1),
+            pairs,
+            features,
+            labels,
+            feature_names: vec!["f0".into(), "f1".into()],
+        }
+    }
+
+    #[test]
+    fn identical_problems_are_maximally_similar() {
+        let p = synthetic_problem(0, 0.8, 200);
+        for test in DistributionTest::all() {
+            let s = problem_similarity(&p, &p, test, 1000, 1);
+            match test {
+                // C2ST on identical data cannot separate: F1 ~ 0.5 → sim ~ 0.5
+                DistributionTest::C2st => assert!(s > 0.2, "{test:?}: {s}"),
+                _ => assert!(s > 0.97, "{test:?}: {s}"),
+            }
+        }
+    }
+
+    #[test]
+    fn similar_beats_dissimilar_for_every_test() {
+        let a = synthetic_problem(0, 0.80, 300);
+        let near = synthetic_problem(1, 0.78, 300);
+        let far = synthetic_problem(2, 0.45, 300);
+        for test in DistributionTest::all() {
+            let s_near = problem_similarity(&a, &near, test, 1000, 1);
+            let s_far = problem_similarity(&a, &far, test, 1000, 1);
+            assert!(
+                s_near > s_far,
+                "{test:?}: near {s_near} <= far {s_far}"
+            );
+        }
+    }
+
+    #[test]
+    fn similarity_is_bounded() {
+        let a = synthetic_problem(0, 0.9, 150);
+        let b = synthetic_problem(1, 0.3, 150);
+        for test in DistributionTest::all() {
+            let s = problem_similarity(&a, &b, test, 500, 9);
+            assert!((0.0..=1.0).contains(&s), "{test:?}: {s}");
+        }
+    }
+
+    #[test]
+    fn subsampling_is_deterministic() {
+        let a = synthetic_problem(0, 0.8, 5000);
+        let b = synthetic_problem(1, 0.6, 5000);
+        let s1 = problem_similarity(&a, &b, DistributionTest::KolmogorovSmirnov, 100, 3);
+        let s2 = problem_similarity(&a, &b, DistributionTest::KolmogorovSmirnov, 100, 3);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn graph_clusters_similar_problems() {
+        let problems: Vec<ErProblem> = (0..6)
+            .map(|i| synthetic_problem(i, if i < 3 { 0.85 } else { 0.40 }, 200))
+            .collect();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let g = build_problem_graph(&refs, DistributionTest::KolmogorovSmirnov, 0.5, 1000, 7);
+        assert_eq!(g.num_nodes(), 6);
+        // within-group edges should exist and be strong
+        assert!(g.edge_weight(0, 1).unwrap_or(0.0) > 0.8);
+        assert!(g.edge_weight(3, 4).unwrap_or(0.0) > 0.8);
+        // cross-group similarity is much weaker
+        let cross = g.edge_weight(0, 3).unwrap_or(0.0);
+        assert!(cross < g.edge_weight(0, 1).unwrap(), "cross {cross}");
+    }
+
+    #[test]
+    fn feature_matrix_is_a_feature_sample() {
+        let p = synthetic_problem(0, 0.8, 100);
+        let s = problem_similarity(&p, &p.features, DistributionTest::Wasserstein, 500, 2);
+        assert!(s > 0.97, "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature spaces must agree")]
+    fn mismatched_feature_spaces_panic() {
+        let a = synthetic_problem(0, 0.8, 50);
+        let m = FeatureMatrix::from_rows(&[vec![0.5]]);
+        let _ = problem_similarity(&a, &m, DistributionTest::KolmogorovSmirnov, 100, 1);
+    }
+
+    #[test]
+    fn test_names() {
+        assert_eq!(DistributionTest::KolmogorovSmirnov.name(), "KS");
+        assert_eq!(DistributionTest::C2st.name(), "C2ST");
+    }
+}

@@ -1,0 +1,61 @@
+//! # morer-core — the MoRER model repository for entity resolution
+//!
+//! Reproduction of the paper's primary contribution (§4): build a repository
+//! of ER classification models from solved ER problems, search it for the
+//! right model when a new problem arrives, and integrate new problems by
+//! reclustering and coverage-triggered retraining.
+//!
+//! Pipeline (paper Fig. 3):
+//!
+//! 1. **Similarity distribution analysis** ([`distribution`]) — pairwise
+//!    `sim_p` between ER problems via KS / Wasserstein / PSI univariate tests
+//!    (stddev-weighted feature aggregation) or the classifier two-sample test;
+//! 2. **ER problem clustering** ([`clustering`]) — Leiden over the ER problem
+//!    similarity graph `G_P` (Louvain / label propagation / Girvan-Newman as
+//!    ablations);
+//! 3. **Model generation** ([`generation`], [`budget`]) — one classifier per
+//!    cluster, trained on AL-selected (Bootstrap or Almser) or fully
+//!    supervised data under the budget allocation of Eqs. 4-9;
+//! 4. **Processing new ER problems** ([`selection`]) — `sel_base` picks the
+//!    most similar cluster's model; `sel_cov` integrates the problem into
+//!    `G_P`, reclusters, and retrains when the unsolved coverage (Eq. 13)
+//!    exceeds `t_cov` with the budget of Eq. 14;
+//! 5. **Classification** — the chosen model labels the problem's feature
+//!    vectors.
+//!
+//! The stateful façade is [`pipeline::Morer`]; [`repository::ModelRepository`]
+//! is the serializable artifact it maintains.
+//!
+//! ```
+//! use morer_core::prelude::*;
+//! use morer_data::{computer, DatasetScale};
+//!
+//! let bench = computer(DatasetScale::Tiny, 7);
+//! let config = MorerConfig { budget: 200, ..MorerConfig::default() };
+//! let (mut morer, report) = Morer::build(bench.initial_problems(), &config);
+//! assert!(report.labels_used <= 200);
+//! let outcome = morer.solve(&bench.problems[bench.unsolved[0]]);
+//! assert_eq!(outcome.predictions.len(), bench.problems[bench.unsolved[0]].num_pairs());
+//! ```
+
+pub mod budget;
+pub mod clustering;
+pub mod config;
+pub mod distribution;
+pub mod generation;
+pub mod pipeline;
+pub mod repository;
+pub mod selection;
+pub mod stability;
+
+/// Convenient re-exports of the main API surface.
+pub mod prelude {
+    pub use crate::clustering::ClusteringAlgorithm;
+    pub use crate::config::{AlMethod, MorerConfig, SelectionStrategy, TrainingMode};
+    pub use crate::distribution::DistributionTest;
+    pub use crate::pipeline::{BuildReport, Morer, SolveOutcome};
+    pub use crate::repository::{ClusterEntry, ModelRepository};
+    pub use crate::stability::{ClusterStability, StabilityReport};
+}
+
+pub use prelude::*;

@@ -1,0 +1,620 @@
+//! The stateful MoRER pipeline façade: build the repository from the initial
+//! problems (paper Fig. 3, steps 1-3), then solve new problems with the
+//! configured selection strategy (steps 4-5).
+
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+use crate::budget::{allocate, BudgetAllocation};
+use crate::config::{MorerConfig, SelectionStrategy, TrainingMode};
+use crate::distribution::{build_problem_graph_with, problem_similarity_with, AnalysisOptions};
+use crate::generation::{generate_models, make_learner, supervised_training};
+use crate::repository::{ClusterEntry, ModelRepository};
+use crate::selection::{best_entry_for, classify, coverage, retrain_budget};
+use morer_al::AlPool;
+use morer_data::ErProblem;
+use morer_graph::community::Clustering;
+use morer_graph::Graph;
+use morer_ml::metrics::PairCounts;
+use morer_ml::model::TrainedModel;
+
+/// Wall-clock breakdown of pipeline phases (Fig. 5's shaded areas).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Pairwise distribution analysis.
+    pub analysis: Duration,
+    /// Graph clustering (incl. re-clustering during `sel_cov`).
+    pub clustering: Duration,
+    /// Training-data selection + model training.
+    pub training: Duration,
+    /// Model search for new problems.
+    pub selection: Duration,
+}
+
+/// Report returned by [`Morer::build`].
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Number of clusters (= models) created.
+    pub num_clusters: usize,
+    /// Oracle labels spent (0 in supervised mode).
+    pub labels_used: usize,
+    /// Phase timings.
+    pub timings: Timings,
+}
+
+/// Result of solving one new ER problem.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Match predictions aligned with the problem's pairs.
+    pub predictions: Vec<bool>,
+    /// Match probabilities aligned with the problem's pairs.
+    pub probabilities: Vec<f64>,
+    /// Repository entry used (`usize::MAX` if the repository was empty).
+    pub entry_id: usize,
+    /// `sim_p` between the problem and the chosen cluster.
+    pub similarity: f64,
+    /// Whether `sel_cov` retrained the entry's model.
+    pub retrained: bool,
+    /// Whether `sel_cov` created a brand-new model.
+    pub new_model: bool,
+    /// Additional oracle labels spent by this solve.
+    pub labels_spent: usize,
+}
+
+/// The MoRER pipeline: repository construction, search, and integration.
+#[derive(Debug, Clone)]
+pub struct Morer {
+    pub(crate) config: MorerConfig,
+    /// All integrated problems (positional indexing; `ErProblem::id` is kept
+    /// as caller metadata only).
+    pub(crate) problems: Vec<ErProblem>,
+    /// `in_t[p]`: problem `p` has been used for training-data selection (T
+    /// vs. U of §4.5).
+    in_t: Vec<bool>,
+    /// The ER problem similarity graph `G_P`.
+    pub(crate) graph: Graph,
+    /// Current clustering of `G_P`.
+    pub(crate) clustering: Clustering,
+    /// Repository entries.
+    pub(crate) entries: Vec<ClusterEntry>,
+    /// Total vectors across the initial problems (fresh-cluster budgeting).
+    initial_vectors: usize,
+    labels_used: usize,
+    /// Accumulated phase timings.
+    pub timings: Timings,
+}
+
+impl Morer {
+    /// Build the repository from the initial problems `P_I` (steps 1-3 of
+    /// Fig. 3).
+    pub fn build(initial: Vec<&ErProblem>, config: &MorerConfig) -> (Self, BuildReport) {
+        let mut timings = Timings::default();
+
+        let t = Instant::now();
+        let graph =
+            build_problem_graph_with(&initial, &config.analysis_options(), config.min_edge_similarity);
+        timings.analysis = t.elapsed();
+
+        let t = Instant::now();
+        let clustering = config.clustering.run(&graph, config.seed);
+        timings.clustering = t.elapsed();
+
+        let sizes: Vec<usize> = initial.iter().map(|p| p.num_pairs()).collect();
+        let allocation: BudgetAllocation = match config.training {
+            TrainingMode::ActiveLearning(_) => allocate(
+                clustering.members(),
+                &sizes,
+                &graph,
+                config.budget,
+                config.budget_min,
+            ),
+            TrainingMode::Supervised { .. } => BudgetAllocation {
+                budgets: vec![0; clustering.members().len()],
+                clusters: clustering.members(),
+            },
+        };
+
+        let t = Instant::now();
+        let outcome = generate_models(
+            &initial,
+            &allocation,
+            config.training,
+            &config.model,
+            config.use_uniqueness_score,
+            config.seed,
+        );
+        timings.training = t.elapsed();
+
+        // Re-express the clustering over the (possibly merged) allocation.
+        let mut assignment = vec![0usize; initial.len()];
+        for (c, members) in allocation.clusters.iter().enumerate() {
+            for &p in members {
+                assignment[p] = c;
+            }
+        }
+        let initial_vectors = sizes.iter().sum();
+        let morer = Self {
+            config: config.clone(),
+            problems: initial.into_iter().cloned().collect(),
+            in_t: vec![true; sizes.len()],
+            graph,
+            clustering: Clustering::from_assignment(&assignment),
+            entries: outcome.entries,
+            initial_vectors,
+            labels_used: outcome.labels_used,
+            timings,
+        };
+        let report = BuildReport {
+            num_clusters: morer.entries.len(),
+            labels_used: morer.labels_used,
+            timings: morer.timings,
+        };
+        (morer, report)
+    }
+
+    /// Reconstruct a (search-only) pipeline from a persisted repository.
+    /// `sel_base` solving works immediately; `sel_cov` will treat every new
+    /// problem as out-of-repository and train fresh models.
+    pub fn from_repository(repository: ModelRepository, config: &MorerConfig) -> Self {
+        let n_entries = repository.entries.len();
+        Self {
+            config: config.clone(),
+            problems: Vec::new(),
+            in_t: Vec::new(),
+            graph: Graph::new(0),
+            clustering: Clustering::from_assignment(&[]),
+            entries: repository.entries,
+            initial_vectors: 0,
+            labels_used: 0,
+            timings: Timings::default(),
+        }
+        .tap_entries(n_entries)
+    }
+
+    fn tap_entries(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Snapshot the repository for persistence.
+    pub fn repository(&self) -> ModelRepository {
+        ModelRepository { entries: self.entries.clone() }
+    }
+
+    /// Total oracle labels spent (construction + integration).
+    pub fn labels_used(&self) -> usize {
+        self.labels_used
+    }
+
+    /// Number of models currently stored.
+    pub fn num_models(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Current number of integrated problems.
+    pub fn num_problems(&self) -> usize {
+        self.problems.len()
+    }
+
+    /// Solve a new ER problem `p ∈ P_U` (steps 4-5 of Fig. 3).
+    pub fn solve(&mut self, problem: &ErProblem) -> SolveOutcome {
+        match self.config.selection {
+            SelectionStrategy::Base => self.solve_base(problem),
+            SelectionStrategy::Coverage { t_cov } => self.solve_coverage(problem, t_cov),
+        }
+    }
+
+    /// Solve a batch and micro-average the confusion counts over ground
+    /// truth (the paper's evaluation protocol, §5.2).
+    pub fn solve_and_score(&mut self, problems: &[&ErProblem]) -> (PairCounts, Vec<SolveOutcome>) {
+        let mut counts = PairCounts::new();
+        let mut outcomes = Vec::with_capacity(problems.len());
+        for p in problems {
+            let outcome = self.solve(p);
+            for (&pred, &actual) in outcome.predictions.iter().zip(&p.labels) {
+                counts.record(pred, actual);
+            }
+            outcomes.push(outcome);
+        }
+        (counts, outcomes)
+    }
+
+    fn solve_base(&mut self, problem: &ErProblem) -> SolveOutcome {
+        let t = Instant::now();
+        let best = best_entry_for(
+            problem,
+            &self.entries,
+            self.config.distribution_test,
+            self.config.analysis_sample_cap,
+            self.config.seed,
+        );
+        let outcome = match best {
+            Some((idx, sim)) => {
+                let (predictions, probabilities) = classify(&self.entries[idx], problem);
+                SolveOutcome {
+                    predictions,
+                    probabilities,
+                    entry_id: self.entries[idx].id,
+                    similarity: sim,
+                    retrained: false,
+                    new_model: false,
+                    labels_spent: 0,
+                }
+            }
+            None => SolveOutcome {
+                predictions: vec![false; problem.num_pairs()],
+                probabilities: vec![0.0; problem.num_pairs()],
+                entry_id: usize::MAX,
+                similarity: 0.0,
+                retrained: false,
+                new_model: false,
+                labels_spent: 0,
+            },
+        };
+        self.timings.selection += t.elapsed();
+        outcome
+    }
+
+    fn solve_coverage(&mut self, problem: &ErProblem, t_cov: f64) -> SolveOutcome {
+        // 1. integrate the problem into G_P
+        let t = Instant::now();
+        let new_idx = self.problems.len();
+        self.problems.push(problem.clone());
+        self.in_t.push(false);
+        let node = self.graph.add_node();
+        debug_assert_eq!(node, new_idx);
+        let base_opts = self.config.analysis_options();
+        let sims: Vec<(usize, f64)> = (0..new_idx)
+            .into_par_iter()
+            .map(|i| {
+                let opts = AnalysisOptions {
+                    seed: base_opts.seed ^ (new_idx as u64) << 24 ^ i as u64,
+                    ..base_opts
+                };
+                (i, problem_similarity_with(&self.problems[i], problem, &opts))
+            })
+            .collect();
+        for (i, s) in sims {
+            if s >= self.config.min_edge_similarity {
+                self.graph.add_edge(i, new_idx, s);
+            }
+        }
+        self.timings.analysis += t.elapsed();
+
+        // 2. recluster
+        let t = Instant::now();
+        self.clustering = self.config.clustering.run(&self.graph, self.config.seed);
+        self.timings.clustering += t.elapsed();
+
+        let members: Vec<usize> = self
+            .clustering
+            .members()
+            .into_iter()
+            .find(|m| m.contains(&new_idx))
+            .unwrap_or_else(|| vec![new_idx]);
+        let sizes: Vec<usize> = self.problems.iter().map(ErProblem::num_pairs).collect();
+
+        // 3a. a cluster consisting purely of unsolved problems gets a fresh
+        // model (§4.5)
+        let all_unsolved = members.iter().all(|&p| !self.in_t[p]);
+        if all_unsolved {
+            let t = Instant::now();
+            let cluster_vectors: usize = members.iter().map(|&p| sizes[p]).sum();
+            // Eq. 14 presumes a previous model; fresh clusters receive the
+            // initial-allocation share of b_tot instead (see DESIGN.md).
+            let budget = match self.config.training {
+                TrainingMode::ActiveLearning(_) => {
+                    let share = cluster_vectors as f64 / self.initial_vectors.max(1) as f64;
+                    ((self.config.budget as f64 * share).round() as usize)
+                        .max(self.config.budget_min)
+                }
+                TrainingMode::Supervised { .. } => 0,
+            };
+            let (training, spent) = self.select_training(&members, budget);
+            let model = TrainedModel::train(&self.config.model, &training);
+            let entry = ClusterEntry {
+                id: self.entries.len(),
+                problem_ids: members.clone(),
+                model,
+                representatives: training,
+                labels_used: spent,
+            };
+            for &p in &members {
+                self.in_t[p] = true;
+            }
+            self.labels_used += spent;
+            let entry_id = entry.id;
+            self.entries.push(entry);
+            self.timings.training += t.elapsed();
+            let (predictions, probabilities) = classify(&self.entries[entry_id], problem);
+            return SolveOutcome {
+                predictions,
+                probabilities,
+                entry_id,
+                similarity: 1.0,
+                retrained: false,
+                new_model: true,
+                labels_spent: spent,
+            };
+        }
+
+        // 3b. reuse the previous entry with maximum overlap (§4.5)
+        let t = Instant::now();
+        let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
+        let (entry_idx, _overlap) = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let inter = e.problem_ids.iter().filter(|p| member_set.contains(p)).count();
+                let union = e.problem_ids.len() + members.len() - inter;
+                (i, inter as f64 / union.max(1) as f64)
+            })
+            .max_by(|a, b| {
+                a.1.total_cmp(&b.1).then(b.0.cmp(&a.0))
+            })
+            .expect("non-empty repository in coverage mode");
+        self.timings.selection += t.elapsed();
+
+        // 4. coverage-triggered model update (Eqs. 13-14)
+        let cov = coverage(&members, &sizes, &self.in_t);
+        let mut retrained = false;
+        let mut spent = 0usize;
+        if cov > t_cov {
+            let t = Instant::now();
+            let unsolved_members: Vec<usize> =
+                members.iter().copied().filter(|&p| !self.in_t[p]).collect();
+            let budget = match self.config.training {
+                TrainingMode::ActiveLearning(_) => {
+                    retrain_budget(cov, self.entries[entry_idx].representatives.len())
+                }
+                TrainingMode::Supervised { .. } => 0,
+            };
+            let (new_training, used) = self.select_training(&unsolved_members, budget);
+            spent = used;
+            // update: previous training data plus the new selection
+            let mut combined = self.entries[entry_idx].representatives.clone();
+            combined.extend(&new_training);
+            let model = TrainedModel::train(&self.config.model, &combined);
+            let entry = &mut self.entries[entry_idx];
+            entry.model = model;
+            entry.representatives = combined;
+            entry.labels_used += used;
+            entry.problem_ids = members.clone();
+            for &p in &unsolved_members {
+                self.in_t[p] = true;
+            }
+            self.labels_used += used;
+            retrained = true;
+            self.timings.training += t.elapsed();
+        }
+
+        let (predictions, probabilities) = classify(&self.entries[entry_idx], problem);
+        SolveOutcome {
+            predictions,
+            probabilities,
+            entry_id: self.entries[entry_idx].id,
+            similarity: cov,
+            retrained,
+            new_model: false,
+            labels_spent: spent,
+        }
+    }
+
+    /// Select training data over the given problems using the configured
+    /// mode; returns `(training set, labels spent)`.
+    fn select_training(
+        &self,
+        members: &[usize],
+        budget: usize,
+    ) -> (morer_ml::TrainingSet, usize) {
+        let problems: Vec<&ErProblem> = members.iter().map(|&p| &self.problems[p]).collect();
+        match self.config.training {
+            TrainingMode::ActiveLearning(method) => {
+                let learner = make_learner(method, None, self.config.seed ^ members.len() as u64);
+                let mut pool = AlPool::from_problems(&problems);
+                let result = learner.select(&mut pool, budget);
+                (result.training, result.labels_used)
+            }
+            TrainingMode::Supervised { fraction } => {
+                (supervised_training(&problems, fraction, self.config.seed), 0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlMethod;
+    use morer_ml::dataset::FeatureMatrix;
+
+    /// Problems from two distribution families: family A matches around
+    /// `mu = 0.85`, family B around `mu = 0.55` (with different non-match
+    /// levels so a single model cannot serve both).
+    fn family_problem(id: usize, family: u8, n: usize) -> ErProblem {
+        let (match_mu, nonmatch_mu) = match family {
+            0 => (0.88, 0.12),
+            _ => (0.58, 0.38),
+        };
+        let mut features = FeatureMatrix::new(2);
+        let mut labels = Vec::new();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            let jitter = ((i * 29 + id * 7) % 40) as f64 / 400.0;
+            let is_match = i % 3 == 0;
+            let base = if is_match { match_mu } else { nonmatch_mu };
+            features.push_row(&[(base + jitter).min(1.0), (base + jitter * 0.7).min(1.0)]);
+            labels.push(is_match);
+            pairs.push(((id * n + i) as u32, (id * n + i + 1_000_000) as u32));
+        }
+        ErProblem {
+            id,
+            sources: (id, id + 1),
+            pairs,
+            features,
+            labels,
+            feature_names: vec!["f0".into(), "f1".into()],
+        }
+    }
+
+    fn initial_problems() -> Vec<ErProblem> {
+        (0..6).map(|i| family_problem(i, (i >= 3) as u8, 150)).collect()
+    }
+
+    fn config() -> MorerConfig {
+        MorerConfig { budget: 240, budget_min: 30, ..Default::default() }
+    }
+
+    #[test]
+    fn build_creates_two_clusters_for_two_families() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let (morer, report) = Morer::build(refs, &config());
+        assert_eq!(report.num_clusters, 2, "expected one cluster per family");
+        assert!(report.labels_used <= 240);
+        assert!(report.labels_used > 0);
+        assert_eq!(morer.num_problems(), 6);
+    }
+
+    #[test]
+    fn sel_base_solves_in_distribution_problems_well() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let (mut morer, _) = Morer::build(refs, &config());
+        let unsolved_a = family_problem(10, 0, 150);
+        let unsolved_b = family_problem(11, 1, 150);
+        let (counts, outcomes) = morer.solve_and_score(&[&unsolved_a, &unsolved_b]);
+        assert!(counts.f1() > 0.8, "F1 = {}", counts.f1());
+        // the two problems should map to *different* cluster models
+        assert_ne!(outcomes[0].entry_id, outcomes[1].entry_id);
+        assert!(outcomes.iter().all(|o| o.labels_spent == 0));
+    }
+
+    #[test]
+    fn sel_cov_trains_fresh_model_for_novel_family() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let cfg = MorerConfig {
+            selection: SelectionStrategy::Coverage { t_cov: 0.25 },
+            min_edge_similarity: 0.6,
+            ..config()
+        };
+        let (mut morer, report) = Morer::build(refs, &cfg);
+        let before = morer.num_models();
+        // a genuinely novel distribution: matches at 0.35, non-matches at 0.02
+        let mut novel = family_problem(20, 0, 150);
+        for i in 0..novel.num_pairs() {
+            let v = if novel.labels[i] { 0.35 } else { 0.02 };
+            let row = vec![v, v * 0.9];
+            // rebuild features row by row
+            if i == 0 {
+                novel.features = FeatureMatrix::new(2);
+            }
+            novel.features.push_row(&row);
+        }
+        let outcome = morer.solve(&novel);
+        assert!(outcome.new_model, "expected a fresh model for the novel family");
+        assert!(morer.num_models() > before);
+        assert!(outcome.labels_spent > 0);
+        assert!(morer.labels_used() >= report.labels_used + outcome.labels_spent);
+    }
+
+    #[test]
+    fn sel_cov_reuses_model_for_known_family() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let cfg = MorerConfig {
+            selection: SelectionStrategy::Coverage { t_cov: 0.9 },
+            ..config()
+        };
+        let (mut morer, _) = Morer::build(refs, &cfg);
+        let before = morer.num_models();
+        let unsolved = family_problem(12, 0, 150);
+        let outcome = morer.solve(&unsolved);
+        assert!(!outcome.new_model);
+        // t_cov = 0.9 is high: a single small problem should not trigger
+        // retraining of a 3-problem cluster
+        assert!(!outcome.retrained);
+        assert_eq!(morer.num_models(), before);
+    }
+
+    #[test]
+    fn sel_cov_retrains_when_coverage_exceeded() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let cfg = MorerConfig {
+            selection: SelectionStrategy::Coverage { t_cov: 0.1 },
+            ..config()
+        };
+        let (mut morer, _) = Morer::build(refs, &cfg);
+        // one new in-family problem: coverage 150/600 = 0.25 > 0.1 → retrain
+        let unsolved = family_problem(13, 1, 150);
+        let outcome = morer.solve(&unsolved);
+        assert!(outcome.retrained || outcome.new_model);
+        assert!(outcome.labels_spent > 0);
+    }
+
+    #[test]
+    fn supervised_mode_spends_no_labels() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let cfg = MorerConfig {
+            training: TrainingMode::Supervised { fraction: 0.5 },
+            ..config()
+        };
+        let (mut morer, report) = Morer::build(refs, &cfg);
+        assert_eq!(report.labels_used, 0);
+        let unsolved = family_problem(14, 0, 120);
+        let (counts, _) = morer.solve_and_score(&[&unsolved]);
+        assert!(counts.f1() > 0.8, "F1 = {}", counts.f1());
+    }
+
+    #[test]
+    fn repository_round_trip_enables_search_only_pipeline() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let (morer, _) = Morer::build(refs, &config());
+        let repo = morer.repository();
+        let mut buf = Vec::new();
+        repo.save_json(&mut buf).unwrap();
+        let loaded = ModelRepository::load_json(&buf[..]).unwrap();
+        let mut search_only = Morer::from_repository(loaded, &config());
+        let unsolved = family_problem(15, 0, 120);
+        let (counts, _) = search_only.solve_and_score(&[&unsolved]);
+        assert!(counts.f1() > 0.8, "F1 = {}", counts.f1());
+    }
+
+    #[test]
+    fn almser_training_mode_works_end_to_end() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let cfg = MorerConfig {
+            training: TrainingMode::ActiveLearning(AlMethod::Almser),
+            ..config()
+        };
+        let (mut morer, report) = Morer::build(refs, &cfg);
+        assert!(report.labels_used <= 240);
+        let unsolved = family_problem(16, 1, 120);
+        let (counts, _) = morer.solve_and_score(&[&unsolved]);
+        assert!(counts.f1() > 0.6, "F1 = {}", counts.f1());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let (a, _) = Morer::build(refs.clone(), &config());
+        let (b, _) = Morer::build(refs, &config());
+        assert_eq!(a.repository(), b.repository());
+    }
+
+    #[test]
+    fn empty_repository_predicts_non_match() {
+        let mut morer = Morer::from_repository(ModelRepository::default(), &config());
+        let p = family_problem(0, 0, 30);
+        let outcome = morer.solve(&p);
+        assert_eq!(outcome.entry_id, usize::MAX);
+        assert!(outcome.predictions.iter().all(|&x| !x));
+    }
+}

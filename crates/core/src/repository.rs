@@ -1,0 +1,139 @@
+//! The persistent ER model repository: one trained classifier per problem
+//! cluster plus the labeled representative vectors `P_C` used to match new
+//! problems against the cluster (paper §4.4: "we maintain the similarity
+//! feature vectors of the training data for each cluster").
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use morer_ml::dataset::{FeatureMatrix, TrainingSet};
+use morer_ml::model::TrainedModel;
+
+/// One repository entry: a cluster of ER problems and its model `M_C`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEntry {
+    /// Stable entry id within the repository.
+    pub id: usize,
+    /// Positional indices (into the owning pipeline's problem store) of the
+    /// cluster's member problems.
+    pub problem_ids: Vec<usize>,
+    /// The trained classifier `M_C`.
+    pub model: TrainedModel,
+    /// The labeled training vectors `P_C` — both the model's training data
+    /// and the sample new problems are compared against.
+    pub representatives: TrainingSet,
+    /// Ground-truth labels spent to build this entry (0 for supervised mode
+    /// where labels were assumed available).
+    pub labels_used: usize,
+}
+
+impl ClusterEntry {
+    /// The representative feature matrix (for distribution comparison).
+    pub fn representative_features(&self) -> &FeatureMatrix {
+        &self.representatives.x
+    }
+}
+
+/// The serializable model repository.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ModelRepository {
+    /// All cluster entries.
+    pub entries: Vec<ClusterEntry>,
+}
+
+impl ModelRepository {
+    /// Number of stored models.
+    pub fn num_models(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total labels spent across entries.
+    pub fn total_labels_used(&self) -> usize {
+        self.entries.iter().map(|e| e.labels_used).sum()
+    }
+
+    /// Serialize as JSON to any writer.
+    pub fn save_json<W: Write>(&self, writer: W) -> std::io::Result<()> {
+        serde_json::to_writer(BufWriter::new(writer), self)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Deserialize from JSON.
+    pub fn load_json<R: Read>(reader: R) -> std::io::Result<Self> {
+        serde_json::from_reader(BufReader::new(reader))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Save to a file path.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        self.save_json(std::fs::File::create(path)?)
+    }
+
+    /// Load from a file path.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        Self::load_json(std::fs::File::open(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morer_ml::model::ModelConfig;
+
+    fn sample_entry(id: usize) -> ClusterEntry {
+        let training = TrainingSet::from_rows(
+            &[vec![0.9, 0.8], vec![0.1, 0.2], vec![0.85, 0.9], vec![0.15, 0.1]],
+            &[true, false, true, false],
+        );
+        let model = TrainedModel::train(&ModelConfig::GaussianNb, &training);
+        ClusterEntry { id, problem_ids: vec![id * 2, id * 2 + 1], model, representatives: training, labels_used: 4 }
+    }
+
+    #[test]
+    fn repository_accounting() {
+        let repo = ModelRepository { entries: vec![sample_entry(0), sample_entry(1)] };
+        assert_eq!(repo.num_models(), 2);
+        assert_eq!(repo.total_labels_used(), 8);
+        assert_eq!(repo.entries[1].problem_ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let repo = ModelRepository { entries: vec![sample_entry(0)] };
+        let mut buf = Vec::new();
+        repo.save_json(&mut buf).unwrap();
+        let loaded = ModelRepository::load_json(&buf[..]).unwrap();
+        assert_eq!(repo, loaded);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let repo = ModelRepository { entries: vec![sample_entry(0), sample_entry(1)] };
+        let dir = std::env::temp_dir().join("morer_repo_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.json");
+        repo.save(&path).unwrap();
+        let loaded = ModelRepository::load(&path).unwrap();
+        assert_eq!(repo, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let err = ModelRepository::load_json(&b"not json"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn loaded_model_still_predicts() {
+        let repo = ModelRepository { entries: vec![sample_entry(0)] };
+        let mut buf = Vec::new();
+        repo.save_json(&mut buf).unwrap();
+        let loaded = ModelRepository::load_json(&buf[..]).unwrap();
+        use morer_ml::model::Classifier;
+        assert!(loaded.entries[0].model.predict(&[0.9, 0.9]));
+        assert!(!loaded.entries[0].model.predict(&[0.1, 0.1]));
+    }
+}

@@ -1,0 +1,165 @@
+//! Model search for new ER problems (paper §4.5): the `sel_base` most-similar
+//! cluster lookup and the coverage computation behind `sel_cov`.
+
+use crate::distribution::{problem_similarity, DistributionTest};
+use crate::repository::ClusterEntry;
+use morer_data::ErProblem;
+use morer_ml::model::Classifier;
+
+/// Find the repository entry whose representatives `P_C` are most similar to
+/// the new problem (the `sel_base` strategy). Returns `(entry index,
+/// similarity)`; `None` when the repository is empty.
+pub fn best_entry_for(
+    problem: &ErProblem,
+    entries: &[ClusterEntry],
+    test: DistributionTest,
+    sample_cap: usize,
+    seed: u64,
+) -> Option<(usize, f64)> {
+    entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| !e.representatives.is_empty())
+        .map(|(i, e)| {
+            let sim = problem_similarity(
+                problem,
+                e.representative_features(),
+                test,
+                sample_cap,
+                seed ^ (i as u64) << 12,
+            );
+            (i, sim)
+        })
+        .max_by(|a, b| {
+            a.1.total_cmp(&b.1).then(b.0.cmp(&a.0))
+        })
+}
+
+/// Classify every pair of `problem` with an entry's model.
+pub fn classify(entry: &ClusterEntry, problem: &ErProblem) -> (Vec<bool>, Vec<f64>) {
+    let mut predictions = Vec::with_capacity(problem.num_pairs());
+    let mut probabilities = Vec::with_capacity(problem.num_pairs());
+    for row in problem.features.iter_rows() {
+        let p = entry.model.predict_proba(row);
+        probabilities.push(p);
+        predictions.push(p >= 0.5);
+    }
+    (predictions, probabilities)
+}
+
+/// Coverage ratio of a cluster (Eq. 13): the fraction of its similarity
+/// feature vectors contributed by problems still in `U` (unused for
+/// training).
+///
+/// `members` are positional problem indices; `sizes[p]` is problem `p`'s
+/// vector count; `in_t[p]` says whether `p` was already used for training.
+pub fn coverage(members: &[usize], sizes: &[usize], in_t: &[bool]) -> f64 {
+    let total: usize = members.iter().map(|&p| sizes[p]).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let unsolved: usize = members.iter().filter(|&&p| !in_t[p]).map(|&p| sizes[p]).sum();
+    unsolved as f64 / total as f64
+}
+
+/// Retraining budget of Eq. 14. The paper's expression simplifies to
+/// `cov(C) · |{w ∈ T ∩ C_prev}|` — the coverage share of the labels that
+/// trained the previous model.
+pub fn retrain_budget(cov: f64, previous_training_size: usize) -> usize {
+    ((cov.clamp(0.0, 1.0)) * previous_training_size as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morer_ml::dataset::FeatureMatrix;
+    use morer_ml::model::{ModelConfig, TrainedModel};
+    use morer_ml::TrainingSet;
+
+    fn entry_with_mu(id: usize, mu: f64) -> ClusterEntry {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            let jitter = (i % 10) as f64 / 100.0;
+            let is_match = i % 2 == 0;
+            let v = if is_match { mu } else { 0.1 } + jitter;
+            rows.push(vec![v.min(1.0), (v * 0.9).min(1.0)]);
+            labels.push(is_match);
+        }
+        let training = TrainingSet::from_rows(&rows, &labels);
+        let model = TrainedModel::train(&ModelConfig::GaussianNb, &training);
+        ClusterEntry { id, problem_ids: vec![id], model, representatives: training, labels_used: 100 }
+    }
+
+    fn problem_with_mu(mu: f64) -> ErProblem {
+        let mut features = FeatureMatrix::new(2);
+        let mut labels = Vec::new();
+        let mut pairs = Vec::new();
+        for i in 0..100 {
+            let jitter = (i % 10) as f64 / 100.0;
+            let is_match = i % 2 == 0;
+            let v = if is_match { mu } else { 0.1 } + jitter;
+            features.push_row(&[v.min(1.0), (v * 0.9).min(1.0)]);
+            labels.push(is_match);
+            pairs.push((i as u32, (i + 500) as u32));
+        }
+        ErProblem {
+            id: 99,
+            sources: (4, 5),
+            pairs,
+            features,
+            labels,
+            feature_names: vec!["f0".into(), "f1".into()],
+        }
+    }
+
+    #[test]
+    fn best_entry_picks_matching_distribution() {
+        let entries = vec![entry_with_mu(0, 0.9), entry_with_mu(1, 0.55)];
+        let p_high = problem_with_mu(0.9);
+        let p_low = problem_with_mu(0.55);
+        let (hit_high, sim_high) =
+            best_entry_for(&p_high, &entries, DistributionTest::KolmogorovSmirnov, 1000, 1).unwrap();
+        let (hit_low, _) =
+            best_entry_for(&p_low, &entries, DistributionTest::KolmogorovSmirnov, 1000, 1).unwrap();
+        assert_eq!(hit_high, 0);
+        assert_eq!(hit_low, 1);
+        assert!(sim_high > 0.9);
+    }
+
+    #[test]
+    fn empty_repository_returns_none() {
+        let p = problem_with_mu(0.8);
+        assert!(best_entry_for(&p, &[], DistributionTest::KolmogorovSmirnov, 100, 1).is_none());
+    }
+
+    #[test]
+    fn classify_aligns_with_pairs() {
+        let entry = entry_with_mu(0, 0.9);
+        let p = problem_with_mu(0.9);
+        let (pred, proba) = classify(&entry, &p);
+        assert_eq!(pred.len(), p.num_pairs());
+        assert_eq!(proba.len(), p.num_pairs());
+        // mostly correct on in-distribution data
+        let correct = pred.iter().zip(&p.labels).filter(|(a, b)| a == b).count();
+        assert!(correct > 80, "correct {correct}/100");
+    }
+
+    #[test]
+    fn coverage_eq13() {
+        let sizes = vec![100, 300, 100];
+        let in_t = vec![true, false, false];
+        // members {0,1}: unsolved 300 of 400
+        assert!((coverage(&[0, 1], &sizes, &in_t) - 0.75).abs() < 1e-12);
+        assert_eq!(coverage(&[], &sizes, &in_t), 0.0);
+        assert_eq!(coverage(&[0], &sizes, &in_t), 0.0);
+        assert_eq!(coverage(&[1, 2], &sizes, &in_t), 1.0);
+    }
+
+    #[test]
+    fn retrain_budget_eq14() {
+        assert_eq!(retrain_budget(0.5, 200), 100);
+        assert_eq!(retrain_budget(0.0, 200), 0);
+        assert_eq!(retrain_budget(1.5, 200), 200); // clamped
+    }
+}

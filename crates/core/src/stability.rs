@@ -1,0 +1,176 @@
+//! Cluster stability measures — the paper's stated future work (§7): "we
+//! will investigate the relationship between model performance and cluster
+//! stability measures".
+//!
+//! Two complementary measures per repository cluster:
+//!
+//! * **cohesion** — how much stronger the cluster's internal `sim_p` edges
+//!   are than its edges to the rest of the ER problem graph
+//!   (`intra / (intra + inter)`, 1 = perfectly separated);
+//! * **seed stability** — the mean adjusted Rand index between the deployed
+//!   clustering and reclusterings of `G_P` under perturbed seeds (1 = the
+//!   partition is insensitive to the algorithm's randomness).
+
+use morer_graph::community::{adjusted_rand_index, Clustering};
+use morer_graph::Graph;
+
+use crate::pipeline::Morer;
+
+/// Stability measures of one repository cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStability {
+    /// Repository entry id.
+    pub entry_id: usize,
+    /// Number of member problems.
+    pub size: usize,
+    /// Mean weight of edges inside the cluster (0 when none exist).
+    pub intra_similarity: f64,
+    /// Mean weight of edges leaving the cluster (0 when none exist).
+    pub inter_similarity: f64,
+    /// `intra / (intra + inter)` — 1.0 for perfectly separated clusters.
+    pub cohesion: f64,
+}
+
+/// Repository-wide stability report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityReport {
+    /// Per-cluster measures, ordered by entry id.
+    pub clusters: Vec<ClusterStability>,
+    /// Mean adjusted Rand index across seed-perturbed reclusterings.
+    pub seed_stability: f64,
+}
+
+/// Compute per-cluster cohesion on a problem graph.
+pub fn cluster_cohesion(graph: &Graph, members: &[usize], entry_id: usize) -> ClusterStability {
+    let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
+    let mut intra_sum = 0.0;
+    let mut intra_n = 0usize;
+    let mut inter_sum = 0.0;
+    let mut inter_n = 0usize;
+    for &p in members {
+        for &(nbr, w) in graph.neighbors(p) {
+            if nbr == p {
+                continue;
+            }
+            if member_set.contains(&nbr) {
+                // each internal edge visited twice; halve later via counts
+                intra_sum += w;
+                intra_n += 1;
+            } else {
+                inter_sum += w;
+                inter_n += 1;
+            }
+        }
+    }
+    let intra = if intra_n > 0 { intra_sum / intra_n as f64 } else { 0.0 };
+    let inter = if inter_n > 0 { inter_sum / inter_n as f64 } else { 0.0 };
+    let cohesion = if intra + inter > 0.0 { intra / (intra + inter) } else { 1.0 };
+    ClusterStability {
+        entry_id,
+        size: members.len(),
+        intra_similarity: intra,
+        inter_similarity: inter,
+        cohesion,
+    }
+}
+
+/// Mean ARI between `base` and reclusterings with `num_seeds` perturbed
+/// seeds.
+pub fn seed_stability(
+    graph: &Graph,
+    base: &Clustering,
+    algorithm: crate::clustering::ClusteringAlgorithm,
+    seed: u64,
+    num_seeds: usize,
+) -> f64 {
+    if num_seeds == 0 || graph.num_nodes() == 0 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for k in 1..=num_seeds {
+        let other = algorithm.run(graph, seed.wrapping_add(k as u64 * 7919));
+        total += adjusted_rand_index(base, &other);
+    }
+    total / num_seeds as f64
+}
+
+impl Morer {
+    /// Compute the stability report of the current repository state.
+    ///
+    /// `num_seeds` controls how many perturbed-seed reclusterings feed the
+    /// seed-stability estimate (3-10 is plenty).
+    pub fn stability_report(&self, num_seeds: usize) -> StabilityReport {
+        let clusters = self
+            .entries
+            .iter()
+            .map(|e| cluster_cohesion(&self.graph, &e.problem_ids, e.id))
+            .collect();
+        let seed_stability = seed_stability(
+            &self.graph,
+            &self.clustering,
+            self.config.clustering,
+            self.config.seed,
+            num_seeds,
+        );
+        StabilityReport { clusters, seed_stability }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::ClusteringAlgorithm;
+
+    fn two_blob_graph() -> Graph {
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 0.9);
+        }
+        g.add_edge(2, 3, 0.2);
+        g
+    }
+
+    #[test]
+    fn cohesion_high_for_separated_cluster() {
+        let g = two_blob_graph();
+        let s = cluster_cohesion(&g, &[0, 1, 2], 0);
+        assert_eq!(s.size, 3);
+        assert!((s.intra_similarity - 0.9).abs() < 1e-12);
+        assert!((s.inter_similarity - 0.2).abs() < 1e-12);
+        assert!(s.cohesion > 0.8, "cohesion {}", s.cohesion);
+    }
+
+    #[test]
+    fn cohesion_low_for_badly_cut_cluster() {
+        let g = two_blob_graph();
+        // a "cluster" slicing across the blobs
+        let bad = cluster_cohesion(&g, &[2, 3], 0);
+        let good = cluster_cohesion(&g, &[0, 1, 2], 1);
+        assert!(bad.cohesion < good.cohesion);
+    }
+
+    #[test]
+    fn isolated_cluster_has_full_cohesion() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 0.8);
+        let s = cluster_cohesion(&g, &[0, 1], 0);
+        assert_eq!(s.cohesion, 1.0);
+        let lonely = cluster_cohesion(&g, &[2], 0);
+        assert_eq!(lonely.cohesion, 1.0);
+    }
+
+    #[test]
+    fn seed_stability_is_one_for_clear_structure() {
+        let g = two_blob_graph();
+        let base = ClusteringAlgorithm::default_leiden().run(&g, 42);
+        let s = seed_stability(&g, &base, ClusteringAlgorithm::default_leiden(), 42, 5);
+        assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn empty_graph_stability_defaults() {
+        let g = Graph::new(0);
+        let base = ClusteringAlgorithm::default_leiden().run(&g, 1);
+        assert_eq!(seed_stability(&g, &base, ClusteringAlgorithm::default_leiden(), 1, 3), 1.0);
+    }
+}

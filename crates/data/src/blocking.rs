@@ -1,0 +1,254 @@
+//! Blocking: cheap candidate-pair generation between (or within) sources.
+//!
+//! The pipeline's default is *token blocking* on a text attribute: records
+//! sharing at least one word token become candidates. Oversized blocks
+//! (stop-word-like tokens) are skipped, which is the standard guard against
+//! quadratic blow-up [31].
+
+use std::collections::{HashMap, HashSet};
+
+use crate::record::Record;
+use morer_sim::tokenize::words;
+
+/// Configuration for token blocking.
+#[derive(Debug, Clone)]
+pub struct TokenBlockingConfig {
+    /// Attribute index whose word tokens form the blocking keys.
+    pub attribute: usize,
+    /// Blocks larger than this on either side are skipped entirely.
+    pub max_block_size: usize,
+}
+
+impl Default for TokenBlockingConfig {
+    fn default() -> Self {
+        Self { attribute: 0, max_block_size: 64 }
+    }
+}
+
+/// Token blocking between two sources: candidate pairs `(uid_a, uid_b)` of
+/// records sharing at least one non-oversized token.
+pub fn token_blocking(
+    a: &[Record],
+    b: &[Record],
+    config: &TokenBlockingConfig,
+) -> Vec<(u32, u32)> {
+    let index_a = token_index(a, config.attribute);
+    let index_b = token_index(b, config.attribute);
+    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    for (token, uids_a) in &index_a {
+        let Some(uids_b) = index_b.get(token) else {
+            continue;
+        };
+        if uids_a.len() > config.max_block_size || uids_b.len() > config.max_block_size {
+            continue;
+        }
+        for &ua in uids_a {
+            for &ub in uids_b {
+                pairs.insert((ua, ub));
+            }
+        }
+    }
+    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Token blocking within one source (deduplication): pairs with
+/// `uid_a < uid_b`.
+pub fn token_blocking_within(a: &[Record], config: &TokenBlockingConfig) -> Vec<(u32, u32)> {
+    let index = token_index(a, config.attribute);
+    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    for uids in index.values() {
+        if uids.len() > config.max_block_size {
+            continue;
+        }
+        for i in 0..uids.len() {
+            for j in (i + 1)..uids.len() {
+                let (x, y) = (uids[i].min(uids[j]), uids[i].max(uids[j]));
+                if x != y {
+                    pairs.insert((x, y));
+                }
+            }
+        }
+    }
+    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Blocking by an exact key function (e.g. normalized brand): records with
+/// equal non-empty keys across the two sources become candidates.
+pub fn key_blocking(
+    a: &[Record],
+    b: &[Record],
+    key: impl Fn(&Record) -> Option<String>,
+) -> Vec<(u32, u32)> {
+    let mut index: HashMap<String, Vec<u32>> = HashMap::new();
+    for r in a {
+        if let Some(k) = key(r) {
+            index.entry(k).or_default().push(r.uid);
+        }
+    }
+    let mut pairs = Vec::new();
+    for r in b {
+        if let Some(k) = key(r) {
+            if let Some(uids) = index.get(&k) {
+                for &ua in uids {
+                    pairs.push((ua, r.uid));
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Sorted-neighbourhood blocking: both sources are merged, sorted by a key,
+/// and a window of size `window` slides over the sorted list; records within
+/// the same window whose sources differ become candidates [31].
+pub fn sorted_neighborhood(
+    a: &[Record],
+    b: &[Record],
+    key: impl Fn(&Record) -> Option<String>,
+    window: usize,
+) -> Vec<(u32, u32)> {
+    let mut keyed: Vec<(String, u32, bool)> = a
+        .iter()
+        .filter_map(|r| key(r).map(|k| (k, r.uid, false)))
+        .chain(b.iter().filter_map(|r| key(r).map(|k| (k, r.uid, true))))
+        .collect();
+    keyed.sort();
+    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    let w = window.max(2);
+    for i in 0..keyed.len() {
+        for j in (i + 1)..keyed.len().min(i + w) {
+            let (ref _ka, ua, sa) = keyed[i];
+            let (ref _kb, ub, sb) = keyed[j];
+            if sa != sb {
+                // orient as (a-side, b-side)
+                let pair = if sa { (ub, ua) } else { (ua, ub) };
+                pairs.insert(pair);
+            }
+        }
+    }
+    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Pair-completeness of a candidate set: fraction of true matches retained.
+pub fn pair_completeness(
+    candidates: &[(u32, u32)],
+    is_match: impl Fn(u32, u32) -> bool,
+    total_true_matches: usize,
+) -> f64 {
+    if total_true_matches == 0 {
+        return 1.0;
+    }
+    let found = candidates.iter().filter(|&&(a, b)| is_match(a, b)).count();
+    found as f64 / total_true_matches as f64
+}
+
+fn token_index(records: &[Record], attribute: usize) -> HashMap<String, Vec<u32>> {
+    let mut index: HashMap<String, Vec<u32>> = HashMap::new();
+    for r in records {
+        if let Some(v) = r.value(attribute) {
+            let mut seen = HashSet::new();
+            for tok in words(v) {
+                if seen.insert(tok.clone()) {
+                    index.entry(tok).or_default().push(r.uid);
+                }
+            }
+        }
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(uid: u32, title: &str) -> Record {
+        Record { uid, source: 0, entity: u64::from(uid), values: vec![Some(title.to_owned())] }
+    }
+
+    #[test]
+    fn shared_token_creates_candidate() {
+        let a = vec![rec(0, "canon eos camera"), rec(1, "sony alpha")];
+        let b = vec![rec(10, "canon powershot"), rec(11, "nikon coolpix")];
+        let pairs = token_blocking(&a, &b, &TokenBlockingConfig::default());
+        assert_eq!(pairs, vec![(0, 10)]);
+    }
+
+    #[test]
+    fn no_duplicate_pairs_for_multiple_shared_tokens() {
+        let a = vec![rec(0, "canon eos camera")];
+        let b = vec![rec(10, "canon eos kit")];
+        let pairs = token_blocking(&a, &b, &TokenBlockingConfig::default());
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn oversized_blocks_are_skipped() {
+        let a: Vec<Record> = (0..10).map(|i| rec(i, "camera common")).collect();
+        let b: Vec<Record> = (10..20).map(|i| rec(i, "camera common")).collect();
+        let cfg = TokenBlockingConfig { attribute: 0, max_block_size: 5 };
+        assert!(token_blocking(&a, &b, &cfg).is_empty());
+        let cfg = TokenBlockingConfig { attribute: 0, max_block_size: 10 };
+        assert_eq!(token_blocking(&a, &b, &cfg).len(), 100);
+    }
+
+    #[test]
+    fn within_source_pairs_are_ordered_and_unique() {
+        let a = vec![rec(3, "canon x"), rec(1, "canon y"), rec(2, "canon z")];
+        let pairs = token_blocking_within(&a, &TokenBlockingConfig::default());
+        assert_eq!(pairs, vec![(1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn missing_values_produce_no_blocks() {
+        let a = vec![Record { uid: 0, source: 0, entity: 0, values: vec![None] }];
+        let b = vec![rec(1, "anything")];
+        assert!(token_blocking(&a, &b, &TokenBlockingConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn key_blocking_exact_keys() {
+        let a = vec![rec(0, "canon"), rec(1, "sony")];
+        let b = vec![rec(10, "canon"), rec(11, "fuji")];
+        let pairs = key_blocking(&a, &b, |r| r.value(0).map(str::to_lowercase));
+        assert_eq!(pairs, vec![(0, 10)]);
+    }
+
+    #[test]
+    fn sorted_neighborhood_window_pairs() {
+        let a = vec![rec(0, "aaa"), rec(1, "mmm")];
+        let b = vec![rec(10, "aab"), rec(11, "zzz")];
+        let key = |r: &Record| r.value(0).map(str::to_owned);
+        // window 2: only adjacent records pair up; "aaa"/"aab" are adjacent
+        let pairs = sorted_neighborhood(&a, &b, key, 2);
+        assert!(pairs.contains(&(0, 10)), "pairs: {pairs:?}");
+        // a-side uid always first
+        assert!(pairs.iter().all(|&(x, y)| x < 10 && y >= 10));
+        // larger window adds more candidates
+        let wide = sorted_neighborhood(&a, &b, key, 4);
+        assert!(wide.len() >= pairs.len());
+    }
+
+    #[test]
+    fn sorted_neighborhood_skips_missing_keys() {
+        let a = vec![Record { uid: 0, source: 0, entity: 0, values: vec![None] }];
+        let b = vec![rec(10, "x")];
+        let key = |r: &Record| r.value(0).map(str::to_owned);
+        assert!(sorted_neighborhood(&a, &b, key, 3).is_empty());
+    }
+
+    #[test]
+    fn pair_completeness_computation() {
+        let candidates = vec![(0u32, 10u32), (1, 11)];
+        let pc = pair_completeness(&candidates, |a, b| a + 10 == b, 4);
+        assert!((pc - 0.5).abs() < 1e-12);
+        assert_eq!(pair_completeness(&[], |_, _| true, 0), 1.0);
+    }
+}

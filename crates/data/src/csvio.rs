@@ -1,0 +1,300 @@
+//! CSV import/export: ER problems (feature vectors + labels) and raw record
+//! sources (so MoRER can run on user-provided data).
+//!
+//! The problem format matches what the paper's reference implementation
+//! consumes: one row per record pair with the two record uids, the feature
+//! values in scheme order, and the ground-truth label. Record sources are
+//! plain CSVs with a header of attribute names (optional leading
+//! `entity_id` column for ground truth); fields may be double-quoted.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::problem::ErProblem;
+use crate::record::{DataSource, Record, Schema};
+use morer_ml::dataset::FeatureMatrix;
+
+/// Split one CSV line into fields, honouring double quotes (`""` escapes a
+/// quote inside a quoted field).
+pub fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            other => field.push(other),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// Read one record source from CSV. The header names the attributes; a
+/// leading `entity_id` column (if present) provides ground-truth entity ids,
+/// otherwise every record gets a unique entity. Empty fields become missing
+/// values. Returns the source plus the schema derived from the header.
+pub fn read_source<R: BufRead>(
+    reader: R,
+    source_id: usize,
+    name: impl Into<String>,
+) -> io::Result<(DataSource, Schema)> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
+    let mut columns = split_csv_line(&header);
+    let has_entity = columns.first().map(String::as_str) == Some("entity_id");
+    if has_entity {
+        columns.remove(0);
+    }
+    if columns.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "header names no attributes"));
+    }
+    let schema = Schema::new(columns.clone());
+    let mut records = Vec::new();
+    let mut synthetic_entity = 1_000_000_000u64;
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = split_csv_line(&line);
+        let expected = columns.len() + usize::from(has_entity);
+        if fields.len() != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected {} fields, got {}", lineno + 2, expected, fields.len()),
+            ));
+        }
+        let entity = if has_entity {
+            let raw = fields.remove(0);
+            raw.trim().parse::<u64>().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: entity_id: {e}", lineno + 2))
+            })?
+        } else {
+            synthetic_entity += 1;
+            synthetic_entity
+        };
+        let values: Vec<Option<String>> = fields
+            .into_iter()
+            .map(|f| {
+                let t = f.trim().to_owned();
+                (!t.is_empty()).then_some(t)
+            })
+            .collect();
+        records.push(Record { uid: 0, source: source_id, entity, values });
+    }
+    Ok((DataSource { id: source_id, name: name.into(), records }, schema))
+}
+
+/// Load a record source from a CSV file.
+pub fn load_source(path: &Path, source_id: usize) -> io::Result<(DataSource, Schema)> {
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("source").to_owned();
+    read_source(io::BufReader::new(std::fs::File::open(path)?), source_id, name)
+}
+
+/// Write an ER problem as CSV: header `uid_a,uid_b,<features...>,label`.
+pub fn write_problem<W: Write>(problem: &ErProblem, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    write!(w, "uid_a,uid_b")?;
+    for name in &problem.feature_names {
+        write!(w, ",{name}")?;
+    }
+    writeln!(w, ",label")?;
+    for (i, &(a, b)) in problem.pairs.iter().enumerate() {
+        write!(w, "{a},{b}")?;
+        for v in problem.features.row(i) {
+            write!(w, ",{v}")?;
+        }
+        writeln!(w, ",{}", u8::from(problem.labels[i]))?;
+    }
+    w.flush()
+}
+
+/// Write an ER problem to a file path.
+pub fn save_problem(problem: &ErProblem, path: &Path) -> io::Result<()> {
+    write_problem(problem, std::fs::File::create(path)?)
+}
+
+/// Read an ER problem from CSV produced by [`write_problem`].
+///
+/// `id` and `sources` are not stored in the CSV and must be supplied.
+pub fn read_problem<R: BufRead>(
+    reader: R,
+    id: usize,
+    sources: (usize, usize),
+) -> io::Result<ErProblem> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.len() < 3 || cols[0] != "uid_a" || cols[1] != "uid_b" || cols[cols.len() - 1] != "label"
+    {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "unexpected CSV header"));
+    }
+    let feature_names: Vec<String> =
+        cols[2..cols.len() - 1].iter().map(|s| (*s).to_owned()).collect();
+    let t = feature_names.len();
+    let mut pairs = Vec::new();
+    let mut features = FeatureMatrix::new(t);
+    let mut labels = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != t + 3 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected {} fields, got {}", lineno + 2, t + 3, fields.len()),
+            ));
+        }
+        let parse = |s: &str| {
+            s.parse::<f64>()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}: {s:?}")))
+        };
+        let a: u32 = fields[0]
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("uid_a: {e}")))?;
+        let b: u32 = fields[1]
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("uid_b: {e}")))?;
+        let row: Vec<f64> = fields[2..2 + t].iter().map(|s| parse(s)).collect::<Result<_, _>>()?;
+        let label = match fields[t + 2] {
+            "1" => true,
+            "0" => false,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("invalid label {other:?}"),
+                ))
+            }
+        };
+        pairs.push((a, b));
+        features.push_row(&row);
+        labels.push(label);
+    }
+    Ok(ErProblem { id, sources, pairs, features, labels, feature_names })
+}
+
+/// Read an ER problem from a file path.
+pub fn load_problem(path: &Path, id: usize, sources: (usize, usize)) -> io::Result<ErProblem> {
+    read_problem(io::BufReader::new(std::fs::File::open(path)?), id, sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_problem() -> ErProblem {
+        let mut features = FeatureMatrix::new(2);
+        features.push_row(&[0.9, 1.0]);
+        features.push_row(&[0.1, 0.25]);
+        ErProblem {
+            id: 3,
+            sources: (0, 1),
+            pairs: vec![(10, 20), (11, 21)],
+            features,
+            labels: vec![true, false],
+            feature_names: vec!["jaccard(title)".into(), "numeric(price)".into()],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_problem() {
+        let p = sample_problem();
+        let mut buf = Vec::new();
+        write_problem(&p, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("uid_a,uid_b,jaccard(title),numeric(price),label\n"));
+        let q = read_problem(io::BufReader::new(&buf[..]), 3, (0, 1)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let data = b"foo,bar\n1,2\n";
+        let err = read_problem(io::BufReader::new(&data[..]), 0, (0, 0)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_short_rows_and_bad_labels() {
+        let data = b"uid_a,uid_b,f,label\n1,2,0.5\n";
+        assert!(read_problem(io::BufReader::new(&data[..]), 0, (0, 0)).is_err());
+        let data = b"uid_a,uid_b,f,label\n1,2,0.5,2\n";
+        assert!(read_problem(io::BufReader::new(&data[..]), 0, (0, 0)).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = b"uid_a,uid_b,f,label\n1,2,0.5,1\n\n";
+        let p = read_problem(io::BufReader::new(&data[..]), 0, (0, 0)).unwrap();
+        assert_eq!(p.num_pairs(), 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let p = sample_problem();
+        let dir = std::env::temp_dir().join("morer_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p3.csv");
+        save_problem(&p, &path).unwrap();
+        let q = load_problem(&path, 3, (0, 1)).unwrap();
+        assert_eq!(p, q);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn split_csv_handles_quotes() {
+        assert_eq!(split_csv_line("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_csv_line(r#""a,b",c"#), vec!["a,b", "c"]);
+        assert_eq!(split_csv_line(r#""say ""hi""",x"#), vec![r#"say "hi""#, "x"]);
+        assert_eq!(split_csv_line(""), vec![""]);
+        assert_eq!(split_csv_line("a,,c"), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn read_source_with_entity_ids() {
+        let csv = "entity_id,title,price\n1,Canon EOS,499.99\n2,\"Nikon, D500\",\n";
+        let (source, schema) = read_source(io::BufReader::new(csv.as_bytes()), 0, "shop").unwrap();
+        assert_eq!(schema.attributes(), &["title".to_owned(), "price".to_owned()]);
+        assert_eq!(source.records.len(), 2);
+        assert_eq!(source.records[0].entity, 1);
+        assert_eq!(source.records[1].value(0), Some("Nikon, D500"));
+        assert_eq!(source.records[1].value(1), None); // empty = missing
+    }
+
+    #[test]
+    fn read_source_without_entity_ids_gets_unique_entities() {
+        let csv = "title\nfoo\nbar\n";
+        let (source, _) = read_source(io::BufReader::new(csv.as_bytes()), 2, "s").unwrap();
+        assert_eq!(source.records.len(), 2);
+        assert_ne!(source.records[0].entity, source.records[1].entity);
+        assert_eq!(source.id, 2);
+    }
+
+    #[test]
+    fn read_source_rejects_ragged_rows() {
+        let csv = "title,price\nonly-one-field\n";
+        let err = read_source(io::BufReader::new(csv.as_bytes()), 0, "s").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let csv = "entity_id,title\nnot-a-number,x\n";
+        assert!(read_source(io::BufReader::new(csv.as_bytes()), 0, "s").is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Camera benchmark — the Dexter stand-in.
+//!
+//! Mirrors the SIGMOD 2020 camera dataset the paper derives Dexter from:
+//! **23 sources**, intra-source duplicates (so same-source deduplication
+//! problems exist), 276 ER problems (23 self + 253 cross), a high match rate
+//! (~33% of candidate pairs), and strongly source-specific value quality.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{build_benchmark, standard_plans, DatasetScale, DomainSpec, Entity, SplitMode};
+use crate::blocking::TokenBlockingConfig;
+use crate::corruption::AttributeKind;
+use crate::problem::Benchmark;
+use crate::record::{MultiSourceDataset, Schema};
+use crate::vocab::{model_number, pick, CAMERA_BRANDS, CAMERA_NOUNS, EXTRA_TOKENS, PRODUCT_ADJECTIVES};
+use morer_sim::{AttributeComparator, ComparisonScheme, SimilarityFunction};
+
+/// Number of data sources (as in Dexter).
+pub const CAMERA_SOURCES: usize = 23;
+
+/// Entities at paper scale (tuned so candidate-pair volume lands near the
+/// published 1.1M pairs across 276 problems).
+const PAPER_ENTITIES: usize = 3400;
+
+/// Generate the camera (Dexter-like) benchmark.
+///
+/// `ratio_init` is the fraction of ER problems placed in the initial set
+/// `P_I` (the paper uses 50%, with 30% as an ablation — Table 3).
+pub fn camera(scale: DatasetScale, ratio_init: f64, seed: u64) -> Benchmark {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let num_entities = ((PAPER_ENTITIES as f64) * scale.factor()).max(30.0) as usize;
+
+    let spec = DomainSpec {
+        name: "camera",
+        schema: Schema::new(vec!["title", "brand", "model", "resolution", "price"]),
+        kinds: vec![
+            AttributeKind::Text,
+            AttributeKind::Text,
+            AttributeKind::Code,
+            AttributeKind::Numeric,
+            AttributeKind::Numeric,
+        ],
+        extra_tokens: EXTRA_TOKENS,
+    };
+
+    // Cameras come in *model families*: the same brand releases EOS-7500,
+    // EOS-7510, EOS-7500 Mark II … with near-identical titles and prices.
+    // Dexter's published difficulty comes exactly from such "minor textual
+    // differences that can lead to non-matches" (paper §5.3), so blocked
+    // non-match candidates must include family siblings.
+    let mut entities: Vec<Entity> = Vec::with_capacity(num_entities);
+    while entities.len() < num_entities {
+        let brand = pick(CAMERA_BRANDS, &mut rng);
+        let base_model = model_number(&mut rng);
+        let adjective = pick(PRODUCT_ADJECTIVES, &mut rng);
+        let noun = pick(CAMERA_NOUNS, &mut rng);
+        let base_resolution = rng.gen_range(8..56);
+        let base_price = rng.gen_range(79..3800);
+        let family_size = rng.gen_range(1..=4usize);
+        for variant in 0..family_size {
+            if entities.len() >= num_entities {
+                break;
+            }
+            let model = if variant == 0 {
+                base_model.clone()
+            } else {
+                // sibling: tweak a digit or append a mark suffix
+                match variant % 3 {
+                    1 => format!("{base_model}{}", variant),
+                    2 => format!("{base_model} II"),
+                    _ => {
+                        let mut m = base_model.clone();
+                        m.pop();
+                        format!("{m}{}", rng.gen_range(0..10))
+                    }
+                }
+            };
+            let resolution = format!("{} MP", base_resolution + variant * 2);
+            let price = format!("{}.99", base_price + variant * rng.gen_range(20..120));
+            entities.push(Entity {
+                values: vec![
+                    format!("{brand} {model} {adjective} {noun}"),
+                    brand.to_owned(),
+                    model,
+                    resolution,
+                    price,
+                ],
+            });
+        }
+    }
+
+    // Dexter sources are dirty: intra-source duplicates exist.
+    let plans = standard_plans(CAMERA_SOURCES, 0.35, 0.65, 0.18, &mut rng);
+    let sources = super::materialize_sources(&entities, &plans, &spec, &mut rng);
+    let dataset = MultiSourceDataset::assemble("camera", spec.schema.clone(), sources);
+
+    let scheme = ComparisonScheme::new()
+        .with(AttributeComparator::new(0, "title", SimilarityFunction::JaccardTokens))
+        .with(AttributeComparator::new(1, "brand", SimilarityFunction::JaroWinkler))
+        .with(AttributeComparator::new(2, "model", SimilarityFunction::Levenshtein))
+        .with(AttributeComparator::new(3, "resolution", SimilarityFunction::NumericDiff))
+        .with(AttributeComparator::new(4, "price", SimilarityFunction::NumericDiff));
+
+    build_benchmark(
+        "dexter",
+        dataset,
+        scheme,
+        &TokenBlockingConfig { attribute: 0, max_block_size: 96 },
+        2.0, // ~33% match rate as published
+        true,
+        SplitMode::Problems { ratio_init },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camera_has_276_problem_slots() {
+        let b = camera(DatasetScale::Tiny, 0.5, 7);
+        // 23 self + 253 cross = 276 source pairs; tiny scale may drop empty
+        // problems, so require a sane lower bound and the exact cap.
+        assert!(b.problems.len() <= 276);
+        assert!(b.problems.len() > 200, "got {}", b.problems.len());
+        assert_eq!(b.dataset.num_sources(), CAMERA_SOURCES);
+    }
+
+    #[test]
+    fn camera_contains_self_problems_with_matches() {
+        let b = camera(DatasetScale::Tiny, 0.5, 7);
+        let self_problems: Vec<_> =
+            b.problems.iter().filter(|p| p.sources.0 == p.sources.1).collect();
+        assert!(!self_problems.is_empty());
+        assert!(self_problems.iter().any(|p| p.num_matches() > 0));
+    }
+
+    #[test]
+    fn camera_match_rate_near_published_third() {
+        let b = camera(DatasetScale::Tiny, 0.5, 7);
+        let s = b.stats();
+        let rate = s.num_matches as f64 / s.num_pairs as f64;
+        assert!((0.2..=0.5).contains(&rate), "match rate {rate}");
+    }
+
+    #[test]
+    fn camera_split_respects_ratio() {
+        let b = camera(DatasetScale::Tiny, 0.5, 7);
+        let diff = (b.initial.len() as i64 - b.unsolved.len() as i64).abs();
+        assert!(diff <= 1);
+        let b30 = camera(DatasetScale::Tiny, 0.3, 7);
+        assert!(b30.initial.len() < b30.unsolved.len());
+    }
+
+    #[test]
+    fn camera_deterministic() {
+        let a = camera(DatasetScale::Tiny, 0.5, 9);
+        let b = camera(DatasetScale::Tiny, 0.5, 9);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.initial, b.initial);
+    }
+
+    #[test]
+    fn camera_features_in_unit_interval() {
+        let b = camera(DatasetScale::Tiny, 0.5, 7);
+        let p = &b.problems[0];
+        for f in 0..p.num_features() {
+            for v in p.feature_column(f) {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        assert_eq!(p.feature_names.len(), 5);
+    }
+}

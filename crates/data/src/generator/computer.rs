@@ -1,0 +1,142 @@
+//! Computer benchmark — the WDC-computer stand-in.
+//!
+//! Mirrors the WDC product-matching subset used by the Almser study: **4
+//! sources**, duplicate-free within a source, 12 ER problems (6 source pairs
+//! × the train/test pair split, §5.2), and a low match rate (~6.5%).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{build_benchmark, standard_plans, DatasetScale, DomainSpec, Entity, SplitMode};
+use crate::blocking::TokenBlockingConfig;
+use crate::corruption::AttributeKind;
+use crate::problem::Benchmark;
+use crate::record::{MultiSourceDataset, Schema};
+use crate::vocab::{pick, COMPUTER_BRANDS, COMPUTER_NOUNS, CPUS, EXTRA_TOKENS, RAM_SIZES};
+use morer_sim::{AttributeComparator, ComparisonScheme, SimilarityFunction};
+
+/// Number of data sources (as in WDC-computer).
+pub const COMPUTER_SOURCES: usize = 4;
+
+/// Entities at paper scale (tuned toward the published 74.5K pairs / 4.8K
+/// matches over 12 problems).
+const PAPER_ENTITIES: usize = 2100;
+
+/// Generate the computer (WDC-like) benchmark. Each source pair yields a
+/// train problem (placed in `P_I`) and a test problem (placed in `P_U`).
+pub fn computer(scale: DatasetScale, seed: u64) -> Benchmark {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let num_entities = ((PAPER_ENTITIES as f64) * scale.factor()).max(40.0) as usize;
+
+    let spec = DomainSpec {
+        name: "computer",
+        schema: Schema::new(vec!["title", "brand", "cpu", "ram", "price"]),
+        kinds: vec![
+            AttributeKind::Text,
+            AttributeKind::Text,
+            AttributeKind::Text,
+            AttributeKind::Numeric,
+            AttributeKind::Numeric,
+        ],
+        extra_tokens: EXTRA_TOKENS,
+    };
+
+    let entities: Vec<Entity> = (0..num_entities)
+        .map(|_| {
+            let brand = pick(COMPUTER_BRANDS, &mut rng);
+            let noun = pick(COMPUTER_NOUNS, &mut rng);
+            let cpu = pick(CPUS, &mut rng);
+            let ram = pick(RAM_SIZES, &mut rng);
+            let series: String = format!(
+                "{}{}",
+                (b'A' + rng.gen_range(0..26)) as char,
+                rng.gen_range(100..999)
+            );
+            let price = format!("{}.00", rng.gen_range(249..4999));
+            Entity {
+                values: vec![
+                    format!("{brand} {series} {noun} {cpu} {ram}"),
+                    brand.to_owned(),
+                    cpu.to_owned(),
+                    ram.to_owned(),
+                    price,
+                ],
+            }
+        })
+        .collect();
+
+    // WDC sources are duplicate-free; coverage is high (vendors list most
+    // popular products).
+    let plans = standard_plans(COMPUTER_SOURCES, 0.55, 0.8, 0.0, &mut rng);
+    let sources = super::materialize_sources(&entities, &plans, &spec, &mut rng);
+    let dataset = MultiSourceDataset::assemble("computer", spec.schema.clone(), sources);
+
+    let scheme = ComparisonScheme::new()
+        .with(AttributeComparator::new(0, "title", SimilarityFunction::JaccardTokens))
+        .with(AttributeComparator::new(1, "brand", SimilarityFunction::JaroWinkler))
+        .with(AttributeComparator::new(2, "cpu", SimilarityFunction::JaccardQgrams(3)))
+        .with(AttributeComparator::new(3, "ram", SimilarityFunction::NumericDiff))
+        .with(AttributeComparator::new(4, "price", SimilarityFunction::NumericDiff));
+
+    build_benchmark(
+        "wdc-computer",
+        dataset,
+        scheme,
+        &TokenBlockingConfig { attribute: 0, max_block_size: 128 },
+        14.0, // ~6.5% match rate as published
+        false,
+        SplitMode::Pairs { train_fraction: 0.5 },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computer_has_12_problems() {
+        let b = computer(DatasetScale::Tiny, 11);
+        // 6 source pairs × (train, test)
+        assert_eq!(b.problems.len(), 12);
+        assert_eq!(b.initial.len(), 6);
+        assert_eq!(b.unsolved.len(), 6);
+    }
+
+    #[test]
+    fn computer_sources_are_duplicate_free() {
+        let b = computer(DatasetScale::Tiny, 11);
+        for s in &b.dataset.sources {
+            assert!(!s.has_intra_duplicates(), "source {} has intra duplicates", s.name);
+        }
+        assert_eq!(b.dataset.num_sources(), COMPUTER_SOURCES);
+    }
+
+    #[test]
+    fn computer_match_rate_is_low() {
+        let b = computer(DatasetScale::Tiny, 11);
+        let s = b.stats();
+        let rate = s.num_matches as f64 / s.num_pairs as f64;
+        assert!((0.02..=0.15).contains(&rate), "match rate {rate}");
+    }
+
+    #[test]
+    fn train_test_problems_share_source_pairs() {
+        let b = computer(DatasetScale::Tiny, 11);
+        for ids in b.initial.iter().zip(&b.unsolved) {
+            let (train, test) = (&b.problems[*ids.0], &b.problems[*ids.1]);
+            assert_eq!(train.sources, test.sources);
+            // the pair sets must be disjoint
+            let train_set: std::collections::HashSet<_> = train.pairs.iter().collect();
+            assert!(test.pairs.iter().all(|p| !train_set.contains(p)));
+        }
+    }
+
+    #[test]
+    fn computer_deterministic() {
+        assert_eq!(
+            computer(DatasetScale::Tiny, 3).stats(),
+            computer(DatasetScale::Tiny, 3).stats()
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Music benchmark — the MusicBrainz stand-in.
+//!
+//! Mirrors the corrupted MusicBrainz benchmark [15] the paper uses: **5
+//! sources**, duplicate-free within a source, 20 ER problems (10 source pairs
+//! × train/test split), ~4% match rate, and records that are "heterogeneous
+//! regarding the characteristics of attribute values, such as the number of
+//! missing values, the length of values, and the ratio of errors" (§5.1).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{build_benchmark, standard_plans, DatasetScale, DomainSpec, Entity, SplitMode};
+use crate::blocking::TokenBlockingConfig;
+use crate::corruption::AttributeKind;
+use crate::problem::Benchmark;
+use crate::record::{MultiSourceDataset, Schema};
+use crate::vocab::{pick, song_title, synthetic_name, GENRES, LANGUAGES};
+use morer_sim::{AttributeComparator, ComparisonScheme, SimilarityFunction};
+
+/// Number of data sources (as in the MusicBrainz benchmark).
+pub const MUSIC_SOURCES: usize = 5;
+
+/// Entities at paper scale (tuned toward the published 385.9K pairs / 16.2K
+/// matches over 20 problems).
+const PAPER_ENTITIES: usize = 8200;
+
+/// Generate the music (MusicBrainz-like) benchmark. Each source pair yields
+/// a train problem (`P_I`) and a test problem (`P_U`).
+pub fn music(scale: DatasetScale, seed: u64) -> Benchmark {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let num_entities = ((PAPER_ENTITIES as f64) * scale.factor()).max(60.0) as usize;
+
+    let spec = DomainSpec {
+        name: "music",
+        schema: Schema::new(vec!["title", "artist", "album", "year", "length", "number"]),
+        kinds: vec![
+            AttributeKind::Text,
+            AttributeKind::Text,
+            AttributeKind::Text,
+            AttributeKind::Numeric,
+            AttributeKind::Numeric,
+            AttributeKind::Numeric,
+        ],
+        extra_tokens: GENRES,
+    };
+
+    let entities: Vec<Entity> = (0..num_entities)
+        .map(|_| {
+            let artist = format!("{} {}", synthetic_name(&mut rng), synthetic_name(&mut rng));
+            let title = song_title(&mut rng);
+            let album = song_title(&mut rng);
+            let year = rng.gen_range(1960..2024).to_string();
+            let length = rng.gen_range(95..430).to_string(); // seconds
+            let number = rng.gen_range(1..21).to_string();
+            let _ = pick(LANGUAGES, &mut rng); // language kept for future use
+            Entity { values: vec![title, artist, album, year, length, number] }
+        })
+        .collect();
+
+    // duplicate-free sources; "duplicates for 50% of the original records"
+    // across sources → moderate coverage per source
+    let plans = standard_plans(MUSIC_SOURCES, 0.4, 0.7, 0.0, &mut rng);
+    let sources = super::materialize_sources(&entities, &plans, &spec, &mut rng);
+    let dataset = MultiSourceDataset::assemble("music", spec.schema.clone(), sources);
+
+    let scheme = ComparisonScheme::new()
+        .with(AttributeComparator::new(0, "title", SimilarityFunction::JaccardTokens))
+        .with(AttributeComparator::new(1, "artist", SimilarityFunction::JaroWinkler))
+        .with(AttributeComparator::new(2, "album", SimilarityFunction::MongeElkan))
+        .with(AttributeComparator::new(3, "year", SimilarityFunction::Year))
+        .with(AttributeComparator::new(4, "length", SimilarityFunction::NumericDiff))
+        .with(AttributeComparator::new(5, "number", SimilarityFunction::NumericDiff));
+
+    build_benchmark(
+        "music",
+        dataset,
+        scheme,
+        &TokenBlockingConfig { attribute: 0, max_block_size: 256 },
+        22.0, // ~4.2% match rate as published
+        false,
+        SplitMode::Pairs { train_fraction: 0.5 },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn music_has_20_problems() {
+        let b = music(DatasetScale::Tiny, 13);
+        // 10 source pairs × (train, test)
+        assert_eq!(b.problems.len(), 20);
+        assert_eq!(b.initial.len(), 10);
+        assert_eq!(b.unsolved.len(), 10);
+        assert_eq!(b.dataset.num_sources(), MUSIC_SOURCES);
+    }
+
+    #[test]
+    fn music_sources_are_duplicate_free() {
+        let b = music(DatasetScale::Tiny, 13);
+        for s in &b.dataset.sources {
+            assert!(!s.has_intra_duplicates());
+        }
+    }
+
+    #[test]
+    fn music_match_rate_is_low() {
+        let b = music(DatasetScale::Tiny, 13);
+        let s = b.stats();
+        let rate = s.num_matches as f64 / s.num_pairs as f64;
+        assert!((0.02..=0.12).contains(&rate), "match rate {rate}");
+    }
+
+    #[test]
+    fn music_has_six_features() {
+        let b = music(DatasetScale::Tiny, 13);
+        assert_eq!(b.problems[0].num_features(), 6);
+        assert_eq!(b.problems[0].feature_names[3], "year(year)");
+    }
+
+    #[test]
+    fn music_deterministic() {
+        assert_eq!(music(DatasetScale::Tiny, 4).stats(), music(DatasetScale::Tiny, 4).stats());
+    }
+
+    #[test]
+    fn sources_show_heterogeneous_missing_rates() {
+        let b = music(DatasetScale::Tiny, 13);
+        let missing_rate = |s: &crate::record::DataSource| {
+            let total: usize = s.records.len() * 6;
+            let present: usize = s.records.iter().map(|r| r.present_values()).sum();
+            1.0 - present as f64 / total.max(1) as f64
+        };
+        let rates: Vec<f64> = b.dataset.sources.iter().map(missing_rate).collect();
+        let max = rates.iter().fold(0.0f64, |a, &b| a.max(b));
+        let min = rates.iter().fold(1.0f64, |a, &b| a.min(b));
+        // the sparse profile should stand out against the clean profile
+        assert!(max - min > 0.1, "rates {rates:?}");
+    }
+}

@@ -1,0 +1,335 @@
+//! The ER problem abstraction (paper §2): similarity feature vectors with
+//! labels for one data-source pair, plus benchmark bundles with
+//! initial/unsolved splits.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::record::MultiSourceDataset;
+use morer_ml::dataset::{FeatureMatrix, TrainingSet};
+use morer_sim::ComparisonScheme;
+
+/// Dense identifier of an ER problem within a benchmark.
+pub type ProblemId = usize;
+
+/// An ER problem `p_{k,l}`: the similarity feature vectors `w` for the
+/// candidate record pairs of data sources `D_k` and `D_l`, with ground-truth
+/// labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErProblem {
+    /// Dense id within its benchmark.
+    pub id: ProblemId,
+    /// The data-source pair `(k, l)` (equal for deduplication problems).
+    pub sources: (usize, usize),
+    /// Candidate record pairs by global uid, aligned with `features` rows.
+    pub pairs: Vec<(u32, u32)>,
+    /// Similarity feature vectors `w ∈ [0,1]^t`, one row per pair.
+    pub features: FeatureMatrix,
+    /// Ground-truth labels (`true` = match), aligned with rows.
+    pub labels: Vec<bool>,
+    /// Feature names in the paper's `function(attribute)` notation.
+    pub feature_names: Vec<String>,
+}
+
+impl ErProblem {
+    /// Compute the feature vectors of `pairs` under `scheme` and label them
+    /// with the dataset's ground truth.
+    pub fn build(
+        id: ProblemId,
+        dataset: &MultiSourceDataset,
+        scheme: &ComparisonScheme,
+        sources: (usize, usize),
+        pairs: Vec<(u32, u32)>,
+    ) -> Self {
+        let mut features = FeatureMatrix::new(scheme.num_features());
+        let mut labels = Vec::with_capacity(pairs.len());
+        for &(a, b) in &pairs {
+            let ra = dataset.record(a);
+            let rb = dataset.record(b);
+            features.push_row(&scheme.compare(&ra.values, &rb.values));
+            labels.push(ra.entity == rb.entity);
+        }
+        Self { id, sources, pairs, features, labels, feature_names: scheme.feature_names() }
+    }
+
+    /// Number of candidate pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of true matches among the pairs.
+    pub fn num_matches(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Number of similarity features `t`.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The values of feature `f` across all pairs — the sample `d^f_{k,l}`
+    /// the distribution tests operate on.
+    pub fn feature_column(&self, f: usize) -> Vec<f64> {
+        self.features.column(f)
+    }
+
+    /// All rows with ground-truth labels as a training set (the fully
+    /// supervised setting).
+    pub fn to_training_set(&self) -> TrainingSet {
+        TrainingSet { x: self.features.clone(), y: self.labels.clone() }
+    }
+
+    /// Select a subset of rows into a new problem (same id/sources).
+    pub fn select(&self, indices: &[usize]) -> Self {
+        Self {
+            id: self.id,
+            sources: self.sources,
+            pairs: indices.iter().map(|&i| self.pairs[i]).collect(),
+            features: self.features.select(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Split the pairs into two problems (train/test) with `fraction` of rows
+    /// in the first; seeded shuffle.
+    pub fn split(&self, fraction: f64, seed: u64) -> (Self, Self) {
+        let mut idx: Vec<usize> = (0..self.num_pairs()).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let cut = ((self.num_pairs() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        (self.select(&idx[..cut]), self.select(&idx[cut..]))
+    }
+}
+
+/// Aggregate statistics of a benchmark (paper Table 2 row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchmarkStats {
+    /// Number of ER problems.
+    pub num_problems: usize,
+    /// Total candidate record pairs across problems.
+    pub num_pairs: usize,
+    /// Total true matches across problems.
+    pub num_matches: usize,
+}
+
+/// A benchmark: dataset + comparison scheme + ER problems with the
+/// initial (`P_I`) / unsolved (`P_U`) split the paper evaluates on.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name ("dexter", "wdc-computer", "music").
+    pub name: String,
+    /// The underlying multi-source dataset.
+    pub dataset: MultiSourceDataset,
+    /// The comparison scheme that produced the feature vectors.
+    pub scheme: ComparisonScheme,
+    /// All ER problems, indexed by `ProblemId`.
+    pub problems: Vec<ErProblem>,
+    /// Problem ids forming the initial set `P_I` (repository construction).
+    pub initial: Vec<ProblemId>,
+    /// Problem ids forming the unsolved set `P_U` (evaluation).
+    pub unsolved: Vec<ProblemId>,
+}
+
+impl Benchmark {
+    /// Build a benchmark from a user-provided dataset: token blocking over
+    /// every source pair (including same-source deduplication when a source
+    /// has intra-duplicates), feature computation under `scheme`, and a
+    /// seeded `ratio_init` split of the resulting ER problems into
+    /// `P_I` / `P_U`.
+    ///
+    /// This is the entry point for running MoRER on your own CSV data (see
+    /// [`crate::csvio::load_source`] and the `custom_csv_dataset` example).
+    pub fn from_dataset(
+        name: impl Into<String>,
+        dataset: MultiSourceDataset,
+        scheme: ComparisonScheme,
+        blocking: &crate::blocking::TokenBlockingConfig,
+        ratio_init: f64,
+        seed: u64,
+    ) -> Self {
+        use crate::blocking::{token_blocking, token_blocking_within};
+        let n = dataset.num_sources();
+        let mut problems = Vec::new();
+        for k in 0..n {
+            if dataset.sources[k].has_intra_duplicates() {
+                let pairs = token_blocking_within(&dataset.sources[k].records, blocking);
+                if !pairs.is_empty() {
+                    let id = problems.len();
+                    problems.push(ErProblem::build(id, &dataset, &scheme, (k, k), pairs));
+                }
+            }
+            for l in (k + 1)..n {
+                let pairs = token_blocking(
+                    &dataset.sources[k].records,
+                    &dataset.sources[l].records,
+                    blocking,
+                );
+                if !pairs.is_empty() {
+                    let id = problems.len();
+                    problems.push(ErProblem::build(id, &dataset, &scheme, (k, l), pairs));
+                }
+            }
+        }
+        let mut bench = Self {
+            name: name.into(),
+            dataset,
+            scheme,
+            problems,
+            initial: Vec::new(),
+            unsolved: Vec::new(),
+        };
+        bench.resplit_problems(ratio_init, seed);
+        bench
+    }
+
+    /// Borrow the initial problems.
+    pub fn initial_problems(&self) -> Vec<&ErProblem> {
+        self.initial.iter().map(|&i| &self.problems[i]).collect()
+    }
+
+    /// Borrow the unsolved problems.
+    pub fn unsolved_problems(&self) -> Vec<&ErProblem> {
+        self.unsolved.iter().map(|&i| &self.problems[i]).collect()
+    }
+
+    /// Table-2-style statistics over all problems.
+    pub fn stats(&self) -> BenchmarkStats {
+        BenchmarkStats {
+            num_problems: self.problems.len(),
+            num_pairs: self.problems.iter().map(ErProblem::num_pairs).sum(),
+            num_matches: self.problems.iter().map(ErProblem::num_matches).sum(),
+        }
+    }
+
+    /// Re-split problems into `ratio_init` initial / rest unsolved (Table 3's
+    /// `ratio_init` parameter), seeded. Used for the Dexter-style task split.
+    pub fn resplit_problems(&mut self, ratio_init: f64, seed: u64) {
+        let mut ids: Vec<ProblemId> = (0..self.problems.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        ids.shuffle(&mut rng);
+        let cut = ((ids.len() as f64) * ratio_init.clamp(0.0, 1.0)).round() as usize;
+        self.initial = ids[..cut].to_vec();
+        self.unsolved = ids[cut..].to_vec();
+        self.initial.sort_unstable();
+        self.unsolved.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DataSource, Record, Schema};
+    use morer_sim::{AttributeComparator, SimilarityFunction};
+
+    fn tiny_benchmark() -> (MultiSourceDataset, ComparisonScheme) {
+        let schema = Schema::new(vec!["title"]);
+        let mk = |entity: u64, title: &str| Record {
+            uid: 0,
+            source: 0,
+            entity,
+            values: vec![Some(title.to_owned())],
+        };
+        let s0 = DataSource {
+            id: 0,
+            name: "a".into(),
+            records: vec![mk(1, "canon eos camera"), mk(2, "sony alpha body")],
+        };
+        let s1 = DataSource {
+            id: 1,
+            name: "b".into(),
+            records: vec![mk(1, "canon eos camera kit"), mk(3, "nikon coolpix zoom")],
+        };
+        let ds = MultiSourceDataset::assemble("tiny", schema, vec![s0, s1]);
+        let scheme = ComparisonScheme::new()
+            .with(AttributeComparator::new(0, "title", SimilarityFunction::JaccardTokens));
+        (ds, scheme)
+    }
+
+    #[test]
+    fn build_computes_features_and_labels() {
+        let (ds, scheme) = tiny_benchmark();
+        let pairs = vec![(0u32, 2u32), (0, 3), (1, 2)];
+        let p = ErProblem::build(0, &ds, &scheme, (0, 1), pairs);
+        assert_eq!(p.num_pairs(), 3);
+        assert_eq!(p.num_matches(), 1);
+        assert!(p.labels[0]);
+        assert!(!p.labels[1]);
+        // jaccard("canon eos camera", "canon eos camera kit") = 3/4
+        assert!((p.features.get(0, 0) - 0.75).abs() < 1e-12);
+        assert_eq!(p.feature_names, vec!["jaccard(title)".to_owned()]);
+    }
+
+    #[test]
+    fn feature_column_extracts_distribution_sample() {
+        let (ds, scheme) = tiny_benchmark();
+        let p = ErProblem::build(0, &ds, &scheme, (0, 1), vec![(0, 2), (1, 3)]);
+        let col = p.feature_column(0);
+        assert_eq!(col.len(), 2);
+        assert!(col.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let (ds, scheme) = tiny_benchmark();
+        let p = ErProblem::build(0, &ds, &scheme, (0, 1), vec![(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let (train, test) = p.split(0.5, 7);
+        assert_eq!(train.num_pairs(), 2);
+        assert_eq!(test.num_pairs(), 2);
+        let mut all: Vec<(u32, u32)> = train.pairs.iter().chain(&test.pairs).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![(0, 2), (0, 3), (1, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn training_set_round_trip() {
+        let (ds, scheme) = tiny_benchmark();
+        let p = ErProblem::build(0, &ds, &scheme, (0, 1), vec![(0, 2), (1, 3)]);
+        let ts = p.to_training_set();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.y, p.labels);
+    }
+
+    #[test]
+    fn benchmark_from_dataset_builds_problems_per_source_pair() {
+        let (ds, scheme) = tiny_benchmark();
+        let bench = Benchmark::from_dataset(
+            "user",
+            ds,
+            scheme,
+            &crate::blocking::TokenBlockingConfig::default(),
+            0.5,
+            7,
+        );
+        assert!(!bench.problems.is_empty());
+        assert_eq!(bench.initial.len() + bench.unsolved.len(), bench.problems.len());
+        // the tiny fixture has two sources without intra-dups: one cross pair
+        assert!(bench.problems.iter().all(|p| p.sources == (0, 1)));
+        assert!(bench.stats().num_matches > 0);
+    }
+
+    #[test]
+    fn benchmark_stats_and_resplit() {
+        let (ds, scheme) = tiny_benchmark();
+        let p0 = ErProblem::build(0, &ds, &scheme, (0, 1), vec![(0, 2), (0, 3)]);
+        let p1 = ErProblem::build(1, &ds, &scheme, (0, 1), vec![(1, 2)]);
+        let mut b = Benchmark {
+            name: "tiny".into(),
+            dataset: ds,
+            scheme,
+            problems: vec![p0, p1],
+            initial: vec![0],
+            unsolved: vec![1],
+        };
+        let stats = b.stats();
+        assert_eq!(stats.num_problems, 2);
+        assert_eq!(stats.num_pairs, 3);
+        assert_eq!(stats.num_matches, 1);
+        b.resplit_problems(0.5, 3);
+        assert_eq!(b.initial.len(), 1);
+        assert_eq!(b.unsolved.len(), 1);
+        assert_ne!(b.initial[0], b.unsolved[0]);
+    }
+}

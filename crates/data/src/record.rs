@@ -1,0 +1,220 @@
+//! Records, schemas, data sources and multi-source datasets.
+
+use serde::{Deserialize, Serialize};
+
+/// An attribute schema shared by the sources of one dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<String>,
+}
+
+impl Schema {
+    /// Create a schema from attribute names.
+    pub fn new<S: Into<String>>(attributes: Vec<S>) -> Self {
+        Self { attributes: attributes.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Attribute names in order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Index of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == name)
+    }
+}
+
+/// One record (a *mention* of an entity in a source).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Globally unique id within the dataset (dense, assigned at build time).
+    pub uid: u32,
+    /// Source this record belongs to.
+    pub source: usize,
+    /// Ground-truth entity id (two records match iff their entity ids agree).
+    pub entity: u64,
+    /// Attribute values aligned with the dataset schema; `None` = missing.
+    pub values: Vec<Option<String>>,
+}
+
+impl Record {
+    /// Attribute value by index.
+    pub fn value(&self, attribute: usize) -> Option<&str> {
+        self.values.get(attribute).and_then(|v| v.as_deref())
+    }
+
+    /// Number of present (non-missing) attribute values.
+    pub fn present_values(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+/// One data source: a named collection of records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataSource {
+    /// Dense source id within the dataset.
+    pub id: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// Records of this source.
+    pub records: Vec<Record>,
+}
+
+impl DataSource {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the source has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether the source contains more than one mention of some entity.
+    pub fn has_intra_duplicates(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.records.len());
+        self.records.iter().any(|r| !seen.insert(r.entity))
+    }
+}
+
+/// A multi-source dataset: shared schema, several sources, global record uid
+/// space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSourceDataset {
+    /// Dataset name (e.g. "camera").
+    pub name: String,
+    /// Shared attribute schema.
+    pub schema: Schema,
+    /// The data sources.
+    pub sources: Vec<DataSource>,
+    /// Record lookup by uid: `(source, index within source)`.
+    uid_index: Vec<(usize, usize)>,
+}
+
+impl MultiSourceDataset {
+    /// Assemble a dataset, assigning dense global uids in source order.
+    ///
+    /// Any uids already present on the records are overwritten.
+    pub fn assemble(name: impl Into<String>, schema: Schema, mut sources: Vec<DataSource>) -> Self {
+        let mut uid_index = Vec::new();
+        let mut uid = 0u32;
+        for (sid, src) in sources.iter_mut().enumerate() {
+            src.id = sid;
+            for (ridx, rec) in src.records.iter_mut().enumerate() {
+                rec.uid = uid;
+                rec.source = sid;
+                uid_index.push((sid, ridx));
+                uid += 1;
+            }
+        }
+        Self { name: name.into(), schema, sources, uid_index }
+    }
+
+    /// Total number of records across sources.
+    pub fn num_records(&self) -> usize {
+        self.uid_index.len()
+    }
+
+    /// Number of sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Record by global uid.
+    pub fn record(&self, uid: u32) -> &Record {
+        let (sid, ridx) = self.uid_index[uid as usize];
+        &self.sources[sid].records[ridx]
+    }
+
+    /// Whether two records refer to the same entity (ground truth).
+    pub fn is_match(&self, a: u32, b: u32) -> bool {
+        self.record(a).entity == self.record(b).entity
+    }
+
+    /// Number of distinct entities mentioned.
+    pub fn num_entities(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for src in &self.sources {
+            for r in &src.records {
+                set.insert(r.entity);
+            }
+        }
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(entity: u64, title: &str) -> Record {
+        Record { uid: 0, source: 0, entity, values: vec![Some(title.to_owned()), None] }
+    }
+
+    fn dataset() -> MultiSourceDataset {
+        let schema = Schema::new(vec!["title", "price"]);
+        let s0 = DataSource { id: 0, name: "a".into(), records: vec![record(1, "x"), record(2, "y")] };
+        let s1 = DataSource { id: 0, name: "b".into(), records: vec![record(1, "x2")] };
+        MultiSourceDataset::assemble("test", schema, vec![s0, s1])
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(vec!["title", "brand"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("brand"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn assemble_assigns_dense_uids() {
+        let d = dataset();
+        assert_eq!(d.num_records(), 3);
+        assert_eq!(d.record(0).entity, 1);
+        assert_eq!(d.record(2).entity, 1);
+        assert_eq!(d.record(2).source, 1);
+        assert_eq!(d.sources[1].id, 1);
+    }
+
+    #[test]
+    fn ground_truth_matching() {
+        let d = dataset();
+        assert!(d.is_match(0, 2));
+        assert!(!d.is_match(0, 1));
+        assert_eq!(d.num_entities(), 2);
+    }
+
+    #[test]
+    fn record_value_access() {
+        let d = dataset();
+        assert_eq!(d.record(0).value(0), Some("x"));
+        assert_eq!(d.record(0).value(1), None);
+        assert_eq!(d.record(0).present_values(), 1);
+    }
+
+    #[test]
+    fn intra_duplicate_detection() {
+        let schema = Schema::new(vec!["title"]);
+        let dup = DataSource {
+            id: 0,
+            name: "dup".into(),
+            records: vec![record(5, "a"), record(5, "a2")],
+        };
+        assert!(dup.has_intra_duplicates());
+        let clean = DataSource { id: 0, name: "c".into(), records: vec![record(1, "a")] };
+        assert!(!clean.has_intra_duplicates());
+        let _ = MultiSourceDataset::assemble("x", schema, vec![]);
+    }
+}

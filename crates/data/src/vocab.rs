@@ -1,0 +1,160 @@
+//! Deterministic vocabularies for the synthetic dataset generators.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Camera brands (Dexter-like domain).
+pub const CAMERA_BRANDS: &[&str] = &[
+    "Canon", "Nikon", "Sony", "Fujifilm", "Olympus", "Panasonic", "Leica", "Pentax", "Samsung",
+    "GoPro", "Kodak", "Sigma", "Casio", "Ricoh",
+];
+
+/// Camera product nouns.
+pub const CAMERA_NOUNS: &[&str] = &[
+    "Digital Camera", "DSLR Camera", "Mirrorless Camera", "Action Camera", "Compact Camera",
+    "Bridge Camera", "Camcorder", "Instant Camera",
+];
+
+/// Descriptive adjectives for product titles.
+pub const PRODUCT_ADJECTIVES: &[&str] = &[
+    "Professional", "Ultra HD", "4K", "Compact", "Wireless", "Premium", "Waterproof",
+    "High Speed", "Full Frame", "Zoom",
+];
+
+/// Extra tokens vendors append to titles (colors, bundle markers).
+pub const EXTRA_TOKENS: &[&str] = &[
+    "black", "silver", "kit", "bundle", "new", "2024", "edition", "pro", "plus", "set",
+];
+
+/// Computer brands (WDC-like domain).
+pub const COMPUTER_BRANDS: &[&str] = &[
+    "Dell", "HP", "Lenovo", "Asus", "Acer", "Apple", "MSI", "Toshiba", "Fujitsu", "Gigabyte",
+];
+
+/// Computer product nouns.
+pub const COMPUTER_NOUNS: &[&str] = &[
+    "Laptop", "Notebook", "Desktop PC", "Workstation", "Ultrabook", "Gaming PC", "Mini PC",
+    "All-in-One",
+];
+
+/// CPU model strings.
+pub const CPUS: &[&str] = &[
+    "Intel Core i3-10110U", "Intel Core i5-8250U", "Intel Core i5-1135G7", "Intel Core i7-9750H",
+    "Intel Core i7-1165G7", "Intel Core i9-9900K", "AMD Ryzen 3 3200G", "AMD Ryzen 5 3600",
+    "AMD Ryzen 5 5500U", "AMD Ryzen 7 4800H", "AMD Ryzen 7 5800X", "AMD Ryzen 9 5900X",
+];
+
+/// RAM size strings.
+pub const RAM_SIZES: &[&str] = &["4 GB", "8 GB", "12 GB", "16 GB", "32 GB", "64 GB"];
+
+/// Syllables for synthetic artist / person names.
+pub const NAME_SYLLABLES: &[&str] = &[
+    "ka", "ri", "to", "ne", "mi", "sol", "ver", "dan", "lo", "ran", "el", "sa", "mar", "ti",
+    "ber", "lin", "os", "gra", "van", "del",
+];
+
+/// Words for synthetic song titles.
+pub const SONG_WORDS: &[&str] = &[
+    "night", "river", "golden", "heart", "shadow", "summer", "winter", "dancing", "silent",
+    "electric", "midnight", "dream", "fire", "rain", "echo", "blue", "wild", "broken", "light",
+    "road", "city", "ocean", "star", "storm", "velvet",
+];
+
+/// Music genres (used as an extra descriptive token).
+pub const GENRES: &[&str] = &["rock", "pop", "jazz", "folk", "electronic", "classical", "metal", "indie"];
+
+/// Languages for the music domain.
+pub const LANGUAGES: &[&str] = &["english", "german", "french", "spanish", "italian"];
+
+/// Draw a random element.
+pub fn pick<'a>(items: &'a [&'a str], rng: &mut SmallRng) -> &'a str {
+    items[rng.gen_range(0..items.len())]
+}
+
+/// Generate a model-number-like code, e.g. `EOS-4821` or `WX320`.
+pub fn model_number(rng: &mut SmallRng) -> String {
+    let letters: String = (0..rng.gen_range(2..4usize))
+        .map(|_| (b'A' + rng.gen_range(0..26)) as char)
+        .collect();
+    let digits = rng.gen_range(100..9999u32);
+    if rng.gen_bool(0.5) {
+        format!("{letters}-{digits}")
+    } else {
+        format!("{letters}{digits}")
+    }
+}
+
+/// Generate a capitalized synthetic name of 2-3 syllables.
+pub fn synthetic_name(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(2..4usize);
+    let mut s: String = (0..n).map(|_| pick(NAME_SYLLABLES, rng)).collect();
+    if let Some(first) = s.get_mut(0..1) {
+        first.make_ascii_uppercase();
+    }
+    s
+}
+
+/// Generate a song title of 2-4 words.
+pub fn song_title(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(2..5usize);
+    (0..n).map(|_| pick(SONG_WORDS, rng)).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a: Vec<String> = {
+            let mut r = SmallRng::seed_from_u64(5);
+            (0..10).map(|_| model_number(&mut r)).collect()
+        };
+        let b: Vec<String> = {
+            let mut r = SmallRng::seed_from_u64(5);
+            (0..10).map(|_| model_number(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn model_numbers_have_letters_and_digits() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let m = model_number(&mut r);
+            assert!(m.chars().any(|c| c.is_ascii_uppercase()));
+            assert!(m.chars().any(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn names_are_capitalized() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let n = synthetic_name(&mut r);
+            assert!(n.chars().next().unwrap().is_ascii_uppercase());
+            assert!(n.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn song_titles_have_two_to_four_words() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let t = song_title(&mut r);
+            let words = t.split(' ').count();
+            assert!((2..=4).contains(&words), "{t}");
+        }
+    }
+
+    #[test]
+    fn pick_covers_all_items_eventually() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(pick(RAM_SIZES, &mut r));
+        }
+        assert_eq!(seen.len(), RAM_SIZES.len());
+    }
+}

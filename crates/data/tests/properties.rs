@@ -1,0 +1,122 @@
+//! Property-based tests of the data substrate: generated benchmarks obey the
+//! invariants the pipeline assumes.
+
+use proptest::prelude::*;
+
+use morer_data::blocking::{token_blocking, token_blocking_within, TokenBlockingConfig};
+use morer_data::csvio::{read_problem, write_problem};
+use morer_data::record::Record;
+use morer_data::{camera, computer, music, DatasetScale, ErProblem};
+use morer_ml::dataset::FeatureMatrix;
+
+fn check_benchmark_invariants(bench: &morer_data::Benchmark) {
+    // initial/unsolved partition the problem ids
+    let mut ids: Vec<usize> = bench.initial.iter().chain(&bench.unsolved).copied().collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..bench.problems.len()).collect::<Vec<_>>());
+    for (i, p) in bench.problems.iter().enumerate() {
+        assert_eq!(p.id, i);
+        assert_eq!(p.pairs.len(), p.labels.len());
+        assert_eq!(p.features.rows(), p.pairs.len());
+        assert_eq!(p.features.cols(), p.feature_names.len());
+        for f in 0..p.num_features() {
+            for v in p.feature_column(f) {
+                assert!((0.0..=1.0).contains(&v), "feature out of range: {v}");
+            }
+        }
+        // labels agree with ground-truth entities
+        for (i, &(a, b)) in p.pairs.iter().enumerate() {
+            assert_eq!(p.labels[i], bench.dataset.is_match(a, b));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn generated_benchmarks_satisfy_invariants(seed in 0u64..1000) {
+        check_benchmark_invariants(&computer(DatasetScale::Tiny, seed));
+        check_benchmark_invariants(&music(DatasetScale::Tiny, seed));
+    }
+
+    #[test]
+    fn camera_benchmark_satisfies_invariants(seed in 0u64..1000, ratio in 0.2f64..0.8) {
+        let bench = camera(DatasetScale::Tiny, ratio, seed);
+        check_benchmark_invariants(&bench);
+        // self problems allowed only for camera (intra-source duplicates)
+        for p in &bench.problems {
+            prop_assert!(p.sources.0 <= p.sources.1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn blocking_pairs_reference_existing_uids(
+        titles_a in proptest::collection::vec("[a-z]{2,6}( [a-z]{2,6}){0,2}", 1..20),
+        titles_b in proptest::collection::vec("[a-z]{2,6}( [a-z]{2,6}){0,2}", 1..20),
+    ) {
+        let mk = |offset: u32, titles: &[String]| -> Vec<Record> {
+            titles
+                .iter()
+                .enumerate()
+                .map(|(i, t)| Record {
+                    uid: offset + i as u32,
+                    source: 0,
+                    entity: u64::from(offset) + i as u64,
+                    values: vec![Some(t.clone())],
+                })
+                .collect()
+        };
+        let a = mk(0, &titles_a);
+        let b = mk(1000, &titles_b);
+        let cfg = TokenBlockingConfig::default();
+        let pairs = token_blocking(&a, &b, &cfg);
+        for &(ua, ub) in &pairs {
+            prop_assert!(ua < titles_a.len() as u32);
+            prop_assert!(ub >= 1000 && ub < 1000 + titles_b.len() as u32);
+        }
+        // sorted and unique
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted, pairs);
+
+        let within = token_blocking_within(&a, &cfg);
+        for &(x, y) in &within {
+            prop_assert!(x < y);
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_arbitrary_problems(
+        rows in proptest::collection::vec(
+            (0u32..500, 500u32..1000, proptest::collection::vec(0.0f64..=1.0, 3..=3), any::<bool>()),
+            1..40,
+        )
+    ) {
+        let mut features = FeatureMatrix::new(3);
+        let mut pairs = Vec::new();
+        let mut labels = Vec::new();
+        for (a, b, f, l) in &rows {
+            features.push_row(f);
+            pairs.push((*a, *b));
+            labels.push(*l);
+        }
+        let problem = ErProblem {
+            id: 7,
+            sources: (1, 2),
+            pairs,
+            features,
+            labels,
+            feature_names: vec!["f0".into(), "f1".into(), "f2".into()],
+        };
+        let mut buf = Vec::new();
+        write_problem(&problem, &mut buf).unwrap();
+        let loaded = read_problem(std::io::BufReader::new(&buf[..]), 7, (1, 2)).unwrap();
+        prop_assert_eq!(loaded, problem);
+    }
+}

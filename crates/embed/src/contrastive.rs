@@ -1,0 +1,212 @@
+//! Contrastive projection learning — the self-supervised core of the
+//! Sudowoodo stand-in.
+//!
+//! Learns a linear projection `W: R^din → R^dout` such that augmented views
+//! of the same record score higher (dot product) than views of different
+//! records, via a triplet hinge loss with in-batch negatives:
+//!
+//! `L = Σ max(0, margin − ⟨Wa, Wp⟩ + ⟨Wa, Wn⟩)`
+//!
+//! Gradients flow through the (un-normalized) dot product; embeddings are
+//! normalized only at inference, which keeps the hand-derived gradient exact:
+//! `∂⟨Wa,Wp⟩/∂W = (Wp)aᵀ + (Wa)pᵀ`.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::l2_normalize;
+
+/// Configuration for [`ContrastiveProjection::train`].
+#[derive(Debug, Clone)]
+pub struct ContrastiveConfig {
+    /// Output dimensionality.
+    pub output_dim: usize,
+    /// Hinge margin.
+    pub margin: f32,
+    /// SGD step size.
+    pub learning_rate: f32,
+    /// Training epochs over the pair list.
+    pub epochs: usize,
+    /// RNG seed (init, shuffling, negative sampling).
+    pub seed: u64,
+}
+
+impl Default for ContrastiveConfig {
+    fn default() -> Self {
+        Self { output_dim: 64, margin: 0.5, learning_rate: 0.05, epochs: 5, seed: 42 }
+    }
+}
+
+/// A trained linear projection.
+#[derive(Debug, Clone)]
+pub struct ContrastiveProjection {
+    /// Row-major `output_dim × input_dim`.
+    w: Vec<f32>,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+impl ContrastiveProjection {
+    /// Train on `(anchor, positive)` embedding pairs; negatives are sampled
+    /// from other pairs' positives.
+    pub fn train(pairs: &[(Vec<f32>, Vec<f32>)], config: &ContrastiveConfig) -> Self {
+        assert!(!pairs.is_empty(), "contrastive training needs at least one pair");
+        let input_dim = pairs[0].0.len();
+        let output_dim = config.output_dim.max(4);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let scale = (1.0 / input_dim as f32).sqrt();
+        let mut model = Self {
+            w: (0..output_dim * input_dim).map(|_| rng.gen_range(-scale..=scale)).collect(),
+            input_dim,
+            output_dim,
+        };
+        if pairs.len() < 2 {
+            return model; // no negatives available
+        }
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let (anchor, positive) = &pairs[i];
+                let j = loop {
+                    let j = rng.gen_range(0..pairs.len());
+                    if j != i {
+                        break j;
+                    }
+                };
+                let negative = &pairs[j].1;
+                model.sgd_step(anchor, positive, negative, config);
+            }
+        }
+        model
+    }
+
+    fn sgd_step(&mut self, a: &[f32], p: &[f32], n: &[f32], config: &ContrastiveConfig) {
+        let wa = self.project_raw(a);
+        let wp = self.project_raw(p);
+        let wn = self.project_raw(n);
+        let dot = |x: &[f32], y: &[f32]| x.iter().zip(y).map(|(u, v)| u * v).sum::<f32>();
+        let loss = config.margin - dot(&wa, &wp) + dot(&wa, &wn);
+        if loss <= 0.0 {
+            return; // triplet already satisfied
+        }
+        // ∂L/∂W = −[(Wp)aᵀ + (Wa)pᵀ] + [(Wn)aᵀ + (Wa)nᵀ]
+        let lr = config.learning_rate;
+        for r in 0..self.output_dim {
+            let row = &mut self.w[r * self.input_dim..(r + 1) * self.input_dim];
+            let (wa_r, wp_r, wn_r) = (wa[r], wp[r], wn[r]);
+            for (c, w) in row.iter_mut().enumerate() {
+                let grad = -(wp_r * a[c] + wa_r * p[c]) + (wn_r * a[c] + wa_r * n[c]);
+                *w -= lr * grad;
+            }
+        }
+        // keep W bounded (cheap substitute for weight decay)
+        let norm: f32 = self.w.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let bound = (self.output_dim as f32).sqrt() * 4.0;
+        if norm > bound {
+            let s = bound / norm;
+            self.w.iter_mut().for_each(|x| *x *= s);
+        }
+    }
+
+    fn project_raw(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+        (0..self.output_dim)
+            .map(|r| {
+                self.w[r * self.input_dim..(r + 1) * self.input_dim]
+                    .iter()
+                    .zip(x)
+                    .map(|(w, v)| w * v)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Project and L2-normalize an embedding.
+    pub fn project(&self, x: &[f32]) -> Vec<f32> {
+        let mut v = self.project_raw(x);
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosine;
+    use crate::embedder::{Embedder, EmbedderConfig};
+
+    /// Build augmented-view pairs from synthetic "records".
+    fn training_pairs(embedder: &Embedder) -> Vec<(Vec<f32>, Vec<f32>)> {
+        let base: Vec<(String, String)> = (0..40)
+            .map(|i| {
+                let title = format!("product model x{i} edition alpha{}", i % 7);
+                let view = format!("product MODEL x{i} alpha{}", i % 7); // dropped + case-mangled
+                (title, view)
+            })
+            .collect();
+        base.iter()
+            .map(|(a, b)| (embedder.embed(a), embedder.embed(b)))
+            .collect()
+    }
+
+    #[test]
+    fn training_improves_triplet_accuracy() {
+        let embedder = Embedder::new(EmbedderConfig { dim: 128, ..Default::default() });
+        let pairs = training_pairs(&embedder);
+        let model = ContrastiveProjection::train(&pairs, &ContrastiveConfig::default());
+        // after training, anchors should be closer to their positives than to
+        // other records' positives
+        let mut wins = 0;
+        let n = pairs.len();
+        for i in 0..n {
+            let a = model.project(&pairs[i].0);
+            let p = model.project(&pairs[i].1);
+            let neg = model.project(&pairs[(i + 1) % n].1);
+            if cosine(&a, &p) > cosine(&a, &neg) {
+                wins += 1;
+            }
+        }
+        assert!(wins as f64 / n as f64 > 0.85, "wins = {wins}/{n}");
+    }
+
+    #[test]
+    fn projection_output_is_normalized() {
+        let embedder = Embedder::new(EmbedderConfig { dim: 64, ..Default::default() });
+        let pairs = training_pairs(&embedder);
+        let model = ContrastiveProjection::train(&pairs, &ContrastiveConfig::default());
+        let v = model.project(&pairs[0].0);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+        assert_eq!(v.len(), model.output_dim());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let embedder = Embedder::new(EmbedderConfig { dim: 64, ..Default::default() });
+        let pairs = training_pairs(&embedder);
+        let cfg = ContrastiveConfig::default();
+        let a = ContrastiveProjection::train(&pairs, &cfg);
+        let b = ContrastiveProjection::train(&pairs, &cfg);
+        assert_eq!(a.w, b.w);
+    }
+
+    #[test]
+    fn single_pair_training_returns_init() {
+        let pairs = vec![(vec![1.0f32, 0.0], vec![0.9f32, 0.1])];
+        let model = ContrastiveProjection::train(&pairs, &ContrastiveConfig::default());
+        assert_eq!(model.input_dim, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pair")]
+    fn empty_training_panics() {
+        let _ = ContrastiveProjection::train(&[], &ContrastiveConfig::default());
+    }
+}

@@ -1,0 +1,209 @@
+//! Hashed character-n-gram / word embeddings with corpus-fitted IDF weights.
+//!
+//! Text is tokenized into words and character n-grams; each token is hashed
+//! (FNV-1a) into one of `dim` buckets; bucket weights are IDF-scaled counts;
+//! the final vector is L2-normalized. Near-identical strings thus land on
+//! overlapping buckets — the property that makes the vectors behave like
+//! (much cheaper) LM embeddings for matching purposes.
+
+use crate::l2_normalize;
+use morer_sim::tokenize::{normalize, words};
+
+/// Configuration for [`Embedder`].
+#[derive(Debug, Clone)]
+pub struct EmbedderConfig {
+    /// Embedding dimensionality (hash buckets).
+    pub dim: usize,
+    /// Character n-gram sizes to include.
+    pub char_ngrams: Vec<usize>,
+    /// Include whole-word tokens.
+    pub use_words: bool,
+}
+
+impl Default for EmbedderConfig {
+    fn default() -> Self {
+        Self { dim: 512, char_ngrams: vec![3, 4], use_words: true }
+    }
+}
+
+/// A fitted embedding model: hashing + per-bucket IDF weights.
+#[derive(Debug, Clone)]
+pub struct Embedder {
+    config: EmbedderConfig,
+    /// `ln((N + 1) / (df_b + 1)) + 1` per bucket; 1.0 before fitting.
+    idf: Vec<f32>,
+}
+
+/// FNV-1a 64-bit hash.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl Embedder {
+    /// Create an unfitted embedder (uniform IDF).
+    pub fn new(config: EmbedderConfig) -> Self {
+        let dim = config.dim.max(8);
+        let config = EmbedderConfig { dim, ..config };
+        Self { idf: vec![1.0; dim], config }
+    }
+
+    /// Fit IDF weights on a corpus of serialized records.
+    pub fn fit(config: EmbedderConfig, corpus: &[String]) -> Self {
+        let mut embedder = Self::new(config);
+        let mut df = vec![0u32; embedder.config.dim];
+        let mut seen = vec![false; embedder.config.dim];
+        for doc in corpus {
+            seen.iter_mut().for_each(|s| *s = false);
+            for bucket in embedder.buckets(doc) {
+                if !seen[bucket] {
+                    seen[bucket] = true;
+                    df[bucket] += 1;
+                }
+            }
+        }
+        let n = corpus.len() as f32;
+        for (w, &d) in embedder.idf.iter_mut().zip(&df) {
+            *w = ((n + 1.0) / (d as f32 + 1.0)).ln() + 1.0;
+        }
+        embedder
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Embed a text into an L2-normalized vector.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.config.dim];
+        for bucket in self.buckets(text) {
+            v[bucket] += self.idf[bucket];
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Pair feature vector for classifiers: `[cos(a,b), |a − b|, a ⊙ b]`
+    /// (1 + 2·dim values) — the standard interaction features of
+    /// sentence-pair models plus the explicit cosine.
+    pub fn pair_features(&self, a: &[f32], b: &[f32]) -> Vec<f64> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(1 + 2 * a.len());
+        out.push(f64::from(crate::cosine(a, b)));
+        out.extend(a.iter().zip(b).map(|(&x, &y)| f64::from((x - y).abs())));
+        out.extend(a.iter().zip(b).map(|(&x, &y)| f64::from(x * y)));
+        out
+    }
+
+    /// Width of [`Embedder::pair_features`] vectors.
+    pub fn pair_feature_dim(&self) -> usize {
+        1 + 2 * self.config.dim
+    }
+
+    fn buckets(&self, text: &str) -> Vec<usize> {
+        let norm = normalize(text);
+        let mut out = Vec::new();
+        if self.config.use_words {
+            for w in words(&norm) {
+                out.push((fnv1a(w.as_bytes()) % self.config.dim as u64) as usize);
+            }
+        }
+        let chars: Vec<char> = norm.chars().collect();
+        for &n in &self.config.char_ngrams {
+            if n == 0 || chars.len() < n {
+                continue;
+            }
+            for window in chars.windows(n) {
+                let gram: String = window.iter().collect();
+                // salt by n so 3-grams and 4-grams hash independently
+                let mut bytes = gram.into_bytes();
+                bytes.push(n as u8);
+                out.push((fnv1a(&bytes) % self.config.dim as u64) as usize);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosine;
+
+    fn embedder() -> Embedder {
+        Embedder::new(EmbedderConfig::default())
+    }
+
+    #[test]
+    fn identical_texts_have_identical_embeddings() {
+        let e = embedder();
+        let a = e.embed("canon eos 750d camera");
+        let b = e.embed("Canon EOS 750D Camera");
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn similar_beats_dissimilar() {
+        let e = embedder();
+        let a = e.embed("canon eos 750d digital camera");
+        let near = e.embed("canon eos 750 d camera");
+        let far = e.embed("velvet midnight jazz album");
+        assert!(cosine(&a, &near) > cosine(&a, &far) + 0.2);
+    }
+
+    #[test]
+    fn small_textual_distinctions_blur() {
+        // The documented LM-like failure mode: near-identical model numbers
+        // produce highly similar embeddings.
+        let e = embedder();
+        let a = e.embed("bose qc35 headphones");
+        let b = e.embed("bose qc35 ii headphones");
+        assert!(cosine(&a, &b) > 0.85, "got {}", cosine(&a, &b));
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = embedder();
+        let v = e.embed("some text here");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+        let empty = e.embed("");
+        assert!(empty.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn idf_downweights_ubiquitous_tokens() {
+        let corpus: Vec<String> = (0..50)
+            .map(|i| format!("camera common{} unique{}", i % 2, i))
+            .collect();
+        let fitted = Embedder::fit(EmbedderConfig::default(), &corpus);
+        // "camera" occurs in every doc: its bucket weight must be the minimum
+        let bucket_of = |e: &Embedder, tok: &str| (fnv1a(tok.as_bytes()) % e.dim() as u64) as usize;
+        let common = fitted.idf[bucket_of(&fitted, "camera")];
+        let rare = fitted.idf[bucket_of(&fitted, "unique17")];
+        assert!(common < rare, "common {common} rare {rare}");
+    }
+
+    #[test]
+    fn pair_features_have_double_dim() {
+        let e = embedder();
+        let a = e.embed("x");
+        let b = e.embed("y");
+        let f = e.pair_features(&a, &b);
+        assert_eq!(f.len(), e.pair_feature_dim());
+        assert_eq!(f.len(), 1 + 2 * e.dim());
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Brute-force cosine top-k nearest-neighbour search over embeddings.
+//!
+//! Used as the blocking layer of the embedding-based baselines (the paper's
+//! §4.1 notes nearest-neighbour search over LM embeddings is the standard
+//! candidate generator for such methods).
+
+use crate::cosine;
+
+/// A searchable collection of (id, embedding) rows.
+#[derive(Debug, Clone, Default)]
+pub struct KnnIndex {
+    ids: Vec<u32>,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl KnnIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert one embedding.
+    pub fn insert(&mut self, id: u32, vector: Vec<f32>) {
+        self.ids.push(id);
+        self.vectors.push(vector);
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Top-`k` ids by cosine similarity to `query`, best first
+    /// (ties broken by id for determinism).
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
+        let mut scored: Vec<(u32, f32)> = self
+            .ids
+            .iter()
+            .zip(&self.vectors)
+            .map(|(&id, v)| (id, cosine(query, v)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// All ids whose cosine similarity to `query` is at least `threshold`.
+    pub fn search_threshold(&self, query: &[f32], threshold: f32) -> Vec<(u32, f32)> {
+        let mut out: Vec<(u32, f32)> = self
+            .ids
+            .iter()
+            .zip(&self.vectors)
+            .map(|(&id, v)| (id, cosine(query, v)))
+            .filter(|&(_, s)| s >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> KnnIndex {
+        let mut idx = KnnIndex::new();
+        idx.insert(1, vec![1.0, 0.0]);
+        idx.insert(2, vec![0.9, 0.1]);
+        idx.insert(3, vec![0.0, 1.0]);
+        idx
+    }
+
+    #[test]
+    fn search_orders_by_similarity() {
+        let idx = index();
+        let hits = idx.search(&[1.0, 0.0], 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 1);
+        assert_eq!(hits[1].0, 2);
+        assert!(hits[0].1 >= hits[1].1);
+    }
+
+    #[test]
+    fn k_larger_than_index_returns_all() {
+        let idx = index();
+        assert_eq!(idx.search(&[1.0, 0.0], 10).len(), 3);
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let idx = index();
+        let hits = idx.search_threshold(&[1.0, 0.0], 0.5);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|&(_, s)| s >= 0.5));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = KnnIndex::new();
+        assert!(idx.is_empty());
+        assert!(idx.search(&[1.0], 5).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut idx = KnnIndex::new();
+        idx.insert(7, vec![1.0, 0.0]);
+        idx.insert(4, vec![1.0, 0.0]);
+        let hits = idx.search(&[1.0, 0.0], 2);
+        assert_eq!(hits[0].0, 4);
+        assert_eq!(hits[1].0, 7);
+    }
+}

@@ -1,0 +1,73 @@
+//! # morer-embed — record embeddings standing in for pre-trained LMs
+//!
+//! The paper's strongest baselines (Ditto, Sudowoodo, Unicorn, AnyMatch) run
+//! on DistilBERT/GPT-2 embeddings. Those models are not available offline, so
+//! this crate provides the substitution documented in DESIGN.md §3: **hashed
+//! character-n-gram + word embeddings with IDF weighting**. Like LM
+//! embeddings they consume raw serialized records (not engineered similarity
+//! features), capture token and sub-token overlap, and blur small textual
+//! distinctions; unlike them they need no GPU.
+//!
+//! * [`serialize`]: Ditto-style `COL <attr> VAL <value>` record serialization;
+//! * [`embedder`]: the hashed embedding model with corpus-fitted IDF;
+//! * [`knn`]: brute-force cosine top-k search (blocking for the baselines);
+//! * [`contrastive`]: a linear projection trained with a triplet objective on
+//!   augmented record views — the self-supervised core of the Sudowoodo
+//!   stand-in.
+
+pub mod contrastive;
+pub mod embedder;
+pub mod knn;
+pub mod serialize;
+
+pub use embedder::{Embedder, EmbedderConfig};
+
+/// Cosine similarity of two equal-length vectors (0 when either is zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+/// L2-normalize a vector in place (no-op for the zero vector).
+pub fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut v = vec![3.0f32, 4.0];
+        l2_normalize(&mut v);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0f32; 3];
+        l2_normalize(&mut z);
+        assert_eq!(z, vec![0.0; 3]);
+    }
+}

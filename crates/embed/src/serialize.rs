@@ -1,0 +1,64 @@
+//! Ditto-style record serialization: `COL <attr> VAL <value> …`.
+//!
+//! This is the exact textual format Ditto feeds its transformer; the
+//! embedding stand-ins consume the same serialization so that the comparison
+//! exercises the same input path.
+
+/// Serialize one record as `COL a1 VAL v1 COL a2 VAL v2 …`, skipping missing
+/// values.
+pub fn serialize_record(attributes: &[String], values: &[Option<String>]) -> String {
+    let mut out = String::new();
+    for (attr, value) in attributes.iter().zip(values) {
+        if let Some(v) = value {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str("COL ");
+            out.push_str(attr);
+            out.push_str(" VAL ");
+            out.push_str(v);
+        }
+    }
+    out
+}
+
+/// Serialize a record pair with the `[SEP]` marker Ditto uses.
+pub fn serialize_pair(
+    attributes: &[String],
+    left: &[Option<String>],
+    right: &[Option<String>],
+) -> String {
+    format!(
+        "{} [SEP] {}",
+        serialize_record(attributes, left),
+        serialize_record(attributes, right)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs() -> Vec<String> {
+        vec!["title".into(), "price".into()]
+    }
+
+    #[test]
+    fn serializes_present_values() {
+        let s = serialize_record(&attrs(), &[Some("tv".into()), Some("9.99".into())]);
+        assert_eq!(s, "COL title VAL tv COL price VAL 9.99");
+    }
+
+    #[test]
+    fn skips_missing_values() {
+        let s = serialize_record(&attrs(), &[None, Some("9.99".into())]);
+        assert_eq!(s, "COL price VAL 9.99");
+        assert_eq!(serialize_record(&attrs(), &[None, None]), "");
+    }
+
+    #[test]
+    fn pair_uses_sep_token() {
+        let s = serialize_pair(&attrs(), &[Some("a".into()), None], &[Some("b".into()), None]);
+        assert_eq!(s, "COL title VAL a [SEP] COL title VAL b");
+    }
+}

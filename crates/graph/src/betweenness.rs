@@ -1,0 +1,139 @@
+//! Brandes' algorithm for edge betweenness centrality (unweighted shortest
+//! paths), the inner loop of Girvan-Newman community detection.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::graph::Graph;
+
+/// Canonical undirected edge key with `u <= v`.
+#[inline]
+fn key(u: usize, v: usize) -> (usize, usize) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Edge betweenness centrality of every edge, using unweighted shortest
+/// paths (Brandes 2001, edge variant). Self-loops get betweenness 0.
+///
+/// Each unordered pair of endpoints contributes once, so values are halved
+/// relative to the directed-count convention.
+pub fn edge_betweenness(g: &Graph) -> HashMap<(usize, usize), f64> {
+    let n = g.num_nodes();
+    let mut centrality: HashMap<(usize, usize), f64> = HashMap::new();
+    for (u, v, _) in g.edges() {
+        if u != v {
+            centrality.insert(key(u, v), 0.0);
+        }
+    }
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    for s in 0..n {
+        // single-source shortest paths (BFS)
+        for v in 0..n {
+            sigma[v] = 0.0;
+            dist[v] = -1;
+            delta[v] = 0.0;
+            preds[v].clear();
+        }
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut queue = VecDeque::from([s]);
+        let mut stack: Vec<usize> = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &(w, _) in g.neighbors(v) {
+                if w == v {
+                    continue;
+                }
+                if dist[w] < 0 {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    preds[w].push(v);
+                }
+            }
+        }
+        // dependency accumulation
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w] {
+                let c = sigma[v] / sigma[w] * (1.0 + delta[w]);
+                *centrality.get_mut(&key(v, w)).expect("edge present") += c;
+                delta[v] += c;
+            }
+        }
+    }
+    // undirected: every pair (s, t) was counted from both endpoints
+    for val in centrality.values_mut() {
+        *val /= 2.0;
+    }
+    centrality
+}
+
+/// The edge with the highest betweenness, if the graph has any non-loop edge.
+pub fn max_betweenness_edge(g: &Graph) -> Option<(usize, usize, f64)> {
+    edge_betweenness(g)
+        .into_iter()
+        .max_by(|a, b| {
+            a.1.total_cmp(&b.1)
+                // deterministic tie-break on the edge key
+                .then_with(|| b.0.cmp(&a.0))
+        })
+        .map(|((u, v), c)| (u, v, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_middle_edge_highest() {
+        // 0-1-2-3: edge (1,2) carries the most shortest paths
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let eb = edge_betweenness(&g);
+        // (1,2) lies on paths 0-2, 0-3, 1-2, 1-3 => 4
+        assert!((eb[&(1, 2)] - 4.0).abs() < 1e-9);
+        // (0,1) lies on 0-1, 0-2, 0-3 => 3
+        assert!((eb[&(0, 1)] - 3.0).abs() < 1e-9);
+        let (u, v, _) = max_betweenness_edge(&g).unwrap();
+        assert_eq!((u, v), (1, 2));
+    }
+
+    #[test]
+    fn bridge_between_cliques_dominates() {
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 1.0);
+        }
+        g.add_edge(2, 3, 1.0);
+        let (u, v, c) = max_betweenness_edge(&g).unwrap();
+        assert_eq!((u, v), (2, 3));
+        // bridge carries all 9 cross-clique pairs
+        assert!((c - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_symmetric() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        let eb = edge_betweenness(&g);
+        for (_, &c) in eb.iter() {
+            assert!((c - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_and_loops() {
+        let g = Graph::new(3);
+        assert!(max_betweenness_edge(&g).is_none());
+        let mut g = Graph::new(2);
+        g.add_edge(0, 0, 1.0);
+        assert!(max_betweenness_edge(&g).is_none());
+    }
+}

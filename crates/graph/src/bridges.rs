@@ -1,0 +1,146 @@
+//! Bridge detection (Tarjan's low-link algorithm).
+//!
+//! A *bridge* is an edge whose removal disconnects its component. In a match
+//! graph a predicted match that is a bridge is a prime false-positive
+//! suspect: it is the only thing holding two record groups together — the
+//! single-edge special case of Almser's weak-min-cut signal, at O(V + E)
+//! instead of O(V³).
+
+use crate::graph::Graph;
+
+/// All bridges of the graph as `(u, v)` pairs with `u < v`, sorted.
+///
+/// Parallel edges were merged at insertion time, so any surviving edge can
+/// be a bridge; self-loops never are.
+pub fn bridges(g: &Graph) -> Vec<(usize, usize)> {
+    let n = g.num_nodes();
+    let mut disc = vec![usize::MAX; n]; // discovery times
+    let mut low = vec![usize::MAX; n]; // low-link values
+    let mut timer = 0usize;
+    let mut out = Vec::new();
+
+    // iterative DFS to avoid stack overflow on long paths
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        // stack frames: (node, parent, neighbor cursor)
+        let mut stack: Vec<(usize, usize, usize)> = vec![(root, usize::MAX, 0)];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        while let Some(&(v, parent, cursor)) = stack.last() {
+            if cursor < g.degree(v) {
+                let top = stack.len() - 1;
+                stack[top].2 += 1;
+                let (to, _) = g.neighbors(v)[cursor];
+                if to == v {
+                    continue; // self-loop
+                }
+                if disc[to] == usize::MAX {
+                    disc[to] = timer;
+                    low[to] = timer;
+                    timer += 1;
+                    stack.push((to, v, 0));
+                } else if to != parent {
+                    low[v] = low[v].min(disc[to]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _, _)) = stack.last() {
+                    low[p] = low[p].min(low[v]);
+                    if low[v] > disc[p] {
+                        out.push((p.min(v), p.max(v)));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Whether the specific edge `{u, v}` is a bridge.
+pub fn is_bridge(g: &Graph, u: usize, v: usize) -> bool {
+    let key = (u.min(v), u.max(v));
+    bridges(g).binary_search(&key).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_every_edge_is_a_bridge() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        assert_eq!(bridges(&g), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn barbell_bridge_is_found() {
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 1.0);
+        }
+        g.add_edge(2, 3, 0.5);
+        assert_eq!(bridges(&g), vec![(2, 3)]);
+        assert!(is_bridge(&g, 3, 2));
+        assert!(!is_bridge(&g, 0, 1));
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)]);
+        assert_eq!(bridges(&g), vec![(0, 1), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 0, 1.0);
+        g.add_edge(0, 1, 1.0);
+        assert_eq!(bridges(&g), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(bridges(&Graph::new(0)).is_empty());
+        assert!(bridges(&Graph::new(3)).is_empty());
+    }
+
+    #[test]
+    fn bridges_agree_with_removal_check() {
+        // brute-force cross-check on a fixed graph
+        let edges = [
+            (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0), (3, 4, 1.0),
+            (4, 5, 1.0), (5, 3, 1.0), (5, 6, 1.0),
+        ];
+        let g = Graph::from_edges(7, &edges);
+        let found = bridges(&g);
+        use crate::components::connected_components;
+        let base_components = {
+            let cc = connected_components(&g);
+            cc.iter().collect::<std::collections::HashSet<_>>().len()
+        };
+        for (u, v, _) in g.edges() {
+            if u == v {
+                continue;
+            }
+            let removed = g.without_edge(u, v);
+            let cc = connected_components(&removed);
+            let parts = cc.iter().collect::<std::collections::HashSet<_>>().len();
+            let disconnects = parts > base_components;
+            assert_eq!(
+                found.contains(&(u.min(v), u.max(v))),
+                disconnects,
+                "edge ({u},{v})"
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Girvan-Newman divisive community detection: repeatedly remove the edge
+//! with the highest betweenness and keep the split with the best modularity.
+
+use super::{modularity, Clustering};
+use crate::betweenness::max_betweenness_edge;
+use crate::components::connected_components;
+use crate::graph::Graph;
+
+/// Configuration for [`girvan_newman`].
+#[derive(Debug, Clone)]
+pub struct GirvanNewmanConfig {
+    /// Stop once the graph has at least this many components (None: run until
+    /// modularity stops improving or edges run out).
+    pub target_communities: Option<usize>,
+    /// Resolution for the modularity used to pick the best split.
+    pub gamma: f64,
+    /// Safety cap on the number of removed edges.
+    pub max_removals: usize,
+}
+
+impl Default for GirvanNewmanConfig {
+    fn default() -> Self {
+        Self { target_communities: None, gamma: 1.0, max_removals: 10_000 }
+    }
+}
+
+/// Girvan-Newman: O(n·m) betweenness per removal, so intended for the small
+/// ER-problem graphs (hundreds of nodes) it is ablated on.
+pub fn girvan_newman(g: &Graph, config: &GirvanNewmanConfig) -> Clustering {
+    let mut work = g.clone();
+    let mut best = Clustering::from_assignment(&connected_components(&work));
+    let mut best_q = modularity(g, &best, config.gamma);
+
+    for _ in 0..config.max_removals {
+        if let Some(target) = config.target_communities {
+            if best.num_clusters() >= target {
+                break;
+            }
+        }
+        let Some((u, v, _)) = max_betweenness_edge(&work) else {
+            break;
+        };
+        work = work.without_edge(u, v);
+        let current = Clustering::from_assignment(&connected_components(&work));
+        // evaluate the split against the *original* graph
+        let q = modularity(g, &current, config.gamma);
+        let improved = q > best_q;
+        let reaches_target = config
+            .target_communities
+            .is_some_and(|t| current.num_clusters() >= t && best.num_clusters() < t);
+        if improved || reaches_target {
+            best_q = q;
+            best = current;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_barbell_on_bridge() {
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 1.0);
+        }
+        g.add_edge(2, 3, 1.0);
+        let c = girvan_newman(&g, &GirvanNewmanConfig::default());
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.cluster_of(0), c.cluster_of(2));
+        assert_ne!(c.cluster_of(0), c.cluster_of(3));
+    }
+
+    #[test]
+    fn respects_target_community_count() {
+        // path of 9 nodes: ask for 3 communities
+        let mut g = Graph::new(9);
+        for i in 0..8 {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        let cfg = GirvanNewmanConfig { target_communities: Some(3), ..Default::default() };
+        let c = girvan_newman(&g, &cfg);
+        assert!(c.num_clusters() >= 3);
+    }
+
+    #[test]
+    fn handles_edgeless_graph() {
+        let g = Graph::new(4);
+        let c = girvan_newman(&g, &GirvanNewmanConfig::default());
+        assert_eq!(c.num_clusters(), 4);
+    }
+
+    #[test]
+    fn two_components_need_no_removal() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let c = girvan_newman(&g, &GirvanNewmanConfig::default());
+        assert_eq!(c.num_clusters(), 2);
+    }
+}

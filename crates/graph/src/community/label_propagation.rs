@@ -1,0 +1,122 @@
+//! Asynchronous weighted label propagation (Raghavan et al. 2007).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use super::Clustering;
+use crate::graph::Graph;
+
+/// Configuration for [`label_propagation`].
+#[derive(Debug, Clone)]
+pub struct LabelPropagationConfig {
+    /// RNG seed for node-visit order.
+    pub seed: u64,
+    /// Maximum number of full sweeps before giving up on convergence.
+    pub max_iterations: usize,
+}
+
+impl Default for LabelPropagationConfig {
+    fn default() -> Self {
+        Self { seed: 42, max_iterations: 100 }
+    }
+}
+
+/// Asynchronous label propagation: each node adopts the label with the
+/// largest incident edge weight, sweeping in seeded random order until no
+/// label changes (ties broken toward the smallest label id for determinism).
+pub fn label_propagation(g: &Graph, config: &LabelPropagationConfig) -> Clustering {
+    let n = g.num_nodes();
+    let mut labels: Vec<usize> = (0..n).collect();
+    if n == 0 {
+        return Clustering::from_assignment(&labels);
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut weight_to: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+
+    for _ in 0..config.max_iterations {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &v in &order {
+            weight_to.clear();
+            for &(nbr, w) in g.neighbors(v) {
+                if nbr != v {
+                    *weight_to.entry(labels[nbr]).or_insert(0.0) += w;
+                }
+            }
+            if weight_to.is_empty() {
+                continue;
+            }
+            let current = labels[v];
+            // pick the heaviest label; ties -> smallest id (deterministic)
+            let mut best_label = current;
+            let mut best_weight = weight_to.get(&current).copied().unwrap_or(0.0);
+            for (&label, &w) in &weight_to {
+                if w > best_weight + 1e-12 || (w > best_weight - 1e-12 && label < best_label) {
+                    best_label = label;
+                    best_weight = w;
+                }
+            }
+            if best_label != current {
+                labels[v] = best_label;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Clustering::from_assignment(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_finds_two_cliques() {
+        let mut g = Graph::new(8);
+        for c in 0..2 {
+            let base = c * 4;
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    g.add_edge(base + i, base + j, 1.0);
+                }
+            }
+        }
+        g.add_edge(3, 4, 0.1);
+        let c = label_propagation(&g, &LabelPropagationConfig::default());
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.cluster_of(0), c.cluster_of(3));
+        assert_eq!(c.cluster_of(4), c.cluster_of(7));
+        assert_ne!(c.cluster_of(0), c.cluster_of(4));
+    }
+
+    #[test]
+    fn isolated_nodes_keep_own_labels() {
+        let g = Graph::new(3);
+        let c = label_propagation(&g, &LabelPropagationConfig::default());
+        assert_eq!(c.num_clusters(), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut g = Graph::new(10);
+        for i in 0..9 {
+            g.add_edge(i, i + 1, 1.0 + i as f64 * 0.1);
+        }
+        let cfg = LabelPropagationConfig::default();
+        assert_eq!(label_propagation(&g, &cfg), label_propagation(&g, &cfg));
+    }
+
+    #[test]
+    fn weighted_edges_decide_membership() {
+        // node 1 is pulled by the heavier side
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(1, 2, 0.5);
+        let c = label_propagation(&g, &LabelPropagationConfig::default());
+        assert_eq!(c.cluster_of(0), c.cluster_of(1));
+    }
+}

@@ -1,0 +1,198 @@
+//! Leiden community detection (Traag, Waltman & van Eck, 2019).
+//!
+//! Leiden improves on Louvain by *refining* each community into
+//! well-connected subcommunities before aggregation, which guarantees the
+//! communities of the final partition are internally connected — the property
+//! §4.3 of the paper relies on when it notes Leiden "identifies
+//! well-connected subgroups within weakly connected components".
+
+use rand::rngs::SmallRng;
+
+use super::louvain::{multilevel, MoveContext, PartitionState};
+use super::{Clustering, Objective};
+use crate::graph::Graph;
+
+/// Configuration for [`leiden`].
+#[derive(Debug, Clone)]
+pub struct LeidenConfig {
+    /// Resolution parameter γ (higher → more, smaller communities).
+    pub gamma: f64,
+    /// Quality function to optimize.
+    pub objective: Objective,
+    /// RNG seed for node-visit order.
+    pub seed: u64,
+    /// Maximum number of aggregation levels.
+    pub max_levels: usize,
+}
+
+impl Default for LeidenConfig {
+    fn default() -> Self {
+        Self { gamma: 1.0, objective: Objective::Modularity, seed: 42, max_levels: 20 }
+    }
+}
+
+/// Leiden algorithm: local moving, refinement, aggregation on the refined
+/// partition with the coarse partition as the starting point of the next
+/// level.
+pub fn leiden(g: &Graph, config: &LeidenConfig) -> Clustering {
+    multilevel(g, config.gamma, config.objective, config.seed, config.max_levels, true)
+}
+
+/// Refinement phase: start from singletons and greedily merge nodes into
+/// refined communities, *only within* their coarse community in `p_dense`,
+/// and only when the move strictly improves quality. Nodes that already
+/// merged are not revisited, which keeps refined communities connected.
+pub(super) fn refine_partition(
+    ctx: &MoveContext<'_>,
+    p_dense: &[usize],
+    rng: &mut SmallRng,
+) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    let n = ctx.g.num_nodes();
+    let singleton_init: Vec<usize> = (0..n).collect();
+    let mut state = PartitionState::new(ctx, &singleton_init);
+    let mut ref_size = vec![1usize; n]; // nodes per refined community
+
+    // group nodes by coarse community
+    let k = p_dense.iter().copied().max().map_or(0, |m| m + 1);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (v, &c) in p_dense.iter().enumerate() {
+        groups[c].push(v);
+    }
+
+    for group in &mut groups {
+        group.shuffle(rng);
+        for &v in group.iter() {
+            // only still-singleton nodes may move (Leiden invariant)
+            if ref_size[state.community[v]] != 1 {
+                continue;
+            }
+            let before = state.community[v];
+            // Allowed targets: refined communities inside v's coarse
+            // community. A refined community's id is the node id of its
+            // founding member (communities start as singletons and a founder
+            // can never leave a community of size >= 2), so `p_dense[c]` is
+            // the coarse community of refined community `c`.
+            let coarse = p_dense[v];
+            if let Some(new_comm) = state.best_move(ctx, v, |c| p_dense[c] == coarse) {
+                ref_size[before] -= 1;
+                ref_size[new_comm] += 1;
+            }
+        }
+    }
+    state.community
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{cpm_quality, modularity};
+    use super::*;
+    use crate::community::louvain::{louvain, LouvainConfig};
+
+    fn barbell() -> Graph {
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 1.0);
+        }
+        g.add_edge(2, 3, 0.2);
+        g
+    }
+
+    fn ring_of_cliques(num_cliques: usize, clique_size: usize) -> Graph {
+        let n = num_cliques * clique_size;
+        let mut g = Graph::new(n);
+        for c in 0..num_cliques {
+            let base = c * clique_size;
+            for i in 0..clique_size {
+                for j in (i + 1)..clique_size {
+                    g.add_edge(base + i, base + j, 1.0);
+                }
+            }
+            let next_base = ((c + 1) % num_cliques) * clique_size;
+            g.add_edge(base, next_base, 0.5);
+        }
+        g
+    }
+
+    #[test]
+    fn leiden_splits_barbell() {
+        let c = leiden(&barbell(), &LeidenConfig::default());
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.cluster_of(0), c.cluster_of(2));
+        assert_eq!(c.cluster_of(3), c.cluster_of(5));
+        assert_ne!(c.cluster_of(0), c.cluster_of(3));
+    }
+
+    #[test]
+    fn leiden_finds_ring_of_cliques() {
+        let g = ring_of_cliques(6, 5);
+        let c = leiden(&g, &LeidenConfig::default());
+        assert_eq!(c.num_clusters(), 6);
+        for clique in 0..6 {
+            let base = clique * 5;
+            for i in 1..5 {
+                assert_eq!(c.cluster_of(base), c.cluster_of(base + i), "clique {clique}");
+            }
+        }
+    }
+
+    #[test]
+    fn leiden_communities_are_connected() {
+        // Leiden's headline guarantee: every community induces a connected
+        // subgraph.
+        let g = ring_of_cliques(4, 4);
+        let c = leiden(&g, &LeidenConfig::default());
+        for members in c.members() {
+            let (sub, _) = g.induced_subgraph(&members);
+            let cc = crate::components::connected_components(&sub);
+            let distinct: std::collections::HashSet<_> = cc.iter().collect();
+            assert_eq!(distinct.len(), 1, "community {members:?} is disconnected");
+        }
+    }
+
+    #[test]
+    fn leiden_deterministic_for_seed() {
+        let g = ring_of_cliques(5, 4);
+        let cfg = LeidenConfig::default();
+        assert_eq!(leiden(&g, &cfg), leiden(&g, &cfg));
+    }
+
+    #[test]
+    fn leiden_quality_at_least_louvain_on_cliques() {
+        let g = ring_of_cliques(8, 4);
+        let lv = louvain(&g, &LouvainConfig::default());
+        let ld = leiden(&g, &LeidenConfig::default());
+        let q_lv = modularity(&g, &lv, 1.0);
+        let q_ld = modularity(&g, &ld, 1.0);
+        assert!(q_ld >= q_lv - 1e-9, "leiden {q_ld} < louvain {q_lv}");
+    }
+
+    #[test]
+    fn leiden_cpm_objective_works() {
+        let g = ring_of_cliques(4, 5);
+        let cfg = LeidenConfig { objective: Objective::Cpm, gamma: 0.6, ..Default::default() };
+        let c = leiden(&g, &cfg);
+        assert_eq!(c.num_clusters(), 4);
+        assert!(cpm_quality(&g, &c, 0.6) > 0.0);
+    }
+
+    #[test]
+    fn leiden_trivial_graphs() {
+        assert_eq!(leiden(&Graph::new(0), &LeidenConfig::default()).num_nodes(), 0);
+        let c = leiden(&Graph::new(3), &LeidenConfig::default());
+        assert_eq!(c.num_clusters(), 3); // isolated nodes stay singletons
+    }
+
+    #[test]
+    fn leiden_weighted_edges_dominate() {
+        // strong pair + weak pair: strong edges bind, weak edges don't
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(2, 3, 10.0);
+        g.add_edge(1, 2, 0.01);
+        let c = leiden(&g, &LeidenConfig::default());
+        assert_eq!(c.cluster_of(0), c.cluster_of(1));
+        assert_eq!(c.cluster_of(2), c.cluster_of(3));
+        assert_ne!(c.cluster_of(1), c.cluster_of(2));
+    }
+}

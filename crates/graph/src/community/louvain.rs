@@ -1,0 +1,371 @@
+//! Louvain community detection, plus the local-moving machinery shared with
+//! Leiden.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use super::{Clustering, Objective};
+use crate::graph::Graph;
+
+/// Configuration for [`louvain`].
+#[derive(Debug, Clone)]
+pub struct LouvainConfig {
+    /// Resolution parameter γ (higher → more, smaller communities).
+    pub gamma: f64,
+    /// Quality function to optimize.
+    pub objective: Objective,
+    /// RNG seed for node-visit order.
+    pub seed: u64,
+    /// Maximum number of aggregation levels.
+    pub max_levels: usize,
+}
+
+impl Default for LouvainConfig {
+    fn default() -> Self {
+        Self { gamma: 1.0, objective: Objective::Modularity, seed: 42, max_levels: 20 }
+    }
+}
+
+/// Louvain algorithm: repeated greedy local moving + graph aggregation.
+pub fn louvain(g: &Graph, config: &LouvainConfig) -> Clustering {
+    multilevel(g, config.gamma, config.objective, config.seed, config.max_levels, false)
+}
+
+// ---------------------------------------------------------------------------
+// Shared machinery (used by Leiden as well)
+// ---------------------------------------------------------------------------
+
+/// Static per-graph context for a round of local moving.
+pub(super) struct MoveContext<'g> {
+    pub g: &'g Graph,
+    /// Weighted degree of each node.
+    pub strengths: Vec<f64>,
+    /// Number of original nodes each (possibly aggregated) node represents.
+    pub node_sizes: Vec<f64>,
+    /// 2m — twice the total edge weight.
+    pub two_m: f64,
+    pub gamma: f64,
+    pub objective: Objective,
+}
+
+impl<'g> MoveContext<'g> {
+    pub fn new(g: &'g Graph, node_sizes: Vec<f64>, gamma: f64, objective: Objective) -> Self {
+        let strengths: Vec<f64> = (0..g.num_nodes()).map(|v| g.strength(v)).collect();
+        let two_m = 2.0 * g.total_weight();
+        Self { g, strengths, node_sizes, two_m, gamma, objective }
+    }
+
+    /// Score of placing node `v` into a community with the given totals,
+    /// where `k_in` is the edge weight from `v` into that community
+    /// (excluding self-loops). Higher is better; proportional to the quality
+    /// gain.
+    #[inline]
+    pub fn score(&self, v: usize, k_in: f64, comm_strength: f64, comm_size: f64) -> f64 {
+        match self.objective {
+            Objective::Modularity => {
+                if self.two_m <= 0.0 {
+                    return 0.0;
+                }
+                k_in - self.gamma * self.strengths[v] * comm_strength / self.two_m
+            }
+            Objective::Cpm => k_in - self.gamma * self.node_sizes[v] * comm_size,
+        }
+    }
+}
+
+/// Mutable partition state during local moving.
+pub(super) struct PartitionState {
+    pub community: Vec<usize>,
+    comm_strength: Vec<f64>,
+    comm_size: Vec<f64>,
+    // scratch: edge weight from the current node to each community
+    edge_to: Vec<f64>,
+    touched: Vec<usize>,
+}
+
+impl PartitionState {
+    pub fn new(ctx: &MoveContext<'_>, initial: &[usize]) -> Self {
+        let k = initial.iter().copied().max().map_or(0, |m| m + 1);
+        let mut comm_strength = vec![0.0; k];
+        let mut comm_size = vec![0.0; k];
+        for (v, &c) in initial.iter().enumerate() {
+            comm_strength[c] += ctx.strengths[v];
+            comm_size[c] += ctx.node_sizes[v];
+        }
+        Self {
+            community: initial.to_vec(),
+            comm_strength,
+            comm_size,
+            edge_to: vec![0.0; k],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Try to move `v` to its best neighboring community (restricted to
+    /// communities for which `allowed` returns true). Returns the new
+    /// community if the node moved.
+    pub fn best_move(
+        &mut self,
+        ctx: &MoveContext<'_>,
+        v: usize,
+        allowed: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        let current = self.community[v];
+        // detach v
+        self.comm_strength[current] -= ctx.strengths[v];
+        self.comm_size[current] -= ctx.node_sizes[v];
+        // accumulate edges to neighbor communities
+        for &(nbr, w) in ctx.g.neighbors(v) {
+            if nbr == v {
+                continue;
+            }
+            let c = self.community[nbr];
+            if !allowed(c) {
+                continue;
+            }
+            if self.edge_to[c] == 0.0 {
+                self.touched.push(c);
+            }
+            self.edge_to[c] += w;
+        }
+        // evaluate candidates; staying put is the baseline
+        let mut best_comm = current;
+        let mut best_score =
+            ctx.score(v, self.edge_to.get(current).copied().unwrap_or(0.0), self.comm_strength[current], self.comm_size[current]);
+        for &c in &self.touched {
+            if c == current {
+                continue;
+            }
+            let s = ctx.score(v, self.edge_to[c], self.comm_strength[c], self.comm_size[c]);
+            if s > best_score + 1e-12 {
+                best_score = s;
+                best_comm = c;
+            }
+        }
+        // reset scratch
+        for &c in &self.touched {
+            self.edge_to[c] = 0.0;
+        }
+        self.touched.clear();
+        // attach v
+        self.community[v] = best_comm;
+        self.comm_strength[best_comm] += ctx.strengths[v];
+        self.comm_size[best_comm] += ctx.node_sizes[v];
+        (best_comm != current).then_some(best_comm)
+    }
+}
+
+/// Queue-based local moving: process nodes until no node can improve.
+/// Returns true if any node moved.
+pub(super) fn local_move(ctx: &MoveContext<'_>, state: &mut PartitionState, rng: &mut SmallRng) -> bool {
+    let n = ctx.g.num_nodes();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut in_queue = vec![true; n];
+    let mut queue: std::collections::VecDeque<usize> = order.into_iter().collect();
+    let mut moved_any = false;
+    while let Some(v) = queue.pop_front() {
+        in_queue[v] = false;
+        if let Some(new_comm) = state.best_move(ctx, v, |_| true) {
+            moved_any = true;
+            // revisit neighbors that are now outside v's community
+            for &(nbr, _) in ctx.g.neighbors(v) {
+                if nbr != v && state.community[nbr] != new_comm && !in_queue[nbr] {
+                    in_queue[nbr] = true;
+                    queue.push_back(nbr);
+                }
+            }
+        }
+    }
+    moved_any
+}
+
+/// Densify community labels to `0..k`, returning the dense assignment and k.
+pub(super) fn densify(raw: &[usize]) -> (Vec<usize>, usize) {
+    let c = Clustering::from_assignment(raw);
+    let k = c.num_clusters();
+    (c.assignment().to_vec(), k)
+}
+
+/// Aggregate `g` by `partition` (dense labels `0..k`): supernode per
+/// community, edge weights summed, internal weight becoming self-loops.
+/// Returns the aggregate graph and its node sizes.
+pub(super) fn aggregate(
+    g: &Graph,
+    partition: &[usize],
+    k: usize,
+    node_sizes: &[f64],
+) -> (Graph, Vec<f64>) {
+    let mut agg = Graph::new(k);
+    for (u, v, w) in g.edges() {
+        agg.add_edge(partition[u], partition[v], w);
+    }
+    let mut sizes = vec![0.0; k];
+    for (v, &c) in partition.iter().enumerate() {
+        sizes[c] += node_sizes[v];
+    }
+    (agg, sizes)
+}
+
+/// The multilevel loop shared by Louvain (`refine = false`) and Leiden
+/// (`refine = true`).
+pub(super) fn multilevel(
+    g: &Graph,
+    gamma: f64,
+    objective: Objective,
+    seed: u64,
+    max_levels: usize,
+    refine: bool,
+) -> Clustering {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Clustering::from_assignment(&[]);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // membership: original node -> node of the current (aggregated) graph
+    let mut membership: Vec<usize> = (0..n).collect();
+    let mut cur: Graph = g.clone();
+    let mut sizes: Vec<f64> = vec![1.0; n];
+    let mut init: Vec<usize> = (0..n).collect();
+    let mut final_partition: Vec<usize> = init.clone();
+
+    for level in 0..max_levels {
+        let ctx = MoveContext::new(&cur, sizes.clone(), gamma, objective);
+        let mut state = PartitionState::new(&ctx, &init);
+        let moved = local_move(&ctx, &mut state, &mut rng);
+        let (p_dense, k) = densify(&state.community);
+        final_partition = p_dense.clone();
+        if (!moved && level > 0) || k == cur.num_nodes() {
+            break;
+        }
+        if refine {
+            let ref_raw = super::leiden::refine_partition(&ctx, &p_dense, &mut rng);
+            let (ref_dense, rk) = densify(&ref_raw);
+            // initial community of each refined supernode = its parent in P
+            let mut next_init = vec![0usize; rk];
+            for (v, &r) in ref_dense.iter().enumerate() {
+                next_init[r] = p_dense[v];
+            }
+            let (next_g, next_sizes) = aggregate(&cur, &ref_dense, rk, &sizes);
+            for m in membership.iter_mut() {
+                *m = ref_dense[*m];
+            }
+            // final partition must be expressed over the *new* nodes
+            final_partition = next_init.clone();
+            cur = next_g;
+            sizes = next_sizes;
+            init = next_init;
+        } else {
+            let (next_g, next_sizes) = aggregate(&cur, &p_dense, k, &sizes);
+            for m in membership.iter_mut() {
+                *m = p_dense[*m];
+            }
+            final_partition = (0..k).collect();
+            cur = next_g;
+            sizes = next_sizes;
+            init = (0..k).collect();
+        }
+    }
+
+    let raw: Vec<usize> = membership.iter().map(|&m| final_partition[m]).collect();
+    Clustering::from_assignment(&raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::modularity;
+    use super::*;
+
+    fn barbell() -> Graph {
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 1.0);
+        }
+        g.add_edge(2, 3, 0.2);
+        g
+    }
+
+    fn ring_of_cliques(num_cliques: usize, clique_size: usize) -> Graph {
+        let n = num_cliques * clique_size;
+        let mut g = Graph::new(n);
+        for c in 0..num_cliques {
+            let base = c * clique_size;
+            for i in 0..clique_size {
+                for j in (i + 1)..clique_size {
+                    g.add_edge(base + i, base + j, 1.0);
+                }
+            }
+            let next_base = ((c + 1) % num_cliques) * clique_size;
+            g.add_edge(base, next_base, 0.5);
+        }
+        g
+    }
+
+    #[test]
+    fn louvain_splits_barbell() {
+        let c = louvain(&barbell(), &LouvainConfig::default());
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.cluster_of(0), c.cluster_of(2));
+        assert_eq!(c.cluster_of(3), c.cluster_of(5));
+        assert_ne!(c.cluster_of(0), c.cluster_of(3));
+    }
+
+    #[test]
+    fn louvain_finds_ring_of_cliques() {
+        let g = ring_of_cliques(5, 4);
+        let c = louvain(&g, &LouvainConfig::default());
+        assert_eq!(c.num_clusters(), 5);
+        for clique in 0..5 {
+            let base = clique * 4;
+            for i in 1..4 {
+                assert_eq!(c.cluster_of(base), c.cluster_of(base + i));
+            }
+        }
+    }
+
+    #[test]
+    fn louvain_deterministic_for_seed() {
+        let g = ring_of_cliques(4, 5);
+        let cfg = LouvainConfig::default();
+        let a = louvain(&g, &cfg);
+        let b = louvain(&g, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn louvain_beats_trivial_partitions() {
+        let g = ring_of_cliques(3, 4);
+        let c = louvain(&g, &LouvainConfig::default());
+        let q = modularity(&g, &c, 1.0);
+        let q_single = modularity(&g, &Clustering::from_assignment(&[0; 12]), 1.0);
+        let q_singletons = modularity(&g, &Clustering::singletons(12), 1.0);
+        assert!(q > q_single);
+        assert!(q > q_singletons);
+    }
+
+    #[test]
+    fn louvain_empty_and_singleton_graphs() {
+        let c = louvain(&Graph::new(0), &LouvainConfig::default());
+        assert_eq!(c.num_nodes(), 0);
+        let c = louvain(&Graph::new(1), &LouvainConfig::default());
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn louvain_disconnected_components_stay_separate() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let c = louvain(&g, &LouvainConfig::default());
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.cluster_of(0), c.cluster_of(1));
+        assert_ne!(c.cluster_of(0), c.cluster_of(2));
+    }
+
+    #[test]
+    fn higher_gamma_yields_more_clusters() {
+        let g = ring_of_cliques(4, 6);
+        let coarse = louvain(&g, &LouvainConfig { gamma: 0.05, ..Default::default() });
+        let fine = louvain(&g, &LouvainConfig { gamma: 2.0, ..Default::default() });
+        assert!(fine.num_clusters() >= coarse.num_clusters());
+    }
+}

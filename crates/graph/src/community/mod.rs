@@ -1,0 +1,312 @@
+//! Community detection on weighted graphs.
+//!
+//! MoRER clusters the ER problem similarity graph with the **Leiden**
+//! algorithm (§4.3); Louvain, label propagation and Girvan-Newman are
+//! provided because the paper reports they "lead to similar results" in
+//! pre-experiments — our ablation bench reproduces that comparison.
+
+mod girvan_newman;
+mod label_propagation;
+mod leiden;
+mod louvain;
+
+pub use girvan_newman::{girvan_newman, GirvanNewmanConfig};
+pub use label_propagation::{label_propagation, LabelPropagationConfig};
+pub use leiden::{leiden, LeidenConfig};
+pub use louvain::{louvain, LouvainConfig};
+
+use crate::graph::Graph;
+
+/// Quality function optimized by Leiden/Louvain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Newman-Girvan modularity with a resolution parameter.
+    #[default]
+    Modularity,
+    /// Constant Potts Model (Traag et al.'s default for Leiden).
+    Cpm,
+}
+
+/// A hard partition of graph nodes into clusters with dense ids `0..k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    assignment: Vec<usize>,
+    num_clusters: usize,
+}
+
+impl Clustering {
+    /// Build from a raw assignment vector, compressing labels to `0..k`
+    /// in order of first appearance.
+    pub fn from_assignment(raw: &[usize]) -> Self {
+        let mut map: Vec<Option<usize>> = Vec::new();
+        let mut assignment = Vec::with_capacity(raw.len());
+        let mut next = 0usize;
+        for &label in raw {
+            if label >= map.len() {
+                map.resize(label + 1, None);
+            }
+            let dense = *map[label].get_or_insert_with(|| {
+                let d = next;
+                next += 1;
+                d
+            });
+            assignment.push(dense);
+        }
+        Self { assignment, num_clusters: next }
+    }
+
+    /// Singleton clustering: every node its own cluster.
+    pub fn singletons(n: usize) -> Self {
+        Self { assignment: (0..n).collect(), num_clusters: n }
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Cluster id of `node`.
+    pub fn cluster_of(&self, node: usize) -> usize {
+        self.assignment[node]
+    }
+
+    /// The dense assignment vector.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Members of each cluster: `members()[c]` lists the nodes in cluster `c`.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.num_clusters];
+        for (node, &c) in self.assignment.iter().enumerate() {
+            groups[c].push(node);
+        }
+        groups
+    }
+
+    /// Cluster sizes indexed by cluster id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_clusters];
+        for &c in &self.assignment {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Jaccard overlap between a cluster of `self` and a cluster of `other`
+    /// (used by `sel_cov` to find the previous cluster with maximum overlap).
+    pub fn overlap(&self, cluster: usize, other: &Clustering, other_cluster: usize) -> f64 {
+        let a: Vec<usize> = self
+            .assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(n, &c)| (c == cluster).then_some(n))
+            .collect();
+        let b: Vec<usize> = other
+            .assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(n, &c)| (c == other_cluster).then_some(n))
+            .collect();
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        let inter = a.iter().filter(|n| other.assignment.get(**n) == Some(&other_cluster)).count();
+        let _ = b;
+        let union = a.len() + other.sizes()[other_cluster] - inter;
+        inter as f64 / union as f64
+    }
+}
+
+/// Modularity `Q = Σ_c [e_c/m − γ (Σ_tot,c / 2m)²]` of a clustering, where
+/// `e_c` is the internal edge weight of cluster `c` (undirected edges counted
+/// once, self-loops once) and `Σ_tot,c` the summed node strengths.
+///
+/// Returns 0 for graphs without edges.
+pub fn modularity(g: &Graph, clustering: &Clustering, gamma: f64) -> f64 {
+    let m = g.total_weight();
+    if m <= 0.0 {
+        return 0.0;
+    }
+    let k = clustering.num_clusters();
+    let mut internal = vec![0.0f64; k];
+    let mut totals = vec![0.0f64; k];
+    for (u, v, w) in g.edges() {
+        if clustering.cluster_of(u) == clustering.cluster_of(v) {
+            internal[clustering.cluster_of(u)] += w;
+        }
+    }
+    for node in 0..g.num_nodes() {
+        totals[clustering.cluster_of(node)] += g.strength(node);
+    }
+    (0..k)
+        .map(|c| internal[c] / m - gamma * (totals[c] / (2.0 * m)).powi(2))
+        .sum()
+}
+
+/// Adjusted Rand index between two clusterings of the same node set:
+/// 1 = identical partitions, ~0 = random agreement, negative = worse than
+/// chance. Used by the cluster-stability analysis (paper §7 future work).
+///
+/// # Panics
+/// Panics if the clusterings cover different numbers of nodes.
+pub fn adjusted_rand_index(a: &Clustering, b: &Clustering) -> f64 {
+    assert_eq!(a.num_nodes(), b.num_nodes(), "clusterings must cover the same nodes");
+    let n = a.num_nodes();
+    if n < 2 {
+        return 1.0;
+    }
+    let (ka, kb) = (a.num_clusters(), b.num_clusters());
+    // contingency table
+    let mut table = vec![0u64; ka * kb];
+    for node in 0..n {
+        table[a.cluster_of(node) * kb + b.cluster_of(node)] += 1;
+    }
+    let choose2 = |x: u64| (x * x.saturating_sub(1)) / 2;
+    let sum_ij: u64 = table.iter().map(|&c| choose2(c)).sum();
+    let sum_a: u64 = a.sizes().iter().map(|&s| choose2(s as u64)).sum();
+    let sum_b: u64 = b.sizes().iter().map(|&s| choose2(s as u64)).sum();
+    let total = choose2(n as u64) as f64;
+    let expected = (sum_a as f64) * (sum_b as f64) / total;
+    let max_index = (sum_a as f64 + sum_b as f64) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // both partitions trivial (all-singletons vs all-singletons etc.)
+    }
+    (sum_ij as f64 - expected) / (max_index - expected)
+}
+
+/// Constant Potts Model quality `H = Σ_c [e_c − γ · binom(n_c, 2)]`.
+pub fn cpm_quality(g: &Graph, clustering: &Clustering, gamma: f64) -> f64 {
+    let k = clustering.num_clusters();
+    let mut internal = vec![0.0f64; k];
+    for (u, v, w) in g.edges() {
+        if clustering.cluster_of(u) == clustering.cluster_of(v) {
+            internal[clustering.cluster_of(u)] += w;
+        }
+    }
+    let sizes = clustering.sizes();
+    (0..k)
+        .map(|c| {
+            let n = sizes[c] as f64;
+            internal[c] - gamma * n * (n - 1.0) / 2.0
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn barbell() -> Graph {
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 1.0);
+        }
+        g.add_edge(2, 3, 1.0);
+        g
+    }
+
+    #[test]
+    fn clustering_compresses_labels() {
+        let c = Clustering::from_assignment(&[5, 5, 9, 5, 0]);
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.assignment(), &[0, 0, 1, 0, 2]);
+        assert_eq!(c.sizes(), vec![3, 1, 1]);
+        assert_eq!(c.members()[0], vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn singleton_clustering() {
+        let c = Clustering::singletons(4);
+        assert_eq!(c.num_clusters(), 4);
+        assert_eq!(c.cluster_of(2), 2);
+    }
+
+    #[test]
+    fn modularity_of_known_partition() {
+        let g = barbell();
+        let good = Clustering::from_assignment(&[0, 0, 0, 1, 1, 1]);
+        let bad = Clustering::from_assignment(&[0, 1, 0, 1, 0, 1]);
+        let all = Clustering::from_assignment(&[0, 0, 0, 0, 0, 0]);
+        let q_good = modularity(&g, &good, 1.0);
+        let q_bad = modularity(&g, &bad, 1.0);
+        let q_all = modularity(&g, &all, 1.0);
+        assert!(q_good > q_bad, "good={q_good} bad={q_bad}");
+        assert!(q_good > q_all, "good={q_good} all={q_all}");
+        // hand-computed: e_c = 3 each, m = 7, tot_c = 7 each
+        let expected = 2.0 * (3.0 / 7.0 - (7.0 / 14.0f64).powi(2));
+        assert!((q_good - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modularity_of_single_cluster_is_at_most_zero() {
+        let g = barbell();
+        let all = Clustering::from_assignment(&[0; 6]);
+        // e = m and tot = 2m -> Q = 1 - gamma
+        assert!((modularity(&g, &all, 1.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpm_quality_known_values() {
+        let g = barbell();
+        let good = Clustering::from_assignment(&[0, 0, 0, 1, 1, 1]);
+        // e_c = 3, binom(3,2) = 3: H = 2 * (3 - gamma*3)
+        assert!((cpm_quality(&g, &good, 0.5) - 2.0 * (3.0 - 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_between_clusterings() {
+        let a = Clustering::from_assignment(&[0, 0, 0, 1, 1]);
+        let b = Clustering::from_assignment(&[0, 0, 1, 1, 1]);
+        // a's cluster 0 = {0,1,2}; b's cluster 0 = {0,1}: inter 2, union 3
+        assert!((a.overlap(0, &b, 0) - 2.0 / 3.0).abs() < 1e-12);
+        // disjoint clusters
+        assert_eq!(a.overlap(0, &b, 1), 1.0 / 5.0);
+    }
+
+    #[test]
+    fn modularity_empty_graph_is_zero() {
+        let g = Graph::new(3);
+        let c = Clustering::singletons(3);
+        assert_eq!(modularity(&g, &c, 1.0), 0.0);
+    }
+
+    #[test]
+    fn ari_identical_partitions() {
+        let a = Clustering::from_assignment(&[0, 0, 1, 1, 2]);
+        let relabeled = Clustering::from_assignment(&[5, 5, 3, 3, 9]);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        // ARI is invariant under label permutation
+        assert!((adjusted_rand_index(&a, &relabeled) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_known_value() {
+        // classic example: ARI([0,0,1,1], [0,1,0,1]) = -0.5
+        let a = Clustering::from_assignment(&[0, 0, 1, 1]);
+        let b = Clustering::from_assignment(&[0, 1, 0, 1]);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!((ari - (-0.5)).abs() < 1e-9, "got {ari}");
+    }
+
+    #[test]
+    fn ari_partial_agreement_between_zero_and_one() {
+        let a = Clustering::from_assignment(&[0, 0, 0, 1, 1, 1]);
+        let b = Clustering::from_assignment(&[0, 0, 1, 1, 1, 1]);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari > 0.0 && ari < 1.0, "got {ari}");
+    }
+
+    #[test]
+    fn ari_trivial_cases() {
+        let single = Clustering::from_assignment(&[0]);
+        assert_eq!(adjusted_rand_index(&single, &single), 1.0);
+        let s4 = Clustering::singletons(4);
+        assert_eq!(adjusted_rand_index(&s4, &s4), 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the graph substrate.
+
+use proptest::prelude::*;
+
+use morer_graph::community::{
+    adjusted_rand_index, label_propagation, leiden, louvain, modularity, Clustering,
+    LabelPropagationConfig, LeidenConfig, LouvainConfig,
+};
+use morer_graph::components::{component_members, connected_components};
+use morer_graph::mincut::stoer_wagner;
+use morer_graph::{Graph, UnionFind};
+
+const N: usize = 16;
+
+fn edges() -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    proptest::collection::vec((0usize..N, 0usize..N, 0.05f64..1.0), 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_find_counts_components_like_bfs(es in edges()) {
+        let g = Graph::from_edges(N, &es);
+        let cc = connected_components(&g);
+        let mut uf = UnionFind::new(N);
+        for (u, v, _) in g.edges() {
+            uf.union(u, v);
+        }
+        let distinct: std::collections::HashSet<usize> = cc.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), uf.num_sets());
+        // component_members inverts the assignment
+        let members = component_members(&cc);
+        for (c, group) in members.iter().enumerate() {
+            for &node in group {
+                prop_assert_eq!(cc[node], c);
+            }
+        }
+    }
+
+    #[test]
+    fn community_labels_are_dense(es in edges()) {
+        for clustering in [
+            leiden(&Graph::from_edges(N, &es), &LeidenConfig::default()),
+            louvain(&Graph::from_edges(N, &es), &LouvainConfig::default()),
+            label_propagation(&Graph::from_edges(N, &es), &LabelPropagationConfig::default()),
+        ] {
+            let k = clustering.num_clusters();
+            let used: std::collections::HashSet<usize> =
+                clustering.assignment().iter().copied().collect();
+            prop_assert_eq!(used.len(), k);
+            prop_assert!(used.iter().all(|&c| c < k));
+        }
+    }
+
+    #[test]
+    fn leiden_never_worse_than_singletons(es in edges()) {
+        let g = Graph::from_edges(N, &es);
+        let c = leiden(&g, &LeidenConfig::default());
+        let q = modularity(&g, &c, 1.0);
+        let q_singletons = modularity(&g, &Clustering::singletons(N), 1.0);
+        prop_assert!(q + 1e-9 >= q_singletons, "q={q} singletons={q_singletons}");
+    }
+
+    #[test]
+    fn mincut_is_at_most_any_single_node_cut(es in edges()) {
+        let g = Graph::from_edges(N, &es);
+        if let Some(cut) = stoer_wagner(&g) {
+            // the cut separating any single node is an upper bound
+            for v in 0..N {
+                let node_cut: f64 = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(u, _)| u != v)
+                    .map(|&(_, w)| w)
+                    .sum();
+                prop_assert!(cut.weight <= node_cut + 1e-9);
+            }
+            prop_assert!(!cut.partition.is_empty());
+            prop_assert!(cut.partition.len() < N);
+        }
+    }
+
+    #[test]
+    fn ari_bounds_and_self_identity(
+        a in proptest::collection::vec(0usize..4, N..=N),
+        b in proptest::collection::vec(0usize..4, N..=N),
+    ) {
+        let ca = Clustering::from_assignment(&a);
+        let cb = Clustering::from_assignment(&b);
+        let ari = adjusted_rand_index(&ca, &cb);
+        prop_assert!(ari <= 1.0 + 1e-9);
+        prop_assert!((adjusted_rand_index(&ca, &ca) - 1.0).abs() < 1e-9);
+        // symmetry
+        prop_assert!((ari - adjusted_rand_index(&cb, &ca)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strength_consistency_after_edge_insertions(es in edges()) {
+        let g = Graph::from_edges(N, &es);
+        let strengths: f64 = (0..N).map(|v| g.strength(v)).sum();
+        prop_assert!((strengths - 2.0 * g.total_weight()).abs() < 1e-9);
+        // degree is the neighbor list length
+        for v in 0..N {
+            prop_assert_eq!(g.degree(v), g.neighbors(v).len());
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Logistic regression via full-batch gradient descent with L2
+//! regularization and optional feature standardization.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::TrainingSet;
+
+/// Hyperparameters for [`LogisticRegression::fit`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegressionConfig {
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+    /// L2 penalty strength.
+    pub l2: f64,
+    /// Standardize features to zero mean / unit variance before training
+    /// (the scaler is stored in the model). Essential for small-magnitude
+    /// feature spaces such as embedding interactions.
+    pub standardize: bool,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        Self { learning_rate: 0.5, epochs: 300, l2: 1e-4, standardize: true }
+    }
+}
+
+/// A trained logistic-regression classifier (with its feature scaler).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    /// Per-feature means subtracted before scoring (empty = no scaling).
+    feature_means: Vec<f64>,
+    /// Per-feature inverse stddevs applied before scoring (empty = none).
+    feature_inv_stds: Vec<f64>,
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Train with deterministic full-batch gradient descent (zero-initialized
+    /// weights, so no RNG is needed).
+    pub fn fit(data: &TrainingSet, config: &LogisticRegressionConfig) -> Self {
+        let t = data.num_features();
+        let n = data.len();
+        let mut model = Self {
+            weights: vec![0.0; t],
+            bias: 0.0,
+            feature_means: Vec::new(),
+            feature_inv_stds: Vec::new(),
+        };
+        if n == 0 {
+            model.bias = -1.0; // predict non-match
+            return model;
+        }
+        if config.standardize {
+            let mut means = vec![0.0f64; t];
+            for row in data.x.iter_rows() {
+                for (m, &x) in means.iter_mut().zip(row) {
+                    *m += x;
+                }
+            }
+            means.iter_mut().for_each(|m| *m /= n as f64);
+            let mut vars = vec![0.0f64; t];
+            for row in data.x.iter_rows() {
+                for ((v, m), &x) in vars.iter_mut().zip(&means).zip(row) {
+                    *v += (x - *m).powi(2);
+                }
+            }
+            let inv_stds: Vec<f64> = vars
+                .iter()
+                .map(|&v| {
+                    let std = (v / n as f64).sqrt();
+                    if std > 1e-12 {
+                        1.0 / std
+                    } else {
+                        0.0 // constant feature: contributes nothing
+                    }
+                })
+                .collect();
+            model.feature_means = means;
+            model.feature_inv_stds = inv_stds;
+        }
+
+        let inv_n = 1.0 / n as f64;
+        let mut grad = vec![0.0f64; t];
+        let mut scaled = vec![0.0f64; t];
+        for _ in 0..config.epochs {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut grad_b = 0.0f64;
+            for (row, &label) in data.x.iter_rows().zip(&data.y) {
+                model.scale_into(row, &mut scaled);
+                let z = model.bias
+                    + scaled.iter().zip(&model.weights).map(|(x, w)| x * w).sum::<f64>();
+                let err = sigmoid(z) - f64::from(label as u8);
+                for (g, &x) in grad.iter_mut().zip(&scaled) {
+                    *g += err * x;
+                }
+                grad_b += err;
+            }
+            for (w, g) in model.weights.iter_mut().zip(&grad) {
+                *w -= config.learning_rate * (g * inv_n + config.l2 * *w);
+            }
+            model.bias -= config.learning_rate * grad_b * inv_n;
+        }
+        model
+    }
+
+    #[inline]
+    fn scale_into(&self, row: &[f64], out: &mut [f64]) {
+        if self.feature_means.is_empty() {
+            out.copy_from_slice(row);
+        } else {
+            for (o, ((&x, &m), &s)) in out
+                .iter_mut()
+                .zip(row.iter().zip(&self.feature_means).zip(&self.feature_inv_stds))
+            {
+                *o = (x - m) * s;
+            }
+        }
+    }
+
+    /// Predicted probability that `x` is a match.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        let z = if self.feature_means.is_empty() {
+            self.bias + x.iter().zip(&self.weights).map(|(xi, w)| xi * w).sum::<f64>()
+        } else {
+            self.bias
+                + x.iter()
+                    .zip(self.feature_means.iter().zip(&self.feature_inv_stds))
+                    .zip(&self.weights)
+                    .map(|((&xi, (&m, &s)), w)| (xi - m) * s * w)
+                    .sum::<f64>()
+        };
+        sigmoid(z)
+    }
+
+    /// Hard prediction at the 0.5 threshold.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+
+    /// Learned feature weights (in the scaled space when standardizing).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> TrainingSet {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            let v = i as f64 / 50.0;
+            rows.push(vec![v, 1.0 - v]);
+            labels.push(v > 0.5);
+        }
+        TrainingSet::from_rows(&rows, &labels)
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let data = separable();
+        let model = LogisticRegression::fit(&data, &LogisticRegressionConfig::default());
+        let correct = data
+            .x
+            .iter_rows()
+            .zip(&data.y)
+            .filter(|(r, &l)| model.predict(r) == l)
+            .count();
+        assert!(correct >= 48, "correct = {correct}/50");
+        // positive weight on the informative feature
+        assert!(model.weights()[0] > 0.0);
+        assert!(model.weights()[1] < 0.0);
+    }
+
+    #[test]
+    fn learns_tiny_magnitude_features() {
+        // features three orders of magnitude smaller — standardization must
+        // rescue the optimizer (this is the embedding-interaction regime)
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..80 {
+            let v = i as f64 / 80.0 * 1e-3;
+            rows.push(vec![v, 5e-4 - v * 0.5]);
+            labels.push(i >= 40);
+        }
+        let data = TrainingSet::from_rows(&rows, &labels);
+        let model = LogisticRegression::fit(&data, &LogisticRegressionConfig::default());
+        let correct = rows
+            .iter()
+            .zip(&labels)
+            .filter(|(r, &l)| model.predict(r) == l)
+            .count();
+        assert!(correct >= 75, "correct = {correct}/80");
+    }
+
+    #[test]
+    fn unstandardized_mode_still_works_on_unit_features() {
+        let data = separable();
+        let cfg = LogisticRegressionConfig { standardize: false, ..Default::default() };
+        let model = LogisticRegression::fit(&data, &cfg);
+        let correct = data
+            .x
+            .iter_rows()
+            .zip(&data.y)
+            .filter(|(r, &l)| model.predict(r) == l)
+            .count();
+        assert!(correct >= 45, "correct = {correct}/50");
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_training_predicts_non_match() {
+        let model = LogisticRegression::fit(&TrainingSet::new(2), &LogisticRegressionConfig::default());
+        assert!(!model.predict(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn constant_features_do_not_blow_up() {
+        let data = TrainingSet::from_rows(
+            &[vec![0.5, 0.1], vec![0.5, 0.9], vec![0.5, 0.2], vec![0.5, 0.8]],
+            &[false, true, false, true],
+        );
+        let model = LogisticRegression::fit(&data, &LogisticRegressionConfig::default());
+        let p = model.predict_proba(&[0.5, 0.9]);
+        assert!(p.is_finite());
+        assert!(model.predict(&[0.5, 0.9]));
+        assert!(!model.predict(&[0.5, 0.1]));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = separable();
+        let cfg = LogisticRegressionConfig::default();
+        assert_eq!(LogisticRegression::fit(&data, &cfg), LogisticRegression::fit(&data, &cfg));
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let data = separable();
+        let small = LogisticRegression::fit(
+            &data,
+            &LogisticRegressionConfig { l2: 0.0, ..Default::default() },
+        );
+        let large = LogisticRegression::fit(
+            &data,
+            &LogisticRegressionConfig { l2: 0.5, ..Default::default() },
+        );
+        let norm = |m: &LogisticRegression| m.weights().iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&large) < norm(&small));
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let data = separable();
+        let model = LogisticRegression::fit(&data, &LogisticRegressionConfig::default());
+        for i in 0..=10 {
+            let p = model.predict_proba(&[i as f64 / 10.0, 0.5]);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

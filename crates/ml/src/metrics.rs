@@ -1,0 +1,179 @@
+//! Classification metrics: confusion counts and precision/recall/F1.
+//!
+//! The paper evaluates linkage quality by micro-averaging "according to the
+//! predicted matches across overall ER tasks" (§5.2): accumulate one
+//! [`PairCounts`] per task and [`merge`](PairCounts::merge) them before
+//! computing P/R/F1.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts for binary match classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairCounts {
+    /// Predicted match, is match.
+    pub tp: u64,
+    /// Predicted match, is non-match.
+    pub fp: u64,
+    /// Predicted non-match, is match.
+    pub fn_: u64,
+    /// Predicted non-match, is non-match.
+    pub tn: u64,
+}
+
+impl PairCounts {
+    /// Empty counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate one prediction.
+    #[inline]
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Build counts from parallel prediction/label slices.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+        let mut c = Self::new();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            c.record(p, a);
+        }
+        c
+    }
+
+    /// Micro-average merge: add another task's counts into this one.
+    pub fn merge(&mut self, other: &PairCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
+    /// Total number of classified pairs.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when there are no true matches.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all pairs.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Precision from prediction/label slices.
+pub fn precision(predicted: &[bool], actual: &[bool]) -> f64 {
+    PairCounts::from_predictions(predicted, actual).precision()
+}
+
+/// Recall from prediction/label slices.
+pub fn recall(predicted: &[bool], actual: &[bool]) -> f64 {
+    PairCounts::from_predictions(predicted, actual).recall()
+}
+
+/// F1 from prediction/label slices.
+pub fn f1_score(predicted: &[bool], actual: &[bool]) -> f64 {
+    PairCounts::from_predictions(predicted, actual).f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_from_predictions() {
+        let pred = [true, true, false, false, true];
+        let act = [true, false, true, false, true];
+        let c = PairCounts::from_predictions(&pred, &act);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (2, 1, 1, 1));
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn known_prf_values() {
+        let c = PairCounts { tp: 8, fp: 2, fn_: 4, tn: 86 };
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 8.0 / 12.0).abs() < 1e-12);
+        let f1 = 2.0 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0);
+        assert!((c.f1() - f1).abs() < 1e-12);
+        assert!((c.accuracy() - 0.94).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let empty = PairCounts::new();
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+        assert_eq!(empty.accuracy(), 0.0);
+        // all negative predictions, some positives exist
+        let c = PairCounts { tp: 0, fp: 0, fn_: 5, tn: 5 };
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_micro_averages() {
+        let mut a = PairCounts { tp: 1, fp: 0, fn_: 1, tn: 0 };
+        let b = PairCounts { tp: 9, fp: 1, fn_: 0, tn: 10 };
+        a.merge(&b);
+        assert_eq!(a.tp, 10);
+        assert!((a.precision() - 10.0 / 11.0).abs() < 1e-12);
+        // micro differs from averaging the per-task F1s
+        assert!(a.f1() > 0.9);
+    }
+
+    #[test]
+    fn perfect_and_inverted_predictions() {
+        let act = [true, false, true];
+        assert_eq!(f1_score(&act, &act), 1.0);
+        let inv: Vec<bool> = act.iter().map(|&b| !b).collect();
+        assert_eq!(f1_score(&inv, &act), 0.0);
+        assert_eq!(precision(&act, &act), 1.0);
+        assert_eq!(recall(&act, &act), 1.0);
+    }
+}

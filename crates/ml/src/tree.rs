@@ -1,0 +1,309 @@
+//! CART decision-tree classifier with Gini impurity.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::TrainingSet;
+
+/// Hyperparameters for [`DecisionTree::fit`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum number of samples in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Number of features examined per split; `None` = all features.
+    pub max_features: Option<usize>,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 12, min_samples_split: 2, min_samples_leaf: 1, max_features: None }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+enum Node {
+    Leaf { proba: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A trained binary CART classifier. Leaves store the positive-class
+/// fraction of their training samples as the predicted probability.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    num_features: usize,
+}
+
+impl DecisionTree {
+    /// Train a tree. `rng` drives feature subsampling (only consulted when
+    /// `max_features` is set).
+    ///
+    /// An empty training set yields a constant 0.0-probability stump.
+    pub fn fit(data: &TrainingSet, config: &DecisionTreeConfig, rng: &mut SmallRng) -> Self {
+        let mut tree = Self { nodes: Vec::new(), num_features: data.num_features() };
+        if data.is_empty() {
+            tree.nodes.push(Node::Leaf { proba: 0.0 });
+            return tree;
+        }
+        let indices: Vec<usize> = (0..data.len()).collect();
+        tree.build(data, indices, 0, config, rng);
+        tree
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, left).max(walk(nodes, right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    /// Predicted probability that `x` is a match.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match self.nodes[i] {
+                Node::Leaf { proba } => return proba,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if x[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Hard prediction at the 0.5 threshold.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+
+    fn build(
+        &mut self,
+        data: &TrainingSet,
+        indices: Vec<usize>,
+        depth: usize,
+        config: &DecisionTreeConfig,
+        rng: &mut SmallRng,
+    ) -> usize {
+        let n = indices.len();
+        let pos = indices.iter().filter(|&&i| data.y[i]).count();
+        let proba = pos as f64 / n as f64;
+        let pure = pos == 0 || pos == n;
+        if pure || depth >= config.max_depth || n < config.min_samples_split {
+            self.nodes.push(Node::Leaf { proba });
+            return self.nodes.len() - 1;
+        }
+        let Some((feature, threshold)) = self.best_split(data, &indices, config, rng) else {
+            self.nodes.push(Node::Leaf { proba });
+            return self.nodes.len() - 1;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.into_iter().partition(|&i| data.x.get(i, feature) <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            // defensive: a degenerate split must never create an empty child
+            self.nodes.push(Node::Leaf { proba });
+            return self.nodes.len() - 1;
+        }
+        // placeholder, patched after children are built
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Leaf { proba });
+        let left = self.build(data, left_idx, depth + 1, config, rng);
+        let right = self.build(data, right_idx, depth + 1, config, rng);
+        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        node_id
+    }
+
+    /// Exhaustive best split over (a sample of) features: sort by value, sweep
+    /// candidate thresholds at midpoints between distinct values, minimize
+    /// weighted Gini impurity.
+    fn best_split(
+        &self,
+        data: &TrainingSet,
+        indices: &[usize],
+        config: &DecisionTreeConfig,
+        rng: &mut SmallRng,
+    ) -> Option<(usize, f64)> {
+        let n = indices.len() as f64;
+        let total_pos = indices.iter().filter(|&&i| data.y[i]).count() as f64;
+
+        let mut features: Vec<usize> = (0..self.num_features).collect();
+        if let Some(k) = config.max_features {
+            features.shuffle(rng);
+            features.truncate(k.max(1).min(self.num_features));
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        let mut sorted: Vec<usize> = Vec::with_capacity(indices.len());
+        for &feature in &features {
+            sorted.clear();
+            sorted.extend_from_slice(indices);
+            sorted.sort_by(|&a, &b| data.x.get(a, feature).total_cmp(&data.x.get(b, feature)));
+            let mut left_n = 0.0f64;
+            let mut left_pos = 0.0f64;
+            for w in 0..sorted.len() - 1 {
+                let i = sorted[w];
+                left_n += 1.0;
+                if data.y[i] {
+                    left_pos += 1.0;
+                }
+                let v_here = data.x.get(i, feature);
+                let v_next = data.x.get(sorted[w + 1], feature);
+                if v_next <= v_here {
+                    continue; // not a distinct boundary
+                }
+                let right_n = n - left_n;
+                if (left_n as usize) < config.min_samples_leaf
+                    || (right_n as usize) < config.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_pos = total_pos - left_pos;
+                let gini = |cnt: f64, pos: f64| {
+                    if cnt == 0.0 {
+                        0.0
+                    } else {
+                        let p = pos / cnt;
+                        2.0 * p * (1.0 - p)
+                    }
+                };
+                let score = (left_n * gini(left_n, left_pos) + right_n * gini(right_n, right_pos)) / n;
+                if best.is_none_or(|(_, _, s)| score < s - 1e-15) {
+                    // The midpoint can round up to v_next when the two values
+                    // are adjacent floats, which would leave the right child
+                    // empty (and its leaf probability 0/0). Fall back to
+                    // v_here, which always separates the sides.
+                    let mid = (v_here + v_next) / 2.0;
+                    let threshold = if mid > v_here && mid < v_next { mid } else { v_here };
+                    best = Some((feature, threshold, score));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    fn threshold_data() -> TrainingSet {
+        // match iff feature0 > 0.5
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0, 0.3]).collect();
+        let labels: Vec<bool> = (0..40).map(|i| i as f64 / 40.0 > 0.5).collect();
+        TrainingSet::from_rows(&rows, &labels)
+    }
+
+    #[test]
+    fn learns_simple_threshold() {
+        let data = threshold_data();
+        let tree = DecisionTree::fit(&data, &DecisionTreeConfig::default(), &mut rng());
+        assert!(tree.predict(&[0.9, 0.3]));
+        assert!(!tree.predict(&[0.1, 0.3]));
+        // depth 1 suffices for a single threshold
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn learns_xor_with_depth_two() {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let labels = vec![false, true, true, false];
+        let data = TrainingSet::from_rows(&rows, &labels);
+        let tree = DecisionTree::fit(&data, &DecisionTreeConfig::default(), &mut rng());
+        for (r, &l) in rows.iter().zip(&labels) {
+            assert_eq!(tree.predict(r), l, "row {r:?}");
+        }
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_data_yields_single_leaf() {
+        let data = TrainingSet::from_rows(&[vec![0.1], vec![0.9]], &[true, true]);
+        let tree = DecisionTree::fit(&data, &DecisionTreeConfig::default(), &mut rng());
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict_proba(&[0.5]), 1.0);
+    }
+
+    #[test]
+    fn empty_data_predicts_non_match() {
+        let data = TrainingSet::new(3);
+        let tree = DecisionTree::fit(&data, &DecisionTreeConfig::default(), &mut rng());
+        assert_eq!(tree.predict_proba(&[0.5, 0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn max_depth_zero_is_majority_stump() {
+        let data = threshold_data();
+        let cfg = DecisionTreeConfig { max_depth: 0, ..Default::default() };
+        let tree = DecisionTree::fit(&data, &cfg, &mut rng());
+        assert_eq!(tree.num_nodes(), 1);
+        let p = tree.predict_proba(&[0.0, 0.0]);
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let data = threshold_data();
+        let cfg = DecisionTreeConfig { min_samples_leaf: 25, ..Default::default() };
+        let tree = DecisionTree::fit(&data, &cfg, &mut rng());
+        // 40 samples cannot be split into two leaves of >= 25
+        assert_eq!(tree.num_nodes(), 1);
+    }
+
+    #[test]
+    fn identical_features_cannot_split() {
+        let data = TrainingSet::from_rows(
+            &[vec![0.5], vec![0.5], vec![0.5], vec![0.5]],
+            &[true, false, true, false],
+        );
+        let tree = DecisionTree::fit(&data, &DecisionTreeConfig::default(), &mut rng());
+        assert_eq!(tree.num_nodes(), 1);
+        assert!((tree.predict_proba(&[0.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_are_leaf_fractions() {
+        // 3 matches, 1 non-match on the high side of a split
+        let rows = vec![vec![0.9], vec![0.95], vec![0.85], vec![0.8], vec![0.1], vec![0.2]];
+        let labels = vec![true, true, true, false, false, false];
+        let data = TrainingSet::from_rows(&rows, &labels);
+        let cfg = DecisionTreeConfig { max_depth: 1, ..Default::default() };
+        let tree = DecisionTree::fit(&data, &cfg, &mut rng());
+        let p_high = tree.predict_proba(&[0.9]);
+        assert!((0.5..=1.0).contains(&p_high));
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let data = threshold_data();
+        let cfg = DecisionTreeConfig { max_features: Some(1), ..Default::default() };
+        let a = DecisionTree::fit(&data, &cfg, &mut SmallRng::seed_from_u64(7));
+        let b = DecisionTree::fit(&data, &cfg, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

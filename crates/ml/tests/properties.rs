@@ -1,0 +1,117 @@
+//! Property-based tests of the ML substrate.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use morer_ml::dataset::TrainingSet;
+use morer_ml::forest::{RandomForest, RandomForestConfig};
+use morer_ml::linear::{LogisticRegression, LogisticRegressionConfig};
+use morer_ml::metrics::PairCounts;
+use morer_ml::naive_bayes::GaussianNb;
+use morer_ml::sampling::{k_fold_indices, stratified_indices, train_test_split};
+use morer_ml::tree::{DecisionTree, DecisionTreeConfig};
+
+fn labeled_rows() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<bool>)> {
+    proptest::collection::vec(
+        (proptest::collection::vec(0.0f64..=1.0, 3..=3), any::<bool>()),
+        4..60,
+    )
+    .prop_map(|rows| {
+        let x: Vec<Vec<f64>> = rows.iter().map(|(r, _)| r.clone()).collect();
+        let y: Vec<bool> = rows.iter().map(|(_, l)| *l).collect();
+        (x, y)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_classifiers_emit_valid_probabilities((x, y) in labeled_rows(), q in proptest::collection::vec(0.0f64..=1.0, 3..=3)) {
+        let data = TrainingSet::from_rows(&x, &y);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let tree = DecisionTree::fit(&data, &DecisionTreeConfig::default(), &mut rng);
+        let forest = RandomForest::fit(&data, &RandomForestConfig { n_trees: 8, ..Default::default() });
+        let logreg = LogisticRegression::fit(&data, &LogisticRegressionConfig { epochs: 30, ..Default::default() });
+        let gnb = GaussianNb::fit(&data);
+        for p in [
+            tree.predict_proba(&q),
+            forest.predict_proba(&q),
+            logreg.predict_proba(&q),
+            gnb.predict_proba(&q),
+        ] {
+            prop_assert!(p.is_finite());
+            prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn tree_perfectly_fits_consistent_training_data((x, y) in labeled_rows()) {
+        // deduplicate conflicting rows (same features, different labels)
+        let mut seen: std::collections::HashMap<String, bool> = std::collections::HashMap::new();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (row, &label) in x.iter().zip(&y) {
+            let key = format!("{row:?}");
+            match seen.get(&key) {
+                Some(&l) if l != label => continue,
+                Some(_) => {}
+                None => {
+                    seen.insert(key, label);
+                }
+            }
+            xs.push(row.clone());
+            ys.push(label);
+        }
+        let data = TrainingSet::from_rows(&xs, &ys);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cfg = DecisionTreeConfig { max_depth: 64, ..Default::default() };
+        let tree = DecisionTree::fit(&data, &cfg, &mut rng);
+        for (row, &label) in xs.iter().zip(&ys) {
+            prop_assert_eq!(tree.predict(row), label, "row {:?}", row);
+        }
+    }
+
+    #[test]
+    fn split_partitions_data((x, y) in labeled_rows(), frac in 0.1f64..0.9) {
+        let data = TrainingSet::from_rows(&x, &y);
+        let (train, test) = train_test_split(&data, frac, 3);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+    }
+
+    #[test]
+    fn stratified_sampling_is_within_bounds(labels in proptest::collection::vec(any::<bool>(), 1..100), n in 0usize..100) {
+        let idx = stratified_indices(&labels, n, 4);
+        prop_assert_eq!(idx.len(), n.min(labels.len()));
+        let distinct: std::collections::HashSet<usize> = idx.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), idx.len(), "duplicates in stratified sample");
+        prop_assert!(idx.iter().all(|&i| i < labels.len()));
+    }
+
+    #[test]
+    fn k_fold_partitions_exactly(n in 4usize..100, k in 2usize..6) {
+        let folds = k_fold_indices(n, k, 5);
+        let mut seen = vec![0usize; n];
+        for (train, val) in &folds {
+            prop_assert_eq!(train.len() + val.len(), n);
+            for &i in val {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn metrics_confusion_identities(outcomes in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..100)) {
+        let mut c = PairCounts::new();
+        for &(p, a) in &outcomes {
+            c.record(p, a);
+        }
+        prop_assert_eq!(c.total() as usize, outcomes.len());
+        let positives = outcomes.iter().filter(|(_, a)| *a).count() as u64;
+        prop_assert_eq!(c.tp + c.fn_, positives);
+        let predicted = outcomes.iter().filter(|(p, _)| *p).count() as u64;
+        prop_assert_eq!(c.tp + c.fp, predicted);
+    }
+}

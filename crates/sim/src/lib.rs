@@ -1,0 +1,54 @@
+//! # morer-sim — similarity functions for entity resolution
+//!
+//! This crate is the comparison substrate of the MoRER reproduction. It
+//! provides the string and numeric similarity functions used to turn a pair of
+//! attribute values into a similarity in `[0, 1]`, together with the
+//! tokenizers they rely on and a small configuration layer
+//! ([`comparator::AttributeComparator`]) that maps optional attribute values
+//! to feature values.
+//!
+//! All functions are pure, allocation-conscious, and return values clamped to
+//! `[0, 1]` where `1.0` means identical and `0.0` means maximally dissimilar.
+//!
+//! ## Example
+//!
+//! ```
+//! use morer_sim::string_sim::{jaccard_tokens, jaro_winkler, levenshtein_sim};
+//!
+//! assert_eq!(jaccard_tokens("ultra hd smart tv", "ultra hd smart tv"), 1.0);
+//! assert!(jaro_winkler("samsung", "samsnug") > 0.9);
+//! assert!(levenshtein_sim("qc35", "qc35 ii") > 0.5);
+//! ```
+
+pub mod comparator;
+pub mod numeric;
+pub mod string_sim;
+pub mod tokenize;
+
+pub use comparator::{AttributeComparator, ComparisonScheme, MissingValuePolicy, SimilarityFunction};
+
+/// Clamp a floating point similarity into the canonical `[0, 1]` interval.
+///
+/// NaN inputs (possible when both operands are empty for some ratios) are
+/// mapped to `0.0` so downstream statistics never observe NaN.
+#[inline]
+pub fn clamp_unit(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_unit_handles_nan_and_range() {
+        assert_eq!(clamp_unit(f64::NAN), 0.0);
+        assert_eq!(clamp_unit(-0.5), 0.0);
+        assert_eq!(clamp_unit(1.5), 1.0);
+        assert_eq!(clamp_unit(0.25), 0.25);
+    }
+}

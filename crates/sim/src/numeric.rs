@@ -1,0 +1,193 @@
+//! Numeric similarity functions for attributes such as prices, years and
+//! durations.
+//!
+//! The Almser feature generator uses "normalized differences for numerical
+//! values"; [`normalized_diff_sim`] reproduces that behaviour, and
+//! [`relative_diff_sim`] / [`year_sim`] cover scale-free and calendar cases.
+
+use crate::clamp_unit;
+
+/// Similarity based on the absolute difference normalized by the larger
+/// magnitude: `1 − |a − b| / max(|a|, |b|)`.
+///
+/// Equal values (including both zero) map to 1.0; values of opposite sign map
+/// to 0.0.
+pub fn normalized_diff_sim(a: f64, b: f64) -> f64 {
+    if !a.is_finite() || !b.is_finite() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        return 1.0;
+    }
+    clamp_unit(1.0 - (a - b).abs() / denom)
+}
+
+/// Similarity with an explicit tolerance window: full credit at equality,
+/// linearly decaying to zero once `|a − b| >= tolerance`.
+pub fn tolerance_sim(a: f64, b: f64, tolerance: f64) -> f64 {
+    if !a.is_finite() || !b.is_finite() || tolerance <= 0.0 {
+        return if a == b { 1.0 } else { 0.0 };
+    }
+    clamp_unit(1.0 - (a - b).abs() / tolerance)
+}
+
+/// Relative difference similarity: `1 / (1 + |a − b| / scale)`, a soft decay
+/// that never quite reaches zero. `scale` controls the half-similarity point.
+pub fn relative_diff_sim(a: f64, b: f64, scale: f64) -> f64 {
+    if !a.is_finite() || !b.is_finite() || scale <= 0.0 {
+        return if a == b { 1.0 } else { 0.0 };
+    }
+    clamp_unit(1.0 / (1.0 + (a - b).abs() / scale))
+}
+
+/// Year similarity: exact match 1.0, one year apart 0.5, two 0.25, otherwise 0.
+///
+/// Matches the step-wise treatment of release years common in music linkage.
+pub fn year_sim(a: i32, b: i32) -> f64 {
+    match (a - b).abs() {
+        0 => 1.0,
+        1 => 0.5,
+        2 => 0.25,
+        _ => 0.0,
+    }
+}
+
+/// Parse a `YYYY-MM-DD`-ish date (also `YYYY/MM/DD`, `YYYY.MM.DD`) into an
+/// approximate day number. Returns `None` for unparseable input.
+pub fn parse_date_days(s: &str) -> Option<i64> {
+    let fields: Vec<&str> = s.split(['-', '/', '.']).map(str::trim).collect();
+    if fields.len() != 3 {
+        return None;
+    }
+    let year: i64 = fields[0].parse().ok()?;
+    let month: i64 = fields[1].parse().ok()?;
+    let day: i64 = fields[2].parse().ok()?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    // calendar-approximate day count: adequate for difference-based sims
+    Some(year * 365 + (month - 1) * 30 + day)
+}
+
+/// Date similarity: 1.0 at equality, linearly decaying to 0 over
+/// `tolerance_days` of absolute difference. Unparseable dates score 0.
+pub fn date_sim(a: &str, b: &str, tolerance_days: f64) -> f64 {
+    match (parse_date_days(a), parse_date_days(b)) {
+        (Some(x), Some(y)) => tolerance_sim(x as f64, y as f64, tolerance_days),
+        _ => 0.0,
+    }
+}
+
+/// Parse a numeric value out of a messy attribute string (strips currency
+/// symbols, thousands separators and units). Returns `None` when no digits
+/// are present.
+///
+/// `"1,299.00"` → `1299.0`; `"$699.99"` → `699.99`; `"55 inch"` → `55.0`.
+pub fn parse_numeric(s: &str) -> Option<f64> {
+    let mut cleaned = String::with_capacity(s.len());
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    for ch in s.chars() {
+        match ch {
+            '0'..='9' => {
+                cleaned.push(ch);
+                seen_digit = true;
+            }
+            '.' if seen_digit && !seen_dot => {
+                cleaned.push(ch);
+                seen_dot = true;
+            }
+            ',' => {} // thousands separator
+            '-' if cleaned.is_empty() => cleaned.push(ch),
+            _ => {
+                if seen_digit {
+                    break; // stop at the first unit suffix after a number
+                }
+            }
+        }
+    }
+    if !seen_digit {
+        return None;
+    }
+    cleaned.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_diff_basics() {
+        assert_eq!(normalized_diff_sim(100.0, 100.0), 1.0);
+        assert_eq!(normalized_diff_sim(0.0, 0.0), 1.0);
+        assert!((normalized_diff_sim(100.0, 90.0) - 0.9).abs() < 1e-12);
+        assert_eq!(normalized_diff_sim(100.0, -100.0), 0.0);
+        assert_eq!(normalized_diff_sim(f64::NAN, 1.0), 0.0);
+        assert_eq!(normalized_diff_sim(f64::INFINITY, 1.0), 0.0);
+    }
+
+    #[test]
+    fn tolerance_sim_window() {
+        assert_eq!(tolerance_sim(10.0, 10.0, 5.0), 1.0);
+        assert!((tolerance_sim(10.0, 12.5, 5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(tolerance_sim(10.0, 20.0, 5.0), 0.0);
+        assert_eq!(tolerance_sim(10.0, 10.0, 0.0), 1.0);
+        assert_eq!(tolerance_sim(10.0, 11.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn relative_diff_soft_decay() {
+        assert_eq!(relative_diff_sim(5.0, 5.0, 1.0), 1.0);
+        assert!((relative_diff_sim(5.0, 6.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!(relative_diff_sim(5.0, 100.0, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn year_sim_steps() {
+        assert_eq!(year_sim(2000, 2000), 1.0);
+        assert_eq!(year_sim(2000, 2001), 0.5);
+        assert_eq!(year_sim(2000, 1998), 0.25);
+        assert_eq!(year_sim(2000, 1990), 0.0);
+    }
+
+    #[test]
+    fn parse_date_days_formats() {
+        assert!(parse_date_days("2020-06-15").is_some());
+        assert_eq!(parse_date_days("2020-06-15"), parse_date_days("2020/06/15"));
+        assert_eq!(parse_date_days("2020.06.15"), parse_date_days("2020-06-15"));
+        assert_eq!(parse_date_days("2020-13-01"), None);
+        assert_eq!(parse_date_days("2020-00-10"), None);
+        assert_eq!(parse_date_days("not a date"), None);
+        assert_eq!(parse_date_days("2020-06"), None);
+    }
+
+    #[test]
+    fn date_sim_decays_with_distance() {
+        assert_eq!(date_sim("2020-06-15", "2020-06-15", 30.0), 1.0);
+        let near = date_sim("2020-06-15", "2020-06-20", 30.0);
+        assert!((near - (1.0 - 5.0 / 30.0)).abs() < 1e-9);
+        assert_eq!(date_sim("2020-06-15", "2021-06-15", 30.0), 0.0);
+        assert_eq!(date_sim("garbage", "2020-06-15", 30.0), 0.0);
+    }
+
+    #[test]
+    fn parse_numeric_messy_values() {
+        assert_eq!(parse_numeric("1,299.00"), Some(1299.0));
+        assert_eq!(parse_numeric("$699.99"), Some(699.99));
+        assert_eq!(parse_numeric("55 inch"), Some(55.0));
+        assert_eq!(parse_numeric("-3.5"), Some(-3.5));
+        assert_eq!(parse_numeric("EUR 42"), Some(42.0));
+        assert_eq!(parse_numeric("n/a"), None);
+        assert_eq!(parse_numeric(""), None);
+    }
+
+    #[test]
+    fn parse_numeric_stops_at_unit_suffix() {
+        // should not glue "55" and "4k" digits together
+        assert_eq!(parse_numeric("55in 4k"), Some(55.0));
+    }
+}

@@ -1,0 +1,419 @@
+//! String similarity functions.
+//!
+//! Every function returns a similarity in `[0, 1]`. Token-based coefficients
+//! (Jaccard, Dice, overlap, cosine) operate on word token sets; q-gram
+//! variants operate on character q-gram sets. Edit-based functions
+//! (Levenshtein, Jaro, Jaro-Winkler) operate on the normalized character
+//! sequence. Hybrid Monge-Elkan combines the two levels.
+
+use crate::clamp_unit;
+use crate::tokenize::{normalize, qgrams, sorted_intersection_len, token_set, words};
+
+/// Jaccard coefficient over word token sets: `|A ∩ B| / |A ∪ B|`.
+///
+/// This is the function the paper illustrates in Fig. 2 (`jaccard(title)`).
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    let (ta, tb) = (words(a), words(b));
+    let (sa, sb) = (token_set(&ta), token_set(&tb));
+    set_jaccard(&sa, &sb)
+}
+
+/// Jaccard coefficient over character q-gram sets.
+pub fn jaccard_qgrams(a: &str, b: &str, q: usize) -> f64 {
+    let (ga, gb) = (qgrams(a, q, true), qgrams(b, q, true));
+    let (sa, sb) = (token_set(&ga), token_set(&gb));
+    set_jaccard(&sa, &sb)
+}
+
+/// Sørensen–Dice coefficient over word token sets: `2|A ∩ B| / (|A| + |B|)`.
+pub fn dice_tokens(a: &str, b: &str) -> f64 {
+    let (ta, tb) = (words(a), words(b));
+    let (sa, sb) = (token_set(&ta), token_set(&tb));
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sorted_intersection_len(&sa, &sb) as f64;
+    clamp_unit(2.0 * inter / (sa.len() + sb.len()) as f64)
+}
+
+/// Overlap coefficient over word token sets: `|A ∩ B| / min(|A|, |B|)`.
+pub fn overlap_tokens(a: &str, b: &str) -> f64 {
+    let (ta, tb) = (words(a), words(b));
+    let (sa, sb) = (token_set(&ta), token_set(&tb));
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sorted_intersection_len(&sa, &sb) as f64;
+    clamp_unit(inter / sa.len().min(sb.len()) as f64)
+}
+
+/// Cosine similarity over binary word token vectors:
+/// `|A ∩ B| / sqrt(|A| · |B|)`.
+pub fn cosine_tokens(a: &str, b: &str) -> f64 {
+    let (ta, tb) = (words(a), words(b));
+    let (sa, sb) = (token_set(&ta), token_set(&tb));
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sorted_intersection_len(&sa, &sb) as f64;
+    clamp_unit(inter / ((sa.len() as f64) * (sb.len() as f64)).sqrt())
+}
+
+fn set_jaccard(sa: &[&str], sb: &[&str]) -> f64 {
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sorted_intersection_len(sa, sb);
+    let union = sa.len() + sb.len() - inter;
+    clamp_unit(inter as f64 / union as f64)
+}
+
+/// Raw Levenshtein edit distance between the normalized forms of `a` and `b`.
+///
+/// Uses the classic two-row dynamic program, O(|a|·|b|) time and O(min) space.
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = normalize(a).chars().collect();
+    let b: Vec<char> = normalize(b).chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 − dist / max(|a|, |b|)`.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let na = normalize(a);
+    let nb = normalize(b);
+    let max_len = na.chars().count().max(nb.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    clamp_unit(1.0 - levenshtein_distance(a, b) as f64 / max_len as f64)
+}
+
+/// Jaro similarity between the normalized forms of `a` and `b`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = normalize(a).chars().collect();
+    let b: Vec<char> = normalize(b).chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches_a.push(*ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter_map(|(c, used)| used.then_some(*c))
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    clamp_unit((m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0)
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale of 0.1 and a
+/// maximum common-prefix credit of 4 characters.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let base = jaro(a, b);
+    let na: Vec<char> = normalize(a).chars().collect();
+    let nb: Vec<char> = normalize(b).chars().collect();
+    let prefix = na
+        .iter()
+        .zip(nb.iter())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    clamp_unit(base + prefix * 0.1 * (1.0 - base))
+}
+
+/// Longest common substring similarity: `|lcs| / min(|a|, |b|)` on the
+/// normalized forms.
+pub fn lcs_substring_sim(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = normalize(a).chars().collect();
+    let b: Vec<char> = normalize(b).chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut best = 0usize;
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for ca in &a {
+        for (j, cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb { prev[j] + 1 } else { 0 };
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    clamp_unit(best as f64 / a.len().min(b.len()) as f64)
+}
+
+/// Monge-Elkan similarity: for each token of `a`, the best Jaro-Winkler match
+/// among the tokens of `b`, averaged; symmetrized by taking the mean of both
+/// directions.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta = words(a);
+    let tb = words(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let dir = |xs: &[String], ys: &[String]| -> f64 {
+        xs.iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| jaro_winkler(x, y))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    clamp_unit((dir(&ta, &tb) + dir(&tb, &ta)) / 2.0)
+}
+
+/// Exact-match similarity on normalized forms: `1.0` if equal, else `0.0`.
+pub fn exact(a: &str, b: &str) -> f64 {
+    if normalize(a) == normalize(b) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Smith-Waterman local-alignment similarity with the classic record-linkage
+/// scoring (match +2, mismatch −1, gap −1), normalized by the best possible
+/// score of the shorter string: `best_local_score / (2 · min(|a|, |b|))`.
+///
+/// Rewards long shared substrings even when embedded in unrelated context —
+/// useful for titles that wrap a common product name in vendor boilerplate.
+pub fn smith_waterman(a: &str, b: &str) -> f64 {
+    const MATCH: i32 = 2;
+    const MISMATCH: i32 = -1;
+    const GAP: i32 = -1;
+    let a: Vec<char> = normalize(a).chars().collect();
+    let b: Vec<char> = normalize(b).chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut prev = vec![0i32; b.len() + 1];
+    let mut cur = vec![0i32; b.len() + 1];
+    let mut best = 0i32;
+    for ca in &a {
+        for (j, cb) in b.iter().enumerate() {
+            let diag = prev[j] + if ca == cb { MATCH } else { MISMATCH };
+            let up = prev[j + 1] + GAP;
+            let left = cur[j] + GAP;
+            cur[j + 1] = diag.max(up).max(left).max(0);
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    let denom = (MATCH as f64) * a.len().min(b.len()) as f64;
+    clamp_unit(best as f64 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_identical_and_disjoint() {
+        assert_eq!(jaccard_tokens("smart tv", "Smart TV"), 1.0);
+        assert_eq!(jaccard_tokens("alpha beta", "gamma delta"), 0.0);
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+        assert_eq!(jaccard_tokens("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        // {ultra, hd, tv} vs {ultra, hd, smart, tv}: 3/4
+        let s = jaccard_tokens("ultra hd tv", "ultra hd smart tv");
+        assert!((s - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_and_overlap_and_cosine_relationships() {
+        let a = "ultra hd tv";
+        let b = "ultra hd smart tv";
+        let j = jaccard_tokens(a, b);
+        let d = dice_tokens(a, b);
+        let o = overlap_tokens(a, b);
+        let c = cosine_tokens(a, b);
+        // dice >= jaccard, overlap >= dice, cosine between
+        assert!(d >= j);
+        assert!(o >= d);
+        assert!(c >= j && c <= o);
+        assert_eq!(overlap_tokens("tv", "ultra hd smart tv"), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_known_distances() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("abc", "abc"), 0);
+        assert_eq!(levenshtein_distance("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_sim_bounds() {
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert_eq!(levenshtein_sim("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_sim("abc", "xyz"), 0.0);
+        let s = levenshtein_sim("kitten", "sitting");
+        assert!((s - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic example: MARTHA vs MARHTA = 0.944...
+        let s = jaro("MARTHA", "MARHTA");
+        assert!((s - 0.944444).abs() < 1e-4, "got {s}");
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        // MARTHA vs MARHTA with 3-char prefix: 0.9611...
+        let s = jaro_winkler("MARTHA", "MARHTA");
+        assert!((s - 0.961111).abs() < 1e-4, "got {s}");
+        // prefix boost never decreases the score
+        assert!(jaro_winkler("samsung", "samsnug") >= jaro("samsung", "samsnug"));
+    }
+
+    #[test]
+    fn lcs_substring_examples() {
+        assert_eq!(lcs_substring_sim("abcdef", "abcdef"), 1.0);
+        // "abc" in both; min length 3 -> 1.0
+        assert_eq!(lcs_substring_sim("abc", "xxabcxx"), 1.0);
+        assert_eq!(lcs_substring_sim("aaa", "bbb"), 0.0);
+    }
+
+    #[test]
+    fn monge_elkan_token_reordering() {
+        // Token reordering should barely matter.
+        let s = monge_elkan("noise cancelling wireless", "wireless noise cancelling");
+        assert!(s > 0.99, "got {s}");
+        assert_eq!(monge_elkan("", ""), 1.0);
+        assert_eq!(monge_elkan("a", ""), 0.0);
+    }
+
+    #[test]
+    fn exact_match_normalizes() {
+        assert_eq!(exact("Bose QC35", "bose qc35"), 1.0);
+        assert_eq!(exact("Bose QC35", "Bose QC35 II"), 0.0);
+    }
+
+    #[test]
+    fn smith_waterman_rewards_embedded_substrings() {
+        // the full shorter string aligns inside the longer one
+        assert_eq!(smith_waterman("eos 750d", "canon eos 750d camera kit"), 1.0);
+        assert_eq!(smith_waterman("abc", "abc"), 1.0);
+        assert_eq!(smith_waterman("", ""), 1.0);
+        assert_eq!(smith_waterman("abc", ""), 0.0);
+        // disjoint alphabets share nothing
+        assert_eq!(smith_waterman("aaa", "zzz"), 0.0);
+        // partial overlap lands strictly between
+        let s = smith_waterman("playstation five", "playstation 5 console");
+        assert!(s > 0.3 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn smith_waterman_symmetric() {
+        let pairs = [("canon eos", "eos canon x"), ("", "a"), ("ab", "ba")];
+        for (a, b) in pairs {
+            assert!((smith_waterman(a, b) - smith_waterman(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qgram_jaccard_similar_strings() {
+        let s = jaccard_qgrams("samsung", "samsnug", 2);
+        assert!(s > 0.3 && s < 1.0);
+        assert_eq!(jaccard_qgrams("samsung", "samsung", 2), 1.0);
+    }
+
+    #[test]
+    fn all_functions_symmetric() {
+        let pairs = [
+            ("ultra hd smart tv 55", "ultra hd 55 inch smart tv"),
+            ("bose qc35", "qc35 ii"),
+            ("", "jbl"),
+        ];
+        for (a, b) in pairs {
+            for f in [
+                jaccard_tokens,
+                dice_tokens,
+                overlap_tokens,
+                cosine_tokens,
+                levenshtein_sim,
+                jaro,
+                jaro_winkler,
+                lcs_substring_sim,
+                monge_elkan,
+                exact,
+            ] {
+                assert!(
+                    (f(a, b) - f(b, a)).abs() < 1e-12,
+                    "asymmetric on ({a:?},{b:?})"
+                );
+            }
+        }
+    }
+}

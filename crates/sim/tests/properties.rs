@@ -1,0 +1,107 @@
+//! Property-based tests of the similarity substrate.
+
+use proptest::prelude::*;
+
+use morer_sim::numeric::{normalized_diff_sim, parse_numeric, tolerance_sim};
+use morer_sim::string_sim::{
+    cosine_tokens, dice_tokens, exact, jaccard_qgrams, jaccard_tokens, jaro, jaro_winkler,
+    lcs_substring_sim, levenshtein_distance, levenshtein_sim, monge_elkan, overlap_tokens,
+};
+use morer_sim::tokenize::{normalize, qgrams, words};
+
+fn text() -> impl Strategy<Value = String> {
+    "[ a-zA-Z0-9-]{0,30}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_string_function_bounded_symmetric_reflexive(a in text(), b in text()) {
+        let fns: [fn(&str, &str) -> f64; 10] = [
+            jaccard_tokens, dice_tokens, overlap_tokens, cosine_tokens, levenshtein_sim,
+            jaro, jaro_winkler, lcs_substring_sim, monge_elkan, exact,
+        ];
+        for f in fns {
+            let ab = f(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&ab));
+            prop_assert!((ab - f(&b, &a)).abs() < 1e-12);
+            prop_assert!((f(&a, &a) - 1.0).abs() < 1e-12);
+        }
+        let q = jaccard_qgrams(&a, &b, 2);
+        prop_assert!((0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(a in text(), b in text(), c in text()) {
+        let dab = levenshtein_distance(&a, &b);
+        let dba = levenshtein_distance(&b, &a);
+        prop_assert_eq!(dab, dba);
+        // identity of indiscernibles on normalized forms
+        if normalize(&a) == normalize(&b) {
+            prop_assert_eq!(dab, 0);
+        }
+        // triangle inequality
+        let dac = levenshtein_distance(&a, &c);
+        let dcb = levenshtein_distance(&c, &b);
+        prop_assert!(dab <= dac + dcb);
+    }
+
+    #[test]
+    fn normalize_is_idempotent(a in text()) {
+        let once = normalize(&a);
+        prop_assert_eq!(normalize(&once), once.clone());
+        // normalized output contains only lowercase alphanumerics and single spaces
+        prop_assert!(!once.contains("  "));
+        prop_assert!(once.chars().all(|c| c.is_alphanumeric() && !c.is_uppercase() || c == ' '));
+    }
+
+    #[test]
+    fn qgram_count_matches_length(a in "[a-z]{1,20}", q in 1usize..5) {
+        let grams = qgrams(&a, q, false);
+        let n = a.chars().count();
+        if n >= q {
+            prop_assert_eq!(grams.len(), n - q + 1);
+        } else {
+            prop_assert_eq!(grams.len(), 1);
+        }
+        let padded = qgrams(&a, q, true);
+        prop_assert_eq!(padded.len(), n + q - 1);
+    }
+
+    #[test]
+    fn words_roundtrip_through_normalize(a in text()) {
+        let toks = words(&a);
+        prop_assert_eq!(toks.join(" "), normalize(&a));
+    }
+
+    #[test]
+    fn numeric_sims_bounded_and_reflexive(x in -1e6f64..1e6, y in -1e6f64..1e6) {
+        let s = normalized_diff_sim(x, y);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((normalized_diff_sim(x, x) - 1.0).abs() < 1e-12);
+        prop_assert!((s - normalized_diff_sim(y, x)).abs() < 1e-12);
+        let t = tolerance_sim(x, y, 10.0);
+        prop_assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn parse_numeric_handles_formatted_values(v in 0u32..1_000_000) {
+        // plain
+        prop_assert_eq!(parse_numeric(&v.to_string()), Some(f64::from(v)));
+        // currency prefix
+        prop_assert_eq!(parse_numeric(&format!("${v}")), Some(f64::from(v)));
+        // unit suffix
+        prop_assert_eq!(parse_numeric(&format!("{v} units")), Some(f64::from(v)));
+    }
+
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in text(), b in text()) {
+        prop_assert!(jaro_winkler(&a, &b) + 1e-12 >= jaro(&a, &b));
+    }
+
+    #[test]
+    fn dice_dominates_jaccard(a in text(), b in text()) {
+        prop_assert!(dice_tokens(&a, &b) + 1e-12 >= jaccard_tokens(&a, &b));
+    }
+}

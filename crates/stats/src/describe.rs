@@ -1,0 +1,199 @@
+//! Descriptive statistics over `f64` samples.
+
+/// Summary statistics of a sample.
+///
+/// Construction scans the data once (two passes for quantiles, which need a
+/// sort). Empty samples produce a summary full of zeros with `count == 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of (finite) observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance (divides by `n`, not `n − 1`).
+    pub variance: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics of `data`, ignoring non-finite entries.
+    pub fn of(data: &[f64]) -> Self {
+        let mut count = 0usize;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in data {
+            if !x.is_finite() {
+                continue;
+            }
+            count += 1;
+            // Welford's online algorithm for numerically stable variance.
+            let delta = x - mean;
+            mean += delta / count as f64;
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        if count == 0 {
+            return Self { count: 0, mean: 0.0, variance: 0.0, stddev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let variance = m2 / count as f64;
+        Self { count, mean, variance, stddev: variance.sqrt(), min, max }
+    }
+}
+
+/// Population standard deviation of a sample (0.0 for empty input).
+pub fn stddev(data: &[f64]) -> f64 {
+    Summary::of(data).stddev
+}
+
+/// Arithmetic mean of a sample (0.0 for empty input).
+pub fn mean(data: &[f64]) -> f64 {
+    Summary::of(data).mean
+}
+
+/// Linear-interpolation quantile (`q ∈ [0,1]`) of a sample.
+///
+/// Returns `None` for empty input. Uses the "linear" (type 7) method, the
+/// default in NumPy.
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    v.sort_by(f64::total_cmp);
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        return Some(v[lo]);
+    }
+    let frac = pos - lo as f64;
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+}
+
+/// Median of a sample.
+pub fn median(data: &[f64]) -> Option<f64> {
+    quantile(data, 0.5)
+}
+
+/// Weighted arithmetic mean. Returns the unweighted mean if all weights are
+/// zero; returns 0.0 for empty input.
+///
+/// # Panics
+/// Panics if `values` and `weights` differ in length.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(values.len(), weights.len(), "values/weights length mismatch");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let wsum: f64 = weights.iter().sum();
+    if wsum <= 0.0 {
+        return mean(values);
+    }
+    values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / wsum
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` when fewer than two points or either sample is constant.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "pearson needs equal-length samples");
+    if x.len() < 2 {
+        return None;
+    }
+    let sx = Summary::of(x);
+    let sy = Summary::of(y);
+    if sx.stddev == 0.0 || sy.stddev == 0.0 {
+        return None;
+    }
+    let cov: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&a, &b)| (a - sx.mean) * (b - sy.mean))
+        .sum::<f64>()
+        / x.len() as f64;
+    Some((cov / (sx.stddev * sy.stddev)).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_ignores_non_finite() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 1.0), Some(4.0));
+        assert_eq!(quantile(&data, 0.5), Some(2.5));
+        assert_eq!(median(&[5.0, 1.0, 3.0]), Some(3.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn weighted_mean_behaviour() {
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[1.0, 1.0]), 2.0);
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[0.0, 1.0]), 3.0);
+        // all-zero weights fall back to the unweighted mean
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[0.0, 0.0]), 2.0);
+        assert_eq!(weighted_mean(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn stddev_constant_sample_is_zero() {
+        assert_eq!(stddev(&[2.0, 2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let inv = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &inv).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None);
+        let x = [1.0, 2.0, 3.0];
+        let uncorrelated = [5.0, 1.0, 5.0];
+        let r = pearson(&x, &uncorrelated).unwrap();
+        assert!(r.abs() < 0.5, "got {r}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's distribution tests operate on the CDFs `CDF_{k,l}^f` of a
+//! similarity feature `f`. [`Ecdf`] stores the sorted sample and evaluates
+//! `P(X <= x)` exactly; [`Ecdf::on_grid`] resamples it onto a fixed grid,
+//! which is how two CDFs of different sample sizes are "adapted to the same
+//! size" (paper §4.2, Wasserstein distance).
+
+/// Empirical CDF of a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build the ECDF of `data` (non-finite values are dropped).
+    pub fn new(data: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        Self { sorted }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluate `F(x) = P(X <= x)`. Empty samples evaluate to 0.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point returns the count of elements <= x.
+        let n_le = self.sorted.partition_point(|&v| v <= x);
+        n_le as f64 / self.sorted.len() as f64
+    }
+
+    /// Evaluate the CDF on `points` equally spaced grid positions spanning
+    /// `[lo, hi]` (inclusive).
+    pub fn on_grid(&self, points: usize, lo: f64, hi: f64) -> Vec<f64> {
+        assert!(points >= 2, "grid needs at least two points");
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                self.eval(x)
+            })
+            .collect()
+    }
+
+    /// The sorted underlying sample.
+    pub fn sample(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_steps_at_sample_points() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let e = Ecdf::new(&[1.0, 1.0, 2.0]);
+        assert!((e.eval(1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_evaluates_to_zero() {
+        let e = Ecdf::new(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(0.5), 0.0);
+    }
+
+    #[test]
+    fn grid_is_monotone_and_ends_at_one() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
+        let e = Ecdf::new(&data);
+        let g = e.on_grid(11, 0.0, 1.0);
+        assert_eq!(g.len(), 11);
+        for w in g.windows(2) {
+            assert!(w[1] >= w[0], "CDF grid must be monotone");
+        }
+        assert_eq!(*g.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let e = Ecdf::new(&[0.5, f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(e.len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # morer-stats — distribution analysis substrate
+//!
+//! Statistical machinery backing MoRER's *similarity distribution analysis*
+//! (paper §4.2): descriptive statistics, fixed-bin histograms over the unit
+//! interval, empirical cumulative distribution functions, and the three
+//! univariate two-sample distribution tests the paper evaluates —
+//! Kolmogorov-Smirnov, Wasserstein distance (the paper's Eq. 2 CDF-grid
+//! formulation), and the Population Stability Index (Eq. 3).
+//!
+//! Each test exposes both a raw *distance* and a *similarity* in `[0, 1]`
+//! (`1` = identically distributed), which is what the ER problem graph edges
+//! are weighted with.
+//!
+//! ```
+//! use morer_stats::tests::UnivariateTest;
+//!
+//! let a: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+//! let b = a.clone();
+//! let sim = UnivariateTest::KolmogorovSmirnov.similarity(&a, &b);
+//! assert!((sim - 1.0).abs() < 1e-9);
+//! ```
+
+pub mod describe;
+pub mod ecdf;
+pub mod histogram;
+pub mod tests;
+
+pub use describe::Summary;
+pub use ecdf::Ecdf;
+pub use histogram::Histogram;
+pub use tests::UnivariateTest;

@@ -1,0 +1,292 @@
+//! Two-sample univariate distribution tests (paper §4.2).
+//!
+//! Each test compares the distributions of one similarity feature from two ER
+//! problems and yields a *distance*; [`UnivariateTest::similarity`] converts
+//! it into a similarity in `[0, 1]` used as the ER-problem-graph edge weight:
+//!
+//! * Kolmogorov-Smirnov (Eq. 1): `sim = 1 − sup |CDF_a − CDF_b|`.
+//! * Wasserstein (Eq. 2): the CDFs are evaluated on a shared grid and the
+//!   distance is the *mean* absolute CDF difference (the paper's sum,
+//!   normalized by grid size so it is sample-size independent and bounded by
+//!   the feature range); `sim = 1 − distance` for features on `[0, 1]`.
+//! * Population Stability Index (Eq. 3) with the conventional 100 bins and
+//!   ε-smoothing of empty bins; `sim = exp(−PSI)` maps the unbounded index
+//!   onto `(0, 1]`.
+
+use crate::ecdf::Ecdf;
+use crate::histogram::Histogram;
+
+/// Number of grid points used to align two CDFs of different sample sizes.
+pub const CDF_GRID: usize = 101;
+
+/// Number of bins used by the PSI, "where 100 is a commonly used number of
+/// bins" (paper Eq. 3).
+pub const PSI_BINS: usize = 100;
+
+/// Smoothing floor applied to empty-bin proportions so `ln` stays finite.
+pub const PSI_EPSILON: f64 = 1e-4;
+
+/// The univariate two-sample distribution tests evaluated in the paper,
+/// plus Cramér-von Mises as an extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnivariateTest {
+    /// Kolmogorov-Smirnov statistic (supremum CDF distance).
+    KolmogorovSmirnov,
+    /// Wasserstein / earth-mover distance via aligned CDFs.
+    Wasserstein,
+    /// Population Stability Index.
+    Psi,
+    /// Cramér-von Mises (mean *squared* CDF distance) — between KS's
+    /// supremum and WD's mean in spike sensitivity; not in the paper's
+    /// sweep but provided for experimentation.
+    CramerVonMises,
+}
+
+impl UnivariateTest {
+    /// Short name as used in the paper's figures (KS / WD / PSI).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Self::KolmogorovSmirnov => "KS",
+            Self::Wasserstein => "WD",
+            Self::Psi => "PSI",
+            Self::CramerVonMises => "CvM",
+        }
+    }
+
+    /// Raw distance between the two samples (lower = more similar).
+    pub fn distance(self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            Self::KolmogorovSmirnov => ks_statistic(a, b),
+            Self::Wasserstein => wasserstein_distance(a, b),
+            Self::Psi => psi(a, b, PSI_BINS),
+            Self::CramerVonMises => cramer_von_mises(a, b),
+        }
+    }
+
+    /// Similarity in `[0, 1]` (`1` = same distribution), assuming samples
+    /// live on the unit interval (true for similarity features).
+    pub fn similarity(self, a: &[f64], b: &[f64]) -> f64 {
+        let d = self.distance(a, b);
+        let s = match self {
+            Self::KolmogorovSmirnov | Self::Wasserstein | Self::CramerVonMises => 1.0 - d,
+            Self::Psi => (-d).exp(),
+        };
+        s.clamp(0.0, 1.0)
+    }
+
+    /// All tests, for sweeps.
+    pub fn all() -> [Self; 4] {
+        [Self::KolmogorovSmirnov, Self::Wasserstein, Self::Psi, Self::CramerVonMises]
+    }
+}
+
+/// Two-sample Kolmogorov-Smirnov statistic
+/// `sup_x |CDF_a(x) − CDF_b(x)|` (paper Eq. 1).
+///
+/// Computed exactly by merging the two sorted samples. Empty-vs-non-empty
+/// yields 1.0; empty-vs-empty yields 0.0.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    let ea = Ecdf::new(a);
+    let eb = Ecdf::new(b);
+    match (ea.is_empty(), eb.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        _ => {}
+    }
+    let mut sup: f64 = 0.0;
+    for &x in ea.sample().iter().chain(eb.sample()) {
+        sup = sup.max((ea.eval(x) - eb.eval(x)).abs());
+    }
+    sup
+}
+
+/// Wasserstein distance per the paper's Eq. 2: both CDFs are evaluated on a
+/// shared [`CDF_GRID`]-point grid over `[0, 1]` and the absolute differences
+/// are averaged.
+///
+/// For samples on the unit interval this equals the classical 1-Wasserstein
+/// distance (∫|CDF_a − CDF_b|) up to grid resolution, and is bounded by 1.
+pub fn wasserstein_distance(a: &[f64], b: &[f64]) -> f64 {
+    wasserstein_on_grid(a, b, CDF_GRID, 0.0, 1.0)
+}
+
+/// Grid-parameterized variant of [`wasserstein_distance`].
+pub fn wasserstein_on_grid(a: &[f64], b: &[f64], points: usize, lo: f64, hi: f64) -> f64 {
+    let ea = Ecdf::new(a);
+    let eb = Ecdf::new(b);
+    match (ea.is_empty(), eb.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        _ => {}
+    }
+    let ga = ea.on_grid(points, lo, hi);
+    let gb = eb.on_grid(points, lo, hi);
+    let sum: f64 = ga.iter().zip(&gb).map(|(x, y)| (x - y).abs()).sum();
+    sum / points as f64
+}
+
+/// Cramér-von Mises distance: the mean *squared* absolute difference of the
+/// two CDFs on the shared grid, square-rooted so it lives on `[0, 1]` like
+/// KS and WD. Satisfies `WD <= CvM <= KS` pointwise on the grid.
+pub fn cramer_von_mises(a: &[f64], b: &[f64]) -> f64 {
+    let ea = Ecdf::new(a);
+    let eb = Ecdf::new(b);
+    match (ea.is_empty(), eb.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        _ => {}
+    }
+    let ga = ea.on_grid(CDF_GRID, 0.0, 1.0);
+    let gb = eb.on_grid(CDF_GRID, 0.0, 1.0);
+    let sum: f64 = ga.iter().zip(&gb).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum / CDF_GRID as f64).sqrt()
+}
+
+/// Population Stability Index (paper Eq. 3):
+/// `Σ_i (prop_a(i) − prop_b(i)) · ln(prop_a(i) / prop_b(i))`
+/// over `bins` equal-width bins on `[0, 1]`, with proportions floored at
+/// [`PSI_EPSILON`] so empty bins do not blow up the logarithm.
+///
+/// PSI is symmetric and non-negative; identical samples give 0.
+pub fn psi(a: &[f64], b: &[f64], bins: usize) -> f64 {
+    let ha = Histogram::unit(a, bins);
+    let hb = Histogram::unit(b, bins);
+    match (ha.total() == 0, hb.total() == 0) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    let pa = ha.proportions();
+    let pb = hb.proportions();
+    pa.iter()
+        .zip(&pb)
+        .map(|(&x, &y)| {
+            let x = x.max(PSI_EPSILON);
+            let y = y.max(PSI_EPSILON);
+            (x - y) * (x / y).ln()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    fn uniform(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect()
+    }
+
+    fn shifted(n: usize, delta: f64) -> Vec<f64> {
+        uniform(n).iter().map(|x| (x + delta).min(1.0)).collect()
+    }
+
+    #[test]
+    fn ks_identical_is_zero() {
+        let a = uniform(200);
+        assert!(ks_statistic(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn ks_disjoint_is_one() {
+        let a = vec![0.1, 0.15, 0.2];
+        let b = vec![0.8, 0.85, 0.9];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_known_half_overlap() {
+        // a = {0.25}, b = {0.25, 0.75}: sup diff = 0.5 at x in [0.25, 0.75)
+        let d = ks_statistic(&[0.25], &[0.25, 0.75]);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_empty_handling() {
+        assert_eq!(ks_statistic(&[], &[]), 0.0);
+        assert_eq!(ks_statistic(&[], &[0.5]), 1.0);
+    }
+
+    #[test]
+    fn wasserstein_shift_detection() {
+        let a = uniform(500);
+        let b = shifted(500, 0.2);
+        let d = wasserstein_distance(&a, &b);
+        // shifting a uniform by 0.2 (clipped) moves mass by ~0.2 on average
+        assert!(d > 0.15 && d < 0.25, "got {d}");
+        assert!(wasserstein_distance(&a, &a) < 1e-9);
+    }
+
+    #[test]
+    fn wasserstein_less_sensitive_than_ks_to_local_spikes() {
+        // Concentrated local difference: KS sees the spike, WD integrates it.
+        let mut a = uniform(1000);
+        let b = a.clone();
+        for x in a.iter_mut().take(100) {
+            *x = 0.5; // move 10% of mass to a point
+        }
+        let ks = ks_statistic(&a, &b);
+        let wd = wasserstein_distance(&a, &b);
+        assert!(ks > wd, "ks={ks} wd={wd}");
+    }
+
+    #[test]
+    fn psi_identical_is_zero_and_symmetric() {
+        let a = uniform(300);
+        assert!(psi(&a, &a, 100) < 1e-12);
+        let b = shifted(300, 0.3);
+        let d1 = psi(&a, &b, 100);
+        let d2 = psi(&b, &a, 100);
+        assert!((d1 - d2).abs() < 1e-9, "PSI must be symmetric");
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn psi_monotone_in_shift() {
+        let a = uniform(500);
+        let d_small = psi(&a, &shifted(500, 0.05), 100);
+        let d_large = psi(&a, &shifted(500, 0.4), 100);
+        assert!(d_large > d_small, "small={d_small} large={d_large}");
+    }
+
+    #[test]
+    fn similarities_bounded_and_ordered() {
+        let a = uniform(400);
+        let near = shifted(400, 0.02);
+        let far = shifted(400, 0.5);
+        for t in UnivariateTest::all() {
+            let s_self = t.similarity(&a, &a);
+            let s_near = t.similarity(&a, &near);
+            let s_far = t.similarity(&a, &far);
+            assert!(s_self > 0.99, "{t:?} self sim {s_self}");
+            assert!(s_near > s_far, "{t:?}: near {s_near} far {s_far}");
+            for s in [s_self, s_near, s_far] {
+                assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(UnivariateTest::KolmogorovSmirnov.short_name(), "KS");
+        assert_eq!(UnivariateTest::Wasserstein.short_name(), "WD");
+        assert_eq!(UnivariateTest::Psi.short_name(), "PSI");
+        assert_eq!(UnivariateTest::CramerVonMises.short_name(), "CvM");
+    }
+
+    #[test]
+    fn cvm_sits_between_wd_and_ks() {
+        let a = uniform(500);
+        let mut b = a.clone();
+        for x in b.iter_mut().take(50) {
+            *x = 0.5; // local spike
+        }
+        let ks = ks_statistic(&a, &b);
+        let wd = wasserstein_distance(&a, &b);
+        let cvm = cramer_von_mises(&a, &b);
+        assert!(cvm <= ks + 1e-9, "cvm {cvm} > ks {ks}");
+        assert!(cvm + 1e-9 >= wd, "cvm {cvm} < wd {wd}");
+        assert!(cramer_von_mises(&a, &a) < 1e-12);
+        assert_eq!(cramer_von_mises(&[], &[]), 0.0);
+        assert_eq!(cramer_von_mises(&[], &[0.5]), 1.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the statistics substrate.
+
+use proptest::prelude::*;
+
+use morer_stats::describe::{mean, median, pearson, quantile, Summary};
+use morer_stats::tests::{ks_statistic, psi, wasserstein_distance};
+use morer_stats::{Ecdf, Histogram, UnivariateTest};
+
+fn unit_samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..=1.0, 1..150)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn summary_mean_within_range(data in unit_samples()) {
+        let s = Summary::of(&data);
+        prop_assert!(s.mean >= s.min - 1e-12);
+        prop_assert!(s.mean <= s.max + 1e-12);
+        prop_assert!(s.variance >= 0.0);
+        prop_assert!((s.stddev * s.stddev - s.variance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(data in unit_samples(), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let v_lo = quantile(&data, lo).unwrap();
+        let v_hi = quantile(&data, hi).unwrap();
+        prop_assert!(v_lo <= v_hi + 1e-12);
+        // median consistency
+        prop_assert_eq!(median(&data), quantile(&data, 0.5));
+    }
+
+    #[test]
+    fn ks_satisfies_triangle_inequality(
+        a in unit_samples(), b in unit_samples(), c in unit_samples()
+    ) {
+        // KS is the sup-metric on CDFs, hence a true metric
+        let ab = ks_statistic(&a, &b);
+        let ac = ks_statistic(&a, &c);
+        let cb = ks_statistic(&c, &b);
+        prop_assert!(ab <= ac + cb + 1e-9);
+    }
+
+    #[test]
+    fn wasserstein_bounded_by_ks(a in unit_samples(), b in unit_samples()) {
+        prop_assert!(wasserstein_distance(&a, &b) <= ks_statistic(&a, &b) + 1e-9);
+    }
+
+    #[test]
+    fn psi_zero_iff_same_bins(data in unit_samples()) {
+        prop_assert!(psi(&data, &data, 100) < 1e-12);
+    }
+
+    #[test]
+    fn similarities_of_identical_samples_are_high(data in unit_samples()) {
+        for t in UnivariateTest::all() {
+            let s = t.similarity(&data, &data);
+            prop_assert!(s > 0.999, "{:?}: {}", t, s);
+        }
+    }
+
+    #[test]
+    fn ecdf_eval_matches_manual_count(data in unit_samples(), x in 0.0f64..=1.0) {
+        let e = Ecdf::new(&data);
+        let expected = data.iter().filter(|&&v| v <= x).count() as f64 / data.len() as f64;
+        prop_assert!((e.eval(x) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_total_equals_sample_size(data in unit_samples(), bins in 1usize..64) {
+        let h = Histogram::unit(&data, bins);
+        prop_assert_eq!(h.total() as usize, data.len());
+        prop_assert_eq!(h.counts().iter().sum::<u64>() as usize, data.len());
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        pairs in proptest::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 3..50)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&x, &y) {
+            prop_assert!((-1.0..=1.0).contains(&r));
+            prop_assert!((r - pearson(&y, &x).unwrap()).abs() < 1e-9);
+            // scale invariance
+            let y2: Vec<f64> = y.iter().map(|v| 3.0 * v + 1.0).collect();
+            if let Some(r2) = pearson(&x, &y2) {
+                prop_assert!((r - r2).abs() < 1e-9);
+            }
+        }
+        // self correlation is 1 for non-constant samples
+        if Summary::of(&x).stddev > 0.0 {
+            prop_assert!((pearson(&x, &x).unwrap() - 1.0).abs() < 1e-9);
+        }
+        prop_assert!((mean(&x) - Summary::of(&x).mean).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build an ER model repository and solve new ER problems.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use morer::core::prelude::*;
+use morer::data::{computer, DatasetScale};
+
+fn main() {
+    // 1. A multi-source product-matching benchmark (4 web shops, WDC-like).
+    //    Each source pair is one "ER problem": similarity feature vectors for
+    //    its candidate record pairs.
+    let bench = computer(DatasetScale::Default, 42);
+    let stats = bench.stats();
+    println!(
+        "benchmark: {} problems / {} pairs / {} matches ({:.1}% match rate)",
+        stats.num_problems,
+        stats.num_pairs,
+        stats.num_matches,
+        100.0 * stats.num_matches as f64 / stats.num_pairs as f64,
+    );
+
+    // 2. Build the repository from the solved problems under a labeling
+    //    budget: distribution analysis -> Leiden clustering -> one model per
+    //    cluster via Bootstrap active learning.
+    let config = MorerConfig { budget: 1000, ..MorerConfig::default() };
+    let (mut morer, report) = Morer::build(bench.initial_problems(), &config);
+    println!(
+        "repository: {} cluster models, {} oracle labels spent",
+        report.num_clusters, report.labels_used
+    );
+    println!(
+        "timings: analysis {:?}, clustering {:?}, training {:?}",
+        report.timings.analysis, report.timings.clustering, report.timings.training
+    );
+
+    // 3. Solve the unsolved problems by reusing the stored models
+    //    (sel_base: pick the most similar cluster, zero extra labels).
+    let unsolved = bench.unsolved_problems();
+    let (counts, outcomes) = morer.solve_and_score(&unsolved);
+    for (p, o) in unsolved.iter().zip(&outcomes) {
+        println!(
+            "  problem D{}–D{}: {} pairs -> cluster {} (sim_p {:.3})",
+            p.sources.0,
+            p.sources.1,
+            p.num_pairs(),
+            o.entry_id,
+            o.similarity
+        );
+    }
+    println!(
+        "overall quality: precision {:.3} / recall {:.3} / F1 {:.3}",
+        counts.precision(),
+        counts.recall(),
+        counts.f1()
+    );
+}

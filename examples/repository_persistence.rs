@@ -1,0 +1,54 @@
+//! The "ER matching service" deployment (§1): a repository is built once,
+//! persisted to a backend, and later processes loaded into a fresh process —
+//! "enabling users to solve any ER problem by leveraging existing models".
+//!
+//! ```text
+//! cargo run --release --example repository_persistence
+//! ```
+
+use morer::core::prelude::*;
+use morer::data::{computer, DatasetScale};
+
+fn main() -> std::io::Result<()> {
+    let bench = computer(DatasetScale::Default, 42);
+    let config = MorerConfig { budget: 800, ..MorerConfig::default() };
+
+    // --- service A: build and persist -------------------------------------
+    let (builder, report) = Morer::build(bench.initial_problems(), &config);
+    let repo = builder.repository();
+    let path = std::env::temp_dir().join("morer_repository.json");
+    repo.save(&path)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "service A built {} models with {} labels and persisted them ({} KiB)",
+        report.num_clusters,
+        report.labels_used,
+        bytes / 1024
+    );
+
+    // --- service B: load and serve ----------------------------------------
+    let loaded = ModelRepository::load(&path)?;
+    println!(
+        "service B loaded {} models ({} stored representative vectors)",
+        loaded.num_models(),
+        loaded.entries.iter().map(|e| e.representatives.len()).sum::<usize>()
+    );
+    let mut service = Morer::from_repository(loaded, &config);
+    let (counts, outcomes) = service.solve_and_score(&bench.unsolved_problems());
+    for (p, o) in bench.unsolved_problems().iter().zip(&outcomes) {
+        println!(
+            "  query D{}–D{} -> model {} (sim_p {:.3})",
+            p.sources.0, p.sources.1, o.entry_id, o.similarity
+        );
+    }
+    println!(
+        "served {} problems without any new labels: P {:.3} / R {:.3} / F1 {:.3}",
+        outcomes.len(),
+        counts.precision(),
+        counts.recall(),
+        counts.f1()
+    );
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # MoRER — Model Repositories for Entity Resolution
+//!
+//! A Rust reproduction of *"Efficient Model Repository for Entity
+//! Resolution: Construction, Search, and Integration"* (Christen & Christen,
+//! EDBT 2026), built as a workspace of focused crates and re-exported here
+//! as one façade.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `morer-core` | the MoRER pipeline: distribution analysis, ER problem clustering, budgeted model generation, repository search & integration |
+//! | [`data`] | `morer-data` | records, corruption, synthetic multi-source benchmarks, blocking, ER problems |
+//! | [`sim`] | `morer-sim` | string/numeric similarity functions and comparison schemes |
+//! | [`stats`] | `morer-stats` | histograms, ECDFs, KS / Wasserstein / PSI tests |
+//! | [`graph`] | `morer-graph` | weighted graphs, Leiden/Louvain/label propagation/Girvan-Newman, min-cut, components |
+//! | [`ml`] | `morer-ml` | decision trees, random forests, logistic regression, MLP, naive Bayes, metrics |
+//! | [`al`] | `morer-al` | Bootstrap and Almser active learning |
+//! | [`embed`] | `morer-embed` | hashed n-gram record embeddings (LM stand-in) |
+//! | [`baselines`] | `morer-baselines` | TransER, DittoSim, SudowoodoSim, UnicornSim, AnyMatchSim, ZeroErSim |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use morer::core::prelude::*;
+//! use morer::data::{computer, DatasetScale};
+//!
+//! // a WDC-like multi-source product benchmark
+//! let bench = computer(DatasetScale::Tiny, 42);
+//!
+//! // build the model repository from the solved problems
+//! let config = MorerConfig { budget: 300, ..MorerConfig::default() };
+//! let (mut morer, report) = Morer::build(bench.initial_problems(), &config);
+//! println!("{} clusters, {} labels", report.num_clusters, report.labels_used);
+//!
+//! // solve the unsolved problems by model reuse
+//! let (counts, _) = morer.solve_and_score(&bench.unsolved_problems());
+//! println!("P={:.2} R={:.2} F1={:.2}", counts.precision(), counts.recall(), counts.f1());
+//! ```
+
+pub use morer_al as al;
+pub use morer_baselines as baselines;
+pub use morer_core as core;
+pub use morer_data as data;
+pub use morer_embed as embed;
+pub use morer_graph as graph;
+pub use morer_ml as ml;
+pub use morer_sim as sim;
+pub use morer_stats as stats;

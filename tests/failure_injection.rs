@@ -1,0 +1,163 @@
+//! Failure-injection tests: degenerate, adversarial and malformed inputs
+//! must produce defined behaviour (graceful results or clear panics), never
+//! NaN poisoning or silent corruption.
+
+use morer::core::prelude::*;
+use morer::data::ErProblem;
+use morer::ml::dataset::FeatureMatrix;
+use morer::ml::model::Classifier;
+
+fn problem_from(rows: Vec<Vec<f64>>, labels: Vec<bool>, id: usize) -> ErProblem {
+    let mut features = FeatureMatrix::new(rows.first().map_or(0, Vec::len));
+    let mut pairs = Vec::new();
+    for (i, r) in rows.iter().enumerate() {
+        features.push_row(r);
+        pairs.push(((id * 1000 + i) as u32, (id * 1000 + i + 500_000) as u32));
+    }
+    ErProblem {
+        id,
+        sources: (id, id + 1),
+        pairs,
+        features,
+        labels,
+        feature_names: (0..rows.first().map_or(0, Vec::len)).map(|i| format!("f{i}")).collect(),
+    }
+}
+
+fn healthy_problem(id: usize) -> ErProblem {
+    let rows: Vec<Vec<f64>> = (0..80)
+        .map(|i| {
+            let v = if i % 4 == 0 { 0.85 } else { 0.15 } + (i % 9) as f64 / 100.0;
+            vec![v.min(1.0), (v * 0.9).min(1.0)]
+        })
+        .collect();
+    let labels: Vec<bool> = (0..80).map(|i| i % 4 == 0).collect();
+    problem_from(rows, labels, id)
+}
+
+#[test]
+fn build_with_single_problem_still_works() {
+    let p = healthy_problem(0);
+    let config = MorerConfig { budget: 40, budget_min: 10, ..MorerConfig::default() };
+    let (mut morer, report) = Morer::build(vec![&p], &config);
+    assert_eq!(report.num_clusters, 1);
+    let outcome = morer.solve(&healthy_problem(1));
+    assert_eq!(outcome.predictions.len(), 80);
+}
+
+#[test]
+fn build_with_zero_budget_yields_default_negative_models() {
+    let p = healthy_problem(0);
+    let config = MorerConfig { budget: 0, budget_min: 0, ..MorerConfig::default() };
+    let (mut morer, report) = Morer::build(vec![&p], &config);
+    assert_eq!(report.labels_used, 0);
+    // no training data -> conservative all-non-match predictions
+    let outcome = morer.solve(&healthy_problem(1));
+    assert!(outcome.predictions.iter().all(|&x| !x));
+}
+
+#[test]
+fn constant_feature_problems_do_not_poison_analysis() {
+    // every feature identical in every row: stddev weights are all zero
+    let rows = vec![vec![0.5, 0.5]; 60];
+    let labels: Vec<bool> = (0..60).map(|i| i % 2 == 0).collect();
+    let constant = problem_from(rows, labels, 0);
+    let other = healthy_problem(1);
+    let config = MorerConfig { budget: 60, budget_min: 10, ..MorerConfig::default() };
+    let (mut morer, _) = Morer::build(vec![&constant, &other], &config);
+    let outcome = morer.solve(&healthy_problem(2));
+    assert!(outcome.probabilities.iter().all(|p| p.is_finite()));
+    assert!(outcome.similarity.is_finite());
+}
+
+#[test]
+fn single_class_problem_trains_finite_model() {
+    // all matches — AL will only ever reveal positives
+    let rows = vec![vec![0.9, 0.9]; 40];
+    let labels = vec![true; 40];
+    let all_pos = problem_from(rows, labels, 0);
+    let config = MorerConfig { budget: 20, budget_min: 5, ..MorerConfig::default() };
+    let (morer, _) = Morer::build(vec![&all_pos], &config);
+    let repo = morer.repository();
+    let p = repo.entries[0].model.predict_proba(&[0.9, 0.9]);
+    assert!(p.is_finite());
+    assert!(repo.entries[0].model.predict(&[0.9, 0.9]));
+}
+
+#[test]
+fn tiny_two_pair_problems_survive_the_pipeline() {
+    let tiny = problem_from(vec![vec![0.9, 0.8], vec![0.1, 0.2]], vec![true, false], 0);
+    let config = MorerConfig { budget: 2, budget_min: 1, ..MorerConfig::default() };
+    let (mut morer, report) = Morer::build(vec![&tiny], &config);
+    assert!(report.labels_used <= 2);
+    let outcome = morer.solve(&tiny.clone());
+    assert_eq!(outcome.predictions.len(), 2);
+}
+
+#[test]
+#[should_panic(expected = "feature spaces must agree")]
+fn mismatched_feature_spaces_panic_loudly() {
+    let two_features = healthy_problem(0);
+    let three_features = problem_from(
+        (0..30).map(|i| vec![0.5, 0.5, i as f64 / 30.0]).collect(),
+        (0..30).map(|i| i % 2 == 0).collect(),
+        1,
+    );
+    let config = MorerConfig { budget: 20, ..MorerConfig::default() };
+    let _ = Morer::build(vec![&two_features, &three_features], &config);
+}
+
+#[test]
+fn corrupted_repository_json_is_rejected() {
+    for garbage in [&b""[..], &b"{}"[..], &b"{\"entries\": 3}"[..], &b"[1,2,3"[..]] {
+        let err = ModelRepository::load_json(garbage);
+        assert!(err.is_err(), "accepted {:?}", String::from_utf8_lossy(garbage));
+    }
+}
+
+#[test]
+fn coverage_mode_from_empty_repository_bootstraps_itself() {
+    let config = MorerConfig {
+        budget: 60,
+        budget_min: 10,
+        selection: SelectionStrategy::Coverage { t_cov: 0.25 },
+        ..MorerConfig::default()
+    };
+    let mut morer = Morer::from_repository(ModelRepository::default(), &config);
+    // the very first problem has no repository to match: a fresh model must
+    // be trained for its singleton cluster
+    let outcome = morer.solve(&healthy_problem(0));
+    assert!(outcome.new_model);
+    assert!(outcome.labels_spent > 0);
+    assert_eq!(morer.num_models(), 1);
+    // the second, similar problem reuses it
+    let outcome2 = morer.solve(&healthy_problem(1));
+    assert!(!outcome2.new_model);
+}
+
+#[test]
+fn extreme_budget_larger_than_all_data_is_capped() {
+    let p0 = healthy_problem(0);
+    let p1 = healthy_problem(1);
+    let config = MorerConfig { budget: 1_000_000, ..MorerConfig::default() };
+    let (morer, report) = Morer::build(vec![&p0, &p1], &config);
+    assert!(report.labels_used <= 160, "spent {}", report.labels_used);
+    assert!(morer.labels_used() <= 160);
+}
+
+#[test]
+fn adversarial_label_noise_degrades_gracefully() {
+    // 30% flipped labels: quality drops but stays finite and above chance
+    let mut noisy = healthy_problem(0);
+    for i in 0..noisy.labels.len() {
+        if i % 3 == 0 {
+            noisy.labels[i] = !noisy.labels[i];
+        }
+    }
+    let clean = healthy_problem(1);
+    let config = MorerConfig { budget: 80, budget_min: 20, ..MorerConfig::default() };
+    let (mut morer, _) = Morer::build(vec![&noisy], &config);
+    let (counts, _) = morer.solve_and_score(&[&clean]);
+    assert!(counts.f1().is_finite());
+    assert!(counts.total() == 80);
+}
