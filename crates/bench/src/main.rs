@@ -129,6 +129,7 @@ fn main() {
         "ablate-budget" => ablations::budget_sweep(&opts),
         "ablate-stability" => ablations::stability(&opts),
         "ablate-ratio-init" => ablations::ratio_init(&opts),
+        "quick-bench" => quick_bench(opts.seed),
         "all" => {
             tables::table2(&opts);
             tables::table3();
@@ -152,8 +153,106 @@ fn main() {
                  ablate-clustering|ablate-weighting|ablate-uniqueness|ablate-budget|all> \
                  [--scale tiny|default|paper] [--datasets dexter,wdc,music] \
                  [--budgets 1000,1500,2000] [--seed 42]; \
-                 also: ablate-stability, ablate-ratio-init"
+                 also: ablate-stability, ablate-ratio-init, quick-bench"
             );
         }
     }
+}
+
+/// `cargo bench`-free featurization throughput check: one JSON line for
+/// trajectory tracking (10k records, ~100k candidate pairs).
+///
+/// ```text
+/// cargo run -p morer-bench --release -- quick-bench
+/// ```
+fn quick_bench(seed: u64) {
+    use morer_data::{profile_dataset, ErProblem};
+    use morer_bench::workload::featurization_workload;
+    use std::time::Instant;
+
+    let workload = featurization_workload(5_000, 100_000, seed);
+    let pairs = workload.pairs.len();
+
+    // warm-up + correctness guard: both paths must agree bit-for-bit
+    let fast = ErProblem::build(
+        0,
+        &workload.dataset,
+        &workload.scheme,
+        (0, 1),
+        workload.pairs.clone(),
+    );
+
+    let start = Instant::now();
+    let cold = ErProblem::build_cold(
+        0,
+        &workload.dataset,
+        &workload.scheme,
+        (0, 1),
+        workload.pairs.clone(),
+    );
+    let cold_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let profiled = ErProblem::build(
+        0,
+        &workload.dataset,
+        &workload.scheme,
+        (0, 1),
+        workload.pairs.clone(),
+    );
+    let profiled_s = start.elapsed().as_secs_f64();
+
+    // the seed's per-pair string path (verbatim seed similarity functions,
+    // double normalization and all) — the baseline the ≥5× bar refers to
+    let start = Instant::now();
+    let seed_features = morer_bench::seed_reference::seed_build_features(
+        &workload.dataset,
+        &workload.scheme,
+        &workload.pairs,
+    );
+    let seed_s = start.elapsed().as_secs_f64();
+
+    // breakdown: one-off profiling cost vs pure pair featurization
+    let start = Instant::now();
+    let profiles = profile_dataset(&workload.dataset, workload.scheme.profile_spec());
+    let profile_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let shared = ErProblem::build_with_profiles(
+        0,
+        &workload.dataset,
+        &workload.scheme,
+        (0, 1),
+        workload.pairs.clone(),
+        &profiles,
+    );
+    let featurize_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(fast.features, cold.features, "fast path diverged from cold path");
+    assert_eq!(profiled.features, cold.features, "profiled rerun diverged");
+    assert_eq!(shared.features, cold.features, "shared-profile path diverged");
+    assert_eq!(seed_features, cold.features, "seed reference diverged");
+
+    let seed_rate = pairs as f64 / seed_s;
+    let cold_rate = pairs as f64 / cold_s;
+    let profiled_rate = pairs as f64 / profiled_s;
+    println!(
+        "{{\"bench\":\"featurization\",\"records\":{},\"pairs\":{},\"features\":{},\
+         \"seed_s\":{:.4},\"cold_s\":{:.4},\"profiled_s\":{:.4},\
+         \"profile_s\":{:.4},\"featurize_s\":{:.4},\
+         \"seed_pairs_per_s\":{:.0},\"cold_pairs_per_s\":{:.0},\"profiled_pairs_per_s\":{:.0},\
+         \"speedup_vs_seed\":{:.2},\"speedup_vs_cold\":{:.2}}}",
+        workload.dataset.num_records(),
+        pairs,
+        workload.scheme.num_features(),
+        seed_s,
+        cold_s,
+        profiled_s,
+        profile_s,
+        featurize_s,
+        seed_rate,
+        cold_rate,
+        profiled_rate,
+        profiled_rate / seed_rate,
+        profiled_rate / cold_rate,
+    );
 }

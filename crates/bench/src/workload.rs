@@ -1,0 +1,166 @@
+//! Reproducible featurization workloads.
+//!
+//! The `featurization` criterion bench and the `quick-bench` trajectory mode
+//! both measure the same thing: pairs/second through `ErProblem` feature
+//! generation on a product-catalog-shaped two-source dataset. This module
+//! builds that workload deterministically so numbers are comparable across
+//! runs and machines.
+
+use morer_data::record::{DataSource, MultiSourceDataset, Record, Schema};
+use morer_data::vocab::{CAMERA_BRANDS, PRODUCT_ADJECTIVES, SONG_WORDS};
+use morer_sim::{AttributeComparator, ComparisonScheme, SimilarityFunction};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated featurization workload: dataset, scheme and candidate pairs.
+pub struct FeaturizationWorkload {
+    /// Two-source dataset with `2 * records_per_source` records.
+    pub dataset: MultiSourceDataset,
+    /// Product-catalog comparison scheme (6 features across 4 attributes).
+    pub scheme: ComparisonScheme,
+    /// Candidate pairs (source 0 uid, source 1 uid), sorted and unique.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+/// The comparison scheme the workload featurizes under: a representative
+/// product-catalog mix of token, edit, q-gram and numeric comparators.
+pub fn product_scheme() -> ComparisonScheme {
+    ComparisonScheme::new()
+        .with(AttributeComparator::new(0, "title", SimilarityFunction::JaccardTokens))
+        .with(AttributeComparator::new(0, "title", SimilarityFunction::Levenshtein))
+        .with(AttributeComparator::new(0, "title", SimilarityFunction::CosineTokens))
+        .with(AttributeComparator::new(1, "brand", SimilarityFunction::JaroWinkler))
+        .with(AttributeComparator::new(2, "model", SimilarityFunction::JaccardQgrams(2)))
+        .with(AttributeComparator::new(3, "price", SimilarityFunction::NumericDiff))
+}
+
+fn title(rng: &mut SmallRng) -> String {
+    let n_words = rng.gen_range(3..7usize);
+    let mut words = Vec::with_capacity(n_words + 1);
+    words.push(*pick(PRODUCT_ADJECTIVES, rng));
+    for _ in 0..n_words {
+        words.push(*pick(SONG_WORDS, rng));
+    }
+    words.join(" ")
+}
+
+fn pick<'a>(items: &'a [&'a str], rng: &mut SmallRng) -> &'a &'a str {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// A lightly corrupted copy of `s`: one word dropped or one character typo,
+/// so matched pairs are similar-but-not-equal (the realistic hard case).
+fn corrupt(s: &str, rng: &mut SmallRng) -> String {
+    let words: Vec<&str> = s.split(' ').collect();
+    if words.len() > 1 && rng.gen_bool(0.5) {
+        let drop = rng.gen_range(0..words.len());
+        let kept: Vec<&str> = words
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| (i != drop).then_some(*w))
+            .collect();
+        return kept.join(" ");
+    }
+    let mut chars: Vec<char> = s.chars().collect();
+    if !chars.is_empty() {
+        let pos = rng.gen_range(0..chars.len());
+        chars[pos] = (b'a' + rng.gen_range(0..26u8)) as char;
+    }
+    chars.into_iter().collect()
+}
+
+/// Build a deterministic two-source workload: `records_per_source` records
+/// per source (~60% of entities appear in both sources), `n_pairs` candidate
+/// pairs sampled the way blocking would produce them — every record
+/// participating in many pairs.
+pub fn featurization_workload(
+    records_per_source: usize,
+    n_pairs: usize,
+    seed: u64,
+) -> FeaturizationWorkload {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let schema = Schema::new(vec!["title", "brand", "model", "price"]);
+    let make_record = |entity: u64, corrupted: bool, rng: &mut SmallRng| {
+        let base_title = title(rng);
+        let t = if corrupted { corrupt(&base_title, rng) } else { base_title };
+        let model = format!(
+            "{}{}-{}",
+            (b'A' + rng.gen_range(0..26u8)) as char,
+            (b'A' + rng.gen_range(0..26u8)) as char,
+            rng.gen_range(100..999u32)
+        );
+        Record {
+            uid: 0,
+            source: 0,
+            entity,
+            values: vec![
+                Some(t),
+                Some((*pick(CAMERA_BRANDS, rng)).to_owned()),
+                Some(model),
+                Some(format!("{}.99", rng.gen_range(50..2500u32))),
+            ],
+        }
+    };
+    let records_a: Vec<Record> = (0..records_per_source)
+        .map(|e| make_record(e as u64, false, &mut rng))
+        .collect();
+    let records_b: Vec<Record> = (0..records_per_source)
+        .map(|i| {
+            // ~60% of source-b records mention a source-a entity (a match
+            // candidate), the rest are fresh entities
+            let entity = if rng.gen_bool(0.6) {
+                rng.gen_range(0..records_per_source) as u64
+            } else {
+                (records_per_source + i) as u64
+            };
+            make_record(entity, true, &mut rng)
+        })
+        .collect();
+    let dataset = MultiSourceDataset::assemble(
+        "featurization-workload",
+        schema,
+        vec![
+            DataSource { id: 0, name: "a".into(), records: records_a },
+            DataSource { id: 1, name: "b".into(), records: records_b },
+        ],
+    );
+    let n = records_per_source as u32;
+    let mut pairs: Vec<(u32, u32)> = (0..n_pairs * 11 / 10)
+        .map(|_| (rng.gen_range(0..n), n + rng.gen_range(0..n)))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs.truncate(n_pairs);
+    FeaturizationWorkload { dataset, scheme: product_scheme(), pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_sized() {
+        let w1 = featurization_workload(200, 2000, 7);
+        let w2 = featurization_workload(200, 2000, 7);
+        assert_eq!(w1.pairs, w2.pairs);
+        assert_eq!(w1.dataset.num_records(), 400);
+        assert_eq!(w1.pairs.len(), 2000);
+        assert_eq!(w1.scheme.num_features(), 6);
+        // pairs are cross-source and in range
+        assert!(w1.pairs.iter().all(|&(a, b)| a < 200 && (200..400).contains(&b)));
+        // different seeds give different data
+        let w3 = featurization_workload(200, 2000, 8);
+        assert_ne!(w1.pairs, w3.pairs);
+    }
+
+    #[test]
+    fn workload_contains_true_matches() {
+        let w = featurization_workload(300, 3000, 42);
+        let matches = w
+            .pairs
+            .iter()
+            .filter(|&&(a, b)| w.dataset.is_match(a, b))
+            .count();
+        assert!(matches > 0, "workload should contain some true matches");
+    }
+}

@@ -4,11 +4,25 @@
 //! sharing at least one word token become candidates. Oversized blocks
 //! (stop-word-like tokens) are skipped, which is the standard guard against
 //! quadratic blow-up [31].
+//!
+//! Two implementations share the same semantics:
+//!
+//! * the `*_profiled` variants reuse interned token ids from a
+//!   [`ProfileSet`] (one tokenization pass per record, shared with
+//!   featurization — see [`crate::profile_dataset`]);
+//! * the string-based variants tokenize locally and exist for callers that
+//!   have no profiles at hand.
+//!
+//! Candidate de-duplication is a flat `Vec` sort + dedup rather than a
+//! `HashSet<(u32, u32)>`: the output must be sorted anyway, and the flat
+//! vector is both faster (no per-pair hashing/allocation) and cache-friendly.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use crate::record::Record;
+use morer_sim::profile::ProfileSet;
 use morer_sim::tokenize::words;
+use morer_sim::TokenInterner;
 
 /// Configuration for token blocking.
 #[derive(Debug, Clone)]
@@ -25,6 +39,103 @@ impl Default for TokenBlockingConfig {
     }
 }
 
+/// Sort + dedup a candidate list in place and return it — the flat-vector
+/// replacement for hash-set de-duplication.
+fn dedup_pairs(mut pairs: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Cross-source candidate generation from two token-id indices.
+fn cross_pairs(
+    index_a: &HashMap<u32, Vec<u32>>,
+    index_b: &HashMap<u32, Vec<u32>>,
+    max_block_size: usize,
+) -> Vec<(u32, u32)> {
+    // iterate the smaller index for fewer hash probes
+    let (small, large, swapped) = if index_a.len() <= index_b.len() {
+        (index_a, index_b, false)
+    } else {
+        (index_b, index_a, true)
+    };
+    let mut pairs = Vec::new();
+    for (token, uids_s) in small {
+        let Some(uids_l) = large.get(token) else {
+            continue;
+        };
+        if uids_s.len() > max_block_size || uids_l.len() > max_block_size {
+            continue;
+        }
+        let (uids_a, uids_b): (&[u32], &[u32]) =
+            if swapped { (uids_l, uids_s) } else { (uids_s, uids_l) };
+        for &ua in uids_a {
+            for &ub in uids_b {
+                pairs.push((ua, ub));
+            }
+        }
+    }
+    dedup_pairs(pairs)
+}
+
+/// Within-source candidate generation (`uid_a < uid_b`) from one index.
+fn within_pairs(index: &HashMap<u32, Vec<u32>>, max_block_size: usize) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for uids in index.values() {
+        if uids.len() > max_block_size {
+            continue;
+        }
+        for i in 0..uids.len() {
+            for j in (i + 1)..uids.len() {
+                let (x, y) = (uids[i].min(uids[j]), uids[i].max(uids[j]));
+                if x != y {
+                    pairs.push((x, y));
+                }
+            }
+        }
+    }
+    dedup_pairs(pairs)
+}
+
+/// Token-id index over records using cached profile token ids (`profiles`
+/// indexed by uid).
+fn token_index_profiled(
+    records: &[Record],
+    profiles: &ProfileSet,
+    attribute: usize,
+) -> HashMap<u32, Vec<u32>> {
+    let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+    for r in records {
+        if let Some(attr) = profiles.record(r.uid as usize).attr(attribute) {
+            // token_ids are already deduplicated per record
+            for &tok in attr.token_ids() {
+                index.entry(tok).or_default().push(r.uid);
+            }
+        }
+    }
+    index
+}
+
+/// Token-id index tokenizing on the fly with a local interner.
+fn token_index(
+    records: &[Record],
+    attribute: usize,
+    interner: &mut TokenInterner,
+) -> HashMap<u32, Vec<u32>> {
+    let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+    for r in records {
+        if let Some(v) = r.value(attribute) {
+            let mut ids: Vec<u32> = words(v).iter().map(|t| interner.intern(t)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            for tok in ids {
+                index.entry(tok).or_default().push(r.uid);
+            }
+        }
+    }
+    index
+}
+
 /// Token blocking between two sources: candidate pairs `(uid_a, uid_b)` of
 /// records sharing at least one non-oversized token.
 pub fn token_blocking(
@@ -32,48 +143,43 @@ pub fn token_blocking(
     b: &[Record],
     config: &TokenBlockingConfig,
 ) -> Vec<(u32, u32)> {
-    let index_a = token_index(a, config.attribute);
-    let index_b = token_index(b, config.attribute);
-    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
-    for (token, uids_a) in &index_a {
-        let Some(uids_b) = index_b.get(token) else {
-            continue;
-        };
-        if uids_a.len() > config.max_block_size || uids_b.len() > config.max_block_size {
-            continue;
-        }
-        for &ua in uids_a {
-            for &ub in uids_b {
-                pairs.insert((ua, ub));
-            }
-        }
-    }
-    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
-    out.sort_unstable();
-    out
+    let mut interner = TokenInterner::new();
+    let index_a = token_index(a, config.attribute, &mut interner);
+    let index_b = token_index(b, config.attribute, &mut interner);
+    cross_pairs(&index_a, &index_b, config.max_block_size)
+}
+
+/// [`token_blocking`] reusing the interned token ids cached on record
+/// profiles (no re-tokenization; `profiles` indexed by uid, built with the
+/// blocking attribute's tokens in the spec — see
+/// [`morer_sim::ProfileSpec::require_tokens`]).
+pub fn token_blocking_profiled(
+    a: &[Record],
+    b: &[Record],
+    profiles: &ProfileSet,
+    config: &TokenBlockingConfig,
+) -> Vec<(u32, u32)> {
+    let index_a = token_index_profiled(a, profiles, config.attribute);
+    let index_b = token_index_profiled(b, profiles, config.attribute);
+    cross_pairs(&index_a, &index_b, config.max_block_size)
 }
 
 /// Token blocking within one source (deduplication): pairs with
 /// `uid_a < uid_b`.
 pub fn token_blocking_within(a: &[Record], config: &TokenBlockingConfig) -> Vec<(u32, u32)> {
-    let index = token_index(a, config.attribute);
-    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
-    for uids in index.values() {
-        if uids.len() > config.max_block_size {
-            continue;
-        }
-        for i in 0..uids.len() {
-            for j in (i + 1)..uids.len() {
-                let (x, y) = (uids[i].min(uids[j]), uids[i].max(uids[j]));
-                if x != y {
-                    pairs.insert((x, y));
-                }
-            }
-        }
-    }
-    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
-    out.sort_unstable();
-    out
+    let mut interner = TokenInterner::new();
+    let index = token_index(a, config.attribute, &mut interner);
+    within_pairs(&index, config.max_block_size)
+}
+
+/// [`token_blocking_within`] reusing cached profile token ids.
+pub fn token_blocking_within_profiled(
+    a: &[Record],
+    profiles: &ProfileSet,
+    config: &TokenBlockingConfig,
+) -> Vec<(u32, u32)> {
+    let index = token_index_profiled(a, profiles, config.attribute);
+    within_pairs(&index, config.max_block_size)
 }
 
 /// Blocking by an exact key function (e.g. normalized brand): records with
@@ -99,9 +205,7 @@ pub fn key_blocking(
             }
         }
     }
-    pairs.sort_unstable();
-    pairs.dedup();
-    pairs
+    dedup_pairs(pairs)
 }
 
 /// Sorted-neighbourhood blocking: both sources are merged, sorted by a key,
@@ -119,7 +223,7 @@ pub fn sorted_neighborhood(
         .chain(b.iter().filter_map(|r| key(r).map(|k| (k, r.uid, true))))
         .collect();
     keyed.sort();
-    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
     let w = window.max(2);
     for i in 0..keyed.len() {
         for j in (i + 1)..keyed.len().min(i + w) {
@@ -128,13 +232,11 @@ pub fn sorted_neighborhood(
             if sa != sb {
                 // orient as (a-side, b-side)
                 let pair = if sa { (ub, ua) } else { (ua, ub) };
-                pairs.insert(pair);
+                pairs.push(pair);
             }
         }
     }
-    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
-    out.sort_unstable();
-    out
+    dedup_pairs(pairs)
 }
 
 /// Pair-completeness of a candidate set: fraction of true matches retained.
@@ -150,24 +252,10 @@ pub fn pair_completeness(
     found as f64 / total_true_matches as f64
 }
 
-fn token_index(records: &[Record], attribute: usize) -> HashMap<String, Vec<u32>> {
-    let mut index: HashMap<String, Vec<u32>> = HashMap::new();
-    for r in records {
-        if let Some(v) = r.value(attribute) {
-            let mut seen = HashSet::new();
-            for tok in words(v) {
-                if seen.insert(tok.clone()) {
-                    index.entry(tok).or_default().push(r.uid);
-                }
-            }
-        }
-    }
-    index
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::{DataSource, MultiSourceDataset, Schema};
 
     fn rec(uid: u32, title: &str) -> Record {
         Record { uid, source: 0, entity: u64::from(uid), values: vec![Some(title.to_owned())] }
@@ -211,6 +299,46 @@ mod tests {
         let a = vec![Record { uid: 0, source: 0, entity: 0, values: vec![None] }];
         let b = vec![rec(1, "anything")];
         assert!(token_blocking(&a, &b, &TokenBlockingConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn profiled_blocking_matches_string_blocking() {
+        // assemble a dataset so uids are dense and profiles line up
+        let schema = Schema::new(vec!["title"]);
+        let mk = |title: &str| Record {
+            uid: 0,
+            source: 0,
+            entity: 0,
+            values: vec![Some(title.to_owned())],
+        };
+        let s0 = DataSource {
+            id: 0,
+            name: "a".into(),
+            records: vec![
+                mk("canon eos camera"),
+                mk("sony alpha"),
+                mk("canon eos kit"),
+            ],
+        };
+        let s1 = DataSource {
+            id: 1,
+            name: "b".into(),
+            records: vec![mk("canon powershot"), mk("nikon coolpix"), mk("eos camera")],
+        };
+        let ds = MultiSourceDataset::assemble("t", schema, vec![s0, s1]);
+        let spec = morer_sim::ProfileSpec::default().require_tokens(0);
+        let profiles = crate::profile_dataset(&ds, spec);
+        let cfg = TokenBlockingConfig::default();
+        let a = &ds.sources[0].records;
+        let b = &ds.sources[1].records;
+        assert_eq!(
+            token_blocking_profiled(a, b, &profiles, &cfg),
+            token_blocking(a, b, &cfg)
+        );
+        assert_eq!(
+            token_blocking_within_profiled(a, &profiles, &cfg),
+            token_blocking_within(a, &cfg)
+        );
     }
 
     #[test]

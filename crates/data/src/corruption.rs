@@ -114,7 +114,7 @@ pub fn char_typo(s: &str, rng: &mut SmallRng) -> String {
     match rng.gen_range(0..4u8) {
         0 => {
             // substitute with a nearby lowercase letter
-            out[pos] = (b'a' + rng.gen_range(0..26)) as char;
+            out[pos] = (b'a' + rng.gen_range(0..26u8)) as char;
         }
         1 => {
             // delete
@@ -122,7 +122,7 @@ pub fn char_typo(s: &str, rng: &mut SmallRng) -> String {
         }
         2 => {
             // insert
-            out.insert(pos, (b'a' + rng.gen_range(0..26)) as char);
+            out.insert(pos, (b'a' + rng.gen_range(0..26u8)) as char);
         }
         _ => {
             // transpose with the next character

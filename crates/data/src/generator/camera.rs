@@ -55,8 +55,8 @@ pub fn camera(scale: DatasetScale, ratio_init: f64, seed: u64) -> Benchmark {
         let base_model = model_number(&mut rng);
         let adjective = pick(PRODUCT_ADJECTIVES, &mut rng);
         let noun = pick(CAMERA_NOUNS, &mut rng);
-        let base_resolution = rng.gen_range(8..56);
-        let base_price = rng.gen_range(79..3800);
+        let base_resolution = rng.gen_range(8..56usize);
+        let base_price = rng.gen_range(79..3800usize);
         let family_size = rng.gen_range(1..=4usize);
         for variant in 0..family_size {
             if entities.len() >= num_entities {
@@ -77,7 +77,7 @@ pub fn camera(scale: DatasetScale, ratio_init: f64, seed: u64) -> Benchmark {
                 }
             };
             let resolution = format!("{} MP", base_resolution + variant * 2);
-            let price = format!("{}.99", base_price + variant * rng.gen_range(20..120));
+            let price = format!("{}.99", base_price + variant * rng.gen_range(20..120usize));
             entities.push(Entity {
                 values: vec![
                     format!("{brand} {model} {adjective} {noun}"),

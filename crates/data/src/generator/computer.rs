@@ -49,7 +49,7 @@ pub fn computer(scale: DatasetScale, seed: u64) -> Benchmark {
             let ram = pick(RAM_SIZES, &mut rng);
             let series: String = format!(
                 "{}{}",
-                (b'A' + rng.gen_range(0..26)) as char,
+                (b'A' + rng.gen_range(0..26u8)) as char,
                 rng.gen_range(100..999)
             );
             let price = format!("{}.00", rng.gen_range(249..4999));

@@ -49,9 +49,9 @@ pub fn music(scale: DatasetScale, seed: u64) -> Benchmark {
             let artist = format!("{} {}", synthetic_name(&mut rng), synthetic_name(&mut rng));
             let title = song_title(&mut rng);
             let album = song_title(&mut rng);
-            let year = rng.gen_range(1960..2024).to_string();
-            let length = rng.gen_range(95..430).to_string(); // seconds
-            let number = rng.gen_range(1..21).to_string();
+            let year = rng.gen_range(1960..2024i32).to_string();
+            let length = rng.gen_range(95..430i32).to_string(); // seconds
+            let number = rng.gen_range(1..21i32).to_string();
             let _ = pick(LANGUAGES, &mut rng); // language kept for future use
             Entity { values: vec![title, artist, album, year, length, number] }
         })

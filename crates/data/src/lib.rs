@@ -29,5 +29,5 @@ pub mod record;
 pub mod vocab;
 
 pub use generator::{camera, computer, music, DatasetScale};
-pub use problem::{Benchmark, ErProblem, ProblemId};
+pub use problem::{profile_dataset, Benchmark, ErProblem, ProblemId};
 pub use record::{DataSource, MultiSourceDataset, Record, Schema};

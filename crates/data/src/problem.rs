@@ -9,7 +9,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::record::MultiSourceDataset;
 use morer_ml::dataset::{FeatureMatrix, TrainingSet};
-use morer_sim::ComparisonScheme;
+use morer_sim::profile::{ProfileSet, RecordRef};
+use morer_sim::{par, ComparisonScheme};
 
 /// Dense identifier of an ER problem within a benchmark.
 pub type ProblemId = usize;
@@ -36,7 +37,80 @@ pub struct ErProblem {
 impl ErProblem {
     /// Compute the feature vectors of `pairs` under `scheme` and label them
     /// with the dataset's ground truth.
+    ///
+    /// Fast path: every record appearing in `pairs` is profiled exactly once
+    /// (normalization, tokenization, interning, numeric/date parsing — see
+    /// [`morer_sim::profile`]), then the pair rows are featurized in
+    /// parallel from the cached profiles. Results are bit-identical to the
+    /// per-pair string path ([`Self::build_cold`]).
     pub fn build(
+        id: ProblemId,
+        dataset: &MultiSourceDataset,
+        scheme: &ComparisonScheme,
+        sources: (usize, usize),
+        pairs: Vec<(u32, u32)>,
+    ) -> Self {
+        let mut profiles = ProfileSet::for_scheme(scheme);
+        // dense uid -> profile index for just the records these pairs touch
+        let mut profile_idx: Vec<u32> = vec![u32::MAX; dataset.num_records()];
+        for &(a, b) in &pairs {
+            for uid in [a, b] {
+                let slot = &mut profile_idx[uid as usize];
+                if *slot == u32::MAX {
+                    *slot = profiles.add(&dataset.record(uid).values) as u32;
+                }
+            }
+        }
+        Self::featurize_profiled(id, dataset, scheme, sources, pairs, |uid| {
+            profiles.record(profile_idx[uid as usize] as usize)
+        })
+    }
+
+    /// [`Self::build`] reusing profiles computed once for the whole dataset
+    /// (record index == uid), as produced by [`crate::profile_dataset`].
+    /// This is how [`Benchmark::from_dataset`] shares one profiling pass —
+    /// and one token interner — across blocking and every per-source-pair
+    /// problem.
+    pub fn build_with_profiles(
+        id: ProblemId,
+        dataset: &MultiSourceDataset,
+        scheme: &ComparisonScheme,
+        sources: (usize, usize),
+        pairs: Vec<(u32, u32)>,
+        profiles: &ProfileSet,
+    ) -> Self {
+        assert_eq!(profiles.len(), dataset.num_records(), "one profile per record required");
+        Self::featurize_profiled(id, dataset, scheme, sources, pairs, |uid| {
+            profiles.record(uid as usize)
+        })
+    }
+
+    fn featurize_profiled<'p>(
+        id: ProblemId,
+        dataset: &MultiSourceDataset,
+        scheme: &ComparisonScheme,
+        sources: (usize, usize),
+        pairs: Vec<(u32, u32)>,
+        profile_of: impl Fn(u32) -> RecordRef<'p> + Sync,
+    ) -> Self {
+        let cols = scheme.num_features();
+        let mut data = vec![0.0f64; pairs.len() * cols];
+        par::fill_rows(&mut data, cols, |i, row| {
+            let (a, b) = pairs[i];
+            scheme.compare_profiled_into(profile_of(a), profile_of(b), row);
+        });
+        let features = FeatureMatrix::from_flat(pairs.len(), cols, data);
+        let labels = pairs
+            .iter()
+            .map(|&(a, b)| dataset.record(a).entity == dataset.record(b).entity)
+            .collect();
+        Self { id, sources, pairs, features, labels, feature_names: scheme.feature_names() }
+    }
+
+    /// The original per-pair string path: re-normalizes and re-tokenizes both
+    /// records of every pair. Kept as the reference implementation for the
+    /// equivalence property tests and the `featurization` benchmark baseline.
+    pub fn build_cold(
         id: ProblemId,
         dataset: &MultiSourceDataset,
         scheme: &ComparisonScheme,
@@ -104,6 +178,20 @@ impl ErProblem {
     }
 }
 
+/// Profile every record of `dataset` once under `spec` (record index ==
+/// uid).
+///
+/// The returned set shares one token interner across all sources, so
+/// interned token ids are comparable — this is what lets token blocking and
+/// featurization reuse a single tokenization pass per record.
+pub fn profile_dataset(dataset: &MultiSourceDataset, spec: morer_sim::ProfileSpec) -> ProfileSet {
+    let mut profiles = ProfileSet::new(spec);
+    for uid in 0..dataset.num_records() {
+        profiles.add(&dataset.record(uid as u32).values);
+    }
+    profiles
+}
+
 /// Aggregate statistics of a benchmark (paper Table 2 row).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BenchmarkStats {
@@ -150,26 +238,40 @@ impl Benchmark {
         ratio_init: f64,
         seed: u64,
     ) -> Self {
-        use crate::blocking::{token_blocking, token_blocking_within};
+        use crate::blocking::{token_blocking_profiled, token_blocking_within_profiled};
+        // One profiling pass over every record covers blocking (token ids on
+        // the blocking attribute) and featurization (everything the scheme
+        // compares) for all source pairs.
+        let spec = scheme.profile_spec().require_tokens(blocking.attribute);
+        let profiles = profile_dataset(&dataset, spec);
         let n = dataset.num_sources();
         let mut problems = Vec::new();
         for k in 0..n {
             if dataset.sources[k].has_intra_duplicates() {
-                let pairs = token_blocking_within(&dataset.sources[k].records, blocking);
-                if !pairs.is_empty() {
-                    let id = problems.len();
-                    problems.push(ErProblem::build(id, &dataset, &scheme, (k, k), pairs));
-                }
-            }
-            for l in (k + 1)..n {
-                let pairs = token_blocking(
+                let pairs = token_blocking_within_profiled(
                     &dataset.sources[k].records,
-                    &dataset.sources[l].records,
+                    &profiles,
                     blocking,
                 );
                 if !pairs.is_empty() {
                     let id = problems.len();
-                    problems.push(ErProblem::build(id, &dataset, &scheme, (k, l), pairs));
+                    problems.push(ErProblem::build_with_profiles(
+                        id, &dataset, &scheme, (k, k), pairs, &profiles,
+                    ));
+                }
+            }
+            for l in (k + 1)..n {
+                let pairs = token_blocking_profiled(
+                    &dataset.sources[k].records,
+                    &dataset.sources[l].records,
+                    &profiles,
+                    blocking,
+                );
+                if !pairs.is_empty() {
+                    let id = problems.len();
+                    problems.push(ErProblem::build_with_profiles(
+                        id, &dataset, &scheme, (k, l), pairs, &profiles,
+                    ));
                 }
             }
         }

@@ -74,7 +74,7 @@ pub fn pick<'a>(items: &'a [&'a str], rng: &mut SmallRng) -> &'a str {
 /// Generate a model-number-like code, e.g. `EOS-4821` or `WX320`.
 pub fn model_number(rng: &mut SmallRng) -> String {
     let letters: String = (0..rng.gen_range(2..4usize))
-        .map(|_| (b'A' + rng.gen_range(0..26)) as char)
+        .map(|_| (b'A' + rng.gen_range(0..26u8)) as char)
         .collect();
     let digits = rng.gen_range(100..9999u32);
     if rng.gen_bool(0.5) {

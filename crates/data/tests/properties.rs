@@ -119,4 +119,62 @@ proptest! {
         let loaded = read_problem(std::io::BufReader::new(&buf[..]), 7, (1, 2)).unwrap();
         prop_assert_eq!(loaded, problem);
     }
+
+    /// The profiled parallel `ErProblem::build` must produce bit-identical
+    /// feature matrices (and identical labels/pairs) to the per-pair string
+    /// reference path `build_cold`, across record contents including missing
+    /// values, unicode and numerics.
+    #[test]
+    fn problem_build_fast_path_matches_cold_path(
+        titles_a in proptest::collection::vec("[a-z]{2,6}( [a-z]{2,6}){0,2}", 2..12),
+        titles_b in proptest::collection::vec("[a-z]{2,6}( [a-z]{2,6}){0,2}", 2..12),
+        missing_every in 2usize..5,
+    ) {
+        use morer_data::record::{DataSource, MultiSourceDataset, Schema};
+        use morer_sim::{AttributeComparator, ComparisonScheme, SimilarityFunction};
+
+        let mk = |titles: &[String]| -> Vec<Record> {
+            titles
+                .iter()
+                .enumerate()
+                .map(|(i, t)| Record {
+                    uid: 0,
+                    source: 0,
+                    entity: i as u64,
+                    values: vec![
+                        if i % missing_every == 0 { None } else { Some(t.clone()) },
+                        Some(format!("{}.99", 100 + i)),
+                    ],
+                })
+                .collect()
+        };
+        let s0 = DataSource { id: 0, name: "a".into(), records: mk(&titles_a) };
+        let s1 = DataSource { id: 1, name: "b".into(), records: mk(&titles_b) };
+        let ds = MultiSourceDataset::assemble("prop", Schema::new(vec!["title", "price"]), vec![s0, s1]);
+        let scheme = ComparisonScheme::new()
+            .with(AttributeComparator::new(0, "title", SimilarityFunction::JaccardTokens))
+            .with(AttributeComparator::new(0, "title", SimilarityFunction::Levenshtein))
+            .with(AttributeComparator::new(0, "title", SimilarityFunction::MongeElkan))
+            .with(AttributeComparator::new(0, "title", SimilarityFunction::JaccardQgrams(2)))
+            .with(AttributeComparator::new(1, "price", SimilarityFunction::NumericDiff));
+        // all cross pairs
+        let na = titles_a.len() as u32;
+        let nb = titles_b.len() as u32;
+        let pairs: Vec<(u32, u32)> =
+            (0..na).flat_map(|a| (na..na + nb).map(move |b| (a, b))).collect();
+        let fast = ErProblem::build(0, &ds, &scheme, (0, 1), pairs.clone());
+        let cold = ErProblem::build_cold(0, &ds, &scheme, (0, 1), pairs);
+        prop_assert_eq!(&fast.pairs, &cold.pairs);
+        prop_assert_eq!(&fast.labels, &cold.labels);
+        prop_assert_eq!(fast.features.rows(), cold.features.rows());
+        for r in 0..fast.features.rows() {
+            for c in 0..fast.features.cols() {
+                prop_assert_eq!(
+                    fast.features.get(r, c).to_bits(),
+                    cold.features.get(r, c).to_bits(),
+                    "row {} col {} diverged", r, c
+                );
+            }
+        }
+    }
 }

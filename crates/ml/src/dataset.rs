@@ -32,6 +32,16 @@ impl FeatureMatrix {
         m
     }
 
+    /// Build from an already-flat row-major buffer without copying (the
+    /// parallel featurizer fills rows in place and hands the buffer over).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer length mismatch");
+        Self { data, rows, cols }
+    }
+
     /// Append one row.
     ///
     /// # Panics

@@ -6,11 +6,15 @@
 //! to a similarity feature vector `w ∈ [0,1]^t` — the unit of data the whole
 //! MoRER pipeline operates on.
 
-use crate::numeric::{date_sim, normalized_diff_sim, parse_numeric, year_sim};
+use crate::numeric::{date_sim, normalized_diff_sim, parse_numeric, tolerance_sim, year_sim};
+use crate::profile::{AttrRef, ProfileSpec, RecordRef};
 use crate::string_sim::{
-    cosine_tokens, dice_tokens, exact, jaccard_qgrams, jaccard_tokens, jaro_winkler,
-    levenshtein_sim, lcs_substring_sim, monge_elkan, overlap_tokens, smith_waterman,
+    cosine_counts, cosine_tokens, dice_counts, dice_tokens, exact, jaccard_counts,
+    jaccard_qgrams, jaccard_tokens, jaro_winkler, jaro_winkler_chars, lcs_substring_chars,
+    lcs_substring_sim, levenshtein_sim, levenshtein_sim_with, monge_elkan, monge_elkan_tokens,
+    overlap_counts, overlap_tokens, smith_waterman, smith_waterman_chars,
 };
+use crate::tokenize::sorted_intersection_len;
 
 /// The similarity functions available to attribute comparators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +77,71 @@ impl SimilarityFunction {
             },
             Self::SmithWaterman => smith_waterman(a, b),
             Self::Date { tolerance_days } => date_sim(a, b, f64::from(tolerance_days)),
+        }
+    }
+
+    /// Apply the function to two cached attribute profiles — the fast path.
+    ///
+    /// Produces bit-identical results to [`Self::apply`] on the profiled
+    /// strings: both paths share the same similarity cores, this one merely
+    /// skips the per-pair normalization/tokenization/parsing.
+    ///
+    /// # Panics
+    /// Panics when the profiles were built under a [`ProfileSpec`] that does
+    /// not cover this function (e.g. a missing q-gram size).
+    pub fn apply_profiled(self, a: AttrRef<'_>, b: AttrRef<'_>) -> f64 {
+        match self {
+            Self::JaccardTokens => {
+                let (sa, sb) = (a.token_ids(), b.token_ids());
+                jaccard_counts(sorted_intersection_len(sa, sb), sa.len(), sb.len())
+            }
+            Self::JaccardQgrams(q) => {
+                let (sa, sb) = (a.qgram_set(q), b.qgram_set(q));
+                jaccard_counts(sorted_intersection_len(sa, sb), sa.len(), sb.len())
+            }
+            Self::DiceTokens => {
+                let (sa, sb) = (a.token_ids(), b.token_ids());
+                dice_counts(sorted_intersection_len(sa, sb), sa.len(), sb.len())
+            }
+            Self::OverlapTokens => {
+                let (sa, sb) = (a.token_ids(), b.token_ids());
+                overlap_counts(sorted_intersection_len(sa, sb), sa.len(), sb.len())
+            }
+            Self::CosineTokens => {
+                let (sa, sb) = (a.token_ids(), b.token_ids());
+                cosine_counts(sorted_intersection_len(sa, sb), sa.len(), sb.len())
+            }
+            Self::Levenshtein => levenshtein_sim_with(
+                a.norm(),
+                b.norm(),
+                a.char_count().max(b.char_count()),
+                a.small_ascii() && b.small_ascii(),
+            ),
+            Self::JaroWinkler => jaro_winkler_chars(a.chars(), b.chars()),
+            Self::LcsSubstring => lcs_substring_chars(a.chars(), b.chars()),
+            Self::MongeElkan => monge_elkan_tokens(a.token_chars(), b.token_chars()),
+            Self::Exact => {
+                if a.norm() == b.norm() {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Self::NumericDiff => match (a.numeric(), b.numeric()) {
+                (Some(x), Some(y)) => normalized_diff_sim(x, y),
+                _ => 0.0,
+            },
+            Self::Year => match (a.numeric(), b.numeric()) {
+                (Some(x), Some(y)) => year_sim(x as i32, y as i32),
+                _ => 0.0,
+            },
+            Self::SmithWaterman => smith_waterman_chars(a.chars(), b.chars()),
+            Self::Date { tolerance_days } => match (a.date_days(), b.date_days()) {
+                (Some(x), Some(y)) => {
+                    tolerance_sim(x as f64, y as f64, f64::from(tolerance_days))
+                }
+                _ => 0.0,
+            },
         }
     }
 
@@ -143,10 +212,22 @@ impl AttributeComparator {
     pub fn compare(&self, a: Option<&str>, b: Option<&str>) -> f64 {
         match (a, b) {
             (Some(x), Some(y)) => self.function.apply(x, y),
-            _ => match self.missing {
-                MissingValuePolicy::Zero => 0.0,
-                MissingValuePolicy::Constant(c) => c.clamp(0.0, 1.0),
-            },
+            _ => self.missing_value(),
+        }
+    }
+
+    /// Compare two records through their cached profiles — the fast path.
+    pub fn compare_profiled(&self, a: RecordRef<'_>, b: RecordRef<'_>) -> f64 {
+        match (a.attr(self.attribute), b.attr(self.attribute)) {
+            (Some(pa), Some(pb)) => self.function.apply_profiled(pa, pb),
+            _ => self.missing_value(),
+        }
+    }
+
+    fn missing_value(&self) -> f64 {
+        match self.missing {
+            MissingValuePolicy::Zero => 0.0,
+            MissingValuePolicy::Constant(c) => c.clamp(0.0, 1.0),
         }
     }
 }
@@ -201,6 +282,31 @@ impl ComparisonScheme {
             .iter()
             .map(|c| c.compare(a[c.attribute].as_deref(), b[c.attribute].as_deref()))
             .collect()
+    }
+
+    /// The per-attribute cache requirements of this scheme (what a
+    /// [`crate::profile::Profiler`] must fill for [`Self::compare_profiled`]).
+    pub fn profile_spec(&self) -> ProfileSpec {
+        ProfileSpec::from_scheme(self)
+    }
+
+    /// Compute the similarity feature vector for a pair of *profiled*
+    /// records — the O(records)-preprocessed fast path. Bit-identical to
+    /// [`Self::compare`] on the profiled values.
+    pub fn compare_profiled(&self, a: RecordRef<'_>, b: RecordRef<'_>) -> Vec<f64> {
+        self.comparators.iter().map(|c| c.compare_profiled(a, b)).collect()
+    }
+
+    /// [`Self::compare_profiled`] writing into a caller-provided row buffer
+    /// (used by the parallel featurizer to avoid per-pair allocation).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.num_features()`.
+    pub fn compare_profiled_into(&self, a: RecordRef<'_>, b: RecordRef<'_>, out: &mut [f64]) {
+        assert_eq!(out.len(), self.num_features(), "feature row length mismatch");
+        for (cell, c) in out.iter_mut().zip(&self.comparators) {
+            *cell = c.compare_profiled(a, b);
+        }
     }
 }
 

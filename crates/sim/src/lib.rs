@@ -22,10 +22,13 @@
 
 pub mod comparator;
 pub mod numeric;
+pub mod par;
+pub mod profile;
 pub mod string_sim;
 pub mod tokenize;
 
 pub use comparator::{AttributeComparator, ComparisonScheme, MissingValuePolicy, SimilarityFunction};
+pub use profile::{AttrRef, ProfileSet, ProfileSpec, RecordRef, TokenInterner};
 
 /// Clamp a floating point similarity into the canonical `[0, 1]` interval.
 ///

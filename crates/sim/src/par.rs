@@ -1,0 +1,94 @@
+//! Minimal data-parallel helpers built on scoped `std::thread`.
+//!
+//! The vendored `rayon` stand-in is sequential (see `crates/vendor/README.md`),
+//! so the featurization hot path uses these helpers directly: they give real
+//! multi-core speedups on machines that have the cores, degrade to plain
+//! loops on single-core machines, and keep the speed-critical code
+//! independent of which rayon is linked.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use for `n_items` work items, given a
+/// minimum profitable chunk size.
+pub fn thread_count(n_items: usize, min_chunk: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(n_items / min_chunk.max(1)).max(1)
+}
+
+/// Fill a row-major `rows × cols` buffer in parallel: `fill(i, row)` is
+/// called exactly once per row index `i`, in unspecified thread order, with
+/// rows handed out as contiguous per-thread chunks.
+///
+/// Falls back to a sequential loop when only one thread is profitable.
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `cols` (for `cols > 0`).
+pub fn fill_rows<F>(data: &mut [f64], cols: usize, fill: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if cols == 0 || data.is_empty() {
+        return;
+    }
+    assert_eq!(data.len() % cols, 0, "buffer length must be rows * cols");
+    let rows = data.len() / cols;
+    // below ~4k rows thread spawn overhead beats the win
+    let threads = thread_count(rows, 4096);
+    if threads <= 1 {
+        for (i, row) in data.chunks_mut(cols).enumerate() {
+            fill(i, row);
+        }
+        return;
+    }
+    let rows_per_thread = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in data.chunks_mut(rows_per_thread * cols).enumerate() {
+            let fill = &fill;
+            scope.spawn(move || {
+                let base = chunk_idx * rows_per_thread;
+                for (i, row) in chunk.chunks_mut(cols).enumerate() {
+                    fill(base + i, row);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_rows_visits_every_row_once() {
+        let cols = 3;
+        let rows = 1000;
+        let mut data = vec![0.0; rows * cols];
+        fill_rows(&mut data, cols, |i, row| {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (i * cols + j) as f64;
+            }
+        });
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(*v, k as f64);
+        }
+    }
+
+    #[test]
+    fn fill_rows_handles_degenerate_shapes() {
+        let mut empty: Vec<f64> = Vec::new();
+        fill_rows(&mut empty, 4, |_, _| panic!("no rows to fill"));
+        fill_rows(&mut empty, 0, |_, _| panic!("no rows to fill"));
+        let mut one = vec![0.0; 2];
+        fill_rows(&mut one, 2, |i, row| row.fill(i as f64 + 7.0));
+        assert_eq!(one, vec![7.0, 7.0]);
+    }
+
+    #[test]
+    fn thread_count_is_bounded() {
+        assert_eq!(thread_count(0, 1024), 1);
+        assert_eq!(thread_count(100, 1024), 1);
+        assert!(thread_count(1 << 20, 1024) >= 1);
+    }
+}

@@ -8,9 +8,62 @@ use morer_sim::string_sim::{
     lcs_substring_sim, levenshtein_distance, levenshtein_sim, monge_elkan, overlap_tokens,
 };
 use morer_sim::tokenize::{normalize, qgrams, words};
+use morer_sim::{AttributeComparator, ComparisonScheme, MissingValuePolicy, ProfileSet, SimilarityFunction};
 
 fn text() -> impl Strategy<Value = String> {
     "[ a-zA-Z0-9-]{0,30}"
+}
+
+/// Every similarity function, including parameterized variants.
+fn all_similarity_functions() -> Vec<SimilarityFunction> {
+    vec![
+        SimilarityFunction::JaccardTokens,
+        SimilarityFunction::JaccardQgrams(2),
+        SimilarityFunction::JaccardQgrams(3),
+        SimilarityFunction::DiceTokens,
+        SimilarityFunction::OverlapTokens,
+        SimilarityFunction::CosineTokens,
+        SimilarityFunction::Levenshtein,
+        SimilarityFunction::JaroWinkler,
+        SimilarityFunction::LcsSubstring,
+        SimilarityFunction::MongeElkan,
+        SimilarityFunction::Exact,
+        SimilarityFunction::NumericDiff,
+        SimilarityFunction::Year,
+        SimilarityFunction::SmithWaterman,
+        SimilarityFunction::Date { tolerance_days: 30 },
+    ]
+}
+
+/// Attribute values that stress every code path: missing, empty,
+/// punctuation-heavy ASCII, unicode (incl. multi-char lowercase expansions),
+/// long strings past the Myers 64-char limit, numerics and dates.
+fn attribute_value() -> impl Strategy<Value = Option<String>> {
+    (0usize..8, "[ a-zA-Z0-9-]{0,30}", 0u32..3000, 1u32..13, 1u32..29).prop_map(
+        |(kind, s, n, m, d)| match kind {
+            0 => None,
+            1 => Some(String::new()),
+            2 => Some(s),
+            3 => Some(format!("Ünïcode-İstanbul é 日本 {s}")),
+            4 => Some(format!("{s} {s} {s}")), // long: can exceed 64 chars
+            5 => Some(format!("${n}.99")),
+            6 => Some(format!("{}-{m:02}-{d:02}", 1900 + n % 200)),
+            _ => Some(format!("  {s}!!  ")),
+        },
+    )
+}
+
+/// The equivalence scheme: every similarity function over one attribute.
+fn full_scheme() -> ComparisonScheme {
+    let mut scheme = ComparisonScheme::new();
+    for (i, f) in all_similarity_functions().into_iter().enumerate() {
+        let mut comparator = AttributeComparator::new(0, format!("a{i}"), f);
+        if i % 3 == 1 {
+            comparator.missing = MissingValuePolicy::Constant(0.5);
+        }
+        scheme.push(comparator);
+    }
+    scheme
 }
 
 proptest! {
@@ -103,5 +156,91 @@ proptest! {
     #[test]
     fn dice_dominates_jaccard(a in text(), b in text()) {
         prop_assert!(dice_tokens(&a, &b) + 1e-12 >= jaccard_tokens(&a, &b));
+    }
+
+    #[test]
+    fn myers_levenshtein_matches_reference_dp(a in "[ a-zA-Z0-9-]{0,70}", b in "[ a-zA-Z0-9-]{0,70}") {
+        // levenshtein_distance dispatches to the Myers bit-parallel kernel
+        // for short ASCII; a brute-force DP over normalized chars is the oracle
+        let (na, nb) = (normalize(&a), normalize(&b));
+        let ca: Vec<char> = na.chars().collect();
+        let cb: Vec<char> = nb.chars().collect();
+        let mut dp = vec![vec![0usize; cb.len() + 1]; ca.len() + 1];
+        for (i, row) in dp.iter_mut().enumerate() { row[0] = i; }
+        for j in 0..=cb.len() { dp[0][j] = j; }
+        for i in 1..=ca.len() {
+            for j in 1..=cb.len() {
+                let cost = usize::from(ca[i - 1] != cb[j - 1]);
+                dp[i][j] = (dp[i - 1][j - 1] + cost)
+                    .min(dp[i - 1][j] + 1)
+                    .min(dp[i][j - 1] + 1);
+            }
+        }
+        prop_assert_eq!(levenshtein_distance(&a, &b), dp[ca.len()][cb.len()]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profiled fast path ≡ string path (bit-identical)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The acceptance property of the profiling fast path: for every
+    /// similarity function and any pair of records — including missing,
+    /// empty and unicode values — the profiled comparison returns the same
+    /// `f64`s, bit for bit, as the per-pair string comparison.
+    #[test]
+    fn profiled_path_is_bit_identical_to_string_path(
+        va in attribute_value(),
+        vb in attribute_value(),
+    ) {
+        let scheme = full_scheme();
+        let ra = vec![va];
+        let rb = vec![vb];
+        let reference = scheme.compare(&ra, &rb);
+        let mut profiles = ProfileSet::for_scheme(&scheme);
+        let ia = profiles.add(&ra);
+        let ib = profiles.add(&rb);
+        let (pa, pb) = (profiles.record(ia), profiles.record(ib));
+        let fast = scheme.compare_profiled(pa, pb);
+        prop_assert_eq!(fast.len(), reference.len());
+        for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
+            prop_assert_eq!(
+                f.to_bits(), r.to_bits(),
+                "feature {} ({}) diverged: fast={} reference={} on {:?} vs {:?}",
+                i, scheme.feature_names()[i], f, r, ra, rb
+            );
+        }
+        // row-buffer variant agrees too
+        let mut row = vec![0.0; scheme.num_features()];
+        scheme.compare_profiled_into(pa, pb, &mut row);
+        for (f, r) in row.iter().zip(&reference) {
+            prop_assert_eq!(f.to_bits(), r.to_bits());
+        }
+    }
+
+    /// Profiles survive interner sharing: profiling many records through one
+    /// profiler must not change any comparison result.
+    #[test]
+    fn shared_profiler_state_does_not_leak_between_records(
+        values in proptest::collection::vec(attribute_value(), 2..8),
+    ) {
+        let scheme = full_scheme();
+        let records: Vec<Vec<Option<String>>> =
+            values.into_iter().map(|v| vec![v]).collect();
+        let mut profiles = ProfileSet::for_scheme(&scheme);
+        let indices: Vec<usize> = records.iter().map(|r| profiles.add(r)).collect();
+        for i in 0..records.len() {
+            for j in 0..records.len() {
+                let reference = scheme.compare(&records[i], &records[j]);
+                let fast =
+                    scheme.compare_profiled(profiles.record(indices[i]), profiles.record(indices[j]));
+                for (f, r) in fast.iter().zip(&reference) {
+                    prop_assert_eq!(f.to_bits(), r.to_bits(), "records {} vs {}", i, j);
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,320 @@
+//! Offline stand-in for `criterion`: wall-clock benchmarking with the same
+//! macro/builder surface, minus statistics, plots and CLI filtering.
+//!
+//! Each benchmark is timed by running batches of iterations until the target
+//! measurement time is reached and reporting the best (lowest) mean
+//! nanoseconds per iteration across batches — a robust cheap estimator of
+//! steady-state cost. Output is one line per benchmark:
+//!
+//! ```text
+//! bench: similarity/jaccard_tokens ... 1234 ns/iter (n=...)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Opaque blocker preventing the optimizer from deleting a value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the stand-in treats all
+/// variants identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group (recorded, shown in output).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    measure_time: Duration,
+    /// Mean ns/iter of the best batch, filled by `iter*`.
+    best_ns_per_iter: f64,
+    iters_done: u64,
+}
+
+impl Bencher {
+    fn new(measure_time: Duration) -> Self {
+        Self { measure_time, best_ns_per_iter: f64::INFINITY, iters_done: 0 }
+    }
+
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // calibrate: how many iterations fit in ~1/8 of the budget?
+        let calib_start = Instant::now();
+        black_box(routine());
+        let first = calib_start.elapsed().max(Duration::from_nanos(1));
+        let batch = (self.measure_time.as_nanos() / 8 / first.as_nanos()).clamp(1, 1_000_000) as u64;
+        let deadline = Instant::now() + self.measure_time;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.iters_done += batch;
+            let ns = elapsed.as_nanos() as f64 / batch as f64;
+            if ns < self.best_ns_per_iter {
+                self.best_ns_per_iter = ns;
+            }
+        }
+    }
+
+    /// Measure `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.measure_time;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let ns = start.elapsed().as_nanos() as f64;
+            self.iters_done += 1;
+            if ns < self.best_ns_per_iter {
+                self.best_ns_per_iter = ns;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let ns = bencher.best_ns_per_iter;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!(" {:.0} elem/s", n as f64 / (ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            format!(" {:.0} B/s", n as f64 / (ns / 1e9))
+        }
+        _ => String::new(),
+    };
+    println!("bench: {id} ... {ns:.0} ns/iter (n={}){rate}", bencher.iters_done);
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // keep the stand-in fast: criterion's default 5s/benchmark would make
+        // full `cargo bench` runs take many minutes
+        let ms = std::env::var("MORER_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Self { measure_time: Duration::from_millis(ms), sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set the nominal sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in has no CLI.
+    pub fn configure_from_args(&mut self) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.measure_time);
+        f(&mut bencher);
+        report(id, &bencher, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measure_time: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measure_time: Option<Duration>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the nominal sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Set the per-benchmark measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure_time = Some(d);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher =
+            Bencher::new(self.measure_time.unwrap_or(self.criterion.measure_time));
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkIdOrStr>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into().0;
+        self.run(id, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.id, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op in the stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion helper so group benchmarks accept both `&str` and
+/// [`BenchmarkId`] names.
+pub struct BenchmarkIdOrStr(String);
+
+impl From<&str> for BenchmarkIdOrStr {
+    fn from(s: &str) -> Self {
+        Self(s.to_owned())
+    }
+}
+
+impl From<&String> for BenchmarkIdOrStr {
+    fn from(s: &String) -> Self {
+        Self(s.clone())
+    }
+}
+
+impl From<String> for BenchmarkIdOrStr {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdOrStr {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.id)
+    }
+}
+
+/// Group benchmark functions under a name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

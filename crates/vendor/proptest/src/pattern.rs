@@ -1,0 +1,193 @@
+//! Random string generation from a regex subset.
+//!
+//! Supported syntax: literal characters, character classes `[a-z0-9 -]`
+//! (ranges plus literal chars; `-` literal when first or last), groups
+//! `( … )`, and the quantifiers `{n}`, `{m,n}`, `?`, `*` (0..=8), `+`
+//! (1..=8). No alternation, anchors or escapes — this covers every pattern
+//! used in the workspace's property tests.
+
+use crate::rng::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<(Node, Quant)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: usize,
+    max: usize,
+}
+
+const ONE: Quant = Quant { min: 1, max: 1 };
+
+/// Generate one random string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let nodes = parse_sequence(&mut pattern.chars().collect::<Vec<_>>().as_slice());
+    let mut out = String::new();
+    emit_all(&nodes, rng, &mut out);
+    out
+}
+
+fn emit_all(nodes: &[(Node, Quant)], rng: &mut TestRng, out: &mut String) {
+    for (node, quant) in nodes {
+        let reps = rng.usize_inclusive(quant.min, quant.max);
+        for _ in 0..reps {
+            emit(node, rng, out);
+        }
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| u64::from(hi as u32) - u64::from(lo as u32) + 1)
+                .sum();
+            let mut pick = rng.next_u64() % total;
+            for &(lo, hi) in ranges {
+                let span = u64::from(hi as u32) - u64::from(lo as u32) + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick as u32).unwrap());
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick out of range");
+        }
+        Node::Group(nodes) => emit_all(nodes, rng, out),
+    }
+}
+
+fn parse_sequence(chars: &mut &[char]) -> Vec<(Node, Quant)> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.first() {
+        if c == ')' {
+            break;
+        }
+        *chars = &chars[1..];
+        let node = match c {
+            '[' => parse_class(chars),
+            '(' => {
+                let inner = parse_sequence(chars);
+                assert_eq!(chars.first(), Some(&')'), "unterminated group in pattern");
+                *chars = &chars[1..];
+                Node::Group(inner)
+            }
+            lit => Node::Lit(lit),
+        };
+        let quant = parse_quant(chars);
+        nodes.push((node, quant));
+    }
+    nodes
+}
+
+fn parse_class(chars: &mut &[char]) -> Node {
+    let mut ranges = Vec::new();
+    let mut first = true;
+    loop {
+        let Some(&c) = chars.first() else {
+            panic!("unterminated character class in pattern");
+        };
+        *chars = &chars[1..];
+        match c {
+            ']' if !first => break,
+            _ => {
+                // `a-z` range when a `-` with a right-hand side follows
+                if chars.first() == Some(&'-')
+                    && chars.get(1).is_some_and(|&n| n != ']')
+                {
+                    let hi = chars[1];
+                    assert!(c <= hi, "invalid class range in pattern");
+                    ranges.push((c, hi));
+                    *chars = &chars[2..];
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+        }
+        first = false;
+    }
+    Node::Class(ranges)
+}
+
+fn parse_quant(chars: &mut &[char]) -> Quant {
+    match chars.first() {
+        Some('?') => {
+            *chars = &chars[1..];
+            Quant { min: 0, max: 1 }
+        }
+        Some('*') => {
+            *chars = &chars[1..];
+            Quant { min: 0, max: 8 }
+        }
+        Some('+') => {
+            *chars = &chars[1..];
+            Quant { min: 1, max: 8 }
+        }
+        Some('{') => {
+            *chars = &chars[1..];
+            let mut digits = String::new();
+            let mut min = None;
+            loop {
+                let Some(&c) = chars.first() else {
+                    panic!("unterminated quantifier in pattern");
+                };
+                *chars = &chars[1..];
+                match c {
+                    '0'..='9' => digits.push(c),
+                    ',' => {
+                        min = Some(digits.parse().expect("bad quantifier"));
+                        digits.clear();
+                    }
+                    '}' => {
+                        let n: usize = digits.parse().expect("bad quantifier");
+                        return match min {
+                            Some(m) => Quant { min: m, max: n },
+                            None => Quant { min: n, max: n },
+                        };
+                    }
+                    other => panic!("unexpected `{other}` in quantifier"),
+                }
+            }
+        }
+        _ => ONE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_ranges_and_quantifiers() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = generate("[ a-zA-Z0-9-]{0,30}", &mut rng);
+            assert!(s.len() <= 30);
+            assert!(s
+                .chars()
+                .all(|c| c == ' ' || c == '-' || c.is_ascii_alphanumeric()));
+        }
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn groups_repeat_whole_subpatterns() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = generate("[a-z]{2,6}( [a-z]{2,6}){0,2}", &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=3).contains(&words.len()), "{s:?}");
+            assert!(words.iter().all(|w| (2..=6).contains(&w.len())), "{s:?}");
+        }
+    }
+}

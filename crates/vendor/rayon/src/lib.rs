@@ -1,0 +1,98 @@
+//! Offline stand-in for `rayon`: the prelude traits mapped onto *sequential*
+//! std iterators.
+//!
+//! `par_iter()` / `into_par_iter()` return the ordinary iterators, so every
+//! std adaptor (`map`, `filter`, `sum`, `collect`, …) works unchanged and the
+//! program semantics are identical to rayon's — just single-threaded.
+//!
+//! Real data-parallelism for the featurization hot path is implemented with
+//! scoped `std::thread` in `morer_sim::par`, which keeps the speed-critical
+//! code independent of this stub. When the genuine rayon becomes available,
+//! swapping the `[workspace.dependencies]` entry re-parallelizes every
+//! `par_iter` call site with no code changes.
+
+pub mod prelude {
+    /// Consuming conversion, mirrors `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item;
+        /// Iterator type (sequential in this stand-in).
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert into a "parallel" (here: sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+
+        #[inline]
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Borrowing conversion, mirrors `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type.
+        type Item;
+        /// Iterator type (sequential in this stand-in).
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate shared references "in parallel" (here: sequentially).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        #[inline]
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Mutable borrowing conversion, mirrors
+    /// `rayon::iter::IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Item type.
+        type Item;
+        /// Iterator type (sequential in this stand-in).
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate exclusive references "in parallel" (here: sequentially).
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Item = <&'data mut C as IntoIterator>::Item;
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+        #[inline]
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+        let mut w = vec![1, 2, 3];
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4]);
+    }
+}

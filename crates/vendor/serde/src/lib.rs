@@ -1,0 +1,323 @@
+//! Offline stand-in for `serde`: serialization to and from an owned
+//! JSON-like [`Value`] tree.
+//!
+//! The real serde is generic over serializer backends; this workspace only
+//! ever serializes to JSON (`serde_json`), so the stand-in collapses the
+//! data model to one `Value` enum. The derive macros (re-exported from
+//! `serde_derive`) generate field-by-field impls that match serde's default
+//! encoding: structs as maps, enums externally tagged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data tree values serialize into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / a missing field.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value does not fit `i64`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs.
+    Map(Vec<(String, Value)>),
+}
+
+/// The null value, usable as a `&'static Value`.
+pub const NULL: Value = Value::Null;
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        Self(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Serialize `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserialize from a value tree node.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Look up a struct field in a map value.
+///
+/// A missing key yields [`NULL`] so `Option` fields deserialize to `None`;
+/// non-optional types then fail with a descriptive error on the null.
+pub fn map_get<'v>(v: &'v Value, key: &str) -> Result<&'v Value, Error> {
+    match v {
+        Value::Map(entries) => Ok(entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(&NULL, |(_, val)| val)),
+        other => Err(Error::msg(format!(
+            "expected map with field `{key}`, found {}",
+            kind_name(other)
+        ))),
+    }
+}
+
+/// View a value as a sequence (for tuple enum variants and tuples).
+pub fn as_seq(v: &Value) -> Result<&[Value], Error> {
+    match v {
+        Value::Seq(items) => Ok(items),
+        other => Err(Error::msg(format!("expected array, found {}", kind_name(other)))),
+    }
+}
+
+fn kind_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::I64(_) | Value::U64(_) => "integer",
+        Value::F64(_) => "number",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "array",
+        Value::Map(_) => "object",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::I64(x) => <$t>::try_from(*x).map_err(Error::msg),
+                    Value::U64(x) => <$t>::try_from(*x).map_err(Error::msg),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        kind_name(other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(x) => Value::I64(x),
+                    Err(_) => Value::U64(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::I64(x) => <$t>::try_from(*x).map_err(Error::msg),
+                    Value::U64(x) => <$t>::try_from(*x).map_err(Error::msg),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        kind_name(other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::I64(x) => Ok(*x as f64),
+            Value::U64(x) => Ok(*x as f64),
+            other => Err(Error::msg(format!("expected f64, found {}", kind_name(other)))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {}", kind_name(other)))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, found {}", kind_name(other)))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        as_seq(v)?.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = as_seq(v)?;
+                let expected = 0usize $(+ { let _ = $idx; 1 })+;
+                if items.len() != expected {
+                    return Err(Error::msg(format!(
+                        "expected {}-tuple, found array of {}", expected, items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_owned()));
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        assert_eq!(<(u32, bool)>::from_value(&(3u32, true).to_value()), Ok((3, true)));
+        let v: Vec<Option<String>> = vec![Some("a".into()), None];
+        assert_eq!(Vec::<Option<String>>::from_value(&v.to_value()), Ok(v));
+    }
+
+    #[test]
+    fn missing_map_field_reads_as_null() {
+        let m = Value::Map(vec![("a".into(), Value::Bool(true))]);
+        assert_eq!(map_get(&m, "a"), Ok(&Value::Bool(true)));
+        assert_eq!(map_get(&m, "b"), Ok(&Value::Null));
+        assert!(map_get(&Value::Null, "a").is_err());
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+        assert!(bool::from_value(&Value::Str("x".into())).is_err());
+        assert!(Vec::<u8>::from_value(&Value::Bool(false)).is_err());
+    }
+}
