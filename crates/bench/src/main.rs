@@ -159,8 +159,12 @@ fn main() {
     }
 }
 
-/// `cargo bench`-free featurization throughput check: one JSON line for
-/// trajectory tracking (10k records, ~100k candidate pairs).
+/// `cargo bench`-free throughput check: one JSON line for trajectory
+/// tracking, covering featurization (10k records, ~100k candidate pairs),
+/// the distribution-analysis graph build (40 problems → 780 `sim_p` pairs,
+/// direct vs sketched) and `sel_base` model search (solves/second with
+/// cached representative sketches). Every fast path is asserted against its
+/// reference implementation before being timed.
 ///
 /// ```text
 /// cargo run -p morer-bench --release -- quick-bench
@@ -235,12 +239,97 @@ fn quick_bench(seed: u64) {
     let seed_rate = pairs as f64 / seed_s;
     let cold_rate = pairs as f64 / cold_s;
     let profiled_rate = pairs as f64 / profiled_s;
+
+    // --- distribution analysis: direct vs sketched graph build ------------
+    use morer_bench::workload::analysis_workload;
+    use morer_core::distribution::{
+        build_problem_graph_direct, build_problem_graph_sketched, problem_similarity_with,
+        AnalysisOptions, DistributionTest,
+    };
+    use morer_core::repository::ClusterEntry;
+    use morer_core::selection::best_entry_for;
+    use morer_ml::model::{ModelConfig, TrainedModel};
+
+    let an_problems = analysis_workload(40, 2000, 6, seed);
+    let an_refs: Vec<&ErProblem> = an_problems.iter().collect();
+    let an_pairs = an_refs.len() * (an_refs.len() - 1) / 2;
+    // uncapped sample size: the sketched and direct `sim_p` must agree
+    // bit-for-bit (subsampling is the one sanctioned divergence)
+    let an_opts =
+        AnalysisOptions::new(DistributionTest::KolmogorovSmirnov, usize::MAX, seed);
+
+    let start = Instant::now();
+    let direct_graph = build_problem_graph_direct(&an_refs, &an_opts, 0.0);
+    let analysis_direct_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let (sketched_graph, _sketches) = build_problem_graph_sketched(&an_refs, &an_opts, 0.0);
+    let analysis_sketched_s = start.elapsed().as_secs_f64();
+
+    for i in 0..an_refs.len() {
+        for j in (i + 1)..an_refs.len() {
+            assert_eq!(
+                sketched_graph.edge_weight(i, j),
+                direct_graph.edge_weight(i, j),
+                "sketched sim_p diverged from direct at pair ({i},{j})"
+            );
+        }
+    }
+
+    // --- model search: solves/second through cached entry sketches --------
+    let entries: Vec<ClusterEntry> = an_problems[..8]
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let training = p.to_training_set();
+            let model = TrainedModel::train(&ModelConfig::GaussianNb, &training);
+            ClusterEntry::new(i, vec![i], model, training, 0)
+        })
+        .collect();
+    let queries: Vec<&ErProblem> = an_problems[8..24].iter().collect();
+
+    // warm-up + correctness guard: the sketched search must agree with
+    // direct per-entry scoring under the same per-entry seeds
+    for q in &queries {
+        let best = best_entry_for(q, &entries, &an_opts).expect("non-empty repository");
+        let direct_best = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let entry_opts = an_opts.for_entry(i);
+                (i, problem_similarity_with(*q, e.representative_features(), &entry_opts))
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("non-empty repository");
+        assert_eq!(best, direct_best, "sketched search diverged from direct scoring");
+    }
+
+    let rounds = 3usize;
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..rounds {
+        for q in &queries {
+            sink += best_entry_for(q, &entries, &an_opts).expect("non-empty repository").0;
+        }
+    }
+    let search_s = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    let search_solves = rounds * queries.len();
+
+    let analysis_direct_rate = an_pairs as f64 / analysis_direct_s;
+    let analysis_sketched_rate = an_pairs as f64 / analysis_sketched_s;
     println!(
         "{{\"bench\":\"featurization\",\"records\":{},\"pairs\":{},\"features\":{},\
          \"seed_s\":{:.4},\"cold_s\":{:.4},\"profiled_s\":{:.4},\
          \"profile_s\":{:.4},\"featurize_s\":{:.4},\
          \"seed_pairs_per_s\":{:.0},\"cold_pairs_per_s\":{:.0},\"profiled_pairs_per_s\":{:.0},\
-         \"speedup_vs_seed\":{:.2},\"speedup_vs_cold\":{:.2}}}",
+         \"speedup_vs_seed\":{:.2},\"speedup_vs_cold\":{:.2},\
+         \"analysis_problems\":{},\"analysis_pairs\":{},\
+         \"analysis_direct_s\":{:.4},\"analysis_sketched_s\":{:.4},\
+         \"analysis_direct_pairs_per_s\":{:.0},\"analysis_pairs_per_s\":{:.0},\
+         \"analysis_speedup\":{:.2},\
+         \"search_entries\":{},\"search_solves\":{},\"search_s\":{:.4},\
+         \"search_solves_per_s\":{:.1}}}",
         workload.dataset.num_records(),
         pairs,
         workload.scheme.num_features(),
@@ -254,5 +343,16 @@ fn quick_bench(seed: u64) {
         profiled_rate,
         profiled_rate / seed_rate,
         profiled_rate / cold_rate,
+        an_refs.len(),
+        an_pairs,
+        analysis_direct_s,
+        analysis_sketched_s,
+        analysis_direct_rate,
+        analysis_sketched_rate,
+        analysis_sketched_rate / analysis_direct_rate,
+        entries.len(),
+        search_solves,
+        search_s,
+        search_solves as f64 / search_s,
     );
 }

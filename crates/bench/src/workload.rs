@@ -8,6 +8,8 @@
 
 use morer_data::record::{DataSource, MultiSourceDataset, Record, Schema};
 use morer_data::vocab::{CAMERA_BRANDS, PRODUCT_ADJECTIVES, SONG_WORDS};
+use morer_data::ErProblem;
+use morer_ml::dataset::FeatureMatrix;
 use morer_sim::{AttributeComparator, ComparisonScheme, SimilarityFunction};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -134,6 +136,56 @@ pub fn featurization_workload(
     FeaturizationWorkload { dataset, scheme: product_scheme(), pairs }
 }
 
+/// Build a deterministic distribution-analysis workload: `n_problems` ER
+/// problems of `rows` feature vectors each, drawn from a handful of
+/// distribution families (distinct per-problem match/non-match locations)
+/// so the resulting problem graph has real cluster structure.
+///
+/// The `analysis` criterion bench and the `quick-bench` trajectory mode
+/// both run the O(P²) graph build and the model search over this workload.
+pub fn analysis_workload(
+    n_problems: usize,
+    rows: usize,
+    features: usize,
+    seed: u64,
+) -> Vec<ErProblem> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD157);
+    (0..n_problems)
+        .map(|id| {
+            // four families of match/non-match locations, plus per-problem
+            // jitter, mirroring the heterogeneous benchmarks of Fig. 2
+            let family = id % 4;
+            let match_mu: f64 = 0.55 + 0.1 * family as f64 + rng.gen_range(-0.02..0.02f64);
+            let nonmatch_mu: f64 = 0.08 + 0.07 * family as f64 + rng.gen_range(-0.02..0.02f64);
+            let spread: f64 = rng.gen_range(0.05..0.12);
+            let mut matrix = FeatureMatrix::new(features);
+            let mut labels = Vec::with_capacity(rows);
+            let mut pairs = Vec::with_capacity(rows);
+            for i in 0..rows {
+                let is_match = i % 3 == 0;
+                let mu = if is_match { match_mu } else { nonmatch_mu };
+                let row: Vec<f64> = (0..features)
+                    .map(|f| {
+                        let jitter: f64 = rng.gen_range(-spread..spread);
+                        (mu + 0.03 * f as f64 + jitter).clamp(0.0, 1.0)
+                    })
+                    .collect();
+                matrix.push_row(&row);
+                labels.push(is_match);
+                pairs.push((i as u32, (i + rows) as u32));
+            }
+            ErProblem {
+                id,
+                sources: (id, id + 1),
+                pairs,
+                features: matrix,
+                labels,
+                feature_names: (0..features).map(|f| format!("f{f}")).collect(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +203,24 @@ mod tests {
         // different seeds give different data
         let w3 = featurization_workload(200, 2000, 8);
         assert_ne!(w1.pairs, w3.pairs);
+    }
+
+    #[test]
+    fn analysis_workload_is_deterministic_and_shaped() {
+        let a = analysis_workload(8, 50, 3, 7);
+        let b = analysis_workload(8, 50, 3, 7);
+        assert_eq!(a.len(), 8);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.features, pb.features);
+            assert_eq!(pa.num_pairs(), 50);
+            assert_eq!(pa.num_features(), 3);
+            assert!(pa
+                .features
+                .iter_rows()
+                .all(|r| r.iter().all(|v| (0.0..=1.0).contains(v))));
+        }
+        let c = analysis_workload(8, 50, 3, 8);
+        assert_ne!(a[0].features, c[0].features);
     }
 
     #[test]

@@ -97,13 +97,7 @@ pub fn generate_models(
         labels_used += spent;
         let model = TrainedModel::train(&with_seed(model_config, cluster_seed), &training);
         let representatives = cap_representatives(training, cluster_seed);
-        entries.push(ClusterEntry {
-            id: cid,
-            problem_ids: members.clone(),
-            model,
-            representatives,
-            labels_used: spent,
-        });
+        entries.push(ClusterEntry::new(cid, members.clone(), model, representatives, spent));
     }
     GenerationOutcome { entries, labels_used }
 }

@@ -52,7 +52,7 @@ pub mod stability;
 pub mod prelude {
     pub use crate::clustering::ClusteringAlgorithm;
     pub use crate::config::{AlMethod, MorerConfig, SelectionStrategy, TrainingMode};
-    pub use crate::distribution::DistributionTest;
+    pub use crate::distribution::{AnalysisOptions, DistributionSketch, DistributionTest};
     pub use crate::pipeline::{BuildReport, Morer, SolveOutcome};
     pub use crate::repository::{ClusterEntry, ModelRepository};
     pub use crate::stability::{ClusterStability, StabilityReport};

@@ -4,16 +4,17 @@
 
 use std::time::{Duration, Instant};
 
-use rayon::prelude::*;
-
 use crate::budget::{allocate, BudgetAllocation};
 use crate::config::{MorerConfig, SelectionStrategy, TrainingMode};
-use crate::distribution::{build_problem_graph_with, problem_similarity_with, AnalysisOptions};
+use crate::distribution::{
+    build_problem_graph_sketched, sketch_similarity, AnalysisOptions, DistributionSketch,
+};
 use crate::generation::{generate_models, make_learner, supervised_training};
 use crate::repository::{ClusterEntry, ModelRepository};
 use crate::selection::{best_entry_for, classify, coverage, retrain_budget};
 use morer_al::AlPool;
 use morer_data::ErProblem;
+use morer_sim::par;
 use morer_graph::community::Clustering;
 use morer_graph::Graph;
 use morer_ml::metrics::PairCounts;
@@ -74,6 +75,10 @@ pub struct Morer {
     in_t: Vec<bool>,
     /// The ER problem similarity graph `G_P`.
     pub(crate) graph: Graph,
+    /// One distribution sketch per integrated problem (aligned with
+    /// `problems`) — built once at construction / integration time and
+    /// reused by every later `sel_cov` pairwise analysis.
+    pub(crate) sketches: Vec<DistributionSketch>,
     /// Current clustering of `G_P`.
     pub(crate) clustering: Clustering,
     /// Repository entries.
@@ -92,8 +97,11 @@ impl Morer {
         let mut timings = Timings::default();
 
         let t = Instant::now();
-        let graph =
-            build_problem_graph_with(&initial, &config.analysis_options(), config.min_edge_similarity);
+        let (graph, sketches) = build_problem_graph_sketched(
+            &initial,
+            &config.analysis_options(),
+            config.min_edge_similarity,
+        );
         timings.analysis = t.elapsed();
 
         let t = Instant::now();
@@ -139,6 +147,7 @@ impl Morer {
             problems: initial.into_iter().cloned().collect(),
             in_t: vec![true; sizes.len()],
             graph,
+            sketches,
             clustering: Clustering::from_assignment(&assignment),
             entries: outcome.entries,
             initial_vectors,
@@ -163,6 +172,7 @@ impl Morer {
             problems: Vec::new(),
             in_t: Vec::new(),
             graph: Graph::new(0),
+            sketches: Vec::new(),
             clustering: Clustering::from_assignment(&[]),
             entries: repository.entries,
             initial_vectors: 0,
@@ -221,13 +231,9 @@ impl Morer {
 
     fn solve_base(&mut self, problem: &ErProblem) -> SolveOutcome {
         let t = Instant::now();
-        let best = best_entry_for(
-            problem,
-            &self.entries,
-            self.config.distribution_test,
-            self.config.analysis_sample_cap,
-            self.config.seed,
-        );
+        // the query is sketched once; every entry scores against its cached
+        // representative sketch
+        let best = best_entry_for(problem, &self.entries, &self.config.analysis_options());
         let outcome = match best {
             Some((idx, sim)) => {
                 let (predictions, probabilities) = classify(&self.entries[idx], problem);
@@ -264,21 +270,23 @@ impl Morer {
         let node = self.graph.add_node();
         debug_assert_eq!(node, new_idx);
         let base_opts = self.config.analysis_options();
-        let sims: Vec<(usize, f64)> = (0..new_idx)
-            .into_par_iter()
-            .map(|i| {
-                let opts = AnalysisOptions {
-                    seed: base_opts.seed ^ (new_idx as u64) << 24 ^ i as u64,
-                    ..base_opts
-                };
-                (i, problem_similarity_with(&self.problems[i], problem, &opts))
-            })
-            .collect();
-        for (i, s) in sims {
+        // sketch the query once, then score it against the cached sketches
+        // of every integrated problem (no re-extraction of their matrices)
+        let query_sketch = DistributionSketch::of(problem, &base_opts.for_problem(new_idx));
+        let sketches = &self.sketches;
+        let sims: Vec<f64> = par::map_indexed(new_idx, 8, |i| {
+            let opts = AnalysisOptions {
+                seed: base_opts.seed ^ (new_idx as u64) << 24 ^ i as u64,
+                ..base_opts
+            };
+            sketch_similarity(&sketches[i], &query_sketch, &opts)
+        });
+        for (i, &s) in sims.iter().enumerate() {
             if s >= self.config.min_edge_similarity {
                 self.graph.add_edge(i, new_idx, s);
             }
         }
+        self.sketches.push(query_sketch);
         self.timings.analysis += t.elapsed();
 
         // 2. recluster
@@ -312,13 +320,8 @@ impl Morer {
             };
             let (training, spent) = self.select_training(&members, budget);
             let model = TrainedModel::train(&self.config.model, &training);
-            let entry = ClusterEntry {
-                id: self.entries.len(),
-                problem_ids: members.clone(),
-                model,
-                representatives: training,
-                labels_used: spent,
-            };
+            let entry =
+                ClusterEntry::new(self.entries.len(), members.clone(), model, training, spent);
             for &p in &members {
                 self.in_t[p] = true;
             }
@@ -381,6 +384,8 @@ impl Morer {
             entry.representatives = combined;
             entry.labels_used += used;
             entry.problem_ids = members.clone();
+            // the representatives changed: the cached sketch is stale
+            entry.invalidate_sketch();
             for &p in &unsolved_members {
                 self.in_t[p] = true;
             }
@@ -598,6 +603,48 @@ mod tests {
         let unsolved = family_problem(16, 1, 120);
         let (counts, _) = morer.solve_and_score(&[&unsolved]);
         assert!(counts.f1() > 0.6, "F1 = {}", counts.f1());
+    }
+
+    #[test]
+    fn capped_analysis_pipeline_is_deterministic_end_to_end() {
+        // sample_cap below the problems' row counts: the per-problem sketch
+        // subsampling (AnalysisOptions::for_problem) is exercised for real.
+        // This pins the capped behavior end-to-end — construction,
+        // sel_cov integration, retraining and classification.
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let cfg = MorerConfig {
+            analysis_sample_cap: 40,
+            selection: SelectionStrategy::Coverage { t_cov: 0.25 },
+            ..config()
+        };
+        let (mut a, report_a) = Morer::build(refs.clone(), &cfg);
+        let (mut b, report_b) = Morer::build(refs, &cfg);
+        assert_eq!(report_a.num_clusters, report_b.num_clusters);
+        let q = family_problem(21, 0, 150);
+        let oa = a.solve(&q);
+        let ob = b.solve(&q);
+        assert_eq!(oa.predictions, ob.predictions);
+        assert_eq!(oa.entry_id, ob.entry_id);
+        assert_eq!(oa.similarity, ob.similarity);
+        // capped analysis still routes problems to working models
+        let (counts, _) = a.solve_and_score(&[&family_problem(22, 1, 150)]);
+        assert!(counts.f1() > 0.5, "F1 = {}", counts.f1());
+    }
+
+    #[test]
+    fn capped_sel_base_solves_deterministically() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let cfg = MorerConfig { analysis_sample_cap: 32, ..config() };
+        let (mut morer, _) = Morer::build(refs, &cfg);
+        let q = family_problem(23, 0, 150);
+        let first = morer.solve(&q);
+        // the second solve hits the warmed entry sketch caches
+        let second = morer.solve(&q);
+        assert_eq!(first.entry_id, second.entry_id);
+        assert_eq!(first.similarity, second.similarity);
+        assert_eq!(first.predictions, second.predictions);
     }
 
     #[test]

@@ -5,11 +5,62 @@
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
+use crate::distribution::{AnalysisOptions, DistributionSketch};
 use morer_ml::dataset::{FeatureMatrix, TrainingSet};
 use morer_ml::model::TrainedModel;
+
+/// Lazily built [`DistributionSketch`] of a cluster's representatives,
+/// keyed by the analysis options it was built under.
+#[derive(Debug, Clone)]
+struct CachedSketch {
+    sample_cap: usize,
+    seed: u64,
+    sketch: Arc<DistributionSketch>,
+}
+
+/// Interior-mutable, serialization-transparent sketch cache.
+///
+/// The cache is an acceleration structure, not repository state: it
+/// serializes as `null`, deserializes to empty, and never participates in
+/// equality — a loaded repository compares equal to the one that was saved
+/// and rebuilds its sketches lazily on first search.
+#[derive(Default)]
+pub struct SketchCache(Mutex<Option<CachedSketch>>);
+
+impl Clone for SketchCache {
+    fn clone(&self) -> Self {
+        Self(Mutex::new(self.0.lock().expect("sketch cache poisoned").clone()))
+    }
+}
+
+impl std::fmt::Debug for SketchCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let filled = self.0.lock().map(|s| s.is_some()).unwrap_or(false);
+        write!(f, "SketchCache({})", if filled { "filled" } else { "empty" })
+    }
+}
+
+impl PartialEq for SketchCache {
+    fn eq(&self, _: &Self) -> bool {
+        true // caches never affect entry equality
+    }
+}
+
+impl Serialize for SketchCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for SketchCache {
+    fn from_value(_: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self::default())
+    }
+}
 
 /// One repository entry: a cluster of ER problems and its model `M_C`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,12 +78,67 @@ pub struct ClusterEntry {
     /// Ground-truth labels spent to build this entry (0 for supervised mode
     /// where labels were assumed available).
     pub labels_used: usize,
+    /// Cached distribution sketch of `representatives` (see
+    /// [`ClusterEntry::representative_sketch`]). Must be invalidated
+    /// whenever `representatives` changes ([`ClusterEntry::invalidate_sketch`]).
+    pub sketch: SketchCache,
 }
 
 impl ClusterEntry {
+    /// Build an entry with an empty sketch cache.
+    pub fn new(
+        id: usize,
+        problem_ids: Vec<usize>,
+        model: TrainedModel,
+        representatives: TrainingSet,
+        labels_used: usize,
+    ) -> Self {
+        Self { id, problem_ids, model, representatives, labels_used, sketch: SketchCache::default() }
+    }
+
     /// The representative feature matrix (for distribution comparison).
     pub fn representative_features(&self) -> &FeatureMatrix {
         &self.representatives.x
+    }
+
+    /// The distribution sketch of the representatives `P_C`, built lazily on
+    /// first use and cached until [`Self::invalidate_sketch`] (or a change
+    /// of `sample_cap`/`seed`). This is what makes `sel_base` search
+    /// O(query sketch) per solve instead of re-sorting every entry's
+    /// representative columns on every comparison.
+    pub fn representative_sketch(&self, opts: &AnalysisOptions) -> Arc<DistributionSketch> {
+        let mut slot = self.sketch.0.lock().expect("sketch cache poisoned");
+        let is_c2st = opts.test == crate::distribution::DistributionTest::C2st;
+        let valid = slot.as_ref().is_some_and(|c| {
+            c.sample_cap == opts.sample_cap
+                && c.seed == opts.seed
+                // sketches only carry the artifacts of the test family they
+                // were built for; rebuild when the caller needs the other
+                && (if is_c2st {
+                    c.sketch.has_c2st_rows()
+                } else {
+                    c.sketch.has_univariate_columns()
+                })
+        });
+        if !valid {
+            *slot = Some(CachedSketch {
+                sample_cap: opts.sample_cap,
+                seed: opts.seed,
+                sketch: Arc::new(DistributionSketch::of(self.representative_features(), opts)),
+            });
+        }
+        Arc::clone(&slot.as_ref().expect("just filled").sketch)
+    }
+
+    /// Drop the cached sketch. Call after any mutation of
+    /// `representatives` (`sel_cov` retrains do).
+    pub fn invalidate_sketch(&self) {
+        *self.sketch.0.lock().expect("sketch cache poisoned") = None;
+    }
+
+    /// Whether a sketch is currently cached (observability for tests).
+    pub fn has_cached_sketch(&self) -> bool {
+        self.sketch.0.lock().expect("sketch cache poisoned").is_some()
     }
 }
 
@@ -88,7 +194,7 @@ mod tests {
             &[true, false, true, false],
         );
         let model = TrainedModel::train(&ModelConfig::GaussianNb, &training);
-        ClusterEntry { id, problem_ids: vec![id * 2, id * 2 + 1], model, representatives: training, labels_used: 4 }
+        ClusterEntry::new(id, vec![id * 2, id * 2 + 1], model, training, 4)
     }
 
     #[test]
@@ -118,6 +224,46 @@ mod tests {
         let loaded = ModelRepository::load(&path).unwrap();
         assert_eq!(repo, loaded);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sketch_cache_is_transparent_to_equality_and_serde() {
+        use crate::distribution::{AnalysisOptions, DistributionTest};
+        let entry = sample_entry(0);
+        let opts = AnalysisOptions::new(DistributionTest::KolmogorovSmirnov, 1000, 7);
+        assert!(!entry.has_cached_sketch());
+        let s1 = entry.representative_sketch(&opts);
+        assert!(entry.has_cached_sketch());
+        // cached: second call returns the same allocation
+        let s2 = entry.representative_sketch(&opts);
+        assert!(std::sync::Arc::ptr_eq(&s1, &s2));
+        // a filled cache does not break equality with a fresh entry...
+        assert_eq!(entry, sample_entry(0));
+        // ...nor the serialized form
+        let repo = ModelRepository { entries: vec![entry] };
+        let mut with_cache = Vec::new();
+        repo.save_json(&mut with_cache).unwrap();
+        let mut fresh = Vec::new();
+        ModelRepository { entries: vec![sample_entry(0)] }.save_json(&mut fresh).unwrap();
+        assert_eq!(with_cache, fresh);
+        let loaded = ModelRepository::load_json(&with_cache[..]).unwrap();
+        assert!(!loaded.entries[0].has_cached_sketch());
+    }
+
+    #[test]
+    fn invalidate_sketch_drops_the_cache() {
+        use crate::distribution::{AnalysisOptions, DistributionTest};
+        let entry = sample_entry(0);
+        let opts = AnalysisOptions::new(DistributionTest::Wasserstein, 1000, 3);
+        let _ = entry.representative_sketch(&opts);
+        assert!(entry.has_cached_sketch());
+        entry.invalidate_sketch();
+        assert!(!entry.has_cached_sketch());
+        // different options also bypass a stale cache
+        let _ = entry.representative_sketch(&opts);
+        let other = AnalysisOptions::new(DistributionTest::Wasserstein, 500, 3);
+        let s = entry.representative_sketch(&other);
+        assert_eq!(s.num_features(), 2);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Model search for new ER problems (paper §4.5): the `sel_base` most-similar
 //! cluster lookup and the coverage computation behind `sel_cov`.
 
-use crate::distribution::{problem_similarity, DistributionTest};
+use crate::distribution::{sketch_similarity, AnalysisOptions, DistributionSketch};
 use crate::repository::ClusterEntry;
 use morer_data::ErProblem;
 use morer_ml::model::Classifier;
@@ -9,31 +9,34 @@ use morer_ml::model::Classifier;
 /// Find the repository entry whose representatives `P_C` are most similar to
 /// the new problem (the `sel_base` strategy). Returns `(entry index,
 /// similarity)`; `None` when the repository is empty.
+///
+/// Fast path: the query problem is sketched **once** and scored against
+/// each entry's cached representative sketch
+/// ([`ClusterEntry::representative_sketch`]) — no per-entry column
+/// extraction, subsampling or sorting.
 pub fn best_entry_for(
     problem: &ErProblem,
     entries: &[ClusterEntry],
-    test: DistributionTest,
-    sample_cap: usize,
-    seed: u64,
+    opts: &AnalysisOptions,
 ) -> Option<(usize, f64)> {
+    if entries.iter().all(|e| e.representatives.is_empty()) {
+        return None;
+    }
+    let query = DistributionSketch::of(problem, opts);
     entries
         .iter()
         .enumerate()
         .filter(|(_, e)| !e.representatives.is_empty())
         .map(|(i, e)| {
-            let sim = problem_similarity(
-                problem,
-                e.representative_features(),
-                test,
-                sample_cap,
-                seed ^ (i as u64) << 12,
-            );
-            (i, sim)
+            let entry_opts = opts.for_entry(i);
+            let sketch = e.representative_sketch(&entry_opts);
+            (i, sketch_similarity(&query, &sketch, &entry_opts))
         })
         .max_by(|a, b| {
             a.1.total_cmp(&b.1).then(b.0.cmp(&a.0))
         })
 }
+
 
 /// Classify every pair of `problem` with an entry's model.
 pub fn classify(entry: &ClusterEntry, problem: &ErProblem) -> (Vec<bool>, Vec<f64>) {
@@ -72,6 +75,7 @@ pub fn retrain_budget(cov: f64, previous_training_size: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::distribution::DistributionTest;
     use morer_ml::dataset::FeatureMatrix;
     use morer_ml::model::{ModelConfig, TrainedModel};
     use morer_ml::TrainingSet;
@@ -88,7 +92,7 @@ mod tests {
         }
         let training = TrainingSet::from_rows(&rows, &labels);
         let model = TrainedModel::train(&ModelConfig::GaussianNb, &training);
-        ClusterEntry { id, problem_ids: vec![id], model, representatives: training, labels_used: 100 }
+        ClusterEntry::new(id, vec![id], model, training, 100)
     }
 
     fn problem_with_mu(mu: f64) -> ErProblem {
@@ -113,24 +117,37 @@ mod tests {
         }
     }
 
+    fn opts(sample_cap: usize, seed: u64) -> AnalysisOptions {
+        AnalysisOptions::new(DistributionTest::KolmogorovSmirnov, sample_cap, seed)
+    }
+
     #[test]
     fn best_entry_picks_matching_distribution() {
         let entries = vec![entry_with_mu(0, 0.9), entry_with_mu(1, 0.55)];
         let p_high = problem_with_mu(0.9);
         let p_low = problem_with_mu(0.55);
-        let (hit_high, sim_high) =
-            best_entry_for(&p_high, &entries, DistributionTest::KolmogorovSmirnov, 1000, 1).unwrap();
-        let (hit_low, _) =
-            best_entry_for(&p_low, &entries, DistributionTest::KolmogorovSmirnov, 1000, 1).unwrap();
+        let (hit_high, sim_high) = best_entry_for(&p_high, &entries, &opts(1000, 1)).unwrap();
+        let (hit_low, _) = best_entry_for(&p_low, &entries, &opts(1000, 1)).unwrap();
         assert_eq!(hit_high, 0);
         assert_eq!(hit_low, 1);
         assert!(sim_high > 0.9);
     }
 
     #[test]
+    fn best_entry_warms_and_reuses_sketch_caches() {
+        let entries = vec![entry_with_mu(0, 0.9), entry_with_mu(1, 0.55)];
+        assert!(entries.iter().all(|e| !e.has_cached_sketch()));
+        let p = problem_with_mu(0.9);
+        let first = best_entry_for(&p, &entries, &opts(1000, 1));
+        assert!(entries.iter().all(ClusterEntry::has_cached_sketch));
+        // the cached second pass must return exactly the same answer
+        assert_eq!(first, best_entry_for(&p, &entries, &opts(1000, 1)));
+    }
+
+    #[test]
     fn empty_repository_returns_none() {
         let p = problem_with_mu(0.8);
-        assert!(best_entry_for(&p, &[], DistributionTest::KolmogorovSmirnov, 100, 1).is_none());
+        assert!(best_entry_for(&p, &[], &opts(100, 1)).is_none());
     }
 
     #[test]

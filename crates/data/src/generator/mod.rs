@@ -18,9 +18,9 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use crate::blocking::{token_blocking, token_blocking_within, TokenBlockingConfig};
+use crate::blocking::{token_blocking_profiled, token_blocking_within_profiled, TokenBlockingConfig};
 use crate::corruption::{corrupt_value, AttributeKind, SourceProfile};
-use crate::problem::{Benchmark, ErProblem};
+use crate::problem::{profile_dataset, Benchmark, ErProblem};
 use crate::record::{DataSource, MultiSourceDataset, Record, Schema};
 use morer_sim::ComparisonScheme;
 
@@ -143,16 +143,26 @@ pub(crate) fn build_benchmark(
     let mut problems: Vec<ErProblem> = Vec::new();
     let n = dataset.num_sources();
 
+    // One profiling pass over every record serves blocking (interned token
+    // ids on the blocking attribute) and featurization (everything the
+    // scheme compares) for all O(n²) source-pair problems — the same shared
+    // `ProfileSet` discipline as `Benchmark::from_dataset`, instead of
+    // every `ErProblem::build` re-profiling its own records.
+    let spec = scheme.profile_spec().require_tokens(blocking.attribute);
+    let profiles = profile_dataset(&dataset, spec);
+
     let mut raw: Vec<((usize, usize), Vec<(u32, u32)>)> = Vec::new();
     for k in 0..n {
         if include_self_problems {
-            let pairs = token_blocking_within(&dataset.sources[k].records, blocking);
+            let pairs =
+                token_blocking_within_profiled(&dataset.sources[k].records, &profiles, blocking);
             raw.push(((k, k), pairs));
         }
         for l in (k + 1)..n {
-            let pairs = token_blocking(
+            let pairs = token_blocking_profiled(
                 &dataset.sources[k].records,
                 &dataset.sources[l].records,
+                &profiles,
                 blocking,
             );
             raw.push(((k, l), pairs));
@@ -165,7 +175,9 @@ pub(crate) fn build_benchmark(
             continue;
         }
         let id = problems.len();
-        problems.push(ErProblem::build(id, &dataset, &scheme, sources, sampled));
+        problems.push(ErProblem::build_with_profiles(
+            id, &dataset, &scheme, sources, sampled, &profiles,
+        ));
     }
 
     let (problems, initial, unsolved) = match split {

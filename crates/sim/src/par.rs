@@ -56,6 +56,47 @@ where
     });
 }
 
+/// Map `f` over `0..n` with scoped worker threads, collecting the results
+/// in index order. Indices are handed out as contiguous per-thread chunks;
+/// `min_chunk` is the smallest per-thread chunk worth a thread spawn.
+///
+/// Falls back to a plain sequential map when only one thread is profitable,
+/// so single-core machines pay no overhead. Used by the distribution
+/// analysis to fan the O(P²) problem-pair loop out over cores (the vendored
+/// rayon stand-in is sequential — see `crates/vendor/README.md`).
+pub fn map_indexed<T, F>(n: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = thread_count(n, min_chunk);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let per_thread = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                scope.spawn(move || {
+                    let lo = t * per_thread;
+                    let hi = ((t + 1) * per_thread).min(n);
+                    (lo..hi).map(f).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("map_indexed worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +124,23 @@ mod tests {
         let mut one = vec![0.0; 2];
         fill_rows(&mut one, 2, |i, row| row.fill(i as f64 + 7.0));
         assert_eq!(one, vec![7.0, 7.0]);
+    }
+
+    #[test]
+    fn map_indexed_preserves_index_order() {
+        let out = map_indexed(10_000, 1, |i| i * 3);
+        assert_eq!(out.len(), 10_000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_degenerate_sizes() {
+        assert_eq!(map_indexed(0, 1, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, 1024, |i| i + 5), vec![5]);
+        // n smaller than a profitable chunk stays sequential but complete
+        assert_eq!(map_indexed(3, 1_000_000, |i| i), vec![0, 1, 2]);
     }
 
     #[test]

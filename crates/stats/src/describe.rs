@@ -48,6 +48,83 @@ impl Summary {
     }
 }
 
+/// Streaming `(count, mean, M2)` moments of a sample — the mergeable core of
+/// Welford's variance algorithm.
+///
+/// Distribution sketches store one `Moments` per feature column so the
+/// pooled standard deviation of *two* samples (the §4.2 "discriminative
+/// power" weight) is an O(1) [`Moments::merge`] (Chan et al.'s parallel
+/// update) instead of concatenating both columns into a fresh `Vec` per
+/// pair. The merge formula is written in its commutative form
+/// (`merge(a, b) == merge(b, a)` bit-for-bit), which keeps `sim_p`
+/// exactly symmetric.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Moments {
+    /// Number of (finite) observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sum of squared deviations from the mean (`M2` in Welford's terms).
+    pub m2: f64,
+}
+
+impl Moments {
+    /// Accumulate the moments of `data` (non-finite entries are skipped),
+    /// in data order — the same Welford recurrence as [`Summary::of`].
+    pub fn of(data: &[f64]) -> Self {
+        let mut m = Self::default();
+        for &x in data {
+            m.push(x);
+        }
+        m
+    }
+
+    /// Add one observation (non-finite values are ignored).
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Combine two moment sets as if their samples had been pooled
+    /// (Chan/Welford parallel merge). Commutative, including in floating
+    /// point: `a*x + b*y` and `x.min/max` style terms are all symmetric.
+    pub fn merge(&self, other: &Self) -> Self {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let (na, nb) = (self.count as f64, other.count as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        Self {
+            count: self.count + other.count,
+            mean: (na * self.mean + nb * other.mean) / n,
+            m2: self.m2 + other.m2 + delta * delta * (na * nb / n),
+        }
+    }
+
+    /// Population variance (0.0 for empty input).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        (self.m2 / self.count as f64).max(0.0)
+    }
+
+    /// Population standard deviation (0.0 for empty input).
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
 /// Population standard deviation of a sample (0.0 for empty input).
 pub fn stddev(data: &[f64]) -> f64 {
     Summary::of(data).stddev
@@ -185,6 +262,48 @@ mod tests {
         assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
         let inv = [8.0, 6.0, 4.0, 2.0];
         assert!((pearson(&x, &inv).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_match_summary() {
+        let data = [0.1, 0.7, 0.4, 0.9, f64::NAN, 0.2];
+        let m = Moments::of(&data);
+        let s = Summary::of(&data);
+        assert_eq!(m.count, s.count);
+        assert_eq!(m.mean, s.mean);
+        assert_eq!(m.variance(), s.variance);
+        assert_eq!(m.stddev(), s.stddev);
+    }
+
+    #[test]
+    fn moments_merge_matches_pooled_allocation() {
+        // the merge must agree with the old allocate-and-concatenate pooled
+        // stddev up to fp round-off
+        let a: Vec<f64> = (0..57).map(|i| (i as f64 * 0.017) % 1.0).collect();
+        let b: Vec<f64> = (0..91).map(|i| (i as f64 * 0.029 + 0.3) % 1.0).collect();
+        let merged = Moments::of(&a).merge(&Moments::of(&b));
+        let mut pooled = a.clone();
+        pooled.extend_from_slice(&b);
+        assert_eq!(merged.count, pooled.len());
+        assert!((merged.stddev() - stddev(&pooled)).abs() < 1e-12);
+        assert!((merged.mean - mean(&pooled)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_merge_is_commutative_bitwise() {
+        let a = Moments::of(&[0.1, 0.5, 0.9, 0.3]);
+        let b = Moments::of(&[0.2, 0.8, 0.6]);
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn moments_merge_with_empty_is_identity() {
+        let a = Moments::of(&[0.4, 0.6]);
+        let e = Moments::default();
+        assert_eq!(a.merge(&e), a);
+        assert_eq!(e.merge(&a), a);
+        assert_eq!(e.merge(&e).count, 0);
+        assert_eq!(e.stddev(), 0.0);
     }
 
     #[test]

@@ -6,6 +6,43 @@
 //! which is how two CDFs of different sample sizes are "adapted to the same
 //! size" (paper §4.2, Wasserstein distance).
 
+/// Evaluate the empirical CDF of an already-sorted finite sample at `x`.
+/// Empty samples evaluate to 0.
+///
+/// This is the shared core behind [`Ecdf::eval`] and the pre-sorted
+/// distribution-sketch path — both produce bit-identical values because
+/// they *are* the same computation.
+#[inline]
+pub fn eval_sorted(sorted: &[f64], x: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    // partition_point returns the count of elements <= x.
+    let n_le = sorted.partition_point(|&v| v <= x);
+    n_le as f64 / sorted.len() as f64
+}
+
+/// Evaluate the empirical CDF of an already-sorted finite sample on `points`
+/// equally spaced grid positions spanning `[lo, hi]` (inclusive) — the
+/// shared core behind [`Ecdf::on_grid`].
+pub fn grid_sorted(sorted: &[f64], points: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(points >= 2, "grid needs at least two points");
+    (0..points)
+        .map(|i| {
+            let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+            eval_sorted(sorted, x)
+        })
+        .collect()
+}
+
+/// Sort `data` into ECDF order, dropping non-finite values — the
+/// normalization step shared by [`Ecdf::new`] and the sketch builders.
+pub fn sorted_finite(data: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+    sorted.sort_by(f64::total_cmp);
+    sorted
+}
+
 /// Empirical CDF of a finite sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
@@ -15,8 +52,14 @@ pub struct Ecdf {
 impl Ecdf {
     /// Build the ECDF of `data` (non-finite values are dropped).
     pub fn new(data: &[f64]) -> Self {
-        let mut sorted: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
-        sorted.sort_by(f64::total_cmp);
+        Self { sorted: sorted_finite(data) }
+    }
+
+    /// Wrap an already-sorted finite sample (as produced by
+    /// [`sorted_finite`]) without re-sorting.
+    pub fn from_sorted(sorted: Vec<f64>) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| f64::total_cmp(&w[0], &w[1]).is_le()));
+        debug_assert!(sorted.iter().all(|x| x.is_finite()));
         Self { sorted }
     }
 
@@ -32,24 +75,13 @@ impl Ecdf {
 
     /// Evaluate `F(x) = P(X <= x)`. Empty samples evaluate to 0.
     pub fn eval(&self, x: f64) -> f64 {
-        if self.sorted.is_empty() {
-            return 0.0;
-        }
-        // partition_point returns the count of elements <= x.
-        let n_le = self.sorted.partition_point(|&v| v <= x);
-        n_le as f64 / self.sorted.len() as f64
+        eval_sorted(&self.sorted, x)
     }
 
     /// Evaluate the CDF on `points` equally spaced grid positions spanning
     /// `[lo, hi]` (inclusive).
     pub fn on_grid(&self, points: usize, lo: f64, hi: f64) -> Vec<f64> {
-        assert!(points >= 2, "grid needs at least two points");
-        (0..points)
-            .map(|i| {
-                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
-                self.eval(x)
-            })
-            .collect()
+        grid_sorted(&self.sorted, points, lo, hi)
     }
 
     /// The sorted underlying sample.

@@ -11,6 +11,11 @@
 //! (`1` = identically distributed), which is what the ER problem graph edges
 //! are weighted with.
 //!
+//! Every test is split into a preprocessing step and a core that operates on
+//! pre-sorted / pre-gridded / pre-binned data; [`sketch::ColumnSketch`]
+//! caches the preprocessed artifacts once per sample so pairwise loops pay
+//! only the core (see the module docs of [`sketch`]).
+//!
 //! ```
 //! use morer_stats::tests::UnivariateTest;
 //!
@@ -23,9 +28,11 @@
 pub mod describe;
 pub mod ecdf;
 pub mod histogram;
+pub mod sketch;
 pub mod tests;
 
-pub use describe::Summary;
+pub use describe::{Moments, Summary};
 pub use ecdf::Ecdf;
 pub use histogram::Histogram;
+pub use sketch::ColumnSketch;
 pub use tests::UnivariateTest;

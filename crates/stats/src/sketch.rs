@@ -1,0 +1,174 @@
+//! Per-column distribution sketches: the O(problems) precomputation behind
+//! MoRER's pairwise distribution analysis.
+//!
+//! The pairwise `sim_p` loops (repository construction's O(P²) problem graph
+//! and every model-search solve) repeatedly need the *same* per-sample
+//! artifacts — a sorted copy of each feature column, its ECDF evaluated on
+//! the shared Wasserstein grid, its PSI histogram, and its `(count, mean,
+//! M2)` moments for the pooled-stddev feature weight. A [`ColumnSketch`]
+//! computes all of them once (O(n log n) per column), after which any
+//! two-sample test against another sketch is allocation-free:
+//!
+//! * KS: an O(n_a + n_b) merge walk over the two sorted samples
+//!   ([`crate::tests::ks_statistic_sorted`]);
+//! * WD / CvM: an O(grid) pass over the precomputed CDF grids;
+//! * PSI: an O(bins) pass over the precomputed histograms;
+//! * pooled stddev: an O(1) [`Moments::merge`].
+//!
+//! Because the slice-based public test functions delegate to the *same*
+//! cores, a sketch comparison is bit-identical to the corresponding slice
+//! computation on the same data.
+
+use crate::describe::Moments;
+use crate::ecdf::{sorted_finite, Ecdf};
+use crate::histogram::Histogram;
+use crate::tests::{
+    cramer_von_mises_pregrid, empty_gate, ks_statistic_sorted, psi_from_proportions,
+    wasserstein_on_grid_pregrid, UnivariateTest, CDF_GRID, PSI_BINS,
+};
+
+/// Precomputed distribution artifacts of one feature column (assumed to live
+/// on the unit interval, as similarity features do).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSketch {
+    /// Sorted finite sample (the ECDF support).
+    ecdf: Ecdf,
+    /// ECDF evaluated on the shared [`CDF_GRID`]-point grid over `[0, 1]`.
+    grid: Vec<f64>,
+    /// [`PSI_BINS`]-bin unit-interval histogram proportions
+    /// ([`Histogram::proportions`]), plus the binned count for the
+    /// empty-sample gate.
+    props: Vec<f64>,
+    hist_total: u64,
+    /// Data-order Welford moments (for pooled-stddev weighting).
+    moments: Moments,
+}
+
+impl ColumnSketch {
+    /// Sketch one column. `column` is consumed in data order for the
+    /// moments (matching a direct Welford pass over the same slice), then
+    /// sorted for the ECDF.
+    pub fn new(column: &[f64]) -> Self {
+        let moments = Moments::of(column);
+        let hist = Histogram::unit(column, PSI_BINS);
+        let (props, hist_total) = (hist.proportions(), hist.total());
+        let ecdf = Ecdf::from_sorted(sorted_finite(column));
+        let grid = ecdf.on_grid(CDF_GRID, 0.0, 1.0);
+        Self { ecdf, grid, props, hist_total, moments }
+    }
+
+    /// Number of (finite) observations backing the sketch.
+    pub fn len(&self) -> usize {
+        self.ecdf.len()
+    }
+
+    /// True when the sketched sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ecdf.is_empty()
+    }
+
+    /// The sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        self.ecdf.sample()
+    }
+
+    /// The column's Welford moments.
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// Pooled standard deviation of this column and `other` as if both
+    /// samples were concatenated — the §4.2 "discriminative power" weight,
+    /// via an O(1) moments merge.
+    pub fn pooled_stddev(&self, other: &Self) -> f64 {
+        self.moments.merge(&other.moments).stddev()
+    }
+
+    /// Raw two-sample distance against `other` under `test` — identical to
+    /// `test.distance(column_a, column_b)` on the underlying samples.
+    pub fn distance(&self, other: &Self, test: UnivariateTest) -> f64 {
+        // the same empty-sample gate the slice-based wrappers apply (PSI
+        // gates on binned totals and maps one-empty to +∞)
+        let gated = match test {
+            UnivariateTest::Psi => {
+                empty_gate(self.hist_total == 0, other.hist_total == 0, f64::INFINITY)
+            }
+            _ => empty_gate(self.is_empty(), other.is_empty(), 1.0),
+        };
+        if let Some(d) = gated {
+            return d;
+        }
+        match test {
+            UnivariateTest::KolmogorovSmirnov => ks_statistic_sorted(self.sorted(), other.sorted()),
+            UnivariateTest::Wasserstein => wasserstein_on_grid_pregrid(&self.grid, &other.grid),
+            UnivariateTest::CramerVonMises => cramer_von_mises_pregrid(&self.grid, &other.grid),
+            UnivariateTest::Psi => psi_from_proportions(&self.props, &other.props),
+        }
+    }
+
+    /// Similarity in `[0, 1]` against `other` — identical to
+    /// `test.similarity(column_a, column_b)` on the underlying samples.
+    pub fn similarity(&self, other: &Self, test: UnivariateTest) -> f64 {
+        test.similarity_from_distance(self.distance(other, test))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::stddev;
+
+    fn col(n: usize, offset: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 * 0.731 + offset) % 1.0).abs()).collect()
+    }
+
+    #[test]
+    fn sketch_distances_match_slice_functions_bitwise() {
+        let a = col(173, 0.0);
+        let b = col(211, 0.37);
+        let sa = ColumnSketch::new(&a);
+        let sb = ColumnSketch::new(&b);
+        for t in UnivariateTest::all() {
+            assert_eq!(sa.distance(&sb, t), t.distance(&a, &b), "{t:?} distance");
+            assert_eq!(sa.similarity(&sb, t), t.similarity(&a, &b), "{t:?} similarity");
+        }
+    }
+
+    #[test]
+    fn sketch_empty_gates_match_slice_functions() {
+        let a = col(31, 0.1);
+        let sa = ColumnSketch::new(&a);
+        let se = ColumnSketch::new(&[]);
+        assert!(se.is_empty());
+        for t in UnivariateTest::all() {
+            assert_eq!(se.distance(&se, t), t.distance(&[], &[]), "{t:?} both empty");
+            assert_eq!(sa.distance(&se, t), t.distance(&a, &[]), "{t:?} one empty");
+            assert_eq!(se.similarity(&sa, t), t.similarity(&[], &a), "{t:?} sim");
+        }
+    }
+
+    #[test]
+    fn pooled_stddev_matches_concatenation() {
+        let a = col(64, 0.2);
+        let b = col(48, 0.6);
+        let sa = ColumnSketch::new(&a);
+        let sb = ColumnSketch::new(&b);
+        let mut pooled = a.clone();
+        pooled.extend_from_slice(&b);
+        assert!((sa.pooled_stddev(&sb) - stddev(&pooled)).abs() < 1e-12);
+        // symmetric bit-for-bit (commutative moments merge)
+        assert_eq!(sa.pooled_stddev(&sb), sb.pooled_stddev(&sa));
+    }
+
+    #[test]
+    fn sketch_drops_non_finite_like_the_slice_path() {
+        let a = vec![0.5, f64::NAN, 0.25, f64::INFINITY, 0.75];
+        let b = col(10, 0.4);
+        let sa = ColumnSketch::new(&a);
+        assert_eq!(sa.len(), 3);
+        let sb = ColumnSketch::new(&b);
+        for t in UnivariateTest::all() {
+            assert_eq!(sa.distance(&sb, t), t.distance(&a, &b), "{t:?}");
+        }
+    }
+}

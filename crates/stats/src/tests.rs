@@ -12,8 +12,17 @@
 //! * Population Stability Index (Eq. 3) with the conventional 100 bins and
 //!   ε-smoothing of empty bins; `sim = exp(−PSI)` maps the unbounded index
 //!   onto `(0, 1]`.
+//!
+//! Every test is factored into a core that operates on *pre-processed* data
+//! — [`ks_statistic_sorted`] on sorted samples, [`wasserstein_on_grid_pregrid`]
+//! / [`cramer_von_mises_pregrid`] on precomputed CDF grids,
+//! [`psi_from_histograms`] on prebuilt histograms — and a slice-based public
+//! wrapper that does the preprocessing and delegates. [`crate::sketch`]
+//! precomputes the same artifacts once per sample and calls the same cores,
+//! so the sketched path is bit-identical to the slice path by construction
+//! (the PR 1 shared-cores discipline applied to distribution analysis).
 
-use crate::ecdf::Ecdf;
+use crate::ecdf::{sorted_finite, Ecdf};
 use crate::histogram::Histogram;
 
 /// Number of grid points used to align two CDFs of different sample sizes.
@@ -63,10 +72,10 @@ impl UnivariateTest {
         }
     }
 
-    /// Similarity in `[0, 1]` (`1` = same distribution), assuming samples
-    /// live on the unit interval (true for similarity features).
-    pub fn similarity(self, a: &[f64], b: &[f64]) -> f64 {
-        let d = self.distance(a, b);
+    /// Map a raw distance onto the similarity scale in `[0, 1]` — shared by
+    /// the slice-based [`Self::similarity`] and the sketched path so both
+    /// apply the identical transform.
+    pub fn similarity_from_distance(self, d: f64) -> f64 {
         let s = match self {
             Self::KolmogorovSmirnov | Self::Wasserstein | Self::CramerVonMises => 1.0 - d,
             Self::Psi => (-d).exp(),
@@ -74,9 +83,28 @@ impl UnivariateTest {
         s.clamp(0.0, 1.0)
     }
 
+    /// Similarity in `[0, 1]` (`1` = same distribution), assuming samples
+    /// live on the unit interval (true for similarity features).
+    pub fn similarity(self, a: &[f64], b: &[f64]) -> f64 {
+        self.similarity_from_distance(self.distance(a, b))
+    }
+
     /// All tests, for sweeps.
     pub fn all() -> [Self; 4] {
         [Self::KolmogorovSmirnov, Self::Wasserstein, Self::Psi, Self::CramerVonMises]
+    }
+}
+
+/// Distance of a pair where at least one side is empty, or `None` when both
+/// sides have data. `unit_scale` tests (KS/WD/CvM) use 1.0 for
+/// empty-vs-non-empty; PSI uses +∞ (its callers map that to similarity 0).
+/// Shared by the slice-based wrappers here and [`crate::sketch`].
+#[inline]
+pub(crate) fn empty_gate(a_empty: bool, b_empty: bool, one_sided: f64) -> Option<f64> {
+    match (a_empty, b_empty) {
+        (true, true) => Some(0.0),
+        (true, false) | (false, true) => Some(one_sided),
+        (false, false) => None,
     }
 }
 
@@ -86,18 +114,47 @@ impl UnivariateTest {
 /// Computed exactly by merging the two sorted samples. Empty-vs-non-empty
 /// yields 1.0; empty-vs-empty yields 0.0.
 pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
-    let ea = Ecdf::new(a);
-    let eb = Ecdf::new(b);
-    match (ea.is_empty(), eb.is_empty()) {
-        (true, true) => return 0.0,
-        (true, false) | (false, true) => return 1.0,
-        _ => {}
+    let sa = sorted_finite(a);
+    let sb = sorted_finite(b);
+    if let Some(d) = empty_gate(sa.is_empty(), sb.is_empty(), 1.0) {
+        return d;
     }
-    let mut sup: f64 = 0.0;
-    for &x in ea.sample().iter().chain(eb.sample()) {
-        sup = sup.max((ea.eval(x) - eb.eval(x)).abs());
+    ks_statistic_sorted(&sa, &sb)
+}
+
+/// [`ks_statistic`] core on pre-sorted finite non-empty samples: a single
+/// O(|a| + |b|) merge walk over the two step functions (no per-point binary
+/// searches, no allocation). The supremum is evaluated after each distinct
+/// merged value, which covers every sample point of either side — exactly
+/// the candidate set of the textbook definition.
+///
+/// The CDF difference `|i/n_a − j/n_b|` is tracked as the *integer*
+/// `|i·n_b − j·n_a|` and divided once at the end, so the walk is exact
+/// (no per-step rounding) and free of per-step divisions. Counts are
+/// bounded by `n_a · n_b`, which fits `u64` for any realistic sample.
+///
+/// Once one sample is exhausted its CDF is 1 and the other's only climbs
+/// toward 1, so the loop-exit difference dominates the tail — no tail scan
+/// is needed.
+pub fn ks_statistic_sorted(a: &[f64], b: &[f64]) -> f64 {
+    let (na, nb) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut sup: u64 = 0;
+    while i < na && j < nb {
+        // next distinct value of the merged sample
+        let x = if a[i] <= b[j] { a[i] } else { b[j] };
+        while i < na && a[i] <= x {
+            i += 1;
+        }
+        while j < nb && b[j] <= x {
+            j += 1;
+        }
+        let d = ((i * nb) as i64 - (j * na) as i64).unsigned_abs();
+        if d > sup {
+            sup = d;
+        }
     }
-    sup
+    sup as f64 / (na as f64 * nb as f64)
 }
 
 /// Wasserstein distance per the paper's Eq. 2: both CDFs are evaluated on a
@@ -114,15 +171,20 @@ pub fn wasserstein_distance(a: &[f64], b: &[f64]) -> f64 {
 pub fn wasserstein_on_grid(a: &[f64], b: &[f64], points: usize, lo: f64, hi: f64) -> f64 {
     let ea = Ecdf::new(a);
     let eb = Ecdf::new(b);
-    match (ea.is_empty(), eb.is_empty()) {
-        (true, true) => return 0.0,
-        (true, false) | (false, true) => return 1.0,
-        _ => {}
+    if let Some(d) = empty_gate(ea.is_empty(), eb.is_empty(), 1.0) {
+        return d;
     }
-    let ga = ea.on_grid(points, lo, hi);
-    let gb = eb.on_grid(points, lo, hi);
-    let sum: f64 = ga.iter().zip(&gb).map(|(x, y)| (x - y).abs()).sum();
-    sum / points as f64
+    wasserstein_on_grid_pregrid(&ea.on_grid(points, lo, hi), &eb.on_grid(points, lo, hi))
+}
+
+/// [`wasserstein_on_grid`] core on two precomputed equal-length CDF grids.
+///
+/// # Panics
+/// Panics if the grids differ in length.
+pub fn wasserstein_on_grid_pregrid(ga: &[f64], gb: &[f64]) -> f64 {
+    assert_eq!(ga.len(), gb.len(), "CDF grids must have equal length");
+    let sum: f64 = ga.iter().zip(gb).map(|(x, y)| (x - y).abs()).sum();
+    sum / ga.len() as f64
 }
 
 /// Cramér-von Mises distance: the mean *squared* absolute difference of the
@@ -131,15 +193,20 @@ pub fn wasserstein_on_grid(a: &[f64], b: &[f64], points: usize, lo: f64, hi: f64
 pub fn cramer_von_mises(a: &[f64], b: &[f64]) -> f64 {
     let ea = Ecdf::new(a);
     let eb = Ecdf::new(b);
-    match (ea.is_empty(), eb.is_empty()) {
-        (true, true) => return 0.0,
-        (true, false) | (false, true) => return 1.0,
-        _ => {}
+    if let Some(d) = empty_gate(ea.is_empty(), eb.is_empty(), 1.0) {
+        return d;
     }
-    let ga = ea.on_grid(CDF_GRID, 0.0, 1.0);
-    let gb = eb.on_grid(CDF_GRID, 0.0, 1.0);
-    let sum: f64 = ga.iter().zip(&gb).map(|(x, y)| (x - y) * (x - y)).sum();
-    (sum / CDF_GRID as f64).sqrt()
+    cramer_von_mises_pregrid(&ea.on_grid(CDF_GRID, 0.0, 1.0), &eb.on_grid(CDF_GRID, 0.0, 1.0))
+}
+
+/// [`cramer_von_mises`] core on two precomputed equal-length CDF grids.
+///
+/// # Panics
+/// Panics if the grids differ in length.
+pub fn cramer_von_mises_pregrid(ga: &[f64], gb: &[f64]) -> f64 {
+    assert_eq!(ga.len(), gb.len(), "CDF grids must have equal length");
+    let sum: f64 = ga.iter().zip(gb).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum / ga.len() as f64).sqrt()
 }
 
 /// Population Stability Index (paper Eq. 3):
@@ -149,17 +216,23 @@ pub fn cramer_von_mises(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// PSI is symmetric and non-negative; identical samples give 0.
 pub fn psi(a: &[f64], b: &[f64], bins: usize) -> f64 {
-    let ha = Histogram::unit(a, bins);
-    let hb = Histogram::unit(b, bins);
-    match (ha.total() == 0, hb.total() == 0) {
-        (true, true) => return 0.0,
-        (true, false) | (false, true) => return f64::INFINITY,
-        _ => {}
+    psi_from_histograms(&Histogram::unit(a, bins), &Histogram::unit(b, bins))
+}
+
+/// [`psi`] core on two prebuilt histograms (same binning assumed).
+pub fn psi_from_histograms(ha: &Histogram, hb: &Histogram) -> f64 {
+    if let Some(d) = empty_gate(ha.total() == 0, hb.total() == 0, f64::INFINITY) {
+        return d;
     }
-    let pa = ha.proportions();
-    let pb = hb.proportions();
+    psi_from_proportions(&ha.proportions(), &hb.proportions())
+}
+
+/// [`psi`] core on two precomputed non-empty proportion vectors (as produced
+/// by [`Histogram::proportions`]) — the allocation-free innermost loop
+/// shared with the sketched path.
+pub fn psi_from_proportions(pa: &[f64], pb: &[f64]) -> f64 {
     pa.iter()
-        .zip(&pb)
+        .zip(pb)
         .map(|(&x, &y)| {
             let x = x.max(PSI_EPSILON);
             let y = y.max(PSI_EPSILON);
@@ -204,6 +277,31 @@ mod unit_tests {
     fn ks_empty_handling() {
         assert_eq!(ks_statistic(&[], &[]), 0.0);
         assert_eq!(ks_statistic(&[], &[0.5]), 1.0);
+    }
+
+    #[test]
+    fn ks_merge_walk_matches_per_point_supremum() {
+        // reference implementation: evaluate |Fa - Fb| at every sample point
+        // via the Ecdf binary-search evaluator (the pre-refactor algorithm)
+        let cases: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (uniform(37), shifted(53, 0.2)),
+            (vec![0.5; 10], uniform(7)),
+            (uniform(100), uniform(100)),
+            (vec![0.1, 0.1, 0.9], vec![0.1, 0.9, 0.9]),
+            (vec![0.3], vec![0.7]),
+        ];
+        for (a, b) in cases {
+            let ea = Ecdf::new(&a);
+            let eb = Ecdf::new(&b);
+            let mut sup: f64 = 0.0;
+            for &x in ea.sample().iter().chain(eb.sample()) {
+                sup = sup.max((ea.eval(x) - eb.eval(x)).abs());
+            }
+            // the merge walk tracks integer counts and divides once at the
+            // end, so it may differ from the per-point fp reference by ulps
+            let d = ks_statistic(&a, &b);
+            assert!((d - sup).abs() < 1e-12, "a={a:?} b={b:?}: {d} vs {sup}");
+        }
     }
 
     #[test]
@@ -263,6 +361,17 @@ mod unit_tests {
                 assert!((0.0..=1.0).contains(&s));
             }
         }
+    }
+
+    #[test]
+    fn similarity_from_distance_matches_similarity() {
+        let a = uniform(64);
+        let b = shifted(64, 0.15);
+        for t in UnivariateTest::all() {
+            assert_eq!(t.similarity(&a, &b), t.similarity_from_distance(t.distance(&a, &b)));
+        }
+        // PSI's infinite distance (one empty side) maps to similarity 0
+        assert_eq!(UnivariateTest::Psi.similarity_from_distance(f64::INFINITY), 0.0);
     }
 
     #[test]

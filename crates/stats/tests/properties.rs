@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 
-use morer_stats::describe::{mean, median, pearson, quantile, Summary};
+use morer_stats::describe::{mean, median, pearson, quantile, stddev, Moments, Summary};
 use morer_stats::tests::{ks_statistic, psi, wasserstein_distance};
-use morer_stats::{Ecdf, Histogram, UnivariateTest};
+use morer_stats::{ColumnSketch, Ecdf, Histogram, UnivariateTest};
 
 fn unit_samples() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(0.0f64..=1.0, 1..150)
@@ -73,6 +73,49 @@ proptest! {
         let h = Histogram::unit(&data, bins);
         prop_assert_eq!(h.total() as usize, data.len());
         prop_assert_eq!(h.counts().iter().sum::<u64>() as usize, data.len());
+    }
+
+    #[test]
+    fn sketched_tests_are_bit_identical_to_slice_tests(
+        a in unit_samples(), b in unit_samples()
+    ) {
+        let sa = ColumnSketch::new(&a);
+        let sb = ColumnSketch::new(&b);
+        for t in UnivariateTest::all() {
+            prop_assert_eq!(sa.distance(&sb, t), t.distance(&a, &b), "{:?}", t);
+            prop_assert_eq!(sa.similarity(&sb, t), t.similarity(&a, &b), "{:?}", t);
+        }
+    }
+
+    #[test]
+    fn sketched_distances_are_symmetric(a in unit_samples(), b in unit_samples()) {
+        let sa = ColumnSketch::new(&a);
+        let sb = ColumnSketch::new(&b);
+        // KS / WD / CvM cores are exactly symmetric; PSI up to `ln` round-off
+        for t in [
+            UnivariateTest::KolmogorovSmirnov,
+            UnivariateTest::Wasserstein,
+            UnivariateTest::CramerVonMises,
+        ] {
+            prop_assert_eq!(sa.distance(&sb, t), sb.distance(&sa, t), "{:?}", t);
+        }
+        let (dab, dba) = (
+            sa.distance(&sb, UnivariateTest::Psi),
+            sb.distance(&sa, UnivariateTest::Psi),
+        );
+        prop_assert!((dab - dba).abs() < 1e-9, "PSI {} vs {}", dab, dba);
+    }
+
+    #[test]
+    fn moments_merge_matches_pooled_welford(a in unit_samples(), b in unit_samples()) {
+        let merged = Moments::of(&a).merge(&Moments::of(&b));
+        let mut pooled = a.clone();
+        pooled.extend_from_slice(&b);
+        prop_assert_eq!(merged.count, pooled.len());
+        prop_assert!((merged.stddev() - stddev(&pooled)).abs() < 1e-9);
+        prop_assert!((merged.mean - mean(&pooled)).abs() < 1e-9);
+        // commutative bit-for-bit
+        prop_assert_eq!(merged, Moments::of(&b).merge(&Moments::of(&a)));
     }
 
     #[test]
