@@ -25,6 +25,19 @@ fn bench_repository(c: &mut Criterion) {
             criterion::BatchSize::SmallInput,
         )
     });
+
+    // the shared-read path a service would actually serve: no writer clone,
+    // warmed caches, `&self` solves
+    let searcher = morer.searcher();
+    searcher.warm();
+    group.bench_function("solve_shared_searcher", |b| {
+        b.iter(|| searcher.solve(black_box(unsolved)))
+    });
+    let batch: Vec<&morer_data::ErProblem> =
+        bench.unsolved.iter().map(|&i| &bench.problems[i]).collect();
+    group.bench_function("solve_batch_shared_searcher", |b| {
+        b.iter(|| searcher.solve_batch(black_box(&batch)))
+    });
     group.finish();
 }
 

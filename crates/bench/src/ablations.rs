@@ -110,7 +110,9 @@ pub fn stability(opts: &Options) {
         let mut per_entry: std::collections::HashMap<usize, PairCounts> =
             std::collections::HashMap::new();
         for (p, o) in unsolved.iter().zip(&outcomes) {
-            let counts = per_entry.entry(o.entry_id).or_default();
+            // problems the empty repository could not route have no entry
+            let Some(entry) = o.entry else { continue };
+            let counts = per_entry.entry(entry).or_default();
             for (&pred, &actual) in o.predictions.iter().zip(&p.labels) {
                 counts.record(pred, actual);
             }

@@ -163,8 +163,12 @@ fn main() {
 /// tracking, covering featurization (10k records, ~100k candidate pairs),
 /// the distribution-analysis graph build (40 problems → 780 `sim_p` pairs,
 /// direct vs sketched) and `sel_base` model search (solves/second with
-/// cached representative sketches). Every fast path is asserted against its
-/// reference implementation before being timed.
+/// cached representative sketches) — single-threaded
+/// (`search_solves_per_s`) and through one shared `ModelSearcher` hammered
+/// by scoped threads (`search_solves_per_s_mt`). Every fast path is
+/// asserted against its reference implementation before being timed, and
+/// the multi-threaded search results are asserted equal to the
+/// single-threaded ones.
 ///
 /// ```text
 /// cargo run -p morer-bench --release -- quick-bench
@@ -316,6 +320,55 @@ fn quick_bench(seed: u64) {
     std::hint::black_box(sink);
     let search_solves = rounds * queries.len();
 
+    // --- multi-threaded model search through the shared searcher ----------
+    // the service-grade read path: one immutable ModelSearcher shared by
+    // scoped worker threads, each issuing `&self` searches
+    use morer_core::searcher::ModelSearcher;
+    let searcher = ModelSearcher::new(entries, an_opts);
+    searcher.warm();
+    // correctness guard: concurrent shared-searcher results must equal the
+    // single-threaded reference (entry choice and similarity, bit-for-bit)
+    let st_hits: Vec<_> = queries
+        .iter()
+        .map(|q| searcher.search(q).expect("non-empty repository"))
+        .collect();
+    let batched = searcher.solve_batch(&queries);
+    for (hit, outcome) in st_hits.iter().zip(&batched) {
+        assert_eq!(Some(hit.entry_id), outcome.entry, "solve_batch diverged from search");
+        assert_eq!(hit.similarity, outcome.similarity, "solve_batch similarity diverged");
+    }
+    let mt_threads = 4usize;
+    let start = Instant::now();
+    let mt_hit_lists: Vec<Vec<_>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..mt_threads)
+            .map(|_| {
+                let searcher = &searcher;
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut hits = Vec::with_capacity(rounds * queries.len());
+                    for _ in 0..rounds {
+                        for q in queries {
+                            hits.push(searcher.search(q).expect("non-empty repository"));
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("search thread panicked")).collect()
+    });
+    let search_mt_s = start.elapsed().as_secs_f64();
+    for (t, hits) in mt_hit_lists.iter().enumerate() {
+        for (k, hit) in hits.iter().enumerate() {
+            assert_eq!(
+                *hit,
+                st_hits[k % queries.len()],
+                "thread {t} solve {k}: multi-threaded search diverged from single-threaded"
+            );
+        }
+    }
+    let search_solves_mt = mt_threads * rounds * queries.len();
+
     let analysis_direct_rate = an_pairs as f64 / analysis_direct_s;
     let analysis_sketched_rate = an_pairs as f64 / analysis_sketched_s;
     println!(
@@ -329,7 +382,9 @@ fn quick_bench(seed: u64) {
          \"analysis_direct_pairs_per_s\":{:.0},\"analysis_pairs_per_s\":{:.0},\
          \"analysis_speedup\":{:.2},\
          \"search_entries\":{},\"search_solves\":{},\"search_s\":{:.4},\
-         \"search_solves_per_s\":{:.1}}}",
+         \"search_solves_per_s\":{:.1},\
+         \"search_threads_mt\":{},\"search_solves_mt\":{},\"search_mt_s\":{:.4},\
+         \"search_solves_per_s_mt\":{:.1}}}",
         workload.dataset.num_records(),
         pairs,
         workload.scheme.num_features(),
@@ -350,9 +405,13 @@ fn quick_bench(seed: u64) {
         analysis_direct_rate,
         analysis_sketched_rate,
         analysis_sketched_rate / analysis_direct_rate,
-        entries.len(),
+        searcher.num_models(),
         search_solves,
         search_s,
         search_solves as f64 / search_s,
+        mt_threads,
+        search_solves_mt,
+        search_mt_s,
+        search_solves_mt as f64 / search_mt_s,
     );
 }

@@ -107,7 +107,11 @@ impl Default for MorerConfig {
 
 impl MorerConfig {
     /// The [`crate::distribution::AnalysisOptions`] this configuration
-    /// implies.
+    /// implies. Both API layers score with these options: the
+    /// [`crate::searcher::ModelSearcher`] read path snapshots them at
+    /// construction, and the [`crate::pipeline::Morer`] writer uses them
+    /// for `sel_cov` integration — so writer and searcher always agree on
+    /// `sim_p`.
     pub fn analysis_options(&self) -> crate::distribution::AnalysisOptions {
         crate::distribution::AnalysisOptions {
             test: self.distribution_test,

@@ -1,0 +1,101 @@
+//! Typed failure modes of the MoRER pipeline.
+//!
+//! The solve/search path used to signal "no model" with the `usize::MAX`
+//! sentinel and persistence failures with opaque `std::io::Error` strings;
+//! both are now explicit: [`MorerError`] enumerates every way the service
+//! API can fail, so callers (and future server frontends) can branch on the
+//! failure mode instead of parsing messages.
+
+use std::fmt;
+
+/// Newest repository file format this build can read and the version it
+/// writes (see [`crate::repository::ModelRepository::save_json`]).
+pub const REPOSITORY_FORMAT_VERSION: u64 = 1;
+
+/// Every failure mode of the MoRER service API.
+#[derive(Debug)]
+pub enum MorerError {
+    /// A model search ran against a repository with no searchable entries
+    /// (no entries at all, or only entries without representative vectors).
+    EmptyRepository,
+    /// A persisted repository declares a format version newer than
+    /// [`REPOSITORY_FORMAT_VERSION`]; written by a newer build.
+    UnsupportedVersion {
+        /// The version the file declared.
+        found: u64,
+    },
+    /// The persisted repository could not be decoded (malformed JSON or a
+    /// structurally wrong document).
+    Parse(String),
+    /// An I/O error while reading or writing a repository file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MorerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyRepository => {
+                write!(f, "model search over an empty repository (no searchable entries)")
+            }
+            Self::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported repository format version {found} \
+                 (this build reads up to version {REPOSITORY_FORMAT_VERSION})"
+            ),
+            Self::Parse(msg) => write!(f, "malformed repository: {msg}"),
+            Self::Io(e) => write!(f, "repository I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MorerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MorerError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Lets binaries with `fn main() -> std::io::Result<()>` use `?` on the
+/// typed persistence API.
+impl From<MorerError> for std::io::Error {
+    fn from(e: MorerError) -> Self {
+        match e {
+            MorerError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_mode() {
+        assert!(MorerError::EmptyRepository.to_string().contains("empty repository"));
+        let v = MorerError::UnsupportedVersion { found: 9 };
+        assert!(v.to_string().contains("version 9"));
+        assert!(v.to_string().contains(&REPOSITORY_FORMAT_VERSION.to_string()));
+        assert!(MorerError::Parse("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn io_round_trips_through_conversions() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err = MorerError::from(io);
+        assert!(matches!(err, MorerError::Io(_)));
+        let back: std::io::Error = err.into();
+        assert_eq!(back.kind(), std::io::ErrorKind::NotFound);
+        // non-I/O variants map to InvalidData so `?` in io::Result mains works
+        let back: std::io::Error = MorerError::EmptyRepository.into();
+        assert_eq!(back.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

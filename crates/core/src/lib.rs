@@ -23,8 +23,24 @@
 //! 5. **Classification** — the chosen model labels the problem's feature
 //!    vectors.
 //!
-//! The stateful façade is [`pipeline::Morer`]; [`repository::ModelRepository`]
-//! is the serializable artifact it maintains.
+//! ## API architecture
+//!
+//! The pipeline is split into two layers:
+//!
+//! * [`searcher::ModelSearcher`] — the immutable, `Send + Sync` read path.
+//!   It owns the repository entries and serves `sel_base` model search
+//!   through `&self` (`search`, `solve`, `solve_batch`), so one searcher can
+//!   be shared by any number of threads. Failure modes are typed
+//!   ([`error::MorerError`], e.g. `EmptyRepository` from `search`), never
+//!   sentinels.
+//! * [`pipeline::Morer`] — the writer. It wraps a searcher and adds
+//!   everything that mutates state: construction, `sel_cov` graph
+//!   integration, reclustering and coverage-triggered retraining.
+//!
+//! [`repository::ModelRepository`] is the serializable artifact both layers
+//! are built from; its JSON form carries a `version` header
+//! ([`error::REPOSITORY_FORMAT_VERSION`]), loads legacy version-less files,
+//! and rejects unknown future versions with a typed error.
 //!
 //! ```
 //! use morer_core::prelude::*;
@@ -42,19 +58,25 @@ pub mod budget;
 pub mod clustering;
 pub mod config;
 pub mod distribution;
+pub mod error;
 pub mod generation;
 pub mod pipeline;
 pub mod repository;
+pub mod searcher;
 pub mod selection;
 pub mod stability;
+#[cfg(test)]
+pub(crate) mod testutil;
 
 /// Convenient re-exports of the main API surface.
 pub mod prelude {
     pub use crate::clustering::ClusteringAlgorithm;
     pub use crate::config::{AlMethod, MorerConfig, SelectionStrategy, TrainingMode};
     pub use crate::distribution::{AnalysisOptions, DistributionSketch, DistributionTest};
-    pub use crate::pipeline::{BuildReport, Morer, SolveOutcome};
+    pub use crate::error::{MorerError, REPOSITORY_FORMAT_VERSION};
+    pub use crate::pipeline::{BuildReport, Morer};
     pub use crate::repository::{ClusterEntry, ModelRepository};
+    pub use crate::searcher::{EntryId, ModelSearcher, SearchHit, SolveOutcome};
     pub use crate::stability::{ClusterStability, StabilityReport};
 }
 

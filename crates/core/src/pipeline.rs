@@ -1,6 +1,14 @@
-//! The stateful MoRER pipeline façade: build the repository from the initial
+//! The stateful MoRER pipeline writer: build the repository from the initial
 //! problems (paper Fig. 3, steps 1-3), then solve new problems with the
 //! configured selection strategy (steps 4-5).
+//!
+//! [`Morer`] is the mutable half of the two-layer API: it wraps the
+//! immutable, thread-shareable [`ModelSearcher`] (the `sel_base` read path)
+//! and adds everything that mutates repository state — construction,
+//! `sel_cov` graph integration, reclustering and coverage-triggered
+//! retraining. Read-only deployments should persist the repository and serve
+//! it through [`ModelSearcher`] (or [`Morer::searcher`]) instead of holding
+//! a `&mut Morer` per caller.
 
 use std::time::{Duration, Instant};
 
@@ -11,7 +19,9 @@ use crate::distribution::{
 };
 use crate::generation::{generate_models, make_learner, supervised_training};
 use crate::repository::{ClusterEntry, ModelRepository};
-use crate::selection::{best_entry_for, classify, coverage, retrain_budget};
+use crate::searcher::ModelSearcher;
+pub use crate::searcher::SolveOutcome;
+use crate::selection::{classify, coverage, retrain_budget};
 use morer_al::AlPool;
 use morer_data::ErProblem;
 use morer_sim::par;
@@ -44,26 +54,8 @@ pub struct BuildReport {
     pub timings: Timings,
 }
 
-/// Result of solving one new ER problem.
-#[derive(Debug, Clone)]
-pub struct SolveOutcome {
-    /// Match predictions aligned with the problem's pairs.
-    pub predictions: Vec<bool>,
-    /// Match probabilities aligned with the problem's pairs.
-    pub probabilities: Vec<f64>,
-    /// Repository entry used (`usize::MAX` if the repository was empty).
-    pub entry_id: usize,
-    /// `sim_p` between the problem and the chosen cluster.
-    pub similarity: f64,
-    /// Whether `sel_cov` retrained the entry's model.
-    pub retrained: bool,
-    /// Whether `sel_cov` created a brand-new model.
-    pub new_model: bool,
-    /// Additional oracle labels spent by this solve.
-    pub labels_spent: usize,
-}
-
-/// The MoRER pipeline: repository construction, search, and integration.
+/// The MoRER pipeline writer: repository construction, search, and
+/// integration.
 #[derive(Debug, Clone)]
 pub struct Morer {
     pub(crate) config: MorerConfig,
@@ -81,8 +73,8 @@ pub struct Morer {
     pub(crate) sketches: Vec<DistributionSketch>,
     /// Current clustering of `G_P`.
     pub(crate) clustering: Clustering,
-    /// Repository entries.
-    pub(crate) entries: Vec<ClusterEntry>,
+    /// The shared-read search layer owning the repository entries.
+    pub(crate) searcher: ModelSearcher,
     /// Total vectors across the initial problems (fresh-cluster budgeting).
     initial_vectors: usize,
     labels_used: usize,
@@ -149,24 +141,25 @@ impl Morer {
             graph,
             sketches,
             clustering: Clustering::from_assignment(&assignment),
-            entries: outcome.entries,
+            searcher: ModelSearcher::new(outcome.entries, config.analysis_options()),
             initial_vectors,
             labels_used: outcome.labels_used,
             timings,
         };
         let report = BuildReport {
-            num_clusters: morer.entries.len(),
+            num_clusters: morer.searcher.num_models(),
             labels_used: morer.labels_used,
             timings: morer.timings,
         };
         (morer, report)
     }
 
-    /// Reconstruct a (search-only) pipeline from a persisted repository.
+    /// Reconstruct a writer pipeline from a persisted repository.
     /// `sel_base` solving works immediately; `sel_cov` will treat every new
-    /// problem as out-of-repository and train fresh models.
+    /// problem as out-of-repository and train fresh models. Deployments that
+    /// only search should use [`ModelSearcher::from_repository`] instead —
+    /// it is `Sync` and needs no `&mut` per caller.
     pub fn from_repository(repository: ModelRepository, config: &MorerConfig) -> Self {
-        let n_entries = repository.entries.len();
         Self {
             config: config.clone(),
             problems: Vec::new(),
@@ -174,21 +167,28 @@ impl Morer {
             graph: Graph::new(0),
             sketches: Vec::new(),
             clustering: Clustering::from_assignment(&[]),
-            entries: repository.entries,
+            searcher: ModelSearcher::new(repository.entries, config.analysis_options()),
             initial_vectors: 0,
             labels_used: 0,
             timings: Timings::default(),
         }
-        .tap_entries(n_entries)
     }
 
-    fn tap_entries(self, _n: usize) -> Self {
-        self
+    /// The shared-read search layer. Borrow it to serve `sel_base`
+    /// searches from many threads at once; clone it for a frozen snapshot
+    /// that outlives the writer.
+    pub fn searcher(&self) -> &ModelSearcher {
+        &self.searcher
+    }
+
+    /// Consume the writer, keeping only the search layer.
+    pub fn into_searcher(self) -> ModelSearcher {
+        self.searcher
     }
 
     /// Snapshot the repository for persistence.
     pub fn repository(&self) -> ModelRepository {
-        ModelRepository { entries: self.entries.clone() }
+        self.searcher.repository()
     }
 
     /// Total oracle labels spent (construction + integration).
@@ -198,7 +198,7 @@ impl Morer {
 
     /// Number of models currently stored.
     pub fn num_models(&self) -> usize {
-        self.entries.len()
+        self.searcher.num_models()
     }
 
     /// Current number of integrated problems.
@@ -231,32 +231,9 @@ impl Morer {
 
     fn solve_base(&mut self, problem: &ErProblem) -> SolveOutcome {
         let t = Instant::now();
-        // the query is sketched once; every entry scores against its cached
-        // representative sketch
-        let best = best_entry_for(problem, &self.entries, &self.config.analysis_options());
-        let outcome = match best {
-            Some((idx, sim)) => {
-                let (predictions, probabilities) = classify(&self.entries[idx], problem);
-                SolveOutcome {
-                    predictions,
-                    probabilities,
-                    entry_id: self.entries[idx].id,
-                    similarity: sim,
-                    retrained: false,
-                    new_model: false,
-                    labels_spent: 0,
-                }
-            }
-            None => SolveOutcome {
-                predictions: vec![false; problem.num_pairs()],
-                probabilities: vec![0.0; problem.num_pairs()],
-                entry_id: usize::MAX,
-                similarity: 0.0,
-                retrained: false,
-                new_model: false,
-                labels_spent: 0,
-            },
-        };
+        // pure read path: delegate to the shared searcher (same code that
+        // serves concurrent callers)
+        let outcome = self.searcher.solve(problem);
         self.timings.selection += t.elapsed();
         outcome
     }
@@ -303,9 +280,11 @@ impl Morer {
         let sizes: Vec<usize> = self.problems.iter().map(ErProblem::num_pairs).collect();
 
         // 3a. a cluster consisting purely of unsolved problems gets a fresh
-        // model (§4.5)
+        // model (§4.5) — and so does any problem arriving at a repository
+        // with zero entries (the all-unsolved branch degenerates to it; this
+        // used to be an unreachable-by-construction `expect`)
         let all_unsolved = members.iter().all(|&p| !self.in_t[p]);
-        if all_unsolved {
+        if all_unsolved || self.searcher.entries().is_empty() {
             let t = Instant::now();
             let cluster_vectors: usize = members.iter().map(|&p| sizes[p]).sum();
             // Eq. 14 presumes a previous model; fresh clusters receive the
@@ -320,20 +299,21 @@ impl Morer {
             };
             let (training, spent) = self.select_training(&members, budget);
             let model = TrainedModel::train(&self.config.model, &training);
-            let entry =
-                ClusterEntry::new(self.entries.len(), members.clone(), model, training, spent);
+            let entries = self.searcher.entries_mut();
+            let entry = ClusterEntry::new(entries.len(), members.clone(), model, training, spent);
             for &p in &members {
                 self.in_t[p] = true;
             }
             self.labels_used += spent;
             let entry_id = entry.id;
-            self.entries.push(entry);
+            entries.push(entry);
             self.timings.training += t.elapsed();
-            let (predictions, probabilities) = classify(&self.entries[entry_id], problem);
+            let (predictions, probabilities) =
+                classify(&self.searcher.entries()[entry_id], problem);
             return SolveOutcome {
                 predictions,
                 probabilities,
-                entry_id,
+                entry: Some(entry_id),
                 similarity: 1.0,
                 retrained: false,
                 new_model: true,
@@ -345,7 +325,8 @@ impl Morer {
         let t = Instant::now();
         let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
         let (entry_idx, _overlap) = self
-            .entries
+            .searcher
+            .entries()
             .iter()
             .enumerate()
             .map(|(i, e)| {
@@ -356,7 +337,7 @@ impl Morer {
             .max_by(|a, b| {
                 a.1.total_cmp(&b.1).then(b.0.cmp(&a.0))
             })
-            .expect("non-empty repository in coverage mode");
+            .expect("entries checked non-empty above");
         self.timings.selection += t.elapsed();
 
         // 4. coverage-triggered model update (Eqs. 13-14)
@@ -369,17 +350,17 @@ impl Morer {
                 members.iter().copied().filter(|&p| !self.in_t[p]).collect();
             let budget = match self.config.training {
                 TrainingMode::ActiveLearning(_) => {
-                    retrain_budget(cov, self.entries[entry_idx].representatives.len())
+                    retrain_budget(cov, self.searcher.entries()[entry_idx].representatives.len())
                 }
                 TrainingMode::Supervised { .. } => 0,
             };
             let (new_training, used) = self.select_training(&unsolved_members, budget);
             spent = used;
             // update: previous training data plus the new selection
-            let mut combined = self.entries[entry_idx].representatives.clone();
+            let mut combined = self.searcher.entries()[entry_idx].representatives.clone();
             combined.extend(&new_training);
             let model = TrainedModel::train(&self.config.model, &combined);
-            let entry = &mut self.entries[entry_idx];
+            let entry = &mut self.searcher.entries_mut()[entry_idx];
             entry.model = model;
             entry.representatives = combined;
             entry.labels_used += used;
@@ -394,11 +375,12 @@ impl Morer {
             self.timings.training += t.elapsed();
         }
 
-        let (predictions, probabilities) = classify(&self.entries[entry_idx], problem);
+        let entry = &self.searcher.entries()[entry_idx];
+        let (predictions, probabilities) = classify(entry, problem);
         SolveOutcome {
             predictions,
             probabilities,
-            entry_id: self.entries[entry_idx].id,
+            entry: Some(entry.id),
             similarity: cov,
             retrained,
             new_model: false,
@@ -492,7 +474,7 @@ mod tests {
         let (counts, outcomes) = morer.solve_and_score(&[&unsolved_a, &unsolved_b]);
         assert!(counts.f1() > 0.8, "F1 = {}", counts.f1());
         // the two problems should map to *different* cluster models
-        assert_ne!(outcomes[0].entry_id, outcomes[1].entry_id);
+        assert_ne!(outcomes[0].entry, outcomes[1].entry);
         assert!(outcomes.iter().all(|o| o.labels_spent == 0));
     }
 
@@ -625,7 +607,7 @@ mod tests {
         let oa = a.solve(&q);
         let ob = b.solve(&q);
         assert_eq!(oa.predictions, ob.predictions);
-        assert_eq!(oa.entry_id, ob.entry_id);
+        assert_eq!(oa.entry, ob.entry);
         assert_eq!(oa.similarity, ob.similarity);
         // capped analysis still routes problems to working models
         let (counts, _) = a.solve_and_score(&[&family_problem(22, 1, 150)]);
@@ -642,7 +624,7 @@ mod tests {
         let first = morer.solve(&q);
         // the second solve hits the warmed entry sketch caches
         let second = morer.solve(&q);
-        assert_eq!(first.entry_id, second.entry_id);
+        assert_eq!(first.entry, second.entry);
         assert_eq!(first.similarity, second.similarity);
         assert_eq!(first.predictions, second.predictions);
     }
@@ -661,7 +643,44 @@ mod tests {
         let mut morer = Morer::from_repository(ModelRepository::default(), &config());
         let p = family_problem(0, 0, 30);
         let outcome = morer.solve(&p);
-        assert_eq!(outcome.entry_id, usize::MAX);
+        assert_eq!(outcome.entry, None);
         assert!(outcome.predictions.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn solve_coverage_on_zero_entries_trains_a_fresh_model() {
+        // regression: this used to hit
+        // `expect("non-empty repository in coverage mode")`; an empty
+        // repository must instead take the §4.5 all-unsolved branch
+        let cfg = MorerConfig {
+            selection: SelectionStrategy::Coverage { t_cov: 0.25 },
+            ..config()
+        };
+        let mut morer = Morer::from_repository(ModelRepository::default(), &cfg);
+        let p = family_problem(0, 0, 150);
+        let outcome = morer.solve(&p);
+        assert!(outcome.new_model);
+        assert_eq!(outcome.entry, Some(0));
+        assert_eq!(morer.num_models(), 1);
+        // and the fresh model actually classifies
+        assert_eq!(outcome.predictions.len(), p.num_pairs());
+        assert!(outcome.predictions.iter().any(|&x| x));
+    }
+
+    #[test]
+    fn writer_exposes_its_shared_searcher() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let (mut morer, _) = Morer::build(refs, &config());
+        let q = family_problem(30, 0, 150);
+        let via_writer = morer.solve(&q);
+        let searcher = morer.searcher();
+        let via_searcher = searcher.solve(&q);
+        assert_eq!(via_writer.predictions, via_searcher.predictions);
+        assert_eq!(via_writer.entry, via_searcher.entry);
+        assert_eq!(via_writer.similarity, via_searcher.similarity);
+        // into_searcher keeps the same entries
+        let n = morer.num_models();
+        assert_eq!(morer.into_searcher().num_models(), n);
     }
 }

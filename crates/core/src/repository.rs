@@ -7,9 +7,10 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::distribution::{AnalysisOptions, DistributionSketch};
+use crate::error::{MorerError, REPOSITORY_FORMAT_VERSION};
 use morer_ml::dataset::{FeatureMatrix, TrainingSet};
 use morer_ml::model::TrainedModel;
 
@@ -143,7 +144,7 @@ impl ClusterEntry {
 }
 
 /// The serializable model repository.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ModelRepository {
     /// All cluster entries.
     pub entries: Vec<ClusterEntry>,
@@ -160,25 +161,82 @@ impl ModelRepository {
         self.entries.iter().map(|e| e.labels_used).sum()
     }
 
-    /// Serialize as JSON to any writer.
-    pub fn save_json<W: Write>(&self, writer: W) -> std::io::Result<()> {
-        serde_json::to_writer(BufWriter::new(writer), self)
-            .map_err(std::io::Error::other)
+    /// Serialize as JSON to any writer, in the current versioned format:
+    /// `{"version": 1, "entries": [...]}` (see
+    /// [`REPOSITORY_FORMAT_VERSION`]).
+    ///
+    /// # Errors
+    /// [`MorerError::Io`] when the writer fails. (The JSON text is rendered
+    /// before any byte is written, so errors keep their I/O identity
+    /// instead of being stringified by the serializer.)
+    pub fn save_json<W: Write>(&self, writer: W) -> Result<(), MorerError> {
+        /// Borrowing envelope: builds the versioned value tree directly
+        /// from the entries, without an intermediate owned copy.
+        struct Envelope<'a>(&'a ModelRepository);
+        impl Serialize for Envelope<'_> {
+            fn to_value(&self) -> Value {
+                Value::Map(vec![
+                    ("version".into(), Value::U64(REPOSITORY_FORMAT_VERSION)),
+                    ("entries".into(), self.0.entries.to_value()),
+                ])
+            }
+        }
+        let text = serde_json::to_string(&Envelope(self))
+            .map_err(|e| MorerError::Parse(e.to_string()))?;
+        let mut writer = BufWriter::new(writer);
+        writer.write_all(text.as_bytes())?;
+        writer.flush()?;
+        Ok(())
     }
 
     /// Deserialize from JSON.
-    pub fn load_json<R: Read>(reader: R) -> std::io::Result<Self> {
-        serde_json::from_reader(BufReader::new(reader))
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    ///
+    /// Accepts the current versioned format and legacy version-less files
+    /// (`{"entries": [...]}`, written before the header existed).
+    ///
+    /// # Errors
+    /// [`MorerError::UnsupportedVersion`] when the file declares a version
+    /// newer than [`REPOSITORY_FORMAT_VERSION`];
+    /// [`MorerError::Parse`] on malformed JSON or a structurally wrong
+    /// document; [`MorerError::Io`] when the reader fails.
+    pub fn load_json<R: Read>(reader: R) -> Result<Self, MorerError> {
+        // read first so reader failures stay MorerError::Io, then parse the
+        // raw tree so the version header is inspected before the (possibly
+        // incompatible) entries are decoded
+        let mut text = String::new();
+        BufReader::new(reader).read_to_string(&mut text)?;
+        let envelope =
+            serde_json::from_str_value(&text).map_err(|e| MorerError::Parse(e.to_string()))?;
+        let version = match serde::map_get(&envelope, "version")
+            .map_err(|e| MorerError::Parse(e.to_string()))?
+        {
+            // legacy version-less file: same entry encoding as version 1
+            Value::Null => 0,
+            Value::U64(v) => *v,
+            Value::I64(v) if *v >= 0 => *v as u64,
+            other => {
+                return Err(MorerError::Parse(format!(
+                    "repository version must be an integer, found {other:?}"
+                )))
+            }
+        };
+        if version > REPOSITORY_FORMAT_VERSION {
+            return Err(MorerError::UnsupportedVersion { found: version });
+        }
+        let entries_value = serde::map_get(&envelope, "entries")
+            .map_err(|e| MorerError::Parse(e.to_string()))?;
+        let entries = Vec::<ClusterEntry>::from_value(entries_value)
+            .map_err(|e| MorerError::Parse(e.to_string()))?;
+        Ok(Self { entries })
     }
 
-    /// Save to a file path.
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+    /// Save to a file path (versioned format).
+    pub fn save(&self, path: &Path) -> Result<(), MorerError> {
         self.save_json(std::fs::File::create(path)?)
     }
 
     /// Load from a file path.
-    pub fn load(path: &Path) -> std::io::Result<Self> {
+    pub fn load(path: &Path) -> Result<Self, MorerError> {
         Self::load_json(std::fs::File::open(path)?)
     }
 }
@@ -269,7 +327,79 @@ mod tests {
     #[test]
     fn load_rejects_garbage() {
         let err = ModelRepository::load_json(&b"not json"[..]).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(err, MorerError::Parse(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn io_failures_keep_their_io_identity() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe gone"))
+            }
+        }
+        impl Read for Broken {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "slow disk"))
+            }
+        }
+        // a transient I/O failure must surface as Io, never Parse — callers
+        // retry Io but permanently reject Parse
+        let repo = ModelRepository { entries: vec![sample_entry(0)] };
+        match repo.save_json(Broken).unwrap_err() {
+            MorerError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        match ModelRepository::load_json(Broken).unwrap_err() {
+            MorerError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::TimedOut),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saved_files_carry_the_version_header() {
+        let repo = ModelRepository { entries: vec![sample_entry(0)] };
+        let mut buf = Vec::new();
+        repo.save_json(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.starts_with(&format!("{{\"version\":{REPOSITORY_FORMAT_VERSION}")),
+            "missing version header: {}",
+            &text[..60.min(text.len())]
+        );
+    }
+
+    #[test]
+    fn legacy_version_less_json_still_loads() {
+        let repo = ModelRepository { entries: vec![sample_entry(0), sample_entry(1)] };
+        // the pre-versioning on-disk format: a bare {"entries": [...]} map
+        let legacy = format!(
+            "{{\"entries\":{}}}",
+            serde_json::to_string(&repo.entries).unwrap()
+        );
+        let loaded = ModelRepository::load_json(legacy.as_bytes()).unwrap();
+        assert_eq!(loaded, repo);
+    }
+
+    #[test]
+    fn unknown_future_version_is_a_typed_error() {
+        let future = format!(
+            "{{\"version\":{},\"entries\":[]}}",
+            REPOSITORY_FORMAT_VERSION + 1
+        );
+        let err = ModelRepository::load_json(future.as_bytes()).unwrap_err();
+        match err {
+            MorerError::UnsupportedVersion { found } => {
+                assert_eq!(found, REPOSITORY_FORMAT_VERSION + 1);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // a non-integer version is malformed, not "unsupported"
+        let junk = ModelRepository::load_json(&b"{\"version\":\"two\",\"entries\":[]}"[..]);
+        assert!(matches!(junk, Err(MorerError::Parse(_))));
     }
 
     #[test]

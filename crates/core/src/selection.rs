@@ -1,5 +1,9 @@
 //! Model search for new ER problems (paper §4.5): the `sel_base` most-similar
 //! cluster lookup and the coverage computation behind `sel_cov`.
+//!
+//! These are the stateless kernels under the service API: callers should
+//! normally go through [`crate::searcher::ModelSearcher`] (shared-read,
+//! typed errors) rather than calling `best_entry_for` directly.
 
 use crate::distribution::{sketch_similarity, AnalysisOptions, DistributionSketch};
 use crate::repository::ClusterEntry;
@@ -76,45 +80,10 @@ pub fn retrain_budget(cov: f64, previous_training_size: usize) -> usize {
 mod tests {
     use super::*;
     use crate::distribution::DistributionTest;
-    use morer_ml::dataset::FeatureMatrix;
-    use morer_ml::model::{ModelConfig, TrainedModel};
-    use morer_ml::TrainingSet;
-
-    fn entry_with_mu(id: usize, mu: f64) -> ClusterEntry {
-        let mut rows = Vec::new();
-        let mut labels = Vec::new();
-        for i in 0..100 {
-            let jitter = (i % 10) as f64 / 100.0;
-            let is_match = i % 2 == 0;
-            let v = if is_match { mu } else { 0.1 } + jitter;
-            rows.push(vec![v.min(1.0), (v * 0.9).min(1.0)]);
-            labels.push(is_match);
-        }
-        let training = TrainingSet::from_rows(&rows, &labels);
-        let model = TrainedModel::train(&ModelConfig::GaussianNb, &training);
-        ClusterEntry::new(id, vec![id], model, training, 100)
-    }
+    use crate::testutil::entry_with_mu;
 
     fn problem_with_mu(mu: f64) -> ErProblem {
-        let mut features = FeatureMatrix::new(2);
-        let mut labels = Vec::new();
-        let mut pairs = Vec::new();
-        for i in 0..100 {
-            let jitter = (i % 10) as f64 / 100.0;
-            let is_match = i % 2 == 0;
-            let v = if is_match { mu } else { 0.1 } + jitter;
-            features.push_row(&[v.min(1.0), (v * 0.9).min(1.0)]);
-            labels.push(is_match);
-            pairs.push((i as u32, (i + 500) as u32));
-        }
-        ErProblem {
-            id: 99,
-            sources: (4, 5),
-            pairs,
-            features,
-            labels,
-            feature_names: vec!["f0".into(), "f1".into()],
-        }
+        crate::testutil::problem_with_mu(99, mu)
     }
 
     fn opts(sample_cap: usize, seed: u64) -> AnalysisOptions {

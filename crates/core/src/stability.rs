@@ -101,7 +101,8 @@ impl Morer {
     /// seed-stability estimate (3-10 is plenty).
     pub fn stability_report(&self, num_seeds: usize) -> StabilityReport {
         let clusters = self
-            .entries
+            .searcher
+            .entries()
             .iter()
             .map(|e| cluster_cohesion(&self.graph, &e.problem_ids, e.id))
             .collect();

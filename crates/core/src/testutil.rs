@@ -1,0 +1,53 @@
+//! Shared unit-test fixtures: a repository entry / query problem whose
+//! match similarities sit around a configurable `mu`, so tests can build
+//! distinguishable distribution families without copy-pasting builders.
+
+use crate::repository::ClusterEntry;
+use morer_data::ErProblem;
+use morer_ml::dataset::FeatureMatrix;
+use morer_ml::model::{ModelConfig, TrainedModel};
+use morer_ml::TrainingSet;
+
+/// 100 alternating match/non-match rows: matches near `mu`, non-matches
+/// near 0.1, with a small deterministic jitter.
+fn rows_with_mu(mu: f64) -> (Vec<Vec<f64>>, Vec<bool>) {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..100 {
+        let jitter = (i % 10) as f64 / 100.0;
+        let is_match = i % 2 == 0;
+        let v = if is_match { mu } else { 0.1 } + jitter;
+        rows.push(vec![v.min(1.0), (v * 0.9).min(1.0)]);
+        labels.push(is_match);
+    }
+    (rows, labels)
+}
+
+/// A trained GaussianNB cluster entry whose representatives match around
+/// `mu`.
+pub(crate) fn entry_with_mu(id: usize, mu: f64) -> ClusterEntry {
+    let (rows, labels) = rows_with_mu(mu);
+    let training = TrainingSet::from_rows(&rows, &labels);
+    let model = TrainedModel::train(&ModelConfig::GaussianNb, &training);
+    ClusterEntry::new(id, vec![id], model, training, 100)
+}
+
+/// A query ER problem drawn from the same family as
+/// [`entry_with_mu`]`(_, mu)`.
+pub(crate) fn problem_with_mu(id: usize, mu: f64) -> ErProblem {
+    let (rows, labels) = rows_with_mu(mu);
+    let mut features = FeatureMatrix::new(2);
+    let mut pairs = Vec::new();
+    for (i, r) in rows.iter().enumerate() {
+        features.push_row(r);
+        pairs.push((i as u32, (i + 500) as u32));
+    }
+    ErProblem {
+        id,
+        sources: (id, id + 1),
+        pairs,
+        features,
+        labels,
+        feature_names: vec!["f0".into(), "f1".into()],
+    }
+}

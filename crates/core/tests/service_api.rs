@@ -1,0 +1,196 @@
+//! Service-grade API contract tests: N threads sharing one [`ModelSearcher`]
+//! must produce bit-identical outcomes to sequential solves (cold and warmed
+//! sketch caches), and repository persistence must round-trip the versioned
+//! JSON format while still reading legacy version-less files.
+
+use morer_core::distribution::{AnalysisOptions, DistributionTest};
+use morer_core::error::REPOSITORY_FORMAT_VERSION;
+use morer_core::prelude::*;
+use morer_core::searcher::ModelSearcher;
+use morer_data::ErProblem;
+use morer_ml::dataset::FeatureMatrix;
+use morer_ml::model::{ModelConfig, TrainedModel};
+use morer_ml::TrainingSet;
+
+/// A cluster entry whose matches sit around `mu`.
+fn entry_with_mu(id: usize, mu: f64) -> ClusterEntry {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..120 {
+        let jitter = (i % 12) as f64 / 120.0;
+        let is_match = i % 2 == 0;
+        let v = if is_match { mu } else { 0.08 } + jitter;
+        rows.push(vec![v.min(1.0), (v * 0.9).min(1.0)]);
+        labels.push(is_match);
+    }
+    let training = TrainingSet::from_rows(&rows, &labels);
+    let model = TrainedModel::train(&ModelConfig::GaussianNb, &training);
+    ClusterEntry::new(id, vec![id], model, training, 120)
+}
+
+fn problem_with_mu(id: usize, mu: f64) -> ErProblem {
+    let mut features = FeatureMatrix::new(2);
+    let mut labels = Vec::new();
+    let mut pairs = Vec::new();
+    for i in 0..120 {
+        let jitter = ((i * 7 + id * 13) % 12) as f64 / 120.0;
+        let is_match = i % 2 == 0;
+        let v = if is_match { mu } else { 0.08 } + jitter;
+        features.push_row(&[v.min(1.0), (v * 0.9).min(1.0)]);
+        labels.push(is_match);
+        pairs.push(((id * 200 + i) as u32, (id * 200 + i + 100_000) as u32));
+    }
+    ErProblem {
+        id,
+        sources: (id, id + 1),
+        pairs,
+        features,
+        labels,
+        feature_names: vec!["f0".into(), "f1".into()],
+    }
+}
+
+fn sample_searcher(sample_cap: usize) -> ModelSearcher {
+    let entries = vec![
+        entry_with_mu(0, 0.9),
+        entry_with_mu(1, 0.65),
+        entry_with_mu(2, 0.45),
+    ];
+    let opts = AnalysisOptions::new(DistributionTest::KolmogorovSmirnov, sample_cap, 17);
+    ModelSearcher::new(entries, opts)
+}
+
+fn queries() -> Vec<ErProblem> {
+    (0..9)
+        .map(|i| problem_with_mu(i, [0.88, 0.66, 0.46][i % 3]))
+        .collect()
+}
+
+/// Fingerprint of an outcome, comparable across threads.
+fn fingerprint(o: &SolveOutcome) -> (Option<usize>, f64, Vec<bool>, Vec<f64>) {
+    (o.entry, o.similarity, o.predictions.clone(), o.probabilities.clone())
+}
+
+#[test]
+fn concurrent_solves_are_bit_identical_to_sequential() {
+    for (label, warm) in [("cold", false), ("warmed", true)] {
+        // the sequential reference runs on its own searcher so the
+        // concurrent one starts genuinely cold when warm == false
+        let reference = sample_searcher(64);
+        let qs = queries();
+        let expected: Vec<_> = qs.iter().map(|q| fingerprint(&reference.solve(q))).collect();
+
+        let shared = sample_searcher(64);
+        if warm {
+            shared.warm();
+            assert!(shared.entries().iter().all(ClusterEntry::has_cached_sketch));
+        } else {
+            assert!(shared.entries().iter().all(|e| !e.has_cached_sketch()));
+        }
+        let n_threads = 4;
+        let results: Vec<Vec<_>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|_| {
+                    let shared = &shared;
+                    let qs = &qs;
+                    scope.spawn(move || {
+                        qs.iter().map(|q| fingerprint(&shared.solve(q))).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("solver thread panicked")).collect()
+        });
+        for (t, per_thread) in results.iter().enumerate() {
+            assert_eq!(
+                per_thread, &expected,
+                "{label}: thread {t} diverged from the sequential reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn solve_batch_equals_sequential_under_capped_sampling() {
+    // capped sampling exercises the seeded per-entry subsampling paths
+    let searcher = sample_searcher(48);
+    let qs = queries();
+    let refs: Vec<&ErProblem> = qs.iter().collect();
+    let sequential: Vec<_> = refs.iter().map(|q| fingerprint(&searcher.solve(q))).collect();
+    let batched: Vec<_> = searcher.solve_batch(&refs).iter().map(fingerprint).collect();
+    assert_eq!(sequential, batched);
+}
+
+#[test]
+fn concurrent_searches_share_one_warm_cache_state() {
+    let shared = sample_searcher(1000);
+    let qs = queries();
+    // hammer the cold caches from several threads at once, then confirm the
+    // final cache state answers exactly like a freshly warmed searcher
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let shared = &shared;
+            let qs = &qs;
+            scope.spawn(move || {
+                for q in qs {
+                    let _ = shared.search(q).expect("non-empty repository");
+                }
+            });
+        }
+    });
+    assert!(shared.entries().iter().all(ClusterEntry::has_cached_sketch));
+    let fresh = sample_searcher(1000);
+    fresh.warm();
+    for q in &qs {
+        assert_eq!(shared.search(q).unwrap(), fresh.search(q).unwrap());
+    }
+}
+
+#[test]
+fn versioned_round_trip_preserves_the_repository() {
+    let repo = sample_searcher(64).repository();
+    let mut buf = Vec::new();
+    repo.save_json(&mut buf).unwrap();
+    let text = String::from_utf8(buf.clone()).unwrap();
+    assert!(text.contains(&format!("\"version\":{REPOSITORY_FORMAT_VERSION}")));
+    let loaded = ModelRepository::load_json(&buf[..]).unwrap();
+    assert_eq!(loaded, repo);
+}
+
+#[test]
+fn legacy_version_less_repository_files_load() {
+    let repo = sample_searcher(64).repository();
+    let legacy = format!(
+        "{{\"entries\":{}}}",
+        serde_json::to_string(&repo.entries).unwrap()
+    );
+    let loaded = ModelRepository::load_json(legacy.as_bytes()).unwrap();
+    assert_eq!(loaded, repo);
+    // a searcher over the legacy-loaded repository answers identically
+    let config = MorerConfig::default();
+    let a = ModelSearcher::from_repository(repo, &config);
+    let b = ModelSearcher::from_repository(loaded, &config);
+    for q in &queries() {
+        assert_eq!(a.search(q).unwrap(), b.search(q).unwrap());
+    }
+}
+
+// (the unknown-future-version contract is covered by the repository unit
+// tests and, with the io::Error conversion, by tests/failure_injection.rs)
+
+#[test]
+fn empty_coverage_repository_bootstraps_instead_of_panicking() {
+    // regression for the former
+    // `expect("non-empty repository in coverage mode")`
+    let config = MorerConfig {
+        budget: 120,
+        budget_min: 20,
+        selection: SelectionStrategy::Coverage { t_cov: 0.25 },
+        ..MorerConfig::default()
+    };
+    let mut morer = Morer::from_repository(ModelRepository::default(), &config);
+    let outcome = morer.solve(&problem_with_mu(0, 0.9));
+    assert!(outcome.new_model, "first problem must train a fresh model");
+    assert_eq!(outcome.entry, Some(0));
+    assert!(outcome.labels_spent > 0);
+    assert_eq!(morer.num_models(), 1);
+}

@@ -60,6 +60,16 @@ pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T,
     from_str(&buf)
 }
 
+/// Parse JSON text into the raw [`Value`] tree without cloning. The real
+/// serde_json spells this `from_str::<Value>` / `s.parse::<Value>()`
+/// (its `Value` lives in the same crate, so it can implement the traits);
+/// the stand-in's `Value` lives in `serde`, hence a named function. This is
+/// how callers inspect a document (e.g. a version header) before
+/// committing to a typed decode.
+pub fn from_str_value(s: &str) -> Result<Value, Error> {
+    parse(s)
+}
+
 // ---------------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------------

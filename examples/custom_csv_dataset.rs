@@ -90,10 +90,12 @@ fn main() -> std::io::Result<()> {
 
     // --- 4. the MoRER pipeline ---------------------------------------------
     let config = MorerConfig { budget: 20, budget_min: 5, ..MorerConfig::default() };
-    let (mut morer, report) = Morer::build(bench.initial_problems(), &config);
+    let (morer, report) = Morer::build(bench.initial_problems(), &config);
     println!("repository: {} models / {} labels", report.num_clusters, report.labels_used);
+    // default sel_base never writes: solve through the shared searcher
+    let searcher = morer.searcher();
     for p in bench.unsolved_problems() {
-        let outcome = morer.solve(p);
+        let outcome = searcher.solve(p);
         println!("\nproblem shop{}–shop{}:", p.sources.0, p.sources.1);
         for (i, &(a, b)) in p.pairs.iter().enumerate() {
             let ra = bench.dataset.record(a);

@@ -57,8 +57,8 @@ fn main() {
 
     // --- MoRER: cluster-specific models under a small label budget --------
     let config = MorerConfig { budget: 1000, ..MorerConfig::default() };
-    let (mut morer, report) = Morer::build(initial, &config);
-    let (morer_counts, _) = morer.solve_and_score(&bench.unsolved_problems());
+    let (morer, report) = Morer::build(initial, &config);
+    let (morer_counts, _) = morer.searcher().solve_and_score(&bench.unsolved_problems());
 
     println!("\nunified supervised model (all {} labeled pairs):", union.len());
     println!(

@@ -5,7 +5,10 @@
 //!
 //! Uses the camera (Dexter-like) benchmark: 23 heterogeneous sources with
 //! intra-source duplicates, and the `sel_cov` strategy that integrates every
-//! new problem into the ER problem graph.
+//! new problem into the ER problem graph. Integration mutates the
+//! repository, so this is the writer ([`Morer`]) side of the API — contrast
+//! with the read-only [`ModelSearcher`] serving in the
+//! `repository_persistence` example.
 //!
 //! ```text
 //! cargo run --release --example product_catalog_integration
@@ -52,10 +55,11 @@ fn main() {
         }
         if outcome.retrained || outcome.new_model {
             println!(
-                "  D{}–D{}: {} ({} extra labels)",
+                "  D{}–D{}: {} -> model {} ({} extra labels)",
                 problem.sources.0,
                 problem.sources.1,
                 if outcome.new_model { "new model trained" } else { "model retrained" },
+                outcome.entry.map_or_else(|| "-".into(), |e| e.to_string()),
                 outcome.labels_spent
             );
         }

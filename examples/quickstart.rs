@@ -25,7 +25,7 @@ fn main() {
     //    budget: distribution analysis -> Leiden clustering -> one model per
     //    cluster via Bootstrap active learning.
     let config = MorerConfig { budget: 1000, ..MorerConfig::default() };
-    let (mut morer, report) = Morer::build(bench.initial_problems(), &config);
+    let (morer, report) = Morer::build(bench.initial_problems(), &config);
     println!(
         "repository: {} cluster models, {} oracle labels spent",
         report.num_clusters, report.labels_used
@@ -37,15 +37,18 @@ fn main() {
 
     // 3. Solve the unsolved problems by reusing the stored models
     //    (sel_base: pick the most similar cluster, zero extra labels).
+    //    The read path is the shared `ModelSearcher` — `&self` only, so the
+    //    same calls could come from any number of threads at once.
+    let searcher = morer.searcher();
     let unsolved = bench.unsolved_problems();
-    let (counts, outcomes) = morer.solve_and_score(&unsolved);
+    let (counts, outcomes) = searcher.solve_and_score(&unsolved);
     for (p, o) in unsolved.iter().zip(&outcomes) {
         println!(
             "  problem D{}–D{}: {} pairs -> cluster {} (sim_p {:.3})",
             p.sources.0,
             p.sources.1,
             p.num_pairs(),
-            o.entry_id,
+            o.entry.map_or_else(|| "-".into(), |e| e.to_string()),
             o.similarity
         );
     }

@@ -1,6 +1,14 @@
 //! The "ER matching service" deployment (§1): a repository is built once,
-//! persisted to a backend, and later processes loaded into a fresh process —
+//! persisted to a backend, and later loaded into a fresh process —
 //! "enabling users to solve any ER problem by leveraging existing models".
+//!
+//! The on-disk format is versioned JSON (`{"version": 1, "entries": ...}`);
+//! legacy version-less files still load, and files written by a newer build
+//! fail with the typed [`MorerError::UnsupportedVersion`] instead of a
+//! parse panic. The serving side is a [`ModelSearcher`]: immutable,
+//! `Send + Sync`, so one instance handles every concurrent caller —
+//! `solve_and_score` below fans the whole query load over scoped worker
+//! threads sharing it.
 //!
 //! ```text
 //! cargo run --release --example repository_persistence
@@ -20,25 +28,31 @@ fn main() -> std::io::Result<()> {
     repo.save(&path)?;
     let bytes = std::fs::metadata(&path)?.len();
     println!(
-        "service A built {} models with {} labels and persisted them ({} KiB)",
+        "service A built {} models with {} labels and persisted them \
+         (format v{REPOSITORY_FORMAT_VERSION}, {} KiB)",
         report.num_clusters,
         report.labels_used,
         bytes / 1024
     );
 
-    // --- service B: load and serve ----------------------------------------
+    // --- service B: load and serve concurrently ---------------------------
     let loaded = ModelRepository::load(&path)?;
     println!(
         "service B loaded {} models ({} stored representative vectors)",
         loaded.num_models(),
         loaded.entries.iter().map(|e| e.representatives.len()).sum::<usize>()
     );
-    let mut service = Morer::from_repository(loaded, &config);
+    // a file from a future build would have surfaced as a typed error:
+    // Err(MorerError::UnsupportedVersion { found }) => refuse + report
+    let service = ModelSearcher::from_repository(loaded, &config);
     let (counts, outcomes) = service.solve_and_score(&bench.unsolved_problems());
     for (p, o) in bench.unsolved_problems().iter().zip(&outcomes) {
         println!(
             "  query D{}–D{} -> model {} (sim_p {:.3})",
-            p.sources.0, p.sources.1, o.entry_id, o.similarity
+            p.sources.0,
+            p.sources.1,
+            o.entry.map_or_else(|| "-".into(), |e| e.to_string()),
+            o.similarity
         );
     }
     println!(

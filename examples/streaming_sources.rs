@@ -40,9 +40,11 @@ fn main() {
     }
 
     // --- policy 2: sel_base ------------------------------------------------
+    // pure reuse never mutates the repository, so it runs through the
+    // shared ModelSearcher: arrivals are batch-solved over worker threads
     let base_cfg = MorerConfig { budget: 1000, ..MorerConfig::default() };
-    let (mut base, base_report) = Morer::build(initial.clone(), &base_cfg);
-    let (base_counts, _) = base.solve_and_score(&arrivals);
+    let (base, base_report) = Morer::build(initial.clone(), &base_cfg);
+    let (base_counts, _) = base.searcher().solve_and_score(&arrivals);
 
     // --- policy 3: sel_cov -------------------------------------------------
     let cov_cfg = MorerConfig {

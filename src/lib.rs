@@ -17,6 +17,26 @@
 //! | [`embed`] | `morer-embed` | hashed n-gram record embeddings (LM stand-in) |
 //! | [`baselines`] | `morer-baselines` | TransER, DittoSim, SudowoodoSim, UnicornSim, AnyMatchSim, ZeroErSim |
 //!
+//! ## API architecture
+//!
+//! The pipeline API is split into a read layer and a write layer:
+//!
+//! * **[`core::searcher::ModelSearcher`]** — the shared-read search service.
+//!   Immutable and `Send + Sync`: `search(&self, …)`, `solve(&self, …)` and
+//!   `solve_batch(&self, …)` (scoped-thread fan-out) can be called from any
+//!   number of threads on one instance. Searching an empty repository is the
+//!   typed [`core::error::MorerError::EmptyRepository`] — no sentinels.
+//! * **[`core::pipeline::Morer`]** — the writer. Wraps a searcher
+//!   ([`core::pipeline::Morer::searcher`]) and adds repository construction
+//!   and `sel_cov` integration (graph growth, reclustering,
+//!   coverage-triggered retraining). An empty repository in coverage mode
+//!   trains a fresh model instead of panicking.
+//! * **[`core::repository::ModelRepository`]** — the persistence artifact.
+//!   Its JSON form is versioned (`{"version": 1, …}`,
+//!   [`core::error::REPOSITORY_FORMAT_VERSION`]); legacy version-less files
+//!   load transparently and unknown future versions fail with the typed
+//!   [`core::error::MorerError::UnsupportedVersion`].
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -26,14 +46,26 @@
 //! // a WDC-like multi-source product benchmark
 //! let bench = computer(DatasetScale::Tiny, 42);
 //!
-//! // build the model repository from the solved problems
+//! // build the model repository from the solved problems (the writer API)
 //! let config = MorerConfig { budget: 300, ..MorerConfig::default() };
-//! let (mut morer, report) = Morer::build(bench.initial_problems(), &config);
+//! let (morer, report) = Morer::build(bench.initial_problems(), &config);
 //! println!("{} clusters, {} labels", report.num_clusters, report.labels_used);
 //!
-//! // solve the unsolved problems by model reuse
-//! let (counts, _) = morer.solve_and_score(&bench.unsolved_problems());
+//! // solve the unsolved problems by model reuse through the shared-read
+//! // searcher (&self — the same instance can serve any number of threads)
+//! let searcher = morer.searcher();
+//! let (counts, outcomes) = searcher.solve_and_score(&bench.unsolved_problems());
+//! assert!(outcomes.iter().all(|o| o.entry.is_some()));
 //! println!("P={:.2} R={:.2} F1={:.2}", counts.precision(), counts.recall(), counts.f1());
+//!
+//! // persist for a search-only service process (versioned JSON)
+//! let mut buf = Vec::new();
+//! morer.repository().save_json(&mut buf).unwrap();
+//! let served = ModelSearcher::from_repository(
+//!     ModelRepository::load_json(&buf[..]).unwrap(),
+//!     &config,
+//! );
+//! assert_eq!(served.num_models(), report.num_clusters);
 //! ```
 
 pub use morer_al as al;

@@ -131,8 +131,62 @@ fn repository_persistence_round_trip_preserves_predictions() {
     let (_, rest_outcomes) = restored.solve_and_score(&unsolved);
     for (a, b) in orig_outcomes.iter().zip(&rest_outcomes) {
         assert_eq!(a.predictions, b.predictions);
-        assert_eq!(a.entry_id, b.entry_id);
+        assert_eq!(a.entry, b.entry);
     }
+}
+
+#[test]
+fn shared_searcher_serves_threads_and_batches_identically() {
+    let bench = computer(DatasetScale::Tiny, 11);
+    let config = MorerConfig { budget: 300, ..MorerConfig::default() };
+    let (mut morer, _) = Morer::build(bench.initial_problems(), &config);
+    let unsolved = bench.unsolved_problems();
+
+    // sequential writer solves are the reference
+    let (_, reference) = morer.solve_and_score(&unsolved);
+
+    // the shared read path: batch fan-out and raw scoped threads must both
+    // reproduce the reference bit-for-bit
+    let searcher = morer.searcher();
+    let batched = searcher.solve_batch(&unsolved);
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let searcher = &searcher;
+            let unsolved = &unsolved;
+            let reference = &reference;
+            scope.spawn(move || {
+                for (q, expected) in unsolved.iter().zip(reference.iter()) {
+                    let got = searcher.solve(q);
+                    assert_eq!(got.predictions, expected.predictions);
+                    assert_eq!(got.probabilities, expected.probabilities);
+                    assert_eq!(got.entry, expected.entry);
+                    assert_eq!(got.similarity, expected.similarity);
+                }
+            });
+        }
+    });
+    for (a, b) in reference.iter().zip(&batched) {
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(a.entry, b.entry);
+        assert_eq!(a.similarity, b.similarity);
+    }
+}
+
+#[test]
+fn versioned_persistence_served_through_model_searcher() {
+    let bench = computer(DatasetScale::Tiny, 11);
+    let config = MorerConfig { budget: 300, ..MorerConfig::default() };
+    let (morer, _) = Morer::build(bench.initial_problems(), &config);
+    let mut buf = Vec::new();
+    morer.repository().save_json(&mut buf).unwrap();
+    assert!(String::from_utf8_lossy(&buf)
+        .starts_with(&format!("{{\"version\":{REPOSITORY_FORMAT_VERSION}")));
+    let service =
+        ModelSearcher::from_repository(ModelRepository::load_json(&buf[..]).unwrap(), &config);
+    let unsolved = bench.unsolved_problems();
+    let (counts, outcomes) = service.solve_and_score(&unsolved);
+    assert!(counts.f1() > 0.75, "F1 = {}", counts.f1());
+    assert!(outcomes.iter().all(|o| o.entry.is_some()));
 }
 
 #[test]

@@ -111,8 +111,39 @@ fn mismatched_feature_spaces_panic_loudly() {
 fn corrupted_repository_json_is_rejected() {
     for garbage in [&b""[..], &b"{}"[..], &b"{\"entries\": 3}"[..], &b"[1,2,3"[..]] {
         let err = ModelRepository::load_json(garbage);
-        assert!(err.is_err(), "accepted {:?}", String::from_utf8_lossy(garbage));
+        assert!(
+            matches!(err, Err(MorerError::Parse(_))),
+            "accepted {:?} as {err:?}",
+            String::from_utf8_lossy(garbage)
+        );
     }
+}
+
+#[test]
+fn future_repository_version_fails_typed_not_parse() {
+    let future = format!("{{\"version\":{},\"entries\":[]}}", REPOSITORY_FORMAT_VERSION + 1);
+    match ModelRepository::load_json(future.as_bytes()) {
+        Err(MorerError::UnsupportedVersion { found }) => {
+            assert_eq!(found, REPOSITORY_FORMAT_VERSION + 1)
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    // the error converts into io::Error for `?`-style callers
+    let io: std::io::Error =
+        ModelRepository::load_json(future.as_bytes()).unwrap_err().into();
+    assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn searching_an_empty_repository_is_a_typed_error() {
+    let searcher =
+        ModelSearcher::from_repository(ModelRepository::default(), &MorerConfig::default());
+    let err = searcher.search(&healthy_problem(0)).unwrap_err();
+    assert!(matches!(err, MorerError::EmptyRepository));
+    // solve degrades gracefully instead: no entry, all-non-match
+    let outcome = searcher.solve(&healthy_problem(0));
+    assert_eq!(outcome.entry, None);
+    assert!(outcome.predictions.iter().all(|&x| !x));
 }
 
 #[test]
