@@ -1,0 +1,107 @@
+//! Throughput benchmark of incremental repository construction: per-insert
+//! cost of `Morer::add_problem` (O(P) analysis + policy-driven clustering +
+//! dirty-tracked retraining) against the strawman of a full `Morer::build`
+//! rebuild per arrival.
+//!
+//! The acceptance bar for the ingest work is ≥ 5× incremental-over-rebuild
+//! on the 40-problem repository (`cargo run -p morer-bench --release --
+//! quick-bench` prints the same comparison as part of its JSON line, after
+//! asserting that `ReclusterPolicy::Always` ingest stays bit-identical to
+//! batch construction).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use morer_bench::workload::analysis_workload;
+use morer_core::clustering::ReclusterPolicy;
+use morer_core::config::{MorerConfig, TrainingMode};
+use morer_core::pipeline::Morer;
+use morer_data::ErProblem;
+use morer_ml::model::ModelConfig;
+
+fn ingest_config(recluster: ReclusterPolicy) -> MorerConfig {
+    MorerConfig {
+        // supervised + NB keeps training cheap so the bench isolates the
+        // construction paths; dirty tracking is exercised all the same
+        training: TrainingMode::Supervised { fraction: 0.5 },
+        model: ModelConfig::GaussianNb,
+        recluster,
+        seed: 42,
+        ..MorerConfig::default()
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    // scaled-down workload so the per-insert rebuild fits a bench
+    // iteration budget; relative throughput is what matters here
+    let problems = analysis_workload(20, 600, 6, 42);
+    let refs: Vec<&ErProblem> = problems.iter().collect();
+    let (base, arrivals) = refs.split_at(16);
+
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(Throughput::Elements(arrivals.len() as u64));
+    group.sample_size(10);
+    group.bench_function("add_problem_always", |b| {
+        b.iter(|| {
+            let (mut morer, _) = Morer::build(base.to_vec(), &ingest_config(ReclusterPolicy::Always));
+            for p in arrivals {
+                black_box(morer.add_problem(p));
+            }
+            morer.num_models()
+        })
+    });
+    group.bench_function("add_problem_never", |b| {
+        b.iter(|| {
+            let (mut morer, _) = Morer::build(base.to_vec(), &ingest_config(ReclusterPolicy::Never));
+            for p in arrivals {
+                black_box(morer.add_problem(p));
+            }
+            morer.num_models()
+        })
+    });
+    // the strawman a production service would otherwise pay: rebuild the
+    // whole repository from scratch on every arrival
+    group.bench_function("full_rebuild_per_insert", |b| {
+        b.iter(|| {
+            let cfg = ingest_config(ReclusterPolicy::Always);
+            let mut n = 0;
+            for k in 0..arrivals.len() {
+                let all: Vec<&ErProblem> = refs[..base.len() + k + 1].to_vec();
+                let (morer, _) = Morer::build(black_box(all), &cfg);
+                n = morer.num_models();
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_ingest_batch(c: &mut Criterion) {
+    // batched arrivals amortize the recluster + dirty retraining across the
+    // whole batch — the add_problems(batch) vs per-problem loop comparison
+    let problems = analysis_workload(20, 600, 6, 7);
+    let refs: Vec<&ErProblem> = problems.iter().collect();
+    let (base, arrivals) = refs.split_at(12);
+
+    let mut group = c.benchmark_group("ingest_batch");
+    group.throughput(Throughput::Elements(arrivals.len() as u64));
+    group.sample_size(10);
+    group.bench_function("add_problems_one_batch", |b| {
+        b.iter(|| {
+            let (mut morer, _) = Morer::build(base.to_vec(), &ingest_config(ReclusterPolicy::Always));
+            black_box(morer.add_problems(arrivals));
+            morer.num_models()
+        })
+    });
+    group.bench_function("add_problems_one_by_one", |b| {
+        b.iter(|| {
+            let (mut morer, _) = Morer::build(base.to_vec(), &ingest_config(ReclusterPolicy::Always));
+            for p in arrivals {
+                black_box(morer.add_problem(p));
+            }
+            morer.num_models()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_ingest_batch);
+criterion_main!(benches);

@@ -162,13 +162,16 @@ fn main() {
 /// `cargo bench`-free throughput check: one JSON line for trajectory
 /// tracking, covering featurization (10k records, ~100k candidate pairs),
 /// the distribution-analysis graph build (40 problems → 780 `sim_p` pairs,
-/// direct vs sketched) and `sel_base` model search (solves/second with
+/// direct vs sketched), `sel_base` model search (solves/second with
 /// cached representative sketches) — single-threaded
 /// (`search_solves_per_s`) and through one shared `ModelSearcher` hammered
-/// by scoped threads (`search_solves_per_s_mt`). Every fast path is
-/// asserted against its reference implementation before being timed, and
-/// the multi-threaded search results are asserted equal to the
-/// single-threaded ones.
+/// by scoped threads (`search_solves_per_s_mt`) — and incremental ingest
+/// into a 40-problem repository (`ingest_problems_per_s` /
+/// `ingest_speedup` of `add_problem` over a per-insert full rebuild).
+/// Every fast path is asserted against its reference implementation before
+/// being timed: the multi-threaded search results must equal the
+/// single-threaded ones, and the incrementally ingested repository must be
+/// bit-identical to batch construction after every arrival.
 ///
 /// ```text
 /// cargo run -p morer-bench --release -- quick-bench
@@ -369,6 +372,52 @@ fn quick_bench(seed: u64) {
     }
     let search_solves_mt = mt_threads * rounds * queries.len();
 
+    // --- incremental ingest vs per-insert full rebuild ---------------------
+    // the streaming-construction path: insert arrivals into a 40-problem
+    // repository one at a time via `add_problem` (O(P) analysis per insert,
+    // dirty-tracked retraining) against the strawman of a full
+    // `Morer::build` rebuild per arrival. `ReclusterPolicy::Always` keeps
+    // the incremental pipeline bit-identical to batch construction, which
+    // is asserted at every step — the speedup number is only printed for a
+    // repository proven equal to the rebuilt one.
+    use morer_core::config::{MorerConfig, TrainingMode};
+    use morer_core::pipeline::Morer;
+
+    let ingest_cfg = MorerConfig {
+        // supervised + NB keeps training cheap so the comparison isolates
+        // the construction paths; dirty tracking is exercised all the same
+        training: TrainingMode::Supervised { fraction: 0.5 },
+        model: ModelConfig::GaussianNb,
+        seed,
+        ..MorerConfig::default()
+    };
+    let ingest_problems = analysis_workload(44, 2000, 6, seed ^ 0x1261);
+    let ingest_refs: Vec<&ErProblem> = ingest_problems.iter().collect();
+    let ingest_base = 40usize;
+    let ingest_arrivals = ingest_refs.len() - ingest_base;
+
+    let (mut incremental, _) = Morer::build(ingest_refs[..ingest_base].to_vec(), &ingest_cfg);
+    let mut ingest_incremental_s = 0.0f64;
+    let mut ingest_rebuild_s = 0.0f64;
+    for k in 0..ingest_arrivals {
+        let start = Instant::now();
+        let report = incremental.add_problem(ingest_refs[ingest_base + k]);
+        ingest_incremental_s += start.elapsed().as_secs_f64();
+        assert!(report.reclustered, "Always policy must fully recluster");
+
+        let start = Instant::now();
+        let (rebuilt, _) = Morer::build(ingest_refs[..ingest_base + k + 1].to_vec(), &ingest_cfg);
+        ingest_rebuild_s += start.elapsed().as_secs_f64();
+
+        assert_eq!(
+            incremental.repository(),
+            rebuilt.repository(),
+            "incremental ingest diverged from batch construction at arrival {k}"
+        );
+    }
+    let ingest_rate = ingest_arrivals as f64 / ingest_incremental_s;
+    let ingest_speedup = ingest_rebuild_s / ingest_incremental_s;
+
     let analysis_direct_rate = an_pairs as f64 / analysis_direct_s;
     let analysis_sketched_rate = an_pairs as f64 / analysis_sketched_s;
     println!(
@@ -384,7 +433,10 @@ fn quick_bench(seed: u64) {
          \"search_entries\":{},\"search_solves\":{},\"search_s\":{:.4},\
          \"search_solves_per_s\":{:.1},\
          \"search_threads_mt\":{},\"search_solves_mt\":{},\"search_mt_s\":{:.4},\
-         \"search_solves_per_s_mt\":{:.1}}}",
+         \"search_solves_per_s_mt\":{:.1},\
+         \"ingest_repository\":{},\"ingest_arrivals\":{},\
+         \"ingest_incremental_s\":{:.4},\"ingest_rebuild_s\":{:.4},\
+         \"ingest_problems_per_s\":{:.1},\"ingest_speedup\":{:.2}}}",
         workload.dataset.num_records(),
         pairs,
         workload.scheme.num_features(),
@@ -413,5 +465,11 @@ fn quick_bench(seed: u64) {
         search_solves_mt,
         search_mt_s,
         search_solves_mt as f64 / search_mt_s,
+        ingest_base,
+        ingest_arrivals,
+        ingest_incremental_s,
+        ingest_rebuild_s,
+        ingest_rate,
+        ingest_speedup,
     );
 }

@@ -1,4 +1,8 @@
-//! Clustering of the ER problem similarity graph (paper §4.3).
+//! Clustering of the ER problem similarity graph (paper §4.3), plus the
+//! incremental maintenance layer used by streaming ingest
+//! ([`crate::pipeline::Morer::add_problems`]): a [`ReclusterPolicy`] decides
+//! when the full community detection reruns, and [`attach_node`] places a
+//! newly arrived problem without touching the rest of the partition.
 
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +71,129 @@ impl ClusteringAlgorithm {
     }
 }
 
+/// When incremental ingest reruns the full graph clustering instead of
+/// attaching new problems to existing clusters (see
+/// [`crate::config::MorerConfig::recluster`] for the configuration knob and
+/// [`crate::pipeline::Morer::add_problems`] for the consumer).
+///
+/// Between full reclusters, every arrival is placed by [`attach_node`]:
+/// it joins the cluster of its strongest surviving graph edge, or spawns a
+/// singleton cluster when no edge clears the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReclusterPolicy {
+    /// Rerun the configured [`ClusteringAlgorithm`] on every ingest batch.
+    /// This is the bit-identity mode: ingesting problems incrementally under
+    /// `Always` produces exactly the repository a batch
+    /// [`crate::pipeline::Morer::build`] over the same problems would.
+    Always,
+    /// Never rerun the full clustering; arrivals only ever attach or spawn
+    /// singletons. Cheapest per insert, but cluster quality can drift as
+    /// the graph grows.
+    Never,
+    /// Attach incrementally, but rerun the full clustering once at least
+    /// `n` problems have been ingested since the last full recluster
+    /// (`EveryN(0)` behaves like [`ReclusterPolicy::Always`]).
+    EveryN(usize),
+    /// Attach incrementally, but rerun the full clustering when the
+    /// incrementally placed problems exceed `ratio` of the repository
+    /// (drift-triggered; `ratio = 0.0` behaves like
+    /// [`ReclusterPolicy::Always`]).
+    Drift {
+        /// Maximum tolerated fraction of incrementally placed problems.
+        ratio: f64,
+    },
+}
+
+impl ReclusterPolicy {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Always => "always",
+            Self::Never => "never",
+            Self::EveryN(_) => "every_n",
+            Self::Drift { .. } => "drift",
+        }
+    }
+
+    /// Whether an ingest batch must rerun the full clustering.
+    ///
+    /// * `pending` — problems attached incrementally since the last full
+    ///   recluster (before this batch);
+    /// * `batch` — problems arriving now;
+    /// * `total_after` — repository size once the batch is integrated.
+    pub fn should_recluster(self, pending: usize, batch: usize, total_after: usize) -> bool {
+        match self {
+            Self::Always => true,
+            Self::Never => false,
+            Self::EveryN(n) => pending + batch >= n,
+            Self::Drift { ratio } => {
+                (pending + batch) as f64 > ratio * total_after.max(1) as f64
+            }
+        }
+    }
+}
+
+/// Where [`attach_node`] placed a newly arrived node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Attachment {
+    /// The node joined the cluster of its strongest edge.
+    Attached {
+        /// Cluster the node joined.
+        cluster: usize,
+        /// The existing node on the other end of the strongest edge.
+        neighbor: usize,
+        /// Weight of that edge.
+        edge_weight: f64,
+    },
+    /// No edge cleared the threshold: the node became a singleton cluster.
+    Singleton {
+        /// The freshly created cluster id.
+        cluster: usize,
+    },
+}
+
+impl Attachment {
+    /// The cluster the node ended up in, either way.
+    pub fn cluster(self) -> usize {
+        match self {
+            Self::Attached { cluster, .. } | Self::Singleton { cluster } => cluster,
+        }
+    }
+}
+
+/// Incrementally place one new node into an existing partition: attach to
+/// the cluster of its strongest edge when that edge's weight clears
+/// `threshold`, otherwise spawn a singleton cluster.
+///
+/// `assignment` maps already-placed nodes to dense cluster ids `0..*num_clusters`
+/// and is extended by one entry; `edges` lists `(already-placed node, weight)`
+/// pairs for the new node (ties on weight break toward the lower node index,
+/// so placement is deterministic).
+pub fn attach_node(
+    assignment: &mut Vec<usize>,
+    num_clusters: &mut usize,
+    edges: &[(usize, f64)],
+    threshold: f64,
+) -> Attachment {
+    let best = edges
+        .iter()
+        .filter(|(node, _)| *node < assignment.len())
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
+    match best {
+        Some(&(neighbor, edge_weight)) if edge_weight >= threshold => {
+            let cluster = assignment[neighbor];
+            assignment.push(cluster);
+            Attachment::Attached { cluster, neighbor, edge_weight }
+        }
+        _ => {
+            let cluster = *num_clusters;
+            *num_clusters += 1;
+            assignment.push(cluster);
+            Attachment::Singleton { cluster }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +242,75 @@ mod tests {
         let g = Graph::new(0);
         let c = ClusteringAlgorithm::default_leiden().run(&g, 1);
         assert_eq!(c.num_nodes(), 0);
+    }
+
+    #[test]
+    fn attach_node_joins_strongest_edge_cluster() {
+        let mut assignment = vec![0, 0, 1, 1];
+        let mut k = 2;
+        let att = attach_node(
+            &mut assignment,
+            &mut k,
+            &[(0, 0.6), (3, 0.9), (1, 0.6)],
+            0.5,
+        );
+        assert_eq!(
+            att,
+            Attachment::Attached { cluster: 1, neighbor: 3, edge_weight: 0.9 }
+        );
+        assert_eq!(att.cluster(), 1);
+        assert_eq!(assignment, vec![0, 0, 1, 1, 1]);
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn attach_node_breaks_weight_ties_toward_lower_index() {
+        let mut assignment = vec![0, 1];
+        let mut k = 2;
+        let att = attach_node(&mut assignment, &mut k, &[(1, 0.7), (0, 0.7)], 0.5);
+        assert_eq!(
+            att,
+            Attachment::Attached { cluster: 0, neighbor: 0, edge_weight: 0.7 }
+        );
+    }
+
+    #[test]
+    fn attach_node_spawns_singleton_below_threshold() {
+        let mut assignment = vec![0, 0];
+        let mut k = 1;
+        let att = attach_node(&mut assignment, &mut k, &[(0, 0.3)], 0.5);
+        assert_eq!(att, Attachment::Singleton { cluster: 1 });
+        assert_eq!(assignment, vec![0, 0, 1]);
+        assert_eq!(k, 2);
+        // no edges at all: another singleton
+        let att = attach_node(&mut assignment, &mut k, &[], 0.5);
+        assert_eq!(att, Attachment::Singleton { cluster: 2 });
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn recluster_policy_decisions() {
+        assert!(ReclusterPolicy::Always.should_recluster(0, 1, 10));
+        assert!(!ReclusterPolicy::Never.should_recluster(100, 100, 200));
+        assert!(ReclusterPolicy::EveryN(0).should_recluster(0, 1, 10));
+        assert!(!ReclusterPolicy::EveryN(5).should_recluster(2, 2, 10));
+        assert!(ReclusterPolicy::EveryN(5).should_recluster(2, 3, 10));
+        // drift: 3 of 12 placed incrementally > 20% of the repository
+        assert!(ReclusterPolicy::Drift { ratio: 0.2 }.should_recluster(2, 1, 12));
+        assert!(!ReclusterPolicy::Drift { ratio: 0.5 }.should_recluster(2, 1, 12));
+        assert!(ReclusterPolicy::Drift { ratio: 0.0 }.should_recluster(0, 1, 10));
+    }
+
+    #[test]
+    fn recluster_policy_names_are_distinct() {
+        let names: std::collections::HashSet<&str> = [
+            ReclusterPolicy::Always.name(),
+            ReclusterPolicy::Never.name(),
+            ReclusterPolicy::EveryN(8).name(),
+            ReclusterPolicy::Drift { ratio: 0.25 }.name(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(names.len(), 4);
     }
 }

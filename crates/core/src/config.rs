@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::clustering::ClusteringAlgorithm;
+use crate::clustering::{ClusteringAlgorithm, ReclusterPolicy};
 use crate::distribution::DistributionTest;
 use morer_ml::model::ModelConfig;
 
@@ -61,6 +61,25 @@ pub struct MorerConfig {
     pub distribution_test: DistributionTest,
     /// Graph clustering algorithm (default Leiden).
     pub clustering: ClusteringAlgorithm,
+    /// When streaming ingest ([`crate::pipeline::Morer::add_problems`])
+    /// reruns the full clustering instead of incrementally attaching new
+    /// problems to existing clusters.
+    ///
+    /// * [`ReclusterPolicy::Always`] (default) — full recluster per ingest
+    ///   batch; incremental construction is then **bit-identical** to a
+    ///   batch [`crate::pipeline::Morer::build`] over the same problems
+    ///   (dirty-cluster tracking still skips retraining clusters whose
+    ///   membership and budget did not change).
+    /// * [`ReclusterPolicy::Never`] — arrivals attach to the cluster of
+    ///   their strongest graph edge (threshold:
+    ///   [`MorerConfig::min_edge_similarity`]) or spawn singleton clusters;
+    ///   only the touched clusters retrain. Cheapest per insert.
+    /// * [`ReclusterPolicy::EveryN`] — attach incrementally, full recluster
+    ///   every `n` ingested problems (amortized bit-convergence).
+    /// * [`ReclusterPolicy::Drift`] — attach incrementally, full recluster
+    ///   when incrementally placed problems exceed the configured fraction
+    ///   of the repository.
+    pub recluster: ReclusterPolicy,
     /// Total labeling budget `b_tot`.
     pub budget: usize,
     /// Per-cluster minimum budget `b_min`.
@@ -91,6 +110,7 @@ impl Default for MorerConfig {
         Self {
             distribution_test: DistributionTest::KolmogorovSmirnov,
             clustering: ClusteringAlgorithm::default_leiden(),
+            recluster: ReclusterPolicy::Always,
             budget: 1000,
             budget_min: 50,
             training: TrainingMode::ActiveLearning(AlMethod::Bootstrap),
@@ -147,6 +167,7 @@ impl MorerConfig {
                 },
             ),
             ("min edge similarity".into(), format!("{}", self.min_edge_similarity)),
+            ("recluster policy".into(), self.recluster.name().into()),
             ("uniqueness score".into(), self.use_uniqueness_score.to_string()),
             ("seed".into(), self.seed.to_string()),
         ]
@@ -164,6 +185,8 @@ mod tests {
         assert_eq!(c.budget, 1000);
         assert!(matches!(c.training, TrainingMode::ActiveLearning(AlMethod::Bootstrap)));
         assert!(matches!(c.selection, SelectionStrategy::Base));
+        // bit-identity is the default incremental-construction contract
+        assert_eq!(c.recluster, ReclusterPolicy::Always);
     }
 
     #[test]
@@ -173,6 +196,7 @@ mod tests {
         assert!(t.iter().any(|(k, v)| k == "b_tot" && v == "1000"));
         assert!(t.iter().any(|(k, v)| k == "distribution test" && v == "KS"));
         assert!(t.iter().any(|(k, v)| k == "selection method" && v == "sel_base"));
+        assert!(t.iter().any(|(k, v)| k == "recluster policy" && v == "always"));
     }
 
     #[test]

@@ -461,6 +461,60 @@ pub fn build_problem_graph_sketched(
     (g, sketches)
 }
 
+/// Append `new` problems to an existing problem graph and sketch store —
+/// the O(P)-per-insert mutation path of streaming ingest
+/// ([`crate::pipeline::Morer::add_problems`]).
+///
+/// Each new problem is sketched once (with the same
+/// [`AnalysisOptions::for_problem`] seed its global index would get in a
+/// batch build) and scored against **every stored sketch** — O(P) sketch
+/// comparisons fanned over [`morer_sim::par::map_indexed`], no re-sketching
+/// of the existing problems. Pair scoring uses the batch build's per-pair
+/// seed convention, and edges are appended in the same adjacency order the
+/// batch pair loop produces, so extending an empty graph problem by problem
+/// yields a graph **bit-identical** to [`build_problem_graph_sketched`] over
+/// the full list (asserted by `crates/core/tests/ingest.rs` and quick-bench).
+///
+/// Returns the number of edges added (those with `sim_p >=
+/// min_edge_similarity`).
+///
+/// # Panics
+/// Panics if a new problem's feature count disagrees with the stored
+/// sketches (feature spaces must agree, §4.2).
+pub fn extend_problem_graph_sketched(
+    graph: &mut Graph,
+    sketches: &mut Vec<DistributionSketch>,
+    new: &[&ErProblem],
+    opts: &AnalysisOptions,
+    min_edge_similarity: f64,
+) -> usize {
+    assert_eq!(graph.num_nodes(), sketches.len(), "graph and sketch store out of sync");
+    let base = sketches.len();
+    let new_sketches: Vec<DistributionSketch> = par::map_indexed(new.len(), 1, |k| {
+        DistributionSketch::of(new[k], &opts.for_problem(base + k))
+    });
+    let mut edges_added = 0usize;
+    for (k, sketch) in new_sketches.into_iter().enumerate() {
+        let j = base + k;
+        let node = graph.add_node();
+        debug_assert_eq!(node, j);
+        // O(P): one comparison against every already-stored sketch,
+        // including this batch's earlier arrivals
+        let sims: Vec<f64> = par::map_indexed(j, 8, |i| {
+            let local = AnalysisOptions { seed: pair_seed(opts.seed, i, j), ..*opts };
+            sketch_similarity(&sketches[i], &sketch, &local)
+        });
+        for (i, &s) in sims.iter().enumerate() {
+            if s >= min_edge_similarity {
+                graph.add_edge(i, j, s);
+                edges_added += 1;
+            }
+        }
+        sketches.push(sketch);
+    }
+    edges_added
+}
+
 /// The retained direct (sketch-free) graph build: every pair re-extracts,
 /// re-subsamples and re-sorts both sides via [`problem_similarity_with`].
 /// Reference implementation for the equivalence assertions and the
@@ -618,6 +672,43 @@ mod tests {
                 "{test:?}"
             );
         }
+    }
+
+    #[test]
+    fn extending_an_empty_graph_matches_the_batch_build() {
+        let problems: Vec<ErProblem> = (0..7)
+            .map(|i| synthetic_problem(i, 0.35 + 0.08 * i as f64, 90))
+            .collect();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        for test in [DistributionTest::KolmogorovSmirnov, DistributionTest::C2st] {
+            let opts = AnalysisOptions::new(test, usize::MAX, 13);
+            let (batch, batch_sketches) = build_problem_graph_sketched(&refs, &opts, 0.4);
+            let mut g = Graph::new(0);
+            let mut sketches = Vec::new();
+            // arbitrary chunking: 2 + 1 + 4 arrivals
+            let mut added = 0;
+            for chunk in [&refs[..2], &refs[2..3], &refs[3..]] {
+                added += extend_problem_graph_sketched(&mut g, &mut sketches, chunk, &opts, 0.4);
+            }
+            assert_eq!(g.num_nodes(), batch.num_nodes(), "{test:?}");
+            assert_eq!(g.num_edges(), batch.num_edges(), "{test:?}");
+            assert_eq!(added, batch.num_edges(), "{test:?}");
+            assert_eq!(sketches.len(), batch_sketches.len(), "{test:?}");
+            for i in 0..refs.len() {
+                // bit-identical weights *and* adjacency order
+                assert_eq!(g.neighbors(i), batch.neighbors(i), "{test:?} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sync")]
+    fn extend_rejects_desynced_graph_and_sketches() {
+        let p = synthetic_problem(0, 0.8, 30);
+        let opts = AnalysisOptions::new(DistributionTest::KolmogorovSmirnov, 100, 1);
+        let mut g = Graph::new(3);
+        let mut sketches = Vec::new();
+        extend_problem_graph_sketched(&mut g, &mut sketches, &[&p], &opts, 0.5);
     }
 
     #[test]

@@ -58,6 +58,56 @@ pub fn make_learner(
     }
 }
 
+/// The per-cluster seed of generation-time training (one deterministic
+/// stream per cluster position). Shared by [`generate_models`] and the
+/// dirty-tracked incremental regeneration in
+/// [`crate::pipeline::Morer::add_problems`], so a cluster retrained
+/// incrementally is bit-identical to the same cluster trained in a batch
+/// build.
+pub fn cluster_seed(seed: u64, cid: usize) -> u64 {
+    seed.wrapping_add(cid as u64 * 0x9E37_79B9)
+}
+
+/// Training artifacts of one cluster (see [`train_cluster`]).
+#[derive(Debug, Clone)]
+pub struct ClusterTraining {
+    /// The trained classifier `M_C`.
+    pub model: TrainedModel,
+    /// The (capped) representative vectors `P_C` stored with the entry.
+    pub representatives: TrainingSet,
+    /// Oracle labels spent (0 in supervised mode).
+    pub labels_used: usize,
+}
+
+/// Select training data and train the model for a single cluster — the
+/// per-cluster kernel of [`generate_models`], exposed so incremental ingest
+/// can regenerate exactly the dirty clusters and skip the clean ones.
+pub fn train_cluster(
+    problems: &[&ErProblem],
+    members: &[usize],
+    budget: usize,
+    training_mode: TrainingMode,
+    model_config: &ModelConfig,
+    uniqueness: Option<&UniquenessIndex>,
+    cluster_seed: u64,
+) -> ClusterTraining {
+    let cluster_problems: Vec<&ErProblem> = members.iter().map(|&p| problems[p]).collect();
+    let (training, spent) = match training_mode {
+        TrainingMode::ActiveLearning(method) => {
+            let learner = make_learner(method, uniqueness.cloned(), cluster_seed);
+            let mut pool = AlPool::from_problems(&cluster_problems);
+            let result = learner.select(&mut pool, budget);
+            (result.training, result.labels_used)
+        }
+        TrainingMode::Supervised { fraction } => {
+            (supervised_training(&cluster_problems, fraction, cluster_seed), 0)
+        }
+    };
+    let model = TrainedModel::train(&with_seed(model_config, cluster_seed), &training);
+    let representatives = cap_representatives(training, cluster_seed);
+    ClusterTraining { model, representatives, labels_used: spent }
+}
+
 /// Train one model per cluster (paper step 3).
 ///
 /// `problems` are positionally indexed; `allocation` holds cluster members
@@ -80,24 +130,26 @@ pub fn generate_models(
     let mut labels_used = 0usize;
 
     for (cid, members) in allocation.clusters.iter().enumerate() {
-        let cluster_problems: Vec<&ErProblem> = members.iter().map(|&p| problems[p]).collect();
-        let cluster_seed = seed.wrapping_add(cid as u64 * 0x9E37_79B9);
-        let (training, spent) = match training_mode {
-            TrainingMode::ActiveLearning(method) => {
-                let budget = allocation.budgets.get(cid).copied().unwrap_or(0);
-                let learner = make_learner(method, uniqueness.clone(), cluster_seed);
-                let mut pool = AlPool::from_problems(&cluster_problems);
-                let result = learner.select(&mut pool, budget);
-                (result.training, result.labels_used)
-            }
-            TrainingMode::Supervised { fraction } => {
-                (supervised_training(&cluster_problems, fraction, cluster_seed), 0)
-            }
-        };
-        labels_used += spent;
-        let model = TrainedModel::train(&with_seed(model_config, cluster_seed), &training);
-        let representatives = cap_representatives(training, cluster_seed);
-        entries.push(ClusterEntry::new(cid, members.clone(), model, representatives, spent));
+        let budget = allocation.budgets.get(cid).copied().unwrap_or(0);
+        let trained = train_cluster(
+            problems,
+            members,
+            budget,
+            training_mode,
+            model_config,
+            uniqueness.as_ref(),
+            cluster_seed(seed, cid),
+        );
+        labels_used += trained.labels_used;
+        let mut entry = ClusterEntry::new(
+            cid,
+            members.clone(),
+            trained.model,
+            trained.representatives,
+            trained.labels_used,
+        );
+        entry.provenance.record(members.clone(), budget);
+        entries.push(entry);
     }
     GenerationOutcome { entries, labels_used }
 }

@@ -34,8 +34,13 @@
 //!   ([`error::MorerError`], e.g. `EmptyRepository` from `search`), never
 //!   sentinels.
 //! * [`pipeline::Morer`] — the writer. It wraps a searcher and adds
-//!   everything that mutates state: construction, `sel_cov` graph
-//!   integration, reclustering and coverage-triggered retraining.
+//!   everything that mutates state: construction, streaming ingest
+//!   ([`pipeline::Morer::add_problems`] — O(P) analysis per insert,
+//!   [`clustering::ReclusterPolicy`]-driven clustering maintenance,
+//!   dirty-tracked retraining), `sel_cov` graph integration, reclustering
+//!   and coverage-triggered retraining. [`pipeline::Morer::snapshot`] hands
+//!   concurrent readers an epoch-pinned `Arc<ModelSearcher>` that stays
+//!   consistent while the writer keeps ingesting.
 //!
 //! [`repository::ModelRepository`] is the serializable artifact both layers
 //! are built from; its JSON form carries a `version` header
@@ -70,11 +75,11 @@ pub(crate) mod testutil;
 
 /// Convenient re-exports of the main API surface.
 pub mod prelude {
-    pub use crate::clustering::ClusteringAlgorithm;
+    pub use crate::clustering::{ClusteringAlgorithm, ReclusterPolicy};
     pub use crate::config::{AlMethod, MorerConfig, SelectionStrategy, TrainingMode};
     pub use crate::distribution::{AnalysisOptions, DistributionSketch, DistributionTest};
     pub use crate::error::{MorerError, REPOSITORY_FORMAT_VERSION};
-    pub use crate::pipeline::{BuildReport, Morer};
+    pub use crate::pipeline::{BuildReport, IngestReport, Morer};
     pub use crate::repository::{ClusterEntry, ModelRepository};
     pub use crate::searcher::{EntryId, ModelSearcher, SearchHit, SolveOutcome};
     pub use crate::stability::{ClusterStability, StabilityReport};

@@ -1,30 +1,53 @@
 //! The stateful MoRER pipeline writer: build the repository from the initial
-//! problems (paper Fig. 3, steps 1-3), then solve new problems with the
-//! configured selection strategy (steps 4-5).
+//! problems (paper Fig. 3, steps 1-3), grow it incrementally as new solved
+//! problems stream in, and solve new problems with the configured selection
+//! strategy (steps 4-5).
 //!
 //! [`Morer`] is the mutable half of the two-layer API: it wraps the
 //! immutable, thread-shareable [`ModelSearcher`] (the `sel_base` read path)
 //! and adds everything that mutates repository state — construction,
-//! `sel_cov` graph integration, reclustering and coverage-triggered
-//! retraining. Read-only deployments should persist the repository and serve
-//! it through [`ModelSearcher`] (or [`Morer::searcher`]) instead of holding
-//! a `&mut Morer` per caller.
+//! streaming ingest, `sel_cov` graph integration, reclustering and
+//! coverage-triggered retraining. Read-only deployments should persist the
+//! repository and serve it through [`ModelSearcher`] (or [`Morer::searcher`])
+//! instead of holding a `&mut Morer` per caller.
+//!
+//! # Incremental construction
+//!
+//! [`Morer::build`] is a thin wrapper over the streaming ingest subsystem:
+//! it creates an empty pipeline and ingests the initial problems in one
+//! full-recluster batch. [`Morer::add_problems`] ingests later arrivals at
+//! O(P) analysis cost per insert — only the arrivals are sketched, and each
+//! is scored against the stored per-problem sketches
+//! ([`extend_problem_graph_sketched`]) instead of rebuilding the O(P²)
+//! problem graph. Clustering maintenance follows the configured
+//! [`crate::clustering::ReclusterPolicy`], and training is dirty-tracked:
+//! only clusters whose membership (or generation budget) changed retrain,
+//! which under [`crate::clustering::ReclusterPolicy::Always`] is
+//! bit-identical to a batch rebuild because generation training is
+//! deterministic in those inputs.
+//!
+//! Concurrent readers stay consistent during writes through
+//! [`Morer::snapshot`]: an `Arc<ModelSearcher>` handle that is swapped after
+//! each committed mutation batch, so a snapshot taken before an ingest keeps
+//! serving its epoch unchanged.
 
+use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::budget::{allocate, BudgetAllocation};
+use crate::clustering::attach_node;
 use crate::config::{MorerConfig, SelectionStrategy, TrainingMode};
-use crate::distribution::{
-    build_problem_graph_sketched, sketch_similarity, AnalysisOptions, DistributionSketch,
+use crate::distribution::{extend_problem_graph_sketched, DistributionSketch};
+use crate::generation::{
+    build_uniqueness_index, cluster_seed, make_learner, supervised_training, train_cluster,
 };
-use crate::generation::{generate_models, make_learner, supervised_training};
 use crate::repository::{ClusterEntry, ModelRepository};
 use crate::searcher::ModelSearcher;
 pub use crate::searcher::SolveOutcome;
 use crate::selection::{classify, coverage, retrain_budget};
 use morer_al::AlPool;
 use morer_data::ErProblem;
-use morer_sim::par;
 use morer_graph::community::Clustering;
 use morer_graph::Graph;
 use morer_ml::metrics::PairCounts;
@@ -35,7 +58,7 @@ use morer_ml::model::TrainedModel;
 pub struct Timings {
     /// Pairwise distribution analysis.
     pub analysis: Duration,
-    /// Graph clustering (incl. re-clustering during `sel_cov`).
+    /// Graph clustering (incl. re-clustering during ingest and `sel_cov`).
     pub clustering: Duration,
     /// Training-data selection + model training.
     pub training: Duration,
@@ -54,8 +77,35 @@ pub struct BuildReport {
     pub timings: Timings,
 }
 
-/// The MoRER pipeline writer: repository construction, search, and
-/// integration.
+/// What one [`Morer::add_problems`] ingest batch did to the repository.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestReport {
+    /// Problems integrated by this batch.
+    pub problems_added: usize,
+    /// Graph edges added (pairs with `sim_p >= min_edge_similarity`).
+    pub edges_added: usize,
+    /// Whether the full clustering reran (vs incremental attachment), per
+    /// the configured [`crate::clustering::ReclusterPolicy`].
+    pub reclustered: bool,
+    /// Clusters whose membership or generation budget changed (dirty
+    /// clusters), including clusters dissolved by a full recluster. With
+    /// `use_uniqueness_score` enabled, a full recluster conservatively
+    /// counts *every* cluster (the uniqueness index is a function of the
+    /// whole clustering, so all entries trained with it are invalidated).
+    pub clusters_touched: usize,
+    /// Existing models retrained (dirty-cluster retraining).
+    pub models_retrained: usize,
+    /// Brand-new models trained (fresh clusters).
+    pub new_models: usize,
+    /// Oracle labels spent by this batch (0 in supervised mode).
+    pub labels_spent: usize,
+    /// The repository epoch after the batch committed (see
+    /// [`Morer::epoch`]).
+    pub epoch: u64,
+}
+
+/// The MoRER pipeline writer: repository construction, streaming ingest,
+/// search, and integration.
 #[derive(Debug, Clone)]
 pub struct Morer {
     pub(crate) config: MorerConfig,
@@ -68,98 +118,42 @@ pub struct Morer {
     /// The ER problem similarity graph `G_P`.
     pub(crate) graph: Graph,
     /// One distribution sketch per integrated problem (aligned with
-    /// `problems`) — built once at construction / integration time and
-    /// reused by every later `sel_cov` pairwise analysis.
+    /// `problems`) — built once at construction / ingest time and reused by
+    /// every later pairwise analysis.
     pub(crate) sketches: Vec<DistributionSketch>,
     /// Current clustering of `G_P`.
     pub(crate) clustering: Clustering,
     /// The shared-read search layer owning the repository entries.
     pub(crate) searcher: ModelSearcher,
-    /// Total vectors across the initial problems (fresh-cluster budgeting).
+    /// Total vectors across all integrated problems — construction,
+    /// streaming ingest and `sel_cov` integration alike (the fresh-cluster
+    /// budget-share denominator of [`Morer::train_fresh_entry`]).
     initial_vectors: usize,
     labels_used: usize,
+    /// Problems placed by incremental attachment since the last full
+    /// recluster (drives [`crate::clustering::ReclusterPolicy`]).
+    inserts_since_recluster: usize,
+    /// Number of leading repository entries that are *not* backed by
+    /// tracked problems: entries restored via [`Morer::from_repository`],
+    /// whose `problem_ids` reference the old writer's (discarded) index
+    /// space. Non-zero counts pin ingest to the incremental-attach path (a
+    /// full regeneration could not retrain the restored entries and would
+    /// silently drop them) and exclude those entries from overlap-based
+    /// reuse (their stale ids would collide with new arrival indices).
+    /// Entries are only ever appended outside full regeneration, so the
+    /// orphans stay at positions `0..orphan_entries`.
+    orphan_entries: usize,
+    /// Monotone counter of committed repository mutations.
+    epoch: u64,
+    /// The current snapshot handle, rebuilt lazily after each commit.
+    snapshot: Option<Arc<ModelSearcher>>,
     /// Accumulated phase timings.
     pub timings: Timings,
 }
 
 impl Morer {
-    /// Build the repository from the initial problems `P_I` (steps 1-3 of
-    /// Fig. 3).
-    pub fn build(initial: Vec<&ErProblem>, config: &MorerConfig) -> (Self, BuildReport) {
-        let mut timings = Timings::default();
-
-        let t = Instant::now();
-        let (graph, sketches) = build_problem_graph_sketched(
-            &initial,
-            &config.analysis_options(),
-            config.min_edge_similarity,
-        );
-        timings.analysis = t.elapsed();
-
-        let t = Instant::now();
-        let clustering = config.clustering.run(&graph, config.seed);
-        timings.clustering = t.elapsed();
-
-        let sizes: Vec<usize> = initial.iter().map(|p| p.num_pairs()).collect();
-        let allocation: BudgetAllocation = match config.training {
-            TrainingMode::ActiveLearning(_) => allocate(
-                clustering.members(),
-                &sizes,
-                &graph,
-                config.budget,
-                config.budget_min,
-            ),
-            TrainingMode::Supervised { .. } => BudgetAllocation {
-                budgets: vec![0; clustering.members().len()],
-                clusters: clustering.members(),
-            },
-        };
-
-        let t = Instant::now();
-        let outcome = generate_models(
-            &initial,
-            &allocation,
-            config.training,
-            &config.model,
-            config.use_uniqueness_score,
-            config.seed,
-        );
-        timings.training = t.elapsed();
-
-        // Re-express the clustering over the (possibly merged) allocation.
-        let mut assignment = vec![0usize; initial.len()];
-        for (c, members) in allocation.clusters.iter().enumerate() {
-            for &p in members {
-                assignment[p] = c;
-            }
-        }
-        let initial_vectors = sizes.iter().sum();
-        let morer = Self {
-            config: config.clone(),
-            problems: initial.into_iter().cloned().collect(),
-            in_t: vec![true; sizes.len()],
-            graph,
-            sketches,
-            clustering: Clustering::from_assignment(&assignment),
-            searcher: ModelSearcher::new(outcome.entries, config.analysis_options()),
-            initial_vectors,
-            labels_used: outcome.labels_used,
-            timings,
-        };
-        let report = BuildReport {
-            num_clusters: morer.searcher.num_models(),
-            labels_used: morer.labels_used,
-            timings: morer.timings,
-        };
-        (morer, report)
-    }
-
-    /// Reconstruct a writer pipeline from a persisted repository.
-    /// `sel_base` solving works immediately; `sel_cov` will treat every new
-    /// problem as out-of-repository and train fresh models. Deployments that
-    /// only search should use [`ModelSearcher::from_repository`] instead —
-    /// it is `Sync` and needs no `&mut` per caller.
-    pub fn from_repository(repository: ModelRepository, config: &MorerConfig) -> Self {
+    /// An empty pipeline: no problems, no entries, epoch 0.
+    fn empty(config: &MorerConfig) -> Self {
         Self {
             config: config.clone(),
             problems: Vec::new(),
@@ -167,16 +161,57 @@ impl Morer {
             graph: Graph::new(0),
             sketches: Vec::new(),
             clustering: Clustering::from_assignment(&[]),
-            searcher: ModelSearcher::new(repository.entries, config.analysis_options()),
+            searcher: ModelSearcher::new(Vec::new(), config.analysis_options()),
             initial_vectors: 0,
             labels_used: 0,
+            inserts_since_recluster: 0,
+            orphan_entries: 0,
+            epoch: 0,
+            snapshot: None,
             timings: Timings::default(),
         }
     }
 
+    /// Build the repository from the initial problems `P_I` (steps 1-3 of
+    /// Fig. 3). This is a thin wrapper over the ingest subsystem: one
+    /// full-recluster [`Morer::add_problems`]-style batch into an empty
+    /// pipeline (the configured
+    /// [`crate::clustering::ReclusterPolicy`] only governs *later*
+    /// arrivals — construction always clusters the whole graph).
+    pub fn build(initial: Vec<&ErProblem>, config: &MorerConfig) -> (Self, BuildReport) {
+        let mut morer = Self::empty(config);
+        let ingest = morer.ingest(&initial, true);
+        let report = BuildReport {
+            num_clusters: morer.searcher.num_models(),
+            labels_used: ingest.labels_spent,
+            timings: morer.timings,
+        };
+        (morer, report)
+    }
+
+    /// Reconstruct a writer pipeline from a persisted repository.
+    /// `sel_base` solving works immediately; `sel_cov` and
+    /// [`Morer::add_problems`] will treat every new problem as
+    /// out-of-repository and train fresh models. Because the restored
+    /// entries' original problems (and their sketches) are gone, ingest is
+    /// pinned to the incremental-attach path — a full recluster could not
+    /// regenerate the restored entries, whatever
+    /// [`MorerConfig::recluster`](crate::config::MorerConfig::recluster)
+    /// says. Deployments that only search should use
+    /// [`ModelSearcher::from_repository`] instead — it is `Sync` and needs
+    /// no `&mut` per caller.
+    pub fn from_repository(repository: ModelRepository, config: &MorerConfig) -> Self {
+        let orphan_entries = repository.entries.len();
+        Self {
+            searcher: ModelSearcher::new(repository.entries, config.analysis_options()),
+            orphan_entries,
+            ..Self::empty(config)
+        }
+    }
+
     /// The shared-read search layer. Borrow it to serve `sel_base`
-    /// searches from many threads at once; clone it for a frozen snapshot
-    /// that outlives the writer.
+    /// searches from many threads at once; clone it (or take a
+    /// [`Morer::snapshot`]) for a frozen snapshot that outlives the writer.
     pub fn searcher(&self) -> &ModelSearcher {
         &self.searcher
     }
@@ -186,12 +221,44 @@ impl Morer {
         self.searcher
     }
 
+    /// An immutable snapshot handle of the current repository state: an
+    /// `Arc<ModelSearcher>` that any number of reader threads can hold and
+    /// query while this writer keeps ingesting. The handle is rebuilt and
+    /// swapped after each committed mutation batch ([`Morer::add_problems`],
+    /// `sel_cov` retrains), never mutated in place — so a snapshot taken
+    /// before an ingest keeps serving its epoch unchanged, and concurrent
+    /// searchers never observe a half-updated repository.
+    ///
+    /// Cost: the handle is built lazily — at most one O(repository) clone
+    /// of the entry store per committed epoch, and only when a snapshot is
+    /// actually requested (repeated calls within an epoch return the same
+    /// `Arc`). For repositories large enough that one clone per published
+    /// epoch matters, see the ROADMAP open item on `Arc`-shared entries.
+    pub fn snapshot(&mut self) -> Arc<ModelSearcher> {
+        if self.snapshot.is_none() {
+            self.snapshot = Some(Arc::new(self.searcher.clone()));
+        }
+        Arc::clone(self.snapshot.as_ref().expect("just filled"))
+    }
+
+    /// Monotone counter of committed **repository** (entry-store)
+    /// mutations: if two [`Morer::epoch`] reads agree, the entries a
+    /// searcher would serve did not change between them, and every
+    /// [`Morer::snapshot`] handle belongs to exactly one epoch. Writer-side
+    /// bookkeeping that leaves the entries untouched — e.g. a `sel_cov`
+    /// solve that reuses a model without retraining still grows the problem
+    /// graph — does not advance the epoch (the existing snapshot stays
+    /// exact).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Snapshot the repository for persistence.
     pub fn repository(&self) -> ModelRepository {
         self.searcher.repository()
     }
 
-    /// Total oracle labels spent (construction + integration).
+    /// Total oracle labels spent (construction + ingest + integration).
     pub fn labels_used(&self) -> usize {
         self.labels_used
     }
@@ -204,6 +271,334 @@ impl Morer {
     /// Current number of integrated problems.
     pub fn num_problems(&self) -> usize {
         self.problems.len()
+    }
+
+    /// Weight of the problem-graph edge between the problems at positions
+    /// `i` and `j`, if one survived the `min_edge_similarity` pruning
+    /// (observability for the ingest invariance tests and benches).
+    pub fn problem_graph_edge(&self, i: usize, j: usize) -> Option<f64> {
+        self.graph.edge_weight(i, j)
+    }
+
+    /// Ingest one newly solved problem into the repository — see
+    /// [`Morer::add_problems`].
+    pub fn add_problem(&mut self, problem: &ErProblem) -> IngestReport {
+        self.add_problems(&[problem])
+    }
+
+    /// Ingest a batch of newly solved source-pair problems into the
+    /// repository without a full rebuild.
+    ///
+    /// Per arrival, the analysis cost is O(P): only the new problem is
+    /// sketched, and it is scored against the stored per-problem sketches
+    /// (fanned over [`morer_sim::par::map_indexed`]) to extend the problem
+    /// graph. Clustering maintenance follows
+    /// [`MorerConfig::recluster`](crate::config::MorerConfig::recluster):
+    /// under [`crate::clustering::ReclusterPolicy::Always`] the full
+    /// clustering reruns and the resulting pipeline is **bit-identical** to
+    /// [`Morer::build`] over the same problems; under the incremental
+    /// policies each arrival attaches to the cluster of its strongest edge
+    /// or spawns a singleton. Training is dirty-tracked either way: only
+    /// clusters whose membership (or generation budget) changed retrain.
+    ///
+    /// The batch commits atomically with respect to [`Morer::snapshot`]
+    /// readers: handles taken before the call keep serving the previous
+    /// epoch.
+    ///
+    /// # Panics
+    /// Panics if a problem's feature space disagrees with the already
+    /// ingested problems (§4.2).
+    pub fn add_problems(&mut self, problems: &[&ErProblem]) -> IngestReport {
+        let full = self.orphan_entries == 0
+            && self.config.recluster.should_recluster(
+                self.inserts_since_recluster,
+                problems.len(),
+                self.problems.len() + problems.len(),
+            );
+        self.ingest(problems, full)
+    }
+
+    /// The ingest subsystem shared by [`Morer::build`] (forced full
+    /// recluster) and [`Morer::add_problems`] (policy-driven).
+    fn ingest(&mut self, new: &[&ErProblem], full_recluster: bool) -> IngestReport {
+        let mut report = IngestReport { epoch: self.epoch, ..IngestReport::default() };
+        if new.is_empty() {
+            return report;
+        }
+        report.problems_added = new.len();
+
+        // 1. O(P)-per-insert graph integration: sketch only the arrivals
+        // and score them against the stored per-problem sketches
+        let t = Instant::now();
+        let base = self.problems.len();
+        report.edges_added = extend_problem_graph_sketched(
+            &mut self.graph,
+            &mut self.sketches,
+            new,
+            &self.config.analysis_options(),
+            self.config.min_edge_similarity,
+        );
+        self.problems.extend(new.iter().map(|&p| p.clone()));
+        self.in_t.resize(base + new.len(), false);
+        self.initial_vectors += new.iter().map(|p| p.num_pairs()).sum::<usize>();
+        self.timings.analysis += t.elapsed();
+
+        // 2-3. clustering maintenance + dirty-tracked training
+        if full_recluster {
+            self.regenerate(&mut report);
+            self.inserts_since_recluster = 0;
+            report.reclustered = true;
+        } else {
+            self.integrate_incrementally(base, new.len(), &mut report);
+            self.inserts_since_recluster += new.len();
+        }
+
+        self.commit();
+        report.epoch = self.epoch;
+        report
+    }
+
+    /// Commit a repository mutation batch: advance the epoch and drop the
+    /// snapshot handle so the next [`Morer::snapshot`] observes the new
+    /// state (handles already taken keep the previous epoch).
+    fn commit(&mut self) {
+        self.epoch += 1;
+        self.snapshot = None;
+    }
+
+    /// Full recluster + dirty-tracked regeneration: rerun the configured
+    /// clustering and budget allocation over the whole graph (exactly as a
+    /// batch [`Morer::build`] would), then retrain only the clusters whose
+    /// generation fingerprint `(members, budget)` changed. Skipping a clean
+    /// cluster is bit-identical to retraining it because generation
+    /// training is deterministic in those inputs (plus the cluster
+    /// position, which a matching positional fingerprint implies).
+    fn regenerate(&mut self, report: &mut IngestReport) {
+        let t = Instant::now();
+        let raw = self.config.clustering.run(&self.graph, self.config.seed);
+        self.timings.clustering += t.elapsed();
+
+        let sizes: Vec<usize> = self.problems.iter().map(ErProblem::num_pairs).collect();
+        let allocation: BudgetAllocation = match self.config.training {
+            TrainingMode::ActiveLearning(_) => allocate(
+                raw.members(),
+                &sizes,
+                &self.graph,
+                self.config.budget,
+                self.config.budget_min,
+            ),
+            TrainingMode::Supervised { .. } => BudgetAllocation {
+                budgets: vec![0; raw.members().len()],
+                clusters: raw.members(),
+            },
+        };
+
+        let t = Instant::now();
+        let problems: Vec<&ErProblem> = self.problems.iter().collect();
+        // The uniqueness index (Eqs. 11-12) is a function of the *entire*
+        // clustering, so any membership change invalidates every entry
+        // trained with it: with the uniqueness score enabled, a full
+        // recluster conservatively treats all clusters as dirty.
+        let uniqueness = self
+            .config
+            .use_uniqueness_score
+            .then(|| build_uniqueness_index(&problems, &allocation.clusters));
+        let mut labels_spent = 0usize;
+        let entries = self.searcher.entries_mut();
+        for (cid, members) in allocation.clusters.iter().enumerate() {
+            let budget = allocation.budgets.get(cid).copied().unwrap_or(0);
+            let clean = uniqueness.is_none()
+                && entries
+                    .get(cid)
+                    .is_some_and(|e| e.id == cid && e.provenance.matches(members, budget));
+            if clean {
+                continue;
+            }
+            report.clusters_touched += 1;
+            let trained = train_cluster(
+                &problems,
+                members,
+                budget,
+                self.config.training,
+                &self.config.model,
+                uniqueness.as_ref(),
+                cluster_seed(self.config.seed, cid),
+            );
+            labels_spent += trained.labels_used;
+            let mut entry = ClusterEntry::new(
+                cid,
+                members.clone(),
+                trained.model,
+                trained.representatives,
+                trained.labels_used,
+            );
+            entry.provenance.record(members.clone(), budget);
+            if cid < entries.len() {
+                entries[cid] = entry;
+                report.models_retrained += 1;
+            } else {
+                entries.push(entry);
+                report.new_models += 1;
+            }
+        }
+        if entries.len() > allocation.clusters.len() {
+            report.clusters_touched += entries.len() - allocation.clusters.len();
+            entries.truncate(allocation.clusters.len());
+        }
+        self.labels_used += labels_spent;
+        report.labels_spent += labels_spent;
+        self.timings.training += t.elapsed();
+
+        // Re-express the clustering over the (possibly merged) allocation,
+        // so cluster ids and entry positions stay aligned.
+        let mut assignment = vec![0usize; self.problems.len()];
+        for (c, members) in allocation.clusters.iter().enumerate() {
+            for &p in members {
+                assignment[p] = c;
+            }
+        }
+        self.clustering = Clustering::from_assignment(&assignment);
+        self.in_t = vec![true; self.problems.len()];
+    }
+
+    /// Incremental integration without a full recluster: attach each
+    /// arrival to the cluster of its strongest surviving graph edge (or
+    /// spawn a singleton), then retrain exactly the touched clusters —
+    /// existing clusters via the coverage-style update of §4.5 (previous
+    /// representatives plus newly selected vectors), brand-new all-unsolved
+    /// clusters via a fresh model with the initial-allocation budget share.
+    fn integrate_incrementally(&mut self, base: usize, added: usize, report: &mut IngestReport) {
+        let t = Instant::now();
+        let mut assignment = self.clustering.assignment().to_vec();
+        let mut num_clusters = self.clustering.num_clusters();
+        let mut dirty: BTreeSet<usize> = BTreeSet::new();
+        for j in base..base + added {
+            // edges to already-placed nodes only; later arrivals of the
+            // same batch attach in their own turn
+            let edges: Vec<(usize, f64)> = self
+                .graph
+                .neighbors(j)
+                .iter()
+                .copied()
+                .filter(|&(i, _)| i < j)
+                .collect();
+            let att = attach_node(
+                &mut assignment,
+                &mut num_clusters,
+                &edges,
+                self.config.min_edge_similarity,
+            );
+            dirty.insert(att.cluster());
+        }
+        self.clustering = Clustering::from_assignment(&assignment);
+        self.timings.clustering += t.elapsed();
+
+        let t = Instant::now();
+        let members_by_cluster = self.clustering.members();
+        let sizes: Vec<usize> = self.problems.iter().map(ErProblem::num_pairs).collect();
+        for &c in &dirty {
+            report.clusters_touched += 1;
+            let members = &members_by_cluster[c];
+            let all_unsolved = members.iter().all(|&p| !self.in_t[p]);
+            let reuse = if all_unsolved { None } else { self.best_overlap_entry(members) };
+            match reuse {
+                None => {
+                    let (_, spent) = self.train_fresh_entry(members, &sizes);
+                    report.new_models += 1;
+                    report.labels_spent += spent;
+                }
+                Some(entry_idx) => {
+                    let spent = self.retrain_entry(entry_idx, members, &sizes);
+                    report.models_retrained += 1;
+                    report.labels_spent += spent;
+                }
+            }
+        }
+        self.timings.training += t.elapsed();
+    }
+
+    /// The repository entry with maximum Jaccard overlap to `members`
+    /// (§4.5's "previous cluster with maximum overlap"); `None` exactly
+    /// when there is no reusable entry — the caller's fresh-model branch is
+    /// carried in the type instead of an unreachable-by-construction
+    /// `expect`. Restored (orphan) entries are excluded: their
+    /// `problem_ids` reference the old writer's index space and would
+    /// collide spuriously with current problem indices.
+    fn best_overlap_entry(&self, members: &[usize]) -> Option<usize> {
+        let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
+        self.searcher
+            .entries()
+            .iter()
+            .enumerate()
+            .skip(self.orphan_entries)
+            .map(|(i, e)| {
+                let inter = e.problem_ids.iter().filter(|p| member_set.contains(p)).count();
+                let union = e.problem_ids.len() + members.len() - inter;
+                (i, inter as f64 / union.max(1) as f64)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+    }
+
+    /// Train a fresh model for an all-unsolved cluster (§4.5). Eq. 14
+    /// presumes a previous model; fresh clusters receive the
+    /// initial-allocation share of `b_tot` instead (see DESIGN.md).
+    /// Returns `(entry id, labels spent)`.
+    fn train_fresh_entry(&mut self, members: &[usize], sizes: &[usize]) -> (usize, usize) {
+        let cluster_vectors: usize = members.iter().map(|&p| sizes[p]).sum();
+        let budget = match self.config.training {
+            TrainingMode::ActiveLearning(_) => {
+                let share = cluster_vectors as f64 / self.initial_vectors.max(1) as f64;
+                ((self.config.budget as f64 * share).round() as usize)
+                    .max(self.config.budget_min)
+            }
+            TrainingMode::Supervised { .. } => 0,
+        };
+        let (training, spent) = self.select_training(members, budget);
+        let model = TrainedModel::train(&self.config.model, &training);
+        let entries = self.searcher.entries_mut();
+        let entry = ClusterEntry::new(entries.len(), members.to_vec(), model, training, spent);
+        let entry_id = entry.id;
+        entries.push(entry);
+        for &p in members {
+            self.in_t[p] = true;
+        }
+        self.labels_used += spent;
+        (entry_id, spent)
+    }
+
+    /// Coverage-style update of an existing entry (Eqs. 13-14): select new
+    /// training data over the cluster's unsolved members with the Eq. 14
+    /// budget and retrain on the previous representatives plus the
+    /// selection. Returns the labels spent.
+    fn retrain_entry(&mut self, entry_idx: usize, members: &[usize], sizes: &[usize]) -> usize {
+        let cov = coverage(members, sizes, &self.in_t);
+        let unsolved: Vec<usize> =
+            members.iter().copied().filter(|&p| !self.in_t[p]).collect();
+        let budget = match self.config.training {
+            TrainingMode::ActiveLearning(_) => {
+                retrain_budget(cov, self.searcher.entries()[entry_idx].representatives.len())
+            }
+            TrainingMode::Supervised { .. } => 0,
+        };
+        let (new_training, used) = self.select_training(&unsolved, budget);
+        // update: previous training data plus the new selection
+        let mut combined = self.searcher.entries()[entry_idx].representatives.clone();
+        combined.extend(&new_training);
+        let model = TrainedModel::train(&self.config.model, &combined);
+        let entry = &mut self.searcher.entries_mut()[entry_idx];
+        entry.model = model;
+        entry.representatives = combined;
+        entry.labels_used += used;
+        entry.problem_ids = members.to_vec();
+        // the representatives changed: the cached sketch and the generation
+        // fingerprint are both stale
+        entry.mark_mutated();
+        for &p in &unsolved {
+            self.in_t[p] = true;
+        }
+        self.labels_used += used;
+        used
     }
 
     /// Solve a new ER problem `p ∈ P_U` (steps 4-5 of Fig. 3).
@@ -239,36 +634,26 @@ impl Morer {
     }
 
     fn solve_coverage(&mut self, problem: &ErProblem, t_cov: f64) -> SolveOutcome {
-        // 1. integrate the problem into G_P
+        // 1. integrate the problem into G_P — the same O(P) graph mutation
+        // path streaming ingest uses
         let t = Instant::now();
         let new_idx = self.problems.len();
+        extend_problem_graph_sketched(
+            &mut self.graph,
+            &mut self.sketches,
+            &[problem],
+            &self.config.analysis_options(),
+            self.config.min_edge_similarity,
+        );
         self.problems.push(problem.clone());
         self.in_t.push(false);
-        let node = self.graph.add_node();
-        debug_assert_eq!(node, new_idx);
-        let base_opts = self.config.analysis_options();
-        // sketch the query once, then score it against the cached sketches
-        // of every integrated problem (no re-extraction of their matrices)
-        let query_sketch = DistributionSketch::of(problem, &base_opts.for_problem(new_idx));
-        let sketches = &self.sketches;
-        let sims: Vec<f64> = par::map_indexed(new_idx, 8, |i| {
-            let opts = AnalysisOptions {
-                seed: base_opts.seed ^ (new_idx as u64) << 24 ^ i as u64,
-                ..base_opts
-            };
-            sketch_similarity(&sketches[i], &query_sketch, &opts)
-        });
-        for (i, &s) in sims.iter().enumerate() {
-            if s >= self.config.min_edge_similarity {
-                self.graph.add_edge(i, new_idx, s);
-            }
-        }
-        self.sketches.push(query_sketch);
+        self.initial_vectors += problem.num_pairs();
         self.timings.analysis += t.elapsed();
 
-        // 2. recluster
+        // 2. recluster (`sel_cov` always reruns the full clustering, §4.5)
         let t = Instant::now();
         self.clustering = self.config.clustering.run(&self.graph, self.config.seed);
+        self.inserts_since_recluster = 0;
         self.timings.clustering += t.elapsed();
 
         let members: Vec<usize> = self
@@ -279,35 +664,19 @@ impl Morer {
             .unwrap_or_else(|| vec![new_idx]);
         let sizes: Vec<usize> = self.problems.iter().map(ErProblem::num_pairs).collect();
 
-        // 3a. a cluster consisting purely of unsolved problems gets a fresh
-        // model (§4.5) — and so does any problem arriving at a repository
-        // with zero entries (the all-unsolved branch degenerates to it; this
-        // used to be an unreachable-by-construction `expect`)
+        // 3. pick the previous entry with maximum overlap (§4.5) — `None`
+        // (a cluster consisting purely of unsolved problems, or a
+        // repository with zero entries) means a fresh model
+        let t = Instant::now();
         let all_unsolved = members.iter().all(|&p| !self.in_t[p]);
-        if all_unsolved || self.searcher.entries().is_empty() {
+        let reuse = if all_unsolved { None } else { self.best_overlap_entry(&members) };
+        self.timings.selection += t.elapsed();
+
+        let Some(entry_idx) = reuse else {
             let t = Instant::now();
-            let cluster_vectors: usize = members.iter().map(|&p| sizes[p]).sum();
-            // Eq. 14 presumes a previous model; fresh clusters receive the
-            // initial-allocation share of b_tot instead (see DESIGN.md).
-            let budget = match self.config.training {
-                TrainingMode::ActiveLearning(_) => {
-                    let share = cluster_vectors as f64 / self.initial_vectors.max(1) as f64;
-                    ((self.config.budget as f64 * share).round() as usize)
-                        .max(self.config.budget_min)
-                }
-                TrainingMode::Supervised { .. } => 0,
-            };
-            let (training, spent) = self.select_training(&members, budget);
-            let model = TrainedModel::train(&self.config.model, &training);
-            let entries = self.searcher.entries_mut();
-            let entry = ClusterEntry::new(entries.len(), members.clone(), model, training, spent);
-            for &p in &members {
-                self.in_t[p] = true;
-            }
-            self.labels_used += spent;
-            let entry_id = entry.id;
-            entries.push(entry);
+            let (entry_id, spent) = self.train_fresh_entry(&members, &sizes);
             self.timings.training += t.elapsed();
+            self.commit();
             let (predictions, probabilities) =
                 classify(&self.searcher.entries()[entry_id], problem);
             return SolveOutcome {
@@ -319,26 +688,7 @@ impl Morer {
                 new_model: true,
                 labels_spent: spent,
             };
-        }
-
-        // 3b. reuse the previous entry with maximum overlap (§4.5)
-        let t = Instant::now();
-        let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
-        let (entry_idx, _overlap) = self
-            .searcher
-            .entries()
-            .iter()
-            .enumerate()
-            .map(|(i, e)| {
-                let inter = e.problem_ids.iter().filter(|p| member_set.contains(p)).count();
-                let union = e.problem_ids.len() + members.len() - inter;
-                (i, inter as f64 / union.max(1) as f64)
-            })
-            .max_by(|a, b| {
-                a.1.total_cmp(&b.1).then(b.0.cmp(&a.0))
-            })
-            .expect("entries checked non-empty above");
-        self.timings.selection += t.elapsed();
+        };
 
         // 4. coverage-triggered model update (Eqs. 13-14)
         let cov = coverage(&members, &sizes, &self.in_t);
@@ -346,33 +696,10 @@ impl Morer {
         let mut spent = 0usize;
         if cov > t_cov {
             let t = Instant::now();
-            let unsolved_members: Vec<usize> =
-                members.iter().copied().filter(|&p| !self.in_t[p]).collect();
-            let budget = match self.config.training {
-                TrainingMode::ActiveLearning(_) => {
-                    retrain_budget(cov, self.searcher.entries()[entry_idx].representatives.len())
-                }
-                TrainingMode::Supervised { .. } => 0,
-            };
-            let (new_training, used) = self.select_training(&unsolved_members, budget);
-            spent = used;
-            // update: previous training data plus the new selection
-            let mut combined = self.searcher.entries()[entry_idx].representatives.clone();
-            combined.extend(&new_training);
-            let model = TrainedModel::train(&self.config.model, &combined);
-            let entry = &mut self.searcher.entries_mut()[entry_idx];
-            entry.model = model;
-            entry.representatives = combined;
-            entry.labels_used += used;
-            entry.problem_ids = members.clone();
-            // the representatives changed: the cached sketch is stale
-            entry.invalidate_sketch();
-            for &p in &unsolved_members {
-                self.in_t[p] = true;
-            }
-            self.labels_used += used;
+            spent = self.retrain_entry(entry_idx, &members, &sizes);
             retrained = true;
             self.timings.training += t.elapsed();
+            self.commit();
         }
 
         let entry = &self.searcher.entries()[entry_idx];
@@ -413,6 +740,7 @@ impl Morer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clustering::ReclusterPolicy;
     use crate::config::AlMethod;
     use morer_ml::dataset::FeatureMatrix;
 
@@ -682,5 +1010,177 @@ mod tests {
         // into_searcher keeps the same entries
         let n = morer.num_models();
         assert_eq!(morer.into_searcher().num_models(), n);
+    }
+
+    #[test]
+    fn incremental_always_ingest_equals_batch_build() {
+        let problems: Vec<ErProblem> =
+            (0..8).map(|i| family_problem(i, (i % 2) as u8, 150)).collect();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let (batch, _) = Morer::build(refs.clone(), &config());
+        // build on the first half, stream the rest one problem at a time
+        let (mut inc, _) = Morer::build(refs[..4].to_vec(), &config());
+        for p in &refs[4..] {
+            let report = inc.add_problem(p);
+            assert!(report.reclustered, "Always policy must fully recluster");
+            assert_eq!(report.problems_added, 1);
+        }
+        assert_eq!(inc.num_problems(), batch.num_problems());
+        assert_eq!(inc.repository(), batch.repository());
+        assert_eq!(inc.clustering.assignment(), batch.clustering.assignment());
+        // and the two pipelines solve identically
+        let q = family_problem(40, 0, 150);
+        let a = inc.searcher().solve(&q);
+        let b = batch.searcher().solve(&q);
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(a.entry, b.entry);
+        assert_eq!(a.similarity, b.similarity);
+    }
+
+    #[test]
+    fn dirty_tracking_skips_clean_clusters_in_supervised_mode() {
+        // supervised budgets are all zero, so a cluster whose membership is
+        // untouched keeps a matching fingerprint and must not retrain
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let cfg = MorerConfig {
+            training: TrainingMode::Supervised { fraction: 0.5 },
+            ..config()
+        };
+        let (mut inc, _) = Morer::build(refs.clone(), &cfg);
+        let arrival = family_problem(9, 0, 150); // joins family-0's cluster
+        let report = inc.add_problem(&arrival);
+        assert!(report.reclustered);
+        assert_eq!(
+            report.models_retrained + report.new_models,
+            report.clusters_touched
+        );
+        assert!(
+            report.clusters_touched < inc.num_models() + 1,
+            "expected at least one clean cluster to be skipped: {report:?}"
+        );
+        // bit-identity with the batch build over all 7 problems
+        let mut all = refs;
+        all.push(&arrival);
+        let (batch, _) = Morer::build(all, &cfg);
+        assert_eq!(inc.repository(), batch.repository());
+    }
+
+    #[test]
+    fn never_policy_attaches_without_reclustering() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let cfg = MorerConfig { recluster: ReclusterPolicy::Never, ..config() };
+        let (mut morer, _) = Morer::build(refs, &cfg);
+        let before_models = morer.num_models();
+        // an in-family arrival attaches to the existing cluster
+        let report = morer.add_problem(&family_problem(10, 0, 150));
+        assert!(!report.reclustered);
+        assert_eq!(report.clusters_touched, 1);
+        assert_eq!(report.models_retrained, 1);
+        assert_eq!(report.new_models, 0);
+        assert_eq!(morer.num_models(), before_models);
+        // a novel distribution spawns a singleton cluster + fresh model
+        let mut novel = family_problem(20, 0, 150);
+        for i in 0..novel.num_pairs() {
+            let v = if novel.labels[i] { 0.35 } else { 0.02 };
+            if i == 0 {
+                novel.features = FeatureMatrix::new(2);
+            }
+            novel.features.push_row(&[v, v * 0.9]);
+        }
+        let report = morer.add_problem(&novel);
+        assert!(!report.reclustered);
+        assert_eq!(report.new_models, 1);
+        assert_eq!(morer.num_models(), before_models + 1);
+    }
+
+    #[test]
+    fn every_n_policy_reclusters_on_schedule() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let cfg = MorerConfig { recluster: ReclusterPolicy::EveryN(3), ..config() };
+        let (mut morer, _) = Morer::build(refs, &cfg);
+        let r1 = morer.add_problem(&family_problem(10, 0, 150));
+        let r2 = morer.add_problem(&family_problem(11, 1, 150));
+        let r3 = morer.add_problem(&family_problem(12, 0, 150));
+        assert!(!r1.reclustered && !r2.reclustered);
+        assert!(r3.reclustered, "third insert must trigger the full recluster");
+        // the counter reset: the next insert attaches again
+        let r4 = morer.add_problem(&family_problem(13, 1, 150));
+        assert!(!r4.reclustered);
+    }
+
+    #[test]
+    fn snapshot_handles_pin_an_epoch() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let (mut morer, _) = Morer::build(refs, &config());
+        let epoch_before = morer.epoch();
+        let snap = morer.snapshot();
+        // same epoch → same handle
+        assert!(Arc::ptr_eq(&snap, &morer.snapshot()));
+        let q = family_problem(31, 0, 150);
+        let before = snap.solve(&q);
+        let report = morer.add_problem(&family_problem(32, 0, 150));
+        assert_eq!(report.epoch, morer.epoch());
+        assert!(morer.epoch() > epoch_before);
+        // the old handle still serves the old repository state
+        let after = snap.solve(&q);
+        assert_eq!(before.predictions, after.predictions);
+        assert_eq!(before.similarity, after.similarity);
+        // the new handle reflects the committed ingest
+        let fresh = morer.snapshot();
+        assert!(!Arc::ptr_eq(&snap, &fresh));
+        assert_eq!(fresh.num_models(), morer.num_models());
+    }
+
+    #[test]
+    fn empty_ingest_is_a_no_op() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let (mut morer, _) = Morer::build(refs, &config());
+        let epoch = morer.epoch();
+        let report = morer.add_problems(&[]);
+        assert_eq!(report, IngestReport { epoch, ..IngestReport::default() });
+        assert_eq!(morer.epoch(), epoch);
+    }
+
+    #[test]
+    fn ingest_into_restored_repository_trains_fresh_models() {
+        // a writer restored from disk has no sketches/problems: arrivals
+        // are out-of-repository and must spawn fresh models, not panic
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let (morer, _) = Morer::build(refs, &config());
+        let before_models = morer.num_models();
+        let restored_entries: Vec<Vec<usize>> =
+            morer.repository().entries.iter().map(|e| e.problem_ids.clone()).collect();
+        let mut restored = Morer::from_repository(morer.repository(), &config());
+        let report = restored.add_problem(&family_problem(50, 0, 150));
+        assert_eq!(report.problems_added, 1);
+        assert_eq!(report.edges_added, 0);
+        // restored writers pin the attach path (a full recluster could not
+        // regenerate the restored entries) and so must preserve them
+        assert!(!report.reclustered);
+        assert_eq!(report.new_models, 1);
+        assert_eq!(restored.num_models(), before_models + 1);
+        assert_eq!(restored.num_problems(), 1);
+        // a second similar arrival attaches to the first one's cluster; it
+        // must retrain the *fresh* entry, never repurpose a restored entry
+        // whose problem_ids live in the old writer's index space
+        let report = restored.add_problem(&family_problem(51, 0, 150));
+        assert!(!report.reclustered);
+        assert_eq!(report.new_models, 0, "{report:?}");
+        assert_eq!(report.models_retrained, 1, "{report:?}");
+        for (e, original_ids) in restored.repository().entries.iter().zip(&restored_entries) {
+            assert_eq!(
+                &e.problem_ids, original_ids,
+                "restored entry {} was repurposed by ingest",
+                e.id
+            );
+        }
+        let fresh = &restored.repository().entries[before_models];
+        assert_eq!(fresh.problem_ids, vec![0, 1]);
     }
 }

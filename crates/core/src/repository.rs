@@ -63,6 +63,62 @@ impl Deserialize for SketchCache {
     }
 }
 
+/// Dirty-tracking record of the generation-time training inputs an entry
+/// was produced from: the cluster membership and label budget of the last
+/// full (re)generation.
+///
+/// Generation training is deterministic in `(members, budget, cluster
+/// position)`, so during a full-recluster ingest a cluster whose fingerprint
+/// is unchanged can keep its stored entry — skipping the retrain is
+/// bit-identical to redoing it. The fingerprint is **cleared** whenever the
+/// entry is mutated outside full regeneration (`sel_cov` coverage retrains),
+/// and — like [`SketchCache`] — it is an acceleration structure, not
+/// repository state: it serializes as `null`, loads as empty (a reloaded
+/// repository conservatively retrains on its first full recluster) and never
+/// participates in entry equality.
+#[derive(Debug, Clone, Default)]
+pub struct Provenance(Option<(Vec<usize>, usize)>);
+
+impl Provenance {
+    /// Record the generation inputs this entry's training consumed.
+    pub fn record(&mut self, members: Vec<usize>, budget: usize) {
+        self.0 = Some((members, budget));
+    }
+
+    /// Forget the fingerprint (call on any out-of-generation mutation).
+    pub fn clear(&mut self) {
+        self.0 = None;
+    }
+
+    /// Whether the entry was generation-trained on exactly these inputs.
+    pub fn matches(&self, members: &[usize], budget: usize) -> bool {
+        self.0.as_ref().is_some_and(|(m, b)| m == members && *b == budget)
+    }
+
+    /// Whether a fingerprint is currently recorded (observability for tests).
+    pub fn is_recorded(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl PartialEq for Provenance {
+    fn eq(&self, _: &Self) -> bool {
+        true // dirty-tracking never affects entry equality
+    }
+}
+
+impl Serialize for Provenance {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for Provenance {
+    fn from_value(_: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self::default())
+    }
+}
+
 /// One repository entry: a cluster of ER problems and its model `M_C`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterEntry {
@@ -83,6 +139,11 @@ pub struct ClusterEntry {
     /// [`ClusterEntry::representative_sketch`]). Must be invalidated
     /// whenever `representatives` changes ([`ClusterEntry::invalidate_sketch`]).
     pub sketch: SketchCache,
+    /// Generation-training fingerprint for dirty-tracked incremental
+    /// regeneration (see [`Provenance`]). Must be cleared whenever the entry
+    /// is mutated outside a full regeneration
+    /// ([`ClusterEntry::mark_mutated`] does both invalidations at once).
+    pub provenance: Provenance,
 }
 
 impl ClusterEntry {
@@ -94,7 +155,24 @@ impl ClusterEntry {
         representatives: TrainingSet,
         labels_used: usize,
     ) -> Self {
-        Self { id, problem_ids, model, representatives, labels_used, sketch: SketchCache::default() }
+        Self {
+            id,
+            problem_ids,
+            model,
+            representatives,
+            labels_used,
+            sketch: SketchCache::default(),
+            provenance: Provenance::default(),
+        }
+    }
+
+    /// Invalidate every cached/derived artifact after an out-of-generation
+    /// mutation of the entry (`sel_cov` retrains, incremental-attach
+    /// retrains): the representative sketch is stale and the
+    /// generation-training fingerprint no longer describes the stored model.
+    pub fn mark_mutated(&mut self) {
+        self.invalidate_sketch();
+        self.provenance.clear();
     }
 
     /// The representative feature matrix (for distribution comparison).
@@ -322,6 +400,38 @@ mod tests {
         let other = AnalysisOptions::new(DistributionTest::Wasserstein, 500, 3);
         let s = entry.representative_sketch(&other);
         assert_eq!(s.num_features(), 2);
+    }
+
+    #[test]
+    fn provenance_is_transparent_to_equality_and_serde() {
+        let mut entry = sample_entry(0);
+        assert!(!entry.provenance.is_recorded());
+        entry.provenance.record(vec![0, 1], 4);
+        assert!(entry.provenance.matches(&[0, 1], 4));
+        assert!(!entry.provenance.matches(&[0, 1], 5));
+        assert!(!entry.provenance.matches(&[0, 2], 4));
+        // a recorded fingerprint does not break equality with a fresh entry
+        assert_eq!(entry, sample_entry(0));
+        // ...and round-trips to empty (a reloaded repository conservatively
+        // retrains on its first full recluster)
+        let repo = ModelRepository { entries: vec![entry] };
+        let mut buf = Vec::new();
+        repo.save_json(&mut buf).unwrap();
+        let loaded = ModelRepository::load_json(&buf[..]).unwrap();
+        assert!(!loaded.entries[0].provenance.is_recorded());
+    }
+
+    #[test]
+    fn mark_mutated_clears_sketch_and_provenance() {
+        use crate::distribution::{AnalysisOptions, DistributionTest};
+        let mut entry = sample_entry(0);
+        entry.provenance.record(vec![0, 1], 4);
+        let opts = AnalysisOptions::new(DistributionTest::KolmogorovSmirnov, 1000, 7);
+        let _ = entry.representative_sketch(&opts);
+        assert!(entry.has_cached_sketch() && entry.provenance.is_recorded());
+        entry.mark_mutated();
+        assert!(!entry.has_cached_sketch());
+        assert!(!entry.provenance.is_recorded());
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! caches are cold or pre-warmed ([`ModelSearcher::warm`]). This is pinned
 //! by `crates/core/tests/service_api.rs` and asserted on every quick-bench
 //! run.
+//!
+//! Writers that keep ingesting while readers search should hand out
+//! [`crate::pipeline::Morer::snapshot`] handles: each is an
+//! `Arc<ModelSearcher>` pinned to one repository epoch, swapped (never
+//! mutated in place) when an ingest batch commits — so in-flight readers
+//! keep a consistent view for as long as they hold the `Arc`.
 
 use crate::config::MorerConfig;
 use crate::distribution::AnalysisOptions;

@@ -27,10 +27,16 @@
 //!   number of threads on one instance. Searching an empty repository is the
 //!   typed [`core::error::MorerError::EmptyRepository`] — no sentinels.
 //! * **[`core::pipeline::Morer`]** — the writer. Wraps a searcher
-//!   ([`core::pipeline::Morer::searcher`]) and adds repository construction
-//!   and `sel_cov` integration (graph growth, reclustering,
-//!   coverage-triggered retraining). An empty repository in coverage mode
-//!   trains a fresh model instead of panicking.
+//!   ([`core::pipeline::Morer::searcher`]) and adds repository construction,
+//!   **streaming ingest** ([`core::pipeline::Morer::add_problems`]: O(P)
+//!   sketch comparisons per insert,
+//!   [`core::clustering::ReclusterPolicy`]-driven clustering maintenance,
+//!   dirty-tracked retraining — bit-identical to a batch rebuild under the
+//!   default `Always` policy) and `sel_cov` integration (graph growth,
+//!   reclustering, coverage-triggered retraining). An empty repository in
+//!   coverage mode trains a fresh model instead of panicking. Concurrent
+//!   readers take epoch-pinned [`core::pipeline::Morer::snapshot`] handles
+//!   that stay consistent while the writer ingests.
 //! * **[`core::repository::ModelRepository`]** — the persistence artifact.
 //!   Its JSON form is versioned (`{"version": 1, …}`,
 //!   [`core::error::REPOSITORY_FORMAT_VERSION`]); legacy version-less files
@@ -48,15 +54,29 @@
 //!
 //! // build the model repository from the solved problems (the writer API)
 //! let config = MorerConfig { budget: 300, ..MorerConfig::default() };
-//! let (morer, report) = Morer::build(bench.initial_problems(), &config);
+//! let (mut morer, report) = Morer::build(bench.initial_problems(), &config);
 //! println!("{} clusters, {} labels", report.num_clusters, report.labels_used);
 //!
 //! // solve the unsolved problems by model reuse through the shared-read
 //! // searcher (&self — the same instance can serve any number of threads)
-//! let searcher = morer.searcher();
-//! let (counts, outcomes) = searcher.solve_and_score(&bench.unsolved_problems());
+//! let (counts, outcomes) = morer.searcher().solve_and_score(&bench.unsolved_problems());
 //! assert!(outcomes.iter().all(|o| o.entry.is_some()));
 //! println!("P={:.2} R={:.2} F1={:.2}", counts.precision(), counts.recall(), counts.f1());
+//!
+//! // stream a newly solved problem back into the repository: O(P) sketch
+//! // comparisons per insert and dirty-tracked retraining — under the
+//! // default ReclusterPolicy::Always this is bit-identical to rebuilding
+//! // the repository from scratch over all problems
+//! let ingest = morer.add_problem(bench.unsolved_problems()[0]);
+//! println!(
+//!     "+{} edges, {} clusters touched, {} labels",
+//!     ingest.edges_added, ingest.clusters_touched, ingest.labels_spent,
+//! );
+//!
+//! // concurrent readers hold an epoch-pinned snapshot while the writer
+//! // keeps ingesting: the Arc<ModelSearcher> handle never changes under them
+//! let snapshot = morer.snapshot();
+//! assert_eq!(snapshot.num_models(), morer.num_models());
 //!
 //! // persist for a search-only service process (versioned JSON)
 //! let mut buf = Vec::new();
@@ -65,7 +85,7 @@
 //!     ModelRepository::load_json(&buf[..]).unwrap(),
 //!     &config,
 //! );
-//! assert_eq!(served.num_models(), report.num_clusters);
+//! assert_eq!(served.num_models(), morer.num_models());
 //! ```
 
 pub use morer_al as al;
