@@ -165,13 +165,17 @@ fn main() {
 /// direct vs sketched), `sel_base` model search (solves/second with
 /// cached representative sketches) — single-threaded
 /// (`search_solves_per_s`) and through one shared `ModelSearcher` hammered
-/// by scoped threads (`search_solves_per_s_mt`) — and incremental ingest
+/// by scoped threads (`search_solves_per_s_mt`) — incremental ingest
 /// into a 40-problem repository (`ingest_problems_per_s` /
-/// `ingest_speedup` of `add_problem` over a per-insert full rebuild).
+/// `ingest_speedup` of `add_problem` over a per-insert full rebuild), and
+/// the deployed serving layer (`serve_requests_per_s`: 4 loopback
+/// connections hammering `morer-serve`'s `/solve` on a warmed snapshot).
 /// Every fast path is asserted against its reference implementation before
 /// being timed: the multi-threaded search results must equal the
-/// single-threaded ones, and the incrementally ingested repository must be
-/// bit-identical to batch construction after every arrival.
+/// single-threaded ones, the incrementally ingested repository must be
+/// bit-identical to batch construction after every arrival, and every
+/// served solve response must decode bit-identical to its in-process
+/// equivalent.
 ///
 /// ```text
 /// cargo run -p morer-bench --release -- quick-bench
@@ -418,6 +422,66 @@ fn quick_bench(seed: u64) {
     let ingest_rate = ingest_arrivals as f64 / ingest_incremental_s;
     let ingest_speedup = ingest_rebuild_s / ingest_incremental_s;
 
+    // --- loopback model serving: concurrent connections hammering /solve --
+    // the deployable read path (morer-serve): the same warmed repository
+    // behind the std-only HTTP/1.1 JSON server, driven by 4 loopback
+    // connections. Before timing, every served response is asserted
+    // bit-identical to the in-process ModelSearcher::solve reference (the
+    // vendored serde_json round-trips each f64 exactly).
+    use morer_core::searcher::SolveOutcome;
+    use morer_serve::{Connection, MorerServer, ServeConfig};
+
+    let serve_cfg = MorerConfig {
+        training: TrainingMode::Supervised { fraction: 0.5 },
+        model: ModelConfig::GaussianNb,
+        analysis_sample_cap: usize::MAX,
+        seed,
+        ..MorerConfig::default()
+    };
+    // the served repository is the searcher's, persisted and restored —
+    // same entries, same analysis options, so solves must agree bit-for-bit
+    let serve_morer = Morer::from_repository(searcher.repository(), &serve_cfg);
+    let handle =
+        MorerServer::start(serve_morer, &ServeConfig::default()).expect("start morer-serve");
+    let bodies: Vec<String> = queries
+        .iter()
+        .map(|q| serde_json::to_string(q).expect("encode query"))
+        .collect();
+    let serve_reference: Vec<SolveOutcome> = queries.iter().map(|q| searcher.solve(q)).collect();
+    {
+        // warm-up + correctness guard on one connection
+        let mut conn = Connection::open(handle.addr()).expect("connect to morer-serve");
+        for (body, reference) in bodies.iter().zip(&serve_reference) {
+            let res = conn.post("/solve", body).expect("solve request");
+            assert_eq!(res.status, 200, "serve error: {}", res.body);
+            let served: SolveOutcome = res.json().expect("decode outcome");
+            assert_eq!(
+                &served, reference,
+                "served solve diverged from the in-process searcher"
+            );
+        }
+    }
+    let serve_conns = 4usize;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..serve_conns {
+            let bodies = &bodies;
+            let addr = handle.addr();
+            scope.spawn(move || {
+                let mut conn = Connection::open(addr).expect("connect to morer-serve");
+                for _ in 0..rounds {
+                    for body in bodies {
+                        let res = conn.post("/solve", body).expect("solve request");
+                        assert_eq!(res.status, 200, "serve error: {}", res.body);
+                    }
+                }
+            });
+        }
+    });
+    let serve_s = start.elapsed().as_secs_f64();
+    let serve_requests = serve_conns * rounds * queries.len();
+    handle.shutdown();
+
     let analysis_direct_rate = an_pairs as f64 / analysis_direct_s;
     let analysis_sketched_rate = an_pairs as f64 / analysis_sketched_s;
     println!(
@@ -436,7 +500,9 @@ fn quick_bench(seed: u64) {
          \"search_solves_per_s_mt\":{:.1},\
          \"ingest_repository\":{},\"ingest_arrivals\":{},\
          \"ingest_incremental_s\":{:.4},\"ingest_rebuild_s\":{:.4},\
-         \"ingest_problems_per_s\":{:.1},\"ingest_speedup\":{:.2}}}",
+         \"ingest_problems_per_s\":{:.1},\"ingest_speedup\":{:.2},\
+         \"serve_connections\":{},\"serve_requests\":{},\"serve_s\":{:.4},\
+         \"serve_requests_per_s\":{:.1}}}",
         workload.dataset.num_records(),
         pairs,
         workload.scheme.num_features(),
@@ -471,5 +537,9 @@ fn quick_bench(seed: u64) {
         ingest_rebuild_s,
         ingest_rate,
         ingest_speedup,
+        serve_conns,
+        serve_requests,
+        serve_s,
+        serve_requests as f64 / serve_s,
     );
 }

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use serde::{Serialize, Value};
+
 /// Newest repository file format this build can read and the version it
 /// writes (see [`crate::repository::ModelRepository::save_json`]).
 pub const REPOSITORY_FORMAT_VERSION: u64 = 1;
@@ -27,6 +29,13 @@ pub enum MorerError {
     /// The persisted repository could not be decoded (malformed JSON or a
     /// structurally wrong document).
     Parse(String),
+    /// A decoded ER problem is well-formed but unusable: it violates the
+    /// pipeline's data invariants (pair/label/feature-row misalignment,
+    /// non-finite feature values) or does not fit the repository's feature
+    /// space. Distinct from [`MorerError::Parse`] so service clients can
+    /// tell "re-encode your request" from "this problem cannot be scored
+    /// here".
+    InvalidProblem(String),
     /// An I/O error while reading or writing a repository file.
     Io(std::io::Error),
 }
@@ -43,6 +52,7 @@ impl fmt::Display for MorerError {
                  (this build reads up to version {REPOSITORY_FORMAT_VERSION})"
             ),
             Self::Parse(msg) => write!(f, "malformed repository: {msg}"),
+            Self::InvalidProblem(msg) => write!(f, "invalid problem: {msg}"),
             Self::Io(e) => write!(f, "repository I/O error: {e}"),
         }
     }
@@ -54,6 +64,36 @@ impl std::error::Error for MorerError {
             Self::Io(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl MorerError {
+    /// Stable machine-readable name of the failure mode (the `kind` field
+    /// of the serialized error body; service clients branch on this).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::EmptyRepository => "empty_repository",
+            Self::UnsupportedVersion { .. } => "unsupported_version",
+            Self::Parse(_) => "parse",
+            Self::InvalidProblem(_) => "invalid_problem",
+            Self::Io(_) => "io",
+        }
+    }
+}
+
+/// Wire-facing error body: `{"kind": "...", "message": "..."}` plus
+/// variant payloads (`found` for `UnsupportedVersion`). This is what
+/// `morer-serve` returns as the JSON body of 4xx/5xx responses.
+impl Serialize for MorerError {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            ("kind".to_owned(), Value::Str(self.kind().to_owned())),
+            ("message".to_owned(), Value::Str(self.to_string())),
+        ];
+        if let Self::UnsupportedVersion { found } = self {
+            map.push(("found".to_owned(), Value::U64(*found)));
+        }
+        Value::Map(map)
     }
 }
 
@@ -85,6 +125,9 @@ mod tests {
         assert!(v.to_string().contains("version 9"));
         assert!(v.to_string().contains(&REPOSITORY_FORMAT_VERSION.to_string()));
         assert!(MorerError::Parse("bad".into()).to_string().contains("bad"));
+        let invalid = MorerError::InvalidProblem("labels misaligned".into());
+        assert!(invalid.to_string().contains("labels misaligned"));
+        assert_eq!(invalid.kind(), "invalid_problem");
     }
 
     #[test]

@@ -70,8 +70,9 @@ pub mod repository;
 pub mod searcher;
 pub mod selection;
 pub mod stability;
-#[cfg(test)]
-pub(crate) mod testutil;
+#[cfg(any(test, feature = "testutil"))]
+#[doc(hidden)]
+pub mod testutil;
 
 /// Convenient re-exports of the main API surface.
 pub mod prelude {

@@ -35,6 +35,8 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use serde::{Deserialize, Serialize};
+
 use crate::budget::{allocate, BudgetAllocation};
 use crate::clustering::attach_node;
 use crate::config::{MorerConfig, SelectionStrategy, TrainingMode};
@@ -78,7 +80,12 @@ pub struct BuildReport {
 }
 
 /// What one [`Morer::add_problems`] ingest batch did to the repository.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Wire-facing: serializes as a JSON map (the `morer-serve` `/ingest`
+/// response body). When the server micro-batches several concurrent ingest
+/// requests into one commit, every requester receives this same combined
+/// report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct IngestReport {
     /// Problems integrated by this batch.
     pub problems_added: usize,
@@ -229,11 +236,13 @@ impl Morer {
     /// before an ingest keeps serving its epoch unchanged, and concurrent
     /// searchers never observe a half-updated repository.
     ///
-    /// Cost: the handle is built lazily — at most one O(repository) clone
-    /// of the entry store per committed epoch, and only when a snapshot is
-    /// actually requested (repeated calls within an epoch return the same
-    /// `Arc`). For repositories large enough that one clone per published
-    /// epoch matters, see the ROADMAP open item on `Arc`-shared entries.
+    /// Cost: the handle is built lazily — at most once per committed epoch,
+    /// and only when a snapshot is actually requested (repeated calls within
+    /// an epoch return the same `Arc`). Publication is O(entries) *pointer*
+    /// clones: the entry store is `Arc`-shared, so deep entry copies happen
+    /// copy-on-write only for the entries a later commit actually touches —
+    /// O(dirty), not O(repository) (pinned by the pointer-equality test in
+    /// `crates/core/tests/ingest.rs`).
     pub fn snapshot(&mut self) -> Arc<ModelSearcher> {
         if self.snapshot.is_none() {
             self.snapshot = Some(Arc::new(self.searcher.clone()));
@@ -271,6 +280,18 @@ impl Morer {
     /// Current number of integrated problems.
     pub fn num_problems(&self) -> usize {
         self.problems.len()
+    }
+
+    /// The feature-space width `t` every integrated problem shares (§4.2:
+    /// one comparison scheme per repository), or `None` while the pipeline
+    /// is empty — the first arrival fixes it. [`Morer::add_problems`]
+    /// panics on problems of a different width, so service frontends check
+    /// against this before ingesting.
+    pub fn num_features(&self) -> Option<usize> {
+        self.problems
+            .first()
+            .map(ErProblem::num_features)
+            .or_else(|| self.searcher.num_features())
     }
 
     /// Weight of the problem-graph edge between the problems at positions
@@ -433,11 +454,13 @@ impl Morer {
                 trained.labels_used,
             );
             entry.provenance.record(members.clone(), budget);
+            // a fresh Arc per retrained entry: snapshots of the previous
+            // epoch keep their version, clean clusters keep their pointer
             if cid < entries.len() {
-                entries[cid] = entry;
+                entries[cid] = Arc::new(entry);
                 report.models_retrained += 1;
             } else {
-                entries.push(entry);
+                entries.push(Arc::new(entry));
                 report.new_models += 1;
             }
         }
@@ -559,7 +582,7 @@ impl Morer {
         let entries = self.searcher.entries_mut();
         let entry = ClusterEntry::new(entries.len(), members.to_vec(), model, training, spent);
         let entry_id = entry.id;
-        entries.push(entry);
+        entries.push(Arc::new(entry));
         for &p in members {
             self.in_t[p] = true;
         }
@@ -586,7 +609,9 @@ impl Morer {
         let mut combined = self.searcher.entries()[entry_idx].representatives.clone();
         combined.extend(&new_training);
         let model = TrainedModel::train(&self.config.model, &combined);
-        let entry = &mut self.searcher.entries_mut()[entry_idx];
+        // copy-on-write: deep-clones the entry only if a published snapshot
+        // still shares it, so commit cost stays O(touched entries)
+        let entry = Arc::make_mut(&mut self.searcher.entries_mut()[entry_idx]);
         entry.model = model;
         entry.representatives = combined;
         entry.labels_used += used;
@@ -744,34 +769,7 @@ mod tests {
     use crate::config::AlMethod;
     use morer_ml::dataset::FeatureMatrix;
 
-    /// Problems from two distribution families: family A matches around
-    /// `mu = 0.85`, family B around `mu = 0.55` (with different non-match
-    /// levels so a single model cannot serve both).
-    fn family_problem(id: usize, family: u8, n: usize) -> ErProblem {
-        let (match_mu, nonmatch_mu) = match family {
-            0 => (0.88, 0.12),
-            _ => (0.58, 0.38),
-        };
-        let mut features = FeatureMatrix::new(2);
-        let mut labels = Vec::new();
-        let mut pairs = Vec::new();
-        for i in 0..n {
-            let jitter = ((i * 29 + id * 7) % 40) as f64 / 400.0;
-            let is_match = i % 3 == 0;
-            let base = if is_match { match_mu } else { nonmatch_mu };
-            features.push_row(&[(base + jitter).min(1.0), (base + jitter * 0.7).min(1.0)]);
-            labels.push(is_match);
-            pairs.push(((id * n + i) as u32, (id * n + i + 1_000_000) as u32));
-        }
-        ErProblem {
-            id,
-            sources: (id, id + 1),
-            pairs,
-            features,
-            labels,
-            feature_names: vec!["f0".into(), "f1".into()],
-        }
-    }
+    use crate::testutil::family_problem;
 
     fn initial_problems() -> Vec<ErProblem> {
         (0..6).map(|i| family_problem(i, (i >= 3) as u8, 150)).collect()

@@ -23,6 +23,10 @@
 //! mutated in place) when an ingest batch commits — so in-flight readers
 //! keep a consistent view for as long as they hold the `Arc`.
 
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
 use crate::config::MorerConfig;
 use crate::distribution::AnalysisOptions;
 use crate::error::MorerError;
@@ -37,7 +41,10 @@ pub type EntryId = usize;
 
 /// Result of a `sel_base` model search: which stored model fits the query
 /// problem best, and how well.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Wire-facing: serializes as a JSON map (the `morer-serve` `/search`
+/// response body).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SearchHit {
     /// Positional index of the entry in the searcher's entry list.
     pub entry_index: usize,
@@ -48,7 +55,11 @@ pub struct SearchHit {
 }
 
 /// Result of solving one new ER problem.
-#[derive(Debug, Clone)]
+///
+/// Wire-facing: serializes as a JSON map (the `morer-serve` `/solve` and
+/// `/solve_batch` response bodies). The float fields round-trip
+/// bit-identically through the vendored `serde_json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SolveOutcome {
     /// Match predictions aligned with the problem's pairs.
     pub predictions: Vec<bool>,
@@ -69,9 +80,17 @@ pub struct SolveOutcome {
 }
 
 /// Immutable, thread-shareable `sel_base` model search over a repository.
+///
+/// Entries are stored as `Arc<ClusterEntry>` so that cloning a searcher —
+/// which is how [`crate::pipeline::Morer::snapshot`] publishes an epoch —
+/// copies only the entry *pointers*, O(entries) pointer clones with zero
+/// deep copies. The writer then mutates entries copy-on-write
+/// (`Arc::make_mut`): an entry is deep-cloned only if it is actually
+/// touched while a snapshot still holds it, so publication work per commit
+/// is O(dirty entries), not O(repository).
 #[derive(Debug, Clone)]
 pub struct ModelSearcher {
-    entries: Vec<ClusterEntry>,
+    entries: Vec<Arc<ClusterEntry>>,
     options: AnalysisOptions,
 }
 
@@ -85,6 +104,13 @@ const _: fn() = || {
 impl ModelSearcher {
     /// Build a searcher over `entries`, scoring with `options`.
     pub fn new(entries: Vec<ClusterEntry>, options: AnalysisOptions) -> Self {
+        Self::from_shared(entries.into_iter().map(Arc::new).collect(), options)
+    }
+
+    /// Build a searcher over already-shared entries (no per-entry clone;
+    /// entries still referenced elsewhere are scored through the same
+    /// idempotent sketch caches).
+    pub fn from_shared(entries: Vec<Arc<ClusterEntry>>, options: AnalysisOptions) -> Self {
         Self { entries, options }
     }
 
@@ -109,13 +135,17 @@ impl ModelSearcher {
         }
     }
 
-    /// The repository entries, in search order.
-    pub fn entries(&self) -> &[ClusterEntry] {
+    /// The repository entries, in search order. Each is behind an `Arc`
+    /// (see the type-level docs); `&entry_slice[i]` derefs to
+    /// `&ClusterEntry` wherever one is expected.
+    pub fn entries(&self) -> &[Arc<ClusterEntry>] {
         &self.entries
     }
 
-    /// Mutable entry access for the `sel_cov` writer wrapper.
-    pub(crate) fn entries_mut(&mut self) -> &mut Vec<ClusterEntry> {
+    /// Mutable entry access for the `sel_cov` writer wrapper. In-place
+    /// mutations must go through `Arc::make_mut`, which deep-clones an
+    /// entry only when a published snapshot still shares it (copy-on-write).
+    pub(crate) fn entries_mut(&mut self) -> &mut Vec<Arc<ClusterEntry>> {
         &mut self.entries
     }
 
@@ -129,9 +159,23 @@ impl ModelSearcher {
         self.entries.len()
     }
 
-    /// Snapshot the repository for persistence.
+    /// The feature-space width `t` this repository scores in, or `None`
+    /// when no entry has representatives. All problems of one repository
+    /// share one comparison scheme (§4.2); queries of a different width
+    /// cannot be scored and should be rejected before reaching
+    /// [`ModelSearcher::search`].
+    pub fn num_features(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .find(|e| !e.representatives.is_empty())
+            .map(|e| e.representative_features().cols())
+    }
+
+    /// Snapshot the repository for persistence (deep copy — the persistence
+    /// artifact owns plain entries, its versioned JSON format is unchanged
+    /// by the `Arc` sharing).
     pub fn repository(&self) -> ModelRepository {
-        ModelRepository { entries: self.entries.clone() }
+        ModelRepository { entries: self.entries.iter().map(|e| (**e).clone()).collect() }
     }
 
     /// Find the best-fitting stored model for `problem` (paper step 4,
@@ -253,7 +297,7 @@ mod tests {
         let s = ModelSearcher::new(vec![entry_with_mu(0, 0.9), entry_with_mu(1, 0.55)], opts());
         assert!(s.entries().iter().all(|e| !e.has_cached_sketch()));
         s.warm();
-        assert!(s.entries().iter().all(ClusterEntry::has_cached_sketch));
+        assert!(s.entries().iter().all(|e| e.has_cached_sketch()));
         // warming twice is a no-op, and warmed answers match cold answers
         let cold = ModelSearcher::new(vec![entry_with_mu(0, 0.9), entry_with_mu(1, 0.55)], opts());
         let q = problem_with_mu(12, 0.9);
@@ -286,7 +330,7 @@ mod tests {
         assert_eq!(repo.num_models(), 1);
         let restored = ModelSearcher::from_repository(repo, &MorerConfig::default());
         // from_repository pre-warms the caches
-        assert!(restored.entries().iter().all(ClusterEntry::has_cached_sketch));
+        assert!(restored.entries().iter().all(|e| e.has_cached_sketch()));
         assert_eq!(restored.num_models(), 1);
     }
 }

@@ -18,17 +18,22 @@ use morer_ml::model::Classifier;
 /// each entry's cached representative sketch
 /// ([`ClusterEntry::representative_sketch`]) — no per-entry column
 /// extraction, subsampling or sorting.
-pub fn best_entry_for(
+///
+/// Generic over the entry slice's element: both plain `ClusterEntry`
+/// collections and the `Arc<ClusterEntry>` store of
+/// [`crate::searcher::ModelSearcher`] score through the same kernel.
+pub fn best_entry_for<E: std::borrow::Borrow<ClusterEntry>>(
     problem: &ErProblem,
-    entries: &[ClusterEntry],
+    entries: &[E],
     opts: &AnalysisOptions,
 ) -> Option<(usize, f64)> {
-    if entries.iter().all(|e| e.representatives.is_empty()) {
+    if entries.iter().all(|e| e.borrow().representatives.is_empty()) {
         return None;
     }
     let query = DistributionSketch::of(problem, opts);
     entries
         .iter()
+        .map(std::borrow::Borrow::borrow)
         .enumerate()
         .filter(|(_, e)| !e.representatives.is_empty())
         .map(|(i, e)| {
@@ -116,7 +121,7 @@ mod tests {
     #[test]
     fn empty_repository_returns_none() {
         let p = problem_with_mu(0.8);
-        assert!(best_entry_for(&p, &[], &opts(100, 1)).is_none());
+        assert!(best_entry_for::<ClusterEntry>(&p, &[], &opts(100, 1)).is_none());
     }
 
     #[test]

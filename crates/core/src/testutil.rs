@@ -1,12 +1,47 @@
-//! Shared unit-test fixtures: a repository entry / query problem whose
-//! match similarities sit around a configurable `mu`, so tests can build
-//! distinguishable distribution families without copy-pasting builders.
+//! Shared test fixtures: repository entries / query problems drawn from
+//! configurable distribution families, so tests can build distinguishable
+//! families without copy-pasting builders.
+//!
+//! Not part of the public API: the module is compiled into the library
+//! (hidden from docs) so integration tests and dependent crates' test
+//! suites — `crates/core/tests/`, `crates/serve/tests/` — can share the
+//! same fixtures as the unit tests instead of re-triplicating them.
 
 use crate::repository::ClusterEntry;
 use morer_data::ErProblem;
 use morer_ml::dataset::FeatureMatrix;
 use morer_ml::model::{ModelConfig, TrainedModel};
 use morer_ml::TrainingSet;
+
+/// A problem drawn deterministically from one of two well-separated
+/// distribution families: family 0 matches around 0.88 (non-matches
+/// 0.12), any other family around 0.58 (non-matches 0.38) — far enough
+/// apart that one model cannot serve both, so clustering splits them.
+pub fn family_problem(id: usize, family: u8, n: usize) -> ErProblem {
+    let (match_mu, nonmatch_mu) = match family {
+        0 => (0.88, 0.12),
+        _ => (0.58, 0.38),
+    };
+    let mut features = FeatureMatrix::new(2);
+    let mut labels = Vec::new();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        let jitter = ((i * 29 + id * 7) % 40) as f64 / 400.0;
+        let is_match = i % 3 == 0;
+        let base = if is_match { match_mu } else { nonmatch_mu };
+        features.push_row(&[(base + jitter).min(1.0), (base + jitter * 0.7).min(1.0)]);
+        labels.push(is_match);
+        pairs.push(((id * n + i) as u32, (id * n + i + 1_000_000) as u32));
+    }
+    ErProblem {
+        id,
+        sources: (id, id + 1),
+        pairs,
+        features,
+        labels,
+        feature_names: vec!["f0".into(), "f1".into()],
+    }
+}
 
 /// 100 alternating match/non-match rows: matches near `mu`, non-matches
 /// near 0.1, with a small deterministic jitter.
@@ -25,7 +60,7 @@ fn rows_with_mu(mu: f64) -> (Vec<Vec<f64>>, Vec<bool>) {
 
 /// A trained GaussianNB cluster entry whose representatives match around
 /// `mu`.
-pub(crate) fn entry_with_mu(id: usize, mu: f64) -> ClusterEntry {
+pub fn entry_with_mu(id: usize, mu: f64) -> ClusterEntry {
     let (rows, labels) = rows_with_mu(mu);
     let training = TrainingSet::from_rows(&rows, &labels);
     let model = TrainedModel::train(&ModelConfig::GaussianNb, &training);
@@ -34,7 +69,7 @@ pub(crate) fn entry_with_mu(id: usize, mu: f64) -> ClusterEntry {
 
 /// A query ER problem drawn from the same family as
 /// [`entry_with_mu`]`(_, mu)`.
-pub(crate) fn problem_with_mu(id: usize, mu: f64) -> ErProblem {
+pub fn problem_with_mu(id: usize, mu: f64) -> ErProblem {
     let (rows, labels) = rows_with_mu(mu);
     let mut features = FeatureMatrix::new(2);
     let mut pairs = Vec::new();

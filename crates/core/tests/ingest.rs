@@ -16,6 +16,7 @@ use rand::{Rng, SeedableRng};
 use morer_core::clustering::ReclusterPolicy;
 use morer_core::config::{MorerConfig, TrainingMode};
 use morer_core::pipeline::Morer;
+use morer_core::testutil::family_problem;
 use morer_data::ErProblem;
 use morer_ml::dataset::FeatureMatrix;
 use morer_ml::model::ModelConfig;
@@ -273,6 +274,69 @@ fn snapshot_serves_its_epoch_during_concurrent_ingest() {
     assert!(!Arc::ptr_eq(&snap, &fresh));
     assert_eq!(fresh.num_models(), morer.num_models());
     assert_eq!(snap.num_models(), snap.repository().num_models());
+}
+
+/// ROADMAP open item, closed in PR 5: snapshot publication is O(dirty).
+/// The entry store is `Arc`-shared, so entries untouched by a commit keep
+/// their exact allocation across epochs — pointer-equal between
+/// consecutive snapshots — while touched entries get fresh allocations
+/// (and the old snapshot keeps serving the old payload). Covers both the
+/// full-recluster path (dirty-tracked regeneration) and the
+/// incremental-attach path (`Arc::make_mut` copy-on-write).
+#[test]
+fn snapshot_publication_shares_untouched_entries_across_epochs() {
+    for policy in [ReclusterPolicy::Always, ReclusterPolicy::Never] {
+        // supervised + fixed model: budgets are zero, so under Always the
+        // untouched cluster keeps a matching generation fingerprint
+        let cfg = MorerConfig {
+            training: TrainingMode::Supervised { fraction: 0.5 },
+            model: ModelConfig::GaussianNb,
+            recluster: policy,
+            ..config(17)
+        };
+        let problems: Vec<ErProblem> =
+            (0..6).map(|i| family_problem(i, (i >= 3) as u8, 150)).collect();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let (mut morer, _) = Morer::build(refs, &cfg);
+        assert_eq!(morer.num_models(), 2, "{policy:?}: expected one model per family");
+
+        let snap1 = morer.snapshot();
+        // a family-0 arrival touches exactly family-0's cluster
+        let arrival = family_problem(6, 0, 150);
+        let report = morer.add_problem(&arrival);
+        assert_eq!(
+            report.models_retrained + report.new_models,
+            1,
+            "{policy:?}: arrival should touch exactly one model: {report:?}"
+        );
+        let snap2 = morer.snapshot();
+        assert!(!Arc::ptr_eq(&snap1, &snap2));
+
+        let arrival_idx = morer.num_problems() - 1;
+        let mut shared = 0;
+        let mut replaced = 0;
+        for (e1, e2) in snap1.entries().iter().zip(snap2.entries()) {
+            assert_eq!(e1.id, e2.id);
+            if e2.problem_ids.contains(&arrival_idx) {
+                // the touched cluster was retrained into a fresh allocation;
+                // the old snapshot keeps the pre-commit payload
+                assert!(!Arc::ptr_eq(e1, e2), "{policy:?}: touched entry {} shared", e2.id);
+                assert_ne!(e1.problem_ids, e2.problem_ids);
+                replaced += 1;
+            } else {
+                // O(dirty) contract: untouched entries are pointer-equal
+                assert!(Arc::ptr_eq(e1, e2), "{policy:?}: untouched entry {} cloned", e2.id);
+                shared += 1;
+            }
+        }
+        assert_eq!((shared, replaced), (1, 1), "{policy:?}");
+
+        // the published snapshot shares every entry with the live searcher —
+        // publication itself deep-copies nothing
+        for (s, w) in snap2.entries().iter().zip(morer.searcher().entries()) {
+            assert!(Arc::ptr_eq(s, w), "{policy:?}: publication cloned entry {}", s.id);
+        }
+    }
 }
 
 /// IngestReport accounting is consistent with the observable state changes.

@@ -83,7 +83,7 @@ fn concurrent_solves_are_bit_identical_to_sequential() {
         let shared = sample_searcher(64);
         if warm {
             shared.warm();
-            assert!(shared.entries().iter().all(ClusterEntry::has_cached_sketch));
+            assert!(shared.entries().iter().all(|e| e.has_cached_sketch()));
         } else {
             assert!(shared.entries().iter().all(|e| !e.has_cached_sketch()));
         }
@@ -137,7 +137,7 @@ fn concurrent_searches_share_one_warm_cache_state() {
             });
         }
     });
-    assert!(shared.entries().iter().all(ClusterEntry::has_cached_sketch));
+    assert!(shared.entries().iter().all(|e| e.has_cached_sketch()));
     let fresh = sample_searcher(1000);
     fresh.warm();
     for q in &qs {

@@ -128,6 +128,55 @@ impl ErProblem {
         Self { id, sources, pairs, features, labels, feature_names: scheme.feature_names() }
     }
 
+    /// Check the cross-field invariants every constructor guarantees but a
+    /// hand-built or deserialized problem may violate: pairs, labels and
+    /// feature rows must align, and there must be one feature name per
+    /// column. Untrusted inputs (service request bodies) must pass this
+    /// before entering the pipeline — the pipeline's inner loops index on
+    /// these invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.features.rows() != self.pairs.len() {
+            return Err(format!(
+                "problem {}: {} candidate pairs but {} feature rows",
+                self.id,
+                self.pairs.len(),
+                self.features.rows()
+            ));
+        }
+        if self.labels.len() != self.pairs.len() {
+            return Err(format!(
+                "problem {}: {} candidate pairs but {} labels",
+                self.id,
+                self.pairs.len(),
+                self.labels.len()
+            ));
+        }
+        if self.feature_names.len() != self.features.cols() {
+            return Err(format!(
+                "problem {}: {} feature columns but {} feature names",
+                self.id,
+                self.features.cols(),
+                self.feature_names.len()
+            ));
+        }
+        // similarity features are finite by construction (w ∈ [0,1]^t); a
+        // smuggled inf/NaN would poison representatives and — because the
+        // JSON writer encodes non-finite floats as null — make a persisted
+        // repository unloadable
+        if let Some(v) = self
+            .features
+            .iter_rows()
+            .flatten()
+            .find(|v| !v.is_finite())
+        {
+            return Err(format!(
+                "problem {}: non-finite feature value {v}",
+                self.id
+            ));
+        }
+        Ok(())
+    }
+
     /// Number of candidate pairs.
     pub fn num_pairs(&self) -> usize {
         self.pairs.len()
@@ -362,6 +411,30 @@ mod tests {
         // jaccard("canon eos camera", "canon eos camera kit") = 3/4
         assert!((p.features.get(0, 0) - 0.75).abs() < 1e-12);
         assert_eq!(p.feature_names, vec!["jaccard(title)".to_owned()]);
+    }
+
+    #[test]
+    fn validate_accepts_constructed_problems_and_rejects_tampering() {
+        let (ds, scheme) = tiny_benchmark();
+        let p = ErProblem::build(0, &ds, &scheme, (0, 1), vec![(0, 2), (0, 3), (1, 2)]);
+        assert_eq!(p.validate(), Ok(()));
+        // every cross-field invariant is checked
+        let mut short_labels = p.clone();
+        short_labels.labels.pop();
+        assert!(short_labels.validate().unwrap_err().contains("labels"));
+        let mut extra_pair = p.clone();
+        extra_pair.pairs.push((9, 10));
+        assert!(extra_pair.validate().unwrap_err().contains("feature rows"));
+        let mut bad_names = p.clone();
+        bad_names.feature_names.clear();
+        assert!(bad_names.validate().unwrap_err().contains("feature names"));
+        let mut poisoned = p.clone();
+        poisoned.features = FeatureMatrix::from_rows(&[
+            vec![0.5],
+            vec![f64::INFINITY],
+            vec![0.25],
+        ]);
+        assert!(poisoned.validate().unwrap_err().contains("non-finite"));
     }
 
     #[test]

@@ -6,11 +6,32 @@ use serde::{Deserialize, Serialize};
 ///
 /// Rows are observations (similarity feature vectors `w`), columns are
 /// features `f_1..f_t`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FeatureMatrix {
     data: Vec<f64>,
     rows: usize,
     cols: usize,
+}
+
+/// Hand-rolled (not derived) so untrusted input — persisted repositories,
+/// service request bodies — cannot smuggle in a matrix whose buffer
+/// disagrees with its declared shape: every accessor slices on the
+/// `data.len() == rows * cols` invariant the constructors enforce.
+impl Deserialize for FeatureMatrix {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let data = Vec::<f64>::from_value(serde::map_get(v, "data")?)?;
+        let rows = usize::from_value(serde::map_get(v, "rows")?)?;
+        let cols = usize::from_value(serde::map_get(v, "cols")?)?;
+        if rows.checked_mul(cols) != Some(data.len()) {
+            return Err(serde::Error::msg(format!(
+                "feature matrix shape mismatch: {rows} rows x {cols} cols \
+                 needs {} values, found {}",
+                rows.checked_mul(cols).map_or("overflow".into(), |n| n.to_string()),
+                data.len()
+            )));
+        }
+        Ok(Self { data, rows, cols })
+    }
 }
 
 impl FeatureMatrix {
@@ -95,12 +116,30 @@ impl FeatureMatrix {
 }
 
 /// Labeled training data: feature rows plus binary match labels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TrainingSet {
     /// Feature rows.
     pub x: FeatureMatrix,
     /// `true` = match, `false` = non-match.
     pub y: Vec<bool>,
+}
+
+/// Hand-rolled for the same reason as [`FeatureMatrix`]: a label vector
+/// that disagrees with the row count must fail at decode time, not panic
+/// in a training loop later.
+impl Deserialize for TrainingSet {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let x = FeatureMatrix::from_value(serde::map_get(v, "x")?)?;
+        let y = Vec::<bool>::from_value(serde::map_get(v, "y")?)?;
+        if x.rows() != y.len() {
+            return Err(serde::Error::msg(format!(
+                "training set shape mismatch: {} feature rows vs {} labels",
+                x.rows(),
+                y.len()
+            )));
+        }
+        Ok(Self { x, y })
+    }
 }
 
 impl TrainingSet {
@@ -215,6 +254,36 @@ mod tests {
         let s = a.select(&[1]);
         assert_eq!(s.x.row(0), &[2.0]);
         assert_eq!(s.y, vec![false]);
+    }
+
+    #[test]
+    fn deserialize_rejects_shape_mismatches() {
+        let m = FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        // the honest encoding round-trips
+        assert_eq!(FeatureMatrix::from_value(&m.to_value()).unwrap(), m);
+        // tampering with the declared shape fails at decode, not at access
+        let tamper = |field: &str, val: serde::Value| {
+            let serde::Value::Map(mut entries) = m.to_value() else { unreachable!() };
+            for (k, v) in &mut entries {
+                if k == field {
+                    *v = val.clone();
+                }
+            }
+            FeatureMatrix::from_value(&serde::Value::Map(entries))
+        };
+        assert!(tamper("rows", serde::Value::I64(3)).is_err());
+        assert!(tamper("cols", serde::Value::I64(1)).is_err());
+        assert!(tamper("rows", serde::Value::I64(i64::MAX)).is_err(), "mul overflow");
+
+        let ts = TrainingSet::from_rows(&[vec![1.0], vec![2.0]], &[true, false]);
+        assert_eq!(TrainingSet::from_value(&ts.to_value()).unwrap(), ts);
+        let serde::Value::Map(mut entries) = ts.to_value() else { unreachable!() };
+        for (k, v) in &mut entries {
+            if k == "y" {
+                *v = serde::Value::Seq(vec![serde::Value::Bool(true)]);
+            }
+        }
+        assert!(TrainingSet::from_value(&serde::Value::Map(entries)).is_err());
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! A tiny blocking HTTP/1.1 client for the loopback use cases that ship
+//! with the repo: integration tests, the `serve` benchmarks, quick-bench
+//! and `examples/serve_demo.rs`. One keep-alive connection per
+//! [`Connection`]; requests are strictly sequential (send, then read the
+//! full response).
+
+use std::io::{ErrorKind, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::http;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// The response body (exactly `Content-Length` bytes), as text.
+    pub body: String,
+    /// Whether the server announced it keeps the connection open.
+    pub keep_alive: bool,
+}
+
+impl HttpResponse {
+    /// Decode a 2xx JSON body into `T`. Non-2xx responses (and JSON that
+    /// does not match `T`) become `InvalidData` errors carrying the body —
+    /// which for this service is the `{"error": ...}` envelope.
+    pub fn json<T: serde::Deserialize>(&self) -> std::io::Result<T> {
+        if !(200..300).contains(&self.status) {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("HTTP {}: {}", self.status, self.body),
+            ));
+        }
+        serde_json::from_str(&self.body)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// A persistent (keep-alive) client connection.
+pub struct Connection {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl Connection {
+    /// Connect to a server (e.g. the [`crate::ServerHandle::addr`]).
+    pub fn open(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, carry: Vec::new() })
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+        self.request("POST", path, Some(body.as_bytes()))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<HttpResponse> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: morer\r\nContent-Length: {}\r\n\r\n",
+            body.map_or(0, <[u8]>::len)
+        );
+        self.stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            self.stream.write_all(body)?;
+        }
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Send raw bytes as-is and read one response (for protocol-level
+    /// tests: malformed heads, oversized declarations, garbage).
+    pub fn send_raw(&mut self, raw: &[u8]) -> std::io::Result<HttpResponse> {
+        self.stream.write_all(raw)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let mut buf = std::mem::take(&mut self.carry);
+        // head: same accumulation core as the server's request reader (the
+        // client sets no read timeout, so timeouts never fire)
+        let head_end =
+            match http::fill_until(&mut self.stream, &mut buf, http::find_head_end, || false)? {
+                http::Fill::Done(pos) => pos,
+                http::Fill::Eof | http::Fill::Aborted => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed before a full response head",
+                    ))
+                }
+            };
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?
+            .to_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("malformed status line {status_line:?}"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else { continue };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("invalid Content-Length {value:?}"),
+                    )
+                })?;
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.eq_ignore_ascii_case("close")
+            {
+                keep_alive = false;
+            }
+        }
+        // body: length is known, read straight into the final buffer
+        let body_start = head_end + 4;
+        let body_end = body_start + content_length;
+        match http::fill_exact(&mut self.stream, &mut buf, body_end, || false)? {
+            http::Fill::Done(()) => {}
+            http::Fill::Eof | http::Fill::Aborted => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed mid-body",
+                ))
+            }
+        }
+        self.carry = buf.split_off(body_end);
+        let body = String::from_utf8(buf.split_off(body_start))
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+        Ok(HttpResponse { status, body, keep_alive })
+    }
+}

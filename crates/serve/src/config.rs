@@ -1,0 +1,66 @@
+//! Server configuration.
+
+use std::time::Duration;
+
+/// Configuration of a [`crate::MorerServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address. Port `0` asks the OS for a free port (the bound
+    /// address is reported by [`crate::ServerHandle::addr`]).
+    pub addr: String,
+    /// Number of connection-handling worker threads (the read path fans
+    /// out across them; each also forwards `/ingest` bodies to the single
+    /// writer thread).
+    pub workers: usize,
+    /// Requests whose declared `Content-Length` exceeds this are rejected
+    /// with `413 Payload Too Large` before the body is read.
+    pub max_body_bytes: usize,
+    /// Request heads (request line + headers) larger than this are `400`s.
+    pub max_header_bytes: usize,
+    /// Capacity of the bounded ingest channel between the workers and the
+    /// writer thread. When the queue is full, further `/ingest` requests
+    /// block in their worker (backpressure) until the writer drains it.
+    pub ingest_queue: usize,
+    /// Granularity of the socket read timeout. Idle keep-alive connections
+    /// wake this often to check for shutdown, so it bounds shutdown
+    /// latency; it does **not** limit how long a request may take.
+    pub poll_interval: Duration,
+    /// Maximum wall-clock time to *receive* one request, including the
+    /// idle wait on a keep-alive connection. A client that goes silent or
+    /// trickles bytes slower than this is disconnected, so it cannot pin
+    /// a worker thread forever. Does not limit how long a request takes to
+    /// *process* once received.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            max_body_bytes: 8 << 20,
+            max_header_bytes: 8 << 10,
+            ingest_queue: 32,
+            poll_interval: Duration::from_millis(50),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.max_body_bytes > c.max_header_bytes);
+        assert!(c.ingest_queue >= 1);
+        assert!(c.poll_interval > Duration::ZERO);
+        // the idle deadline must leave room for several poll ticks
+        assert!(c.idle_timeout > c.poll_interval * 4);
+        // port 0: tests and examples never collide on a fixed port
+        assert!(c.addr.ends_with(":0"));
+    }
+}

@@ -1,0 +1,515 @@
+//! A minimal hand-rolled HTTP/1.1 layer: just enough of RFC 9112 for a
+//! loopback JSON service — request parsing with size limits, keep-alive,
+//! and fixed-length responses. No chunked transfer encoding, no TLS, no
+//! pipelining on the server side (each request is answered before the next
+//! is read; bytes read past the current request are carried over).
+
+use std::io::{ErrorKind, Read, Write};
+
+/// The interim response sent when a client declares `Expect: 100-continue`
+/// and the body has not arrived yet (curl does this for bodies over 1 KB
+/// and stalls ~1s waiting for it otherwise).
+const CONTINUE: &[u8] = b"HTTP/1.1 100 Continue\r\n\r\n";
+
+/// Request methods the service routes. Anything else is a 400 — the
+/// surface is closed-world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target as sent (no query parsing; routes match exactly).
+    pub path: String,
+    /// The request body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default, overridden by `Connection: close`).
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read. Distinguishes protocol errors (which
+/// get an HTTP error response) from connection lifecycle events (which
+/// just end the connection).
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed (or shutdown was requested) before a request
+    /// started — the normal end of a keep-alive connection.
+    Closed,
+    /// The connection failed mid-request.
+    Io(std::io::Error),
+    /// The request head was malformed or unsupported → `400`.
+    Bad(String),
+    /// The declared body exceeds the configured cap → `413`. The body was
+    /// not read; the connection must be closed after responding.
+    TooLarge {
+        /// The `Content-Length` the client declared.
+        declared: u64,
+        /// The configured [`Limits::max_body_bytes`].
+        max: usize,
+    },
+}
+
+/// Size caps enforced while reading a request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum request-head size (request line + headers).
+    pub max_header_bytes: usize,
+    /// Maximum declared body size.
+    pub max_body_bytes: usize,
+}
+
+/// Outcome of an accumulation read ([`fill_until`] / [`fill_exact`]).
+pub(crate) enum Fill<T> {
+    /// The predicate/target was satisfied.
+    Done(T),
+    /// The peer closed the connection before it was.
+    Eof,
+    /// The `on_timeout` callback asked to abandon the read.
+    Aborted,
+}
+
+/// Read chunks from `stream` into `buf` until `done(buf)` yields a value.
+/// `on_timeout` runs on every read-timeout tick (`WouldBlock`/`TimedOut`);
+/// returning `true` abandons the read. Shared by the server's request
+/// reader and the loopback client's response reader so the accumulation
+/// and retry semantics cannot drift apart.
+pub(crate) fn fill_until<T>(
+    stream: &mut impl Read,
+    buf: &mut Vec<u8>,
+    mut done: impl FnMut(&[u8]) -> Option<T>,
+    mut on_timeout: impl FnMut() -> bool,
+) -> std::io::Result<Fill<T>> {
+    let mut tmp = [0u8; 4096];
+    loop {
+        if let Some(t) = done(buf) {
+            return Ok(Fill::Done(t));
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return Ok(Fill::Eof),
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if on_timeout() {
+                    return Ok(Fill::Aborted);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Grow `buf` to exactly `target_len` bytes, reading directly into the
+/// final buffer — the length is known (declared `Content-Length`), so
+/// there is no scratch-buffer bounce and no incremental reallocation. On
+/// `Eof`/`Aborted` the buffer is truncated back to the bytes actually
+/// received.
+pub(crate) fn fill_exact(
+    stream: &mut impl Read,
+    buf: &mut Vec<u8>,
+    target_len: usize,
+    mut on_timeout: impl FnMut() -> bool,
+) -> std::io::Result<Fill<()>> {
+    let mut filled = buf.len();
+    if filled >= target_len {
+        return Ok(Fill::Done(()));
+    }
+    buf.resize(target_len, 0);
+    loop {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                buf.truncate(filled);
+                return Ok(Fill::Eof);
+            }
+            Ok(n) => {
+                filled += n;
+                if filled == target_len {
+                    return Ok(Fill::Done(()));
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if on_timeout() {
+                    buf.truncate(filled);
+                    return Ok(Fill::Aborted);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                buf.truncate(filled);
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Read one request from `stream` (writes only the interim
+/// `100 Continue` line when the client expects one).
+///
+/// `carry` holds bytes already read past the previous request on this
+/// connection; leftover bytes beyond this request are left in it. Reads
+/// use the stream's configured read timeout as a poll granularity: on
+/// every timeout tick `abort()` is consulted — returning `true` (server
+/// shutdown, or the caller's idle/receive deadline expired) abandons the
+/// connection as [`RequestError::Closed`], so an idle or byte-trickling
+/// client cannot pin a worker forever.
+pub fn read_request<S: Read + Write>(
+    stream: &mut S,
+    carry: &mut Vec<u8>,
+    limits: &Limits,
+    abort: impl Fn() -> bool,
+) -> Result<Request, RequestError> {
+    let mut buf = std::mem::take(carry);
+
+    // 1. accumulate the head until the \r\n\r\n terminator
+    let max_head = limits.max_header_bytes;
+    let head_probe = |b: &[u8]| match find_head_end(b) {
+        Some(pos) => Some(Ok(pos)),
+        None if b.len() > max_head => Some(Err(())),
+        None => None,
+    };
+    let head_end = match fill_until(stream, &mut buf, head_probe, &abort)
+        .map_err(RequestError::Io)?
+    {
+        Fill::Done(Ok(pos)) if pos <= max_head => pos,
+        Fill::Done(_) => {
+            return Err(RequestError::Bad(format!(
+                "request head exceeds {max_head} bytes"
+            )))
+        }
+        Fill::Eof if buf.is_empty() => return Err(RequestError::Closed),
+        Fill::Eof => return Err(RequestError::Bad("connection closed mid-request".into())),
+        Fill::Aborted => return Err(RequestError::Closed),
+    };
+
+    // 2. parse the request line and headers
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RequestError::Bad("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = match parts.next() {
+        Some("GET") => Method::Get,
+        Some("POST") => Method::Post,
+        other => {
+            return Err(RequestError::Bad(format!(
+                "unsupported method {:?}",
+                other.unwrap_or("")
+            )))
+        }
+    };
+    let path = parts
+        .next()
+        .filter(|p| !p.is_empty())
+        .ok_or_else(|| RequestError::Bad("missing request target".into()))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Bad("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Bad(format!("unsupported version {version:?}")));
+    }
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length: Option<u64> = None;
+    let mut expect_continue = false;
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Bad(format!("malformed header line {line:?}")))?;
+        // RFC 9112 §5.1: no whitespace between field name and colon (a
+        // space-tolerant intermediary would frame "Content-Length : N"
+        // differently than a strict one — another smuggling vector), and no
+        // leading whitespace (obsolete line folding is not supported)
+        if name.is_empty() || name.trim() != name {
+            return Err(RequestError::Bad(format!("malformed header name {name:?}")));
+        }
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            // RFC 9112 §6.3: conflicting/duplicate Content-Length headers
+            // must be rejected — honoring one of them while an intermediary
+            // honors the other desynchronizes request boundaries
+            if content_length.is_some() {
+                return Err(RequestError::Bad("duplicate Content-Length header".into()));
+            }
+            // RFC 9110 `1*DIGIT` exactly: `u64::from_str` would also accept
+            // a leading `+`, which a conforming intermediary rejects — the
+            // same framing-disagreement class as duplicate headers
+            if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(RequestError::Bad(format!("invalid Content-Length {value:?}")));
+            }
+            content_length = Some(
+                value
+                    .parse()
+                    .map_err(|_| RequestError::Bad(format!("invalid Content-Length {value:?}")))?,
+            );
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(RequestError::Bad("Transfer-Encoding is not supported".into()));
+        } else if name.eq_ignore_ascii_case("expect") {
+            if !value.eq_ignore_ascii_case("100-continue") {
+                return Err(RequestError::Bad(format!("unsupported Expect {value:?}")));
+            }
+            expect_continue = true;
+        } else if name.eq_ignore_ascii_case("connection") {
+            let value = value.to_ascii_lowercase();
+            if value.split(',').any(|t| t.trim() == "close") {
+                keep_alive = false;
+            } else if value.split(',').any(|t| t.trim() == "keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
+    if content_length > limits.max_body_bytes as u64 {
+        return Err(RequestError::TooLarge {
+            declared: content_length,
+            max: limits.max_body_bytes,
+        });
+    }
+    let content_length = content_length as usize;
+
+    // 3. read exactly the declared body (some of it may already be
+    // buffered), keeping any pipelined surplus for the next request
+    let body_start = head_end + 4;
+    let body_end = body_start + content_length;
+    // an expecting client holds the body back until the interim response
+    if expect_continue && buf.len() < body_end {
+        stream.write_all(CONTINUE).map_err(RequestError::Io)?;
+        stream.flush().map_err(RequestError::Io)?;
+    }
+    match fill_exact(stream, &mut buf, body_end, &abort).map_err(RequestError::Io)? {
+        Fill::Done(()) => {}
+        Fill::Eof => return Err(RequestError::Bad("connection closed mid-body".into())),
+        Fill::Aborted => return Err(RequestError::Closed),
+    }
+    *carry = buf.split_off(body_end);
+    let body = buf.split_off(body_start);
+    Ok(Request { method, path, body, keep_alive })
+}
+
+/// Index of the `\r\n\r\n` head terminator, if present.
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Write one fixed-length JSON response.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Canonical reason phrase for the statuses this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn limits() -> Limits {
+        Limits { max_header_bytes: 1024, max_body_bytes: 64 }
+    }
+
+    /// A readable script plus a capture of everything the parser writes
+    /// back (the `100 Continue` interim response).
+    struct Duplex {
+        input: Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Duplex {
+        fn new(raw: &[u8]) -> Self {
+            Self { input: Cursor::new(raw.to_vec()), output: Vec::new() }
+        }
+    }
+
+    impl Read for Duplex {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Duplex {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn read(raw: &[u8]) -> Result<Request, RequestError> {
+        read_request(&mut Duplex::new(raw), &mut Vec::new(), &limits(), || false)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = read(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/healthz");
+        assert!(r.body.is_empty());
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn parses_post_with_exact_body() {
+        let r = read(b"POST /solve HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"").unwrap();
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(r.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let r = read(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = read(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = read(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn oversized_body_is_too_large_before_reading_it() {
+        match read(b"POST /ingest HTTP/1.1\r\nContent-Length: 100000\r\n\r\n") {
+            Err(RequestError::TooLarge { declared, max }) => {
+                assert_eq!(declared, 100000);
+                assert_eq!(max, 64);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // a Content-Length beyond u64 parsing is malformed, not a panic
+        assert!(matches!(
+            read(b"POST / HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n"),
+            Err(RequestError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_heads_are_bad_requests() {
+        for raw in [
+            &b"FLY / HTTP/1.1\r\n\r\n"[..],
+            &b"GET  HTTP/1.1\r\n\r\n"[..],
+            &b"GET /x SPDY/3\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n"[..],
+            // RFC 9110 1*DIGIT: a leading sign is a framing disagreement
+            // with conforming intermediaries
+            &b"POST /x HTTP/1.1\r\nContent-Length: +2\r\n\r\nhi"[..],
+            // RFC 9112 §5.1: whitespace around the field name would be
+            // dropped as an unknown header, silently un-framing the body
+            &b"POST /x HTTP/1.1\r\nContent-Length : 5\r\n\r\nhello"[..],
+            &b"POST /x HTTP/1.1\r\n Content-Length: 5\r\n\r\nhello"[..],
+            // RFC 9112 SS6.3: conflicting/duplicate Content-Length headers
+            // are a request-smuggling vector and must be rejected
+            &b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 0\r\n\r\nhello"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi"[..],
+        ] {
+            assert!(matches!(read(raw), Err(RequestError::Bad(_))), "{raw:?}");
+        }
+        // a head larger than the cap is rejected rather than buffered forever
+        let mut big = b"GET /x HTTP/1.1\r\nX-Pad: ".to_vec();
+        big.extend(std::iter::repeat(b'a').take(2048));
+        big.extend(b"\r\n\r\n");
+        assert!(matches!(read(&big), Err(RequestError::Bad(_))));
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_closed_mid_request_is_bad() {
+        assert!(matches!(read(b""), Err(RequestError::Closed)));
+        assert!(matches!(read(b"GET /x HT"), Err(RequestError::Bad(_))));
+        assert!(matches!(
+            read(b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\nshort"),
+            Err(RequestError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn pipelined_surplus_is_carried_to_the_next_request() {
+        let mut duplex =
+            Duplex::new(b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nxxGET /b HTTP/1.1\r\n\r\n");
+        let mut carry = Vec::new();
+        let first = read_request(&mut duplex, &mut carry, &limits(), || false).unwrap();
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"xx");
+        let second = read_request(&mut duplex, &mut carry, &limits(), || false).unwrap();
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.method, Method::Get);
+    }
+
+    #[test]
+    fn expect_100_continue_gets_the_interim_response() {
+        // head + 5000-byte body: the first 4 KiB read leaves the body
+        // incomplete when the head parses, so the interim response fires
+        // before the body read (a real expecting client — curl with a >1 KB
+        // body — would not even send the body until it arrives)
+        let mut raw =
+            b"POST /ingest HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 5000\r\n\r\n"
+                .to_vec();
+        raw.extend(std::iter::repeat(b'x').take(5000));
+        let big = Limits { max_header_bytes: 1024, max_body_bytes: 10_000 };
+        let mut duplex = Duplex::new(&raw);
+        let req = read_request(&mut duplex, &mut Vec::new(), &big, || false).unwrap();
+        assert_eq!(req.body.len(), 5000);
+        assert_eq!(duplex.output, CONTINUE);
+
+        // a body already in the buffer needs no interim response
+        let mut duplex = Duplex::new(
+            b"POST /x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nhi",
+        );
+        let req = read_request(&mut duplex, &mut Vec::new(), &limits(), || false).unwrap();
+        assert_eq!(req.body, b"hi");
+        assert!(duplex.output.is_empty());
+
+        // unknown expectations are rejected, not silently ignored
+        assert!(matches!(
+            read(b"POST /x HTTP/1.1\r\nExpect: minotaur\r\nContent-Length: 0\r\n\r\n"),
+            Err(RequestError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn responses_have_fixed_length_and_connection_header() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, b"{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let mut out = Vec::new();
+        write_response(&mut out, 413, b"{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 413 Payload Too Large\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}

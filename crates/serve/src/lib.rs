@@ -1,0 +1,101 @@
+//! # morer-serve — a std-only concurrent model-serving layer for MoRER
+//!
+//! The paper's end state (Fig. 3 steps 4-5) is a *service*: clients submit
+//! unsolved ER problems and the repository answers with a reusable model.
+//! This crate turns the library pipeline into that deployable service — an
+//! HTTP/1.1 JSON server built on nothing but `std` (`TcpListener` + a fixed
+//! pool of worker threads; the build environment has no crates.io access,
+//! see `crates/vendor/README.md`) on top of the two-layer pipeline API:
+//!
+//! * **Read path** — every `/search`, `/solve` and `/solve_batch` request is
+//!   served from the current epoch-pinned `Arc<ModelSearcher>` snapshot
+//!   ([`morer_core::pipeline::Morer::snapshot`]). Readers never block on the
+//!   writer: while an ingest batch reclusters and retrains, requests keep
+//!   answering from the previous epoch, bit-identically, until the commit
+//!   swaps the snapshot.
+//! * **Write path** — `/ingest` requests enqueue their problems on a bounded
+//!   channel drained by a **single writer thread** that owns the
+//!   [`morer_core::pipeline::Morer`]. Arrivals queued while a commit is in
+//!   flight micro-batch into the next `add_problems` call, so concurrent
+//!   ingest requests share one recluster/retrain commit (each requester
+//!   receives the combined [`morer_core::pipeline::IngestReport`] of the
+//!   commit its problems were part of).
+//! * **Observability** — `GET /healthz` and `GET /stats` report the epoch,
+//!   entry/model counts and per-endpoint request counters and latency
+//!   aggregates from a lock-free [`metrics::MetricsRegistry`] (plain
+//!   `AtomicU64`s, no locks on the request path).
+//!
+//! Failure modes are typed end-to-end: malformed HTTP or JSON is `400`,
+//! searching an empty repository is `404`, an oversized body is `413`
+//! (bounded by [`ServeConfig::max_body_bytes`]), a dead writer is `500` —
+//! all with a JSON `{"error": {"kind", "message"}}` body derived from
+//! [`morer_core::error::MorerError`], and none of them kill the worker that
+//! answered.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use morer_core::config::MorerConfig;
+//! use morer_core::pipeline::Morer;
+//! use morer_core::repository::ModelRepository;
+//! use morer_serve::{Connection, MorerServer, ServeConfig};
+//!
+//! // an empty writer (restore a persisted repository in real deployments)
+//! let morer = Morer::from_repository(ModelRepository::default(), &MorerConfig::default());
+//! let handle = MorerServer::start(morer, &ServeConfig::default()).unwrap();
+//!
+//! let mut conn = Connection::open(handle.addr()).unwrap();
+//! let health = conn.get("/healthz").unwrap();
+//! assert_eq!(health.status, 200);
+//! handle.shutdown();
+//! ```
+//!
+//! ## curl cheatsheet
+//!
+//! With a server on `127.0.0.1:7878` (problems are the JSON form of
+//! [`morer_data::ErProblem`] — see `examples/serve_demo.rs` for a script
+//! that prints ready-made request bodies):
+//!
+//! ```text
+//! # liveness + current repository epoch
+//! curl http://127.0.0.1:7878/healthz
+//!
+//! # per-endpoint request counters and latency aggregates
+//! curl http://127.0.0.1:7878/stats
+//!
+//! # sel_base model search: which stored model fits this problem best?
+//! curl -X POST --data @problem.json http://127.0.0.1:7878/search
+//!
+//! # search + classify every pair of the problem with the chosen model
+//! curl -X POST --data @problem.json http://127.0.0.1:7878/solve
+//!
+//! # batch solve: body is a JSON array of problems
+//! curl -X POST --data @problems.json http://127.0.0.1:7878/solve_batch
+//!
+//! # integrate newly solved problems (body: JSON array of problems);
+//! # answers with the IngestReport of the commit they were part of
+//! curl -X POST --data @problems.json http://127.0.0.1:7878/ingest
+//! ```
+//!
+//! ## Consistency contract
+//!
+//! A response is always computed against exactly one repository epoch (the
+//! snapshot `Arc` cloned at dispatch), so responses are never torn across a
+//! concurrent commit. `/solve` responses are bit-identical to in-process
+//! [`morer_core::searcher::ModelSearcher::solve`] calls on the same epoch —
+//! the vendored `serde_json` round-trips every `f64` exactly — which the
+//! loopback tests in `tests/` and every `quick-bench` run assert before any
+//! throughput number is reported.
+
+pub mod client;
+pub mod config;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{Connection, HttpResponse};
+pub use config::ServeConfig;
+pub use metrics::{Endpoint, EndpointStats, MetricsRegistry};
+pub use server::{MorerServer, ServerHandle};
+pub use wire::{ErrorBody, ErrorEnvelope, HealthResponse, StatsResponse};

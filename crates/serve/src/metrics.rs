@@ -1,0 +1,192 @@
+//! Lock-free per-endpoint request metrics.
+//!
+//! The registry is a fixed array of `AtomicU64` counters — no locks, no
+//! allocation on the request path — recorded by every worker thread and
+//! snapshotted by `GET /stats`. Counters use relaxed ordering: the stats
+//! endpoint reports a statistically consistent view, not a linearizable
+//! one (two counters read mid-update may disagree by one in-flight
+//! request), which is the usual contract for service metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// The service endpoints, plus a bucket for requests that never reached a
+/// route (unknown paths, malformed heads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /search`
+    Search,
+    /// `POST /solve`
+    Solve,
+    /// `POST /solve_batch`
+    SolveBatch,
+    /// `POST /ingest`
+    Ingest,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /stats`
+    Stats,
+    /// Everything else: unknown routes, wrong methods, unreadable requests.
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoints, in stats-report order.
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Search,
+        Endpoint::Solve,
+        Endpoint::SolveBatch,
+        Endpoint::Ingest,
+        Endpoint::Healthz,
+        Endpoint::Stats,
+        Endpoint::Other,
+    ];
+
+    /// Stable name used as the stats key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Search => "search",
+            Endpoint::Solve => "solve",
+            Endpoint::SolveBatch => "solve_batch",
+            Endpoint::Ingest => "ingest",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Stats => "stats",
+            Endpoint::Other => "other",
+        }
+    }
+
+    /// Counter-slot index: the fieldless enum's declaration order.
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+/// The lock-free metrics registry shared by all worker threads.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: [Counters; Endpoint::ALL.len()],
+}
+
+impl MetricsRegistry {
+    /// Record one finished request: latency plus whether the response was
+    /// an error (status >= 400).
+    pub fn record(&self, endpoint: Endpoint, elapsed: Duration, error: bool) {
+        let c = &self.counters[endpoint.index()];
+        let micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        if error {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        c.total_micros.fetch_add(micros, Ordering::Relaxed);
+        c.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Snapshot every endpoint's counters (the `/stats` payload). Endpoints
+    /// that served no request are included with zero counts, so dashboards
+    /// see a stable schema.
+    pub fn snapshot(&self) -> Vec<EndpointStats> {
+        Endpoint::ALL
+            .iter()
+            .map(|&e| {
+                let c = &self.counters[e.index()];
+                let requests = c.requests.load(Ordering::Relaxed);
+                let total_micros = c.total_micros.load(Ordering::Relaxed);
+                EndpointStats {
+                    endpoint: e.name().to_owned(),
+                    requests,
+                    errors: c.errors.load(Ordering::Relaxed),
+                    total_micros,
+                    max_micros: c.max_micros.load(Ordering::Relaxed),
+                    mean_micros: if requests == 0 {
+                        0.0
+                    } else {
+                        total_micros as f64 / requests as f64
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+/// One endpoint's counter snapshot, as reported by `GET /stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointStats {
+    /// Endpoint name ([`Endpoint::name`]).
+    pub endpoint: String,
+    /// Requests answered (including error responses).
+    pub requests: u64,
+    /// Responses with status >= 400.
+    pub errors: u64,
+    /// Sum of request latencies, microseconds.
+    pub total_micros: u64,
+    /// Largest single request latency, microseconds.
+    pub max_micros: u64,
+    /// `total_micros / requests` (0 when idle).
+    pub mean_micros: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_tracks_max() {
+        let m = MetricsRegistry::default();
+        m.record(Endpoint::Solve, Duration::from_micros(100), false);
+        m.record(Endpoint::Solve, Duration::from_micros(300), true);
+        m.record(Endpoint::Healthz, Duration::from_micros(5), false);
+        let snap = m.snapshot();
+        let solve = snap.iter().find(|s| s.endpoint == "solve").unwrap();
+        assert_eq!(solve.requests, 2);
+        assert_eq!(solve.errors, 1);
+        assert_eq!(solve.total_micros, 400);
+        assert_eq!(solve.max_micros, 300);
+        assert!((solve.mean_micros - 200.0).abs() < 1e-9);
+        // untouched endpoints are present with zeros (stable schema)
+        let ingest = snap.iter().find(|s| s.endpoint == "ingest").unwrap();
+        assert_eq!(ingest.requests, 0);
+        assert_eq!(ingest.mean_micros, 0.0);
+        assert_eq!(snap.len(), Endpoint::ALL.len());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = MetricsRegistry::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        m.record(Endpoint::Search, Duration::from_micros(1), false);
+                    }
+                });
+            }
+        });
+        let search = m
+            .snapshot()
+            .into_iter()
+            .find(|s| s.endpoint == "search")
+            .unwrap();
+        assert_eq!(search.requests, 4000);
+        assert_eq!(search.total_micros, 4000);
+    }
+
+    #[test]
+    fn stats_serialize_as_json() {
+        let m = MetricsRegistry::default();
+        m.record(Endpoint::Stats, Duration::from_micros(7), false);
+        let json = serde_json::to_string(&m.snapshot()).unwrap();
+        assert!(json.contains("\"endpoint\":\"stats\""));
+        let back: Vec<EndpointStats> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m.snapshot());
+    }
+}

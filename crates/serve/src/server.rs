@@ -1,0 +1,662 @@
+//! The server: a fixed pool of connection workers over one shared
+//! `TcpListener` (the read path), a single writer thread owning the
+//! [`Morer`] pipeline (the write path), and a snapshot slot connecting the
+//! two.
+//!
+//! ## Concurrency architecture
+//!
+//! ```text
+//!  client ──► worker 0 ──┐ clone Arc  ┌──────────────────────────┐
+//!  client ──► worker 1 ──┼───────────►│ Mutex<Arc<ModelSearcher>>│  read path
+//!  client ──► worker .. ─┘            └────────────▲─────────────┘
+//!                │ /ingest jobs                    │ swap per commit
+//!                ▼                                 │
+//!        bounded mpsc channel ──► writer thread (owns Morer)       write path
+//! ```
+//!
+//! * Workers never hold the snapshot lock across a solve: they clone the
+//!   `Arc` and serve from that epoch, so a commit never blocks a reader
+//!   and a reader never observes a half-updated repository.
+//! * The writer drains every queued ingest job before committing, so
+//!   concurrent `/ingest` requests micro-batch into one
+//!   [`Morer::add_problems`] recluster/retrain commit. Each requester gets
+//!   the combined [`IngestReport`] of the commit its problems were part of.
+//! * Untrusted input can never take a thread down: bodies are validated at
+//!   decode ([`ErProblem::validate`] plus the shape-checked
+//!   `FeatureMatrix` deserializer), feature-space mismatches are rejected
+//!   before they reach the panicking pipeline preconditions, and dispatch
+//!   runs under `catch_unwind` as a last line of defense (a panic answers
+//!   500 and closes the connection; the worker lives on).
+//! * Shutdown is cooperative: the listener is non-blocking and workers
+//!   poll a flag between accepts and on read timeouts; the ingest channel
+//!   closes when the last worker exits, which ends the writer.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::Deserialize;
+
+use crate::config::ServeConfig;
+use crate::http::{self, Method, Request, RequestError};
+use crate::metrics::{Endpoint, EndpointStats, MetricsRegistry};
+use crate::wire::{error_json, status_for, ErrorBody, ErrorEnvelope, HealthResponse, StatsResponse};
+use morer_core::error::MorerError;
+use morer_core::pipeline::{IngestReport, Morer};
+use morer_core::searcher::ModelSearcher;
+use morer_data::ErProblem;
+
+/// One queued `/ingest` request: the decoded problems and where to send
+/// the commit report (or the rejection — the writer checks feature-space
+/// compatibility, the one §4.2 precondition a decoded problem can still
+/// violate).
+struct IngestJob {
+    problems: Vec<ErProblem>,
+    reply: mpsc::Sender<Result<IngestReport, MorerError>>,
+}
+
+/// One published read epoch: the epoch counter and the snapshot that
+/// serves it, swapped together under one lock so an observer can never
+/// pair epoch N with epoch N+1's entries.
+#[derive(Clone)]
+struct Published {
+    epoch: u64,
+    searcher: Arc<ModelSearcher>,
+}
+
+/// State shared by every worker, the writer and the handle.
+struct ServerState {
+    /// The epoch-pinned read snapshot (plus its epoch), swapped — never
+    /// mutated — per commit.
+    published: Mutex<Published>,
+    /// Per-endpoint request counters.
+    metrics: MetricsRegistry,
+    /// Cooperative shutdown flag.
+    shutdown: AtomicBool,
+    /// Cleared if the writer thread dies abnormally (a panic escaped
+    /// `Morer::add_problems`): the read path keeps serving the last
+    /// committed epoch, `/healthz` reports `degraded`.
+    writer_alive: AtomicBool,
+}
+
+impl ServerState {
+    /// Clone the current snapshot handle (brief lock; the solve itself
+    /// runs lock-free on the cloned `Arc`).
+    fn snapshot(&self) -> Arc<ModelSearcher> {
+        Arc::clone(&self.published.lock().expect("published slot poisoned").searcher)
+    }
+
+    /// Clone the current `(epoch, snapshot)` pair atomically.
+    fn published(&self) -> Published {
+        self.published.lock().expect("published slot poisoned").clone()
+    }
+
+    /// `"ok"` while fully serving, `"degraded"` once the write path died.
+    fn health(&self) -> &'static str {
+        if self.writer_alive.load(Ordering::Acquire) {
+            "ok"
+        } else {
+            "degraded"
+        }
+    }
+}
+
+/// The MoRER model-serving server. See the crate docs for the endpoint
+/// reference and [`ServeConfig`] for tuning.
+pub struct MorerServer;
+
+impl MorerServer {
+    /// Start serving `morer` on [`ServeConfig::addr`]. The initial snapshot
+    /// is pre-warmed (entry sketch caches built) so the first query pays no
+    /// one-off cost. Returns once the listener is bound and every thread is
+    /// running; serving continues until [`ServerHandle::shutdown`] (or the
+    /// handle is dropped).
+    ///
+    /// # Errors
+    /// [`MorerError::Io`] when the address cannot be bound or threads
+    /// cannot be spawned.
+    pub fn start(mut morer: Morer, config: &ServeConfig) -> Result<ServerHandle, MorerError> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        // workers poll accept() cooperatively (see worker_loop): shutdown
+        // must not depend on being able to connect to the bound address
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let snapshot = morer.snapshot();
+        snapshot.warm();
+        let state = Arc::new(ServerState {
+            published: Mutex::new(Published { epoch: morer.epoch(), searcher: snapshot }),
+            metrics: MetricsRegistry::default(),
+            shutdown: AtomicBool::new(false),
+            writer_alive: AtomicBool::new(true),
+        });
+
+        let (ingest_tx, ingest_rx) = mpsc::sync_channel::<IngestJob>(config.ingest_queue.max(1));
+        let writer = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("morer-serve-writer".into())
+                .spawn(move || writer_loop(morer, ingest_rx, &state))?
+        };
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        let mut spawn_error: Option<std::io::Error> = None;
+        for i in 0..config.workers.max(1) {
+            let spawned = listener.try_clone().and_then(|listener| {
+                let state = Arc::clone(&state);
+                let ingest_tx = ingest_tx.clone();
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("morer-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&listener, &state, &ingest_tx, &config))
+            });
+            match spawned {
+                Ok(worker) => workers.push(worker),
+                Err(e) => {
+                    spawn_error = Some(e);
+                    break;
+                }
+            }
+        }
+        // the workers hold the only remaining senders: when the last worker
+        // exits, the channel closes and the writer drains out
+        drop(ingest_tx);
+        if let Some(e) = spawn_error {
+            // tear the partial server down — already-running threads must
+            // not keep serving a port the caller believes never started
+            state.shutdown.store(true, Ordering::Release);
+            for worker in workers {
+                let _ = worker.join();
+            }
+            let _ = writer.join();
+            return Err(e.into());
+        }
+        Ok(ServerHandle { addr, state, workers, writer: Some(writer) })
+    }
+}
+
+/// Handle to a running server: address introspection and graceful
+/// shutdown. Dropping the handle shuts the server down too.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    workers: Vec<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The committed repository epoch the read path currently serves.
+    pub fn epoch(&self) -> u64 {
+        self.state.published().epoch
+    }
+
+    /// In-process snapshot of the request metrics (what `GET /stats`
+    /// reports).
+    pub fn stats(&self) -> Vec<EndpointStats> {
+        self.state.metrics.snapshot()
+    }
+
+    /// Gracefully stop the server: in-flight requests finish, every worker
+    /// and the writer thread are joined. Queued ingest jobs still commit
+    /// before the writer exits.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        // workers poll the flag between accepts and on read timeouts, so
+        // each exits within ~poll_interval; the last one drops the final
+        // ingest sender, which ends the writer
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The single writer: drain the ingest queue, micro-batch everything
+/// queued, commit, publish the new snapshot, answer the requesters.
+///
+/// Jobs whose problems do not fit the repository's feature space (§4.2:
+/// one comparison scheme per repository; `Morer::add_problems` panics on a
+/// width mismatch, which must never take the writer down) are rejected
+/// with an error reply instead of joining the commit.
+fn writer_loop(mut morer: Morer, rx: Receiver<IngestJob>, state: &ServerState) {
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        while let Ok(more) = rx.try_recv() {
+            jobs.push(more);
+        }
+        // partition this micro-batch by feature-space compatibility; an
+        // empty pipeline's width is fixed by the first accepted problem
+        let mut width = morer.num_features();
+        let mut accepted = Vec::new();
+        let mut rejected = Vec::new();
+        for job in jobs {
+            let mut job_width = width;
+            let ok = job.problems.iter().all(|p| match job_width {
+                Some(t) => p.num_features() == t,
+                None => {
+                    job_width = Some(p.num_features());
+                    true
+                }
+            });
+            if ok {
+                width = job_width;
+                accepted.push(job);
+            } else {
+                rejected.push(job);
+            }
+        }
+        for job in rejected {
+            let _ = job.reply.send(Err(MorerError::InvalidProblem(format!(
+                "feature space mismatch: this repository scores {} features",
+                width.map_or_else(|| "an as-yet-unfixed number of".to_owned(), |t| t.to_string())
+            ))));
+        }
+        if accepted.is_empty() {
+            continue;
+        }
+        let problems: Vec<&ErProblem> =
+            accepted.iter().flat_map(|j| j.problems.iter()).collect();
+        // last line of defense: decode validation and the width check above
+        // stop every known panic path, but an unforeseen panic inside the
+        // recluster/retrain machinery must not silently kill the write path
+        // while /healthz keeps answering "ok". On a panic the pipeline
+        // state is suspect — stop writing, keep serving the last committed
+        // snapshot, and report degraded health.
+        let commit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let report = morer.add_problems(&problems);
+            let snapshot = morer.snapshot();
+            snapshot.warm();
+            (report, snapshot, morer.epoch())
+        }));
+        match commit {
+            Ok((report, snapshot, epoch)) => {
+                *state.published.lock().expect("published slot poisoned") =
+                    Published { epoch, searcher: snapshot };
+                // publish before replying: a requester that sees its report
+                // also sees (at least) that epoch on the read path
+                for job in accepted {
+                    let _ = job.reply.send(Ok(report.clone()));
+                }
+            }
+            Err(_) => {
+                state.writer_alive.store(false, Ordering::Release);
+                // a server fault, not a client one: requesters get a 500,
+                // never a 400 suggesting their problems were bad
+                for job in accepted {
+                    let _ = job.reply.send(Err(MorerError::Io(std::io::Error::new(
+                        std::io::ErrorKind::Other,
+                        "ingest commit panicked; the write path is disabled until restart",
+                    ))));
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// One connection-accepting worker. The shared listener is non-blocking:
+/// workers poll `accept` at [`ServeConfig::poll_interval`] granularity, so
+/// shutdown needs no self-connection trick (which would hang on wildcard
+/// binds) and a persistent accept failure (e.g. fd exhaustion) backs off
+/// instead of spinning.
+fn worker_loop(
+    listener: &TcpListener,
+    state: &ServerState,
+    ingest_tx: &SyncSender<IngestJob>,
+    config: &ServeConfig,
+) {
+    let poll = config.poll_interval.max(Duration::from_millis(1));
+    loop {
+        if state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(poll);
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(poll);
+                continue;
+            }
+        };
+        // accepted sockets may inherit non-blocking mode on some platforms;
+        // connection handling relies on blocking reads with a timeout
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        handle_connection(stream, state, ingest_tx, config);
+    }
+}
+
+/// Serve one (possibly keep-alive) connection until it closes, errors, or
+/// shutdown is requested. Protocol errors answer with a typed 4xx and
+/// close the connection — they never take the worker down.
+fn handle_connection(
+    mut stream: TcpStream,
+    state: &ServerState,
+    ingest_tx: &SyncSender<IngestJob>,
+    config: &ServeConfig,
+) {
+    let poll = config.poll_interval.max(Duration::from_millis(1));
+    if stream.set_read_timeout(Some(poll)).is_err()
+        || stream.set_write_timeout(Some(Duration::from_secs(10))).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let limits = http::Limits {
+        max_header_bytes: config.max_header_bytes,
+        max_body_bytes: config.max_body_bytes,
+    };
+    let mut carry = Vec::new();
+    loop {
+        // per-request receive deadline: an idle or byte-trickling client is
+        // disconnected after idle_timeout instead of pinning this worker
+        let deadline = Instant::now() + config.idle_timeout;
+        let abort = || state.shutdown.load(Ordering::Acquire) || Instant::now() >= deadline;
+        match http::read_request(&mut stream, &mut carry, &limits, abort) {
+            Ok(request) => {
+                let mut keep_alive =
+                    request.keep_alive && !state.shutdown.load(Ordering::Acquire);
+                let started = Instant::now();
+                // last line of defense behind decode-time validation: a
+                // handler panic answers 500 and closes this connection
+                // instead of silently shrinking the worker pool (dispatch
+                // only reads shared state, so continuing is safe)
+                let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    dispatch(&request, state, ingest_tx)
+                }))
+                .unwrap_or_else(|_| {
+                    keep_alive = false;
+                    Reply {
+                        status: 500,
+                        body: plain_error("internal", "request handler panicked"),
+                        endpoint: Endpoint::Other,
+                    }
+                });
+                state.metrics.record(reply.endpoint, started.elapsed(), reply.status >= 400);
+                if http::write_response(&mut stream, reply.status, reply.body.as_bytes(), keep_alive)
+                    .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Err(RequestError::Closed) => return,
+            Err(RequestError::Io(_)) => return,
+            Err(RequestError::Bad(msg)) => {
+                state.metrics.record(Endpoint::Other, Duration::ZERO, true);
+                let body = plain_error("bad_request", &msg);
+                if http::write_response(&mut stream, 400, body.as_bytes(), false).is_ok() {
+                    drain_briefly(&mut stream);
+                }
+                return;
+            }
+            Err(RequestError::TooLarge { declared, max }) => {
+                state.metrics.record(Endpoint::Other, Duration::ZERO, true);
+                let body = plain_error(
+                    "payload_too_large",
+                    &format!("declared body of {declared} bytes exceeds the {max} byte limit"),
+                );
+                if http::write_response(&mut stream, 413, body.as_bytes(), false).is_ok() {
+                    drain_briefly(&mut stream);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// After answering a protocol error the connection closes with the
+/// client's body possibly still in flight (a 413 is sent before the body
+/// is read at all). Dropping the socket with unread data in the receive
+/// buffer makes the kernel send RST, which can destroy the buffered error
+/// response before the client reads it — so shut down the write half and
+/// briefly drain/discard what is arriving until the client closes.
+fn drain_briefly(stream: &mut TcpStream) {
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let deadline = Instant::now() + Duration::from_millis(250);
+    let mut tmp = [0u8; 4096];
+    while Instant::now() < deadline {
+        match stream.read(&mut tmp) {
+            Ok(0) => break, // client saw the response and closed its half
+            Ok(_) => {}     // discard in-flight body bytes
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// A routed response.
+struct Reply {
+    status: u16,
+    body: String,
+    endpoint: Endpoint,
+}
+
+impl Reply {
+    fn ok(body: String, endpoint: Endpoint) -> Self {
+        Self { status: 200, body, endpoint }
+    }
+
+    fn error(err: &MorerError, endpoint: Endpoint) -> Self {
+        Self { status: status_for(err), body: error_json(err), endpoint }
+    }
+}
+
+/// Serialize a 200 response body. The vendored `serde_json::to_string` is
+/// infallible today; if a future encoder can fail, that is a server-side
+/// bug and must surface as 500, never as a client-fault 4xx.
+fn json_reply<T: serde::Serialize>(value: &T, endpoint: Endpoint) -> Reply {
+    match serde_json::to_string(value) {
+        Ok(json) => Reply::ok(json, endpoint),
+        Err(e) => Reply {
+            status: 500,
+            body: plain_error("internal", &format!("response encoding failed: {e}")),
+            endpoint,
+        },
+    }
+}
+
+/// The standard error envelope for failures that are not `MorerError`s
+/// (routing and HTTP-layer rejections).
+fn plain_error(kind: &str, message: &str) -> String {
+    serde_json::to_string(&ErrorEnvelope {
+        error: ErrorBody { kind: kind.to_owned(), message: message.to_owned() },
+    })
+    .unwrap_or_else(|_| "{\"error\":{\"kind\":\"io\",\"message\":\"render failed\"}}".into())
+}
+
+const ROUTES: [&str; 6] = ["/healthz", "/stats", "/search", "/solve", "/solve_batch", "/ingest"];
+
+fn dispatch(request: &Request, state: &ServerState, ingest_tx: &SyncSender<IngestJob>) -> Reply {
+    match (request.method, request.path.as_str()) {
+        (Method::Get, "/healthz") => healthz(state),
+        (Method::Get, "/stats") => stats(state),
+        (Method::Post, "/search") => search(state, &request.body),
+        (Method::Post, "/solve") => solve(state, &request.body),
+        (Method::Post, "/solve_batch") => solve_batch(state, &request.body),
+        (Method::Post, "/ingest") => ingest(ingest_tx, &request.body),
+        (_, path) if ROUTES.contains(&path) => Reply {
+            status: 405,
+            body: plain_error("method_not_allowed", &format!("wrong method for {path}")),
+            endpoint: Endpoint::Other,
+        },
+        (_, path) => Reply {
+            status: 404,
+            body: plain_error("not_found", &format!("unknown route {path}")),
+            endpoint: Endpoint::Other,
+        },
+    }
+}
+
+fn healthz(state: &ServerState) -> Reply {
+    let published = state.published();
+    let body = HealthResponse {
+        status: state.health().to_owned(),
+        epoch: published.epoch,
+        models: published.searcher.num_models(),
+    };
+    json_reply(&body, Endpoint::Healthz)
+}
+
+fn stats(state: &ServerState) -> Reply {
+    let published = state.published();
+    let body = StatsResponse {
+        epoch: published.epoch,
+        entries: published.searcher.entries().len(),
+        searchable_entries: published
+            .searcher
+            .entries()
+            .iter()
+            .filter(|e| !e.representatives.is_empty())
+            .count(),
+        endpoints: state.metrics.snapshot(),
+    };
+    json_reply(&body, Endpoint::Stats)
+}
+
+/// Decode a request body as one `T`.
+fn decode<T: Deserialize>(body: &[u8]) -> Result<T, MorerError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| MorerError::Parse("request body is not UTF-8".into()))?;
+    serde_json::from_str(text).map_err(|e| MorerError::Parse(e.to_string()))
+}
+
+/// Decode one problem and check the invariants the pipeline's inner loops
+/// index on — a well-typed but inconsistent body (labels shorter than
+/// pairs, say) must be a 400, not a panic in a worker thread.
+fn decode_problem(body: &[u8]) -> Result<ErProblem, MorerError> {
+    let problem: ErProblem = decode(body)?;
+    problem.validate().map_err(MorerError::InvalidProblem)?;
+    Ok(problem)
+}
+
+/// Decode a body that may be either one problem object or an array of
+/// problems (`/ingest` accepts both shapes), validating each.
+fn decode_problems(body: &[u8]) -> Result<Vec<ErProblem>, MorerError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| MorerError::Parse("request body is not UTF-8".into()))?;
+    let value = serde_json::from_str_value(text).map_err(|e| MorerError::Parse(e.to_string()))?;
+    let problems = match &value {
+        serde::Value::Seq(_) => Vec::<ErProblem>::from_value(&value),
+        _ => ErProblem::from_value(&value).map(|p| vec![p]),
+    }
+    .map_err(|e| MorerError::Parse(e.to_string()))?;
+    for problem in &problems {
+        problem.validate().map_err(MorerError::InvalidProblem)?;
+    }
+    Ok(problems)
+}
+
+/// Reject queries whose feature width cannot be scored against this
+/// snapshot's repository (§4.2: one comparison scheme per repository).
+fn check_query_width(
+    snapshot: &ModelSearcher,
+    problem: &ErProblem,
+) -> Result<(), MorerError> {
+    match snapshot.num_features() {
+        Some(t) if problem.num_features() != t => Err(MorerError::InvalidProblem(format!(
+            "feature space mismatch: problem {} has {} features, the repository scores {t}",
+            problem.id,
+            problem.num_features()
+        ))),
+        _ => Ok(()),
+    }
+}
+
+fn search(state: &ServerState, body: &[u8]) -> Reply {
+    let problem = match decode_problem(body) {
+        Ok(p) => p,
+        Err(e) => return Reply::error(&e, Endpoint::Search),
+    };
+    let snapshot = state.snapshot();
+    if let Err(e) = check_query_width(&snapshot, &problem) {
+        return Reply::error(&e, Endpoint::Search);
+    }
+    match snapshot.search(&problem) {
+        Ok(hit) => json_reply(&hit, Endpoint::Search),
+        Err(e) => Reply::error(&e, Endpoint::Search),
+    }
+}
+
+fn solve(state: &ServerState, body: &[u8]) -> Reply {
+    let problem = match decode_problem(body) {
+        Ok(p) => p,
+        Err(e) => return Reply::error(&e, Endpoint::Solve),
+    };
+    let snapshot = state.snapshot();
+    if let Err(e) = check_query_width(&snapshot, &problem) {
+        return Reply::error(&e, Endpoint::Solve);
+    }
+    json_reply(&snapshot.solve(&problem), Endpoint::Solve)
+}
+
+fn solve_batch(state: &ServerState, body: &[u8]) -> Reply {
+    let problems = match decode_problems(body) {
+        Ok(p) => p,
+        Err(e) => return Reply::error(&e, Endpoint::SolveBatch),
+    };
+    let snapshot = state.snapshot();
+    for problem in &problems {
+        if let Err(e) = check_query_width(&snapshot, problem) {
+            return Reply::error(&e, Endpoint::SolveBatch);
+        }
+    }
+    let refs: Vec<&ErProblem> = problems.iter().collect();
+    json_reply(&snapshot.solve_batch(&refs), Endpoint::SolveBatch)
+}
+
+fn ingest(ingest_tx: &SyncSender<IngestJob>, body: &[u8]) -> Reply {
+    let problems = match decode_problems(body) {
+        Ok(p) => p,
+        Err(e) => return Reply::error(&e, Endpoint::Ingest),
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    // a full queue blocks here (bounded-channel backpressure) until the
+    // writer drains it
+    if ingest_tx.send(IngestJob { problems, reply: reply_tx }).is_err() {
+        return writer_gone();
+    }
+    match reply_rx.recv() {
+        Ok(Ok(report)) => json_reply(&report, Endpoint::Ingest),
+        Ok(Err(rejection)) => Reply::error(&rejection, Endpoint::Ingest),
+        Err(_) => writer_gone(),
+    }
+}
+
+fn writer_gone() -> Reply {
+    Reply::error(
+        &MorerError::Io(std::io::Error::new(
+            std::io::ErrorKind::Other,
+            "ingest writer thread is gone",
+        )),
+        Endpoint::Ingest,
+    )
+}

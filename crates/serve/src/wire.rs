@@ -1,0 +1,132 @@
+//! Wire DTOs of the service: the JSON bodies that are not already
+//! wire-facing core types ([`morer_core::searcher::SearchHit`],
+//! [`morer_core::searcher::SolveOutcome`],
+//! [`morer_core::pipeline::IngestReport`] derive their serde impls in
+//! `morer-core`), plus the [`MorerError`] → HTTP status mapping.
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::metrics::EndpointStats;
+use morer_core::error::MorerError;
+
+/// `GET /healthz` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// `"ok"` while fully serving; `"degraded"` when the write path died
+    /// abnormally (reads keep serving the last committed epoch).
+    pub status: String,
+    /// The committed repository epoch the read path currently serves.
+    pub epoch: u64,
+    /// Number of stored models (= repository entries).
+    pub models: usize,
+}
+
+/// `GET /stats` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// The committed repository epoch the read path currently serves.
+    pub epoch: u64,
+    /// Number of repository entries.
+    pub entries: usize,
+    /// Entries with representative vectors (the ones `sel_base` can score).
+    pub searchable_entries: usize,
+    /// Per-endpoint request counters and latency aggregates.
+    pub endpoints: Vec<EndpointStats>,
+}
+
+/// The decoded error body every non-2xx response carries:
+/// `{"error": {"kind": "...", "message": "..."}}`. `kind` is
+/// [`MorerError::kind`] (clients branch on it); extra variant payloads
+/// (e.g. `found` for `unsupported_version`) are ignored by this decoder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Machine-readable failure mode.
+    pub kind: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The envelope wrapping [`ErrorBody`] on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorEnvelope {
+    /// The error payload.
+    pub error: ErrorBody,
+}
+
+/// The HTTP status a [`MorerError`] maps to.
+pub fn status_for(err: &MorerError) -> u16 {
+    match err {
+        // nothing to search: the resource the query needs does not exist
+        MorerError::EmptyRepository => 404,
+        // the client sent something this build cannot decode or score
+        MorerError::Parse(_)
+        | MorerError::InvalidProblem(_)
+        | MorerError::UnsupportedVersion { .. } => 400,
+        // server-side failure
+        MorerError::Io(_) => 500,
+    }
+}
+
+/// Render a [`MorerError`] as the standard error envelope, preserving
+/// variant payloads via the error's own `Serialize` impl.
+pub fn error_json(err: &MorerError) -> String {
+    struct Envelope<'a>(&'a MorerError);
+    impl Serialize for Envelope<'_> {
+        fn to_value(&self) -> Value {
+            Value::Map(vec![("error".to_owned(), self.0.to_value())])
+        }
+    }
+    serde_json::to_string(&Envelope(err))
+        .unwrap_or_else(|_| "{\"error\":{\"kind\":\"io\",\"message\":\"render failed\"}}".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_follow_the_error_taxonomy() {
+        assert_eq!(status_for(&MorerError::EmptyRepository), 404);
+        assert_eq!(status_for(&MorerError::Parse("x".into())), 400);
+        assert_eq!(status_for(&MorerError::InvalidProblem("x".into())), 400);
+        assert_eq!(status_for(&MorerError::UnsupportedVersion { found: 9 }), 400);
+        assert_eq!(
+            status_for(&MorerError::Io(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "gone"
+            ))),
+            500
+        );
+    }
+
+    #[test]
+    fn error_bodies_round_trip_kind_and_message() {
+        let json = error_json(&MorerError::EmptyRepository);
+        let env: ErrorEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(env.error.kind, "empty_repository");
+        assert!(env.error.message.contains("empty repository"));
+        // variant payloads survive in the raw body even though ErrorBody
+        // does not model them
+        let json = error_json(&MorerError::UnsupportedVersion { found: 7 });
+        assert!(json.contains("\"found\":7"));
+        let env: ErrorEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(env.error.kind, "unsupported_version");
+    }
+
+    #[test]
+    fn health_and_stats_round_trip() {
+        let h = HealthResponse { status: "ok".into(), epoch: 3, models: 2 };
+        let back: HealthResponse =
+            serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
+        assert_eq!(back, h);
+        let s = StatsResponse {
+            epoch: 3,
+            entries: 2,
+            searchable_entries: 2,
+            endpoints: Vec::new(),
+        };
+        let back: StatsResponse =
+            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,510 @@
+//! Loopback integration tests of the serving layer (ISSUE 5 satellite):
+//! concurrent clients must get solve results bit-identical to direct
+//! `ModelSearcher` calls, ingest-during-read must show monotone epochs and
+//! no torn responses, and malformed/oversized/unknown-route requests must
+//! map to typed 4xx responses without killing the worker that answered.
+
+use std::time::Duration;
+
+use morer_core::config::{MorerConfig, TrainingMode};
+use morer_core::pipeline::{IngestReport, Morer};
+use morer_core::repository::ModelRepository;
+use morer_core::searcher::{SearchHit, SolveOutcome};
+use morer_core::testutil::family_problem;
+use morer_data::ErProblem;
+use morer_ml::dataset::FeatureMatrix;
+use morer_ml::model::ModelConfig;
+use morer_serve::{
+    Connection, ErrorEnvelope, HealthResponse, MorerServer, ServeConfig, StatsResponse,
+};
+
+fn config() -> MorerConfig {
+    MorerConfig {
+        training: TrainingMode::Supervised { fraction: 0.5 },
+        model: ModelConfig::GaussianNb,
+        seed: 42,
+        ..MorerConfig::default()
+    }
+}
+
+fn built_morer() -> Morer {
+    let problems: Vec<ErProblem> =
+        (0..6).map(|i| family_problem(i, (i >= 3) as u8, 120)).collect();
+    let refs: Vec<&ErProblem> = problems.iter().collect();
+    Morer::build(refs, &config()).0
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        workers: 3,
+        poll_interval: Duration::from_millis(10),
+        ..ServeConfig::default()
+    }
+}
+
+fn assert_outcomes_equal(a: &SolveOutcome, b: &SolveOutcome, context: &str) {
+    assert_eq!(a.entry, b.entry, "{context}: entry");
+    assert_eq!(a.similarity, b.similarity, "{context}: similarity");
+    assert_eq!(a.predictions, b.predictions, "{context}: predictions");
+    assert_eq!(a.probabilities, b.probabilities, "{context}: probabilities");
+}
+
+#[test]
+fn health_and_stats_report_server_state() {
+    let morer = built_morer();
+    let models = morer.num_models();
+    let handle = MorerServer::start(morer, &serve_config()).unwrap();
+    let mut conn = Connection::open(handle.addr()).unwrap();
+
+    let res = conn.get("/healthz").unwrap();
+    assert_eq!(res.status, 200);
+    let health: HealthResponse = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(health.status, "ok");
+    assert_eq!(health.models, models);
+    assert_eq!(health.epoch, handle.epoch());
+
+    let res = conn.get("/stats").unwrap();
+    assert_eq!(res.status, 200);
+    let stats: StatsResponse = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(stats.entries, models);
+    assert_eq!(stats.searchable_entries, models);
+    // the healthz request above is already on the counters
+    let healthz = stats.endpoints.iter().find(|e| e.endpoint == "healthz").unwrap();
+    assert_eq!(healthz.requests, 1);
+    assert_eq!(healthz.errors, 0);
+    handle.shutdown();
+}
+
+/// Tentpole acceptance: N concurrent clients get solve results
+/// bit-identical to direct `ModelSearcher` calls — the JSON wire format
+/// round-trips every float exactly.
+#[test]
+fn concurrent_clients_get_solves_bit_identical_to_in_process() {
+    let morer = built_morer();
+    let searcher = morer.searcher().clone();
+    let handle = MorerServer::start(morer, &serve_config()).unwrap();
+
+    let queries: Vec<ErProblem> = (0..6)
+        .map(|i| family_problem(100 + i, (i % 2) as u8, 80))
+        .collect();
+    let reference: Vec<SolveOutcome> = queries.iter().map(|q| searcher.solve(q)).collect();
+    let bodies: Vec<String> =
+        queries.iter().map(|q| serde_json::to_string(q).unwrap()).collect();
+
+    let n_clients = 4;
+    let results: Vec<Vec<SolveOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|_| {
+                let bodies = &bodies;
+                let addr = handle.addr();
+                scope.spawn(move || {
+                    let mut conn = Connection::open(addr).unwrap();
+                    bodies
+                        .iter()
+                        .map(|body| {
+                            let res = conn.post("/solve", body).unwrap();
+                            assert_eq!(res.status, 200, "{}", res.body);
+                            serde_json::from_str(&res.body).unwrap()
+                        })
+                        .collect::<Vec<SolveOutcome>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+    for (client, outcomes) in results.iter().enumerate() {
+        for (i, (served, direct)) in outcomes.iter().zip(&reference).enumerate() {
+            assert_outcomes_equal(served, direct, &format!("client {client} query {i}"));
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn search_and_solve_batch_match_the_searcher_api() {
+    let morer = built_morer();
+    let searcher = morer.searcher().clone();
+    let handle = MorerServer::start(morer, &serve_config()).unwrap();
+    let mut conn = Connection::open(handle.addr()).unwrap();
+
+    let q = family_problem(200, 0, 80);
+    let res = conn.post("/search", &serde_json::to_string(&q).unwrap()).unwrap();
+    assert_eq!(res.status, 200);
+    let hit: SearchHit = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(hit, searcher.search(&q).unwrap());
+
+    let batch: Vec<ErProblem> =
+        (0..4).map(|i| family_problem(210 + i, (i % 2) as u8, 60)).collect();
+    let res = conn
+        .post("/solve_batch", &serde_json::to_string(&batch).unwrap())
+        .unwrap();
+    assert_eq!(res.status, 200);
+    let outcomes: Vec<SolveOutcome> = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(outcomes.len(), batch.len());
+    for (i, (served, q)) in outcomes.iter().zip(&batch).enumerate() {
+        assert_outcomes_equal(served, &searcher.solve(q), &format!("batch item {i}"));
+    }
+
+    // an empty batch is a valid request with an empty answer
+    let res = conn.post("/solve_batch", "[]").unwrap();
+    assert_eq!(res.status, 200);
+    assert_eq!(res.body, "[]");
+    handle.shutdown();
+}
+
+#[test]
+fn ingest_commits_a_new_epoch_and_the_read_path_serves_it() {
+    let morer = built_morer();
+    // a twin writer replays the same ingest in-process: the server's
+    // committed state must match it bit-for-bit
+    let mut twin = morer.clone();
+    let handle = MorerServer::start(morer, &serve_config()).unwrap();
+    let epoch_before = handle.epoch();
+    let mut conn = Connection::open(handle.addr()).unwrap();
+
+    let arrivals: Vec<ErProblem> =
+        (0..2).map(|i| family_problem(300 + i, 0, 120)).collect();
+    let res = conn
+        .post("/ingest", &serde_json::to_string(&arrivals).unwrap())
+        .unwrap();
+    assert_eq!(res.status, 200, "{}", res.body);
+    let report: IngestReport = serde_json::from_str(&res.body).unwrap();
+    let arrival_refs: Vec<&ErProblem> = arrivals.iter().collect();
+    let twin_report = twin.add_problems(&arrival_refs);
+    assert_eq!(report, twin_report);
+    assert!(report.epoch > epoch_before);
+    assert_eq!(handle.epoch(), report.epoch);
+
+    // the post-commit read path answers exactly like the twin writer
+    let q = family_problem(310, 0, 80);
+    let res = conn.post("/solve", &serde_json::to_string(&q).unwrap()).unwrap();
+    let served: SolveOutcome = serde_json::from_str(&res.body).unwrap();
+    assert_outcomes_equal(&served, &twin.searcher().solve(&q), "post-ingest solve");
+
+    // /ingest also accepts a single problem object
+    let single = family_problem(311, 1, 100);
+    let res = conn
+        .post("/ingest", &serde_json::to_string(&single).unwrap())
+        .unwrap();
+    assert_eq!(res.status, 200, "{}", res.body);
+    let report: IngestReport = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(report.problems_added, 1);
+    handle.shutdown();
+}
+
+/// Acceptance: readers holding a pre-ingest connection keep getting
+/// consistent answers while `/ingest` commits a new epoch — every response
+/// equals exactly the pre-commit or exactly the post-commit in-process
+/// outcome (never a torn mix), and observed epochs are monotone.
+#[test]
+fn readers_stay_consistent_while_ingest_commits() {
+    let morer = built_morer();
+    let pre = morer.searcher().clone();
+    let mut twin = morer.clone();
+    let handle = MorerServer::start(morer, &serve_config()).unwrap();
+
+    let q = family_problem(400, 1, 100);
+    let q_body = serde_json::to_string(&q).unwrap();
+    let pre_outcome = pre.solve(&q);
+
+    // the post-commit reference: replay the exact ingest batch in-process
+    let arrivals: Vec<ErProblem> =
+        (0..3).map(|i| family_problem(410 + i, 1, 150)).collect();
+    let arrival_refs: Vec<&ErProblem> = arrivals.iter().collect();
+    twin.add_problems(&arrival_refs);
+    let post_outcome = twin.searcher().solve(&q);
+
+    let addr = handle.addr();
+    let ingest_body = serde_json::to_string(&arrivals).unwrap();
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+    let n_readers = 2;
+    let reader_reports: Vec<(Vec<u64>, usize, usize)> = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..n_readers)
+            .map(|_| {
+                let q_body = &q_body;
+                let pre_outcome = &pre_outcome;
+                let post_outcome = &post_outcome;
+                let ready_tx = ready_tx.clone();
+                scope.spawn(move || {
+                    // the connection predates the ingest commit
+                    let mut conn = Connection::open(addr).unwrap();
+                    let mut epochs = Vec::new();
+                    let (mut saw_pre, mut saw_post) = (0usize, 0usize);
+                    let observe = |conn: &mut Connection,
+                                       epochs: &mut Vec<u64>,
+                                       saw_pre: &mut usize,
+                                       saw_post: &mut usize| {
+                        let res = conn.post("/solve", q_body).unwrap();
+                        assert_eq!(res.status, 200, "{}", res.body);
+                        let outcome: SolveOutcome = serde_json::from_str(&res.body).unwrap();
+                        if outcome == *pre_outcome {
+                            *saw_pre += 1;
+                        } else if outcome == *post_outcome {
+                            *saw_post += 1;
+                        } else {
+                            panic!("torn response: neither pre- nor post-commit outcome");
+                        }
+                        let health: HealthResponse =
+                            serde_json::from_str(&conn.get("/healthz").unwrap().body).unwrap();
+                        epochs.push(health.epoch);
+                    };
+                    // guaranteed pre-commit: the ingest is only posted after
+                    // every reader signalled readiness
+                    for _ in 0..5 {
+                        observe(&mut conn, &mut epochs, &mut saw_pre, &mut saw_post);
+                    }
+                    assert_eq!(saw_pre, 5, "pre-ingest answers must be pre-commit");
+                    ready_tx.send(()).unwrap();
+                    // keep reading through the commit window until the new
+                    // epoch is observed (bounded so a broken swap fails fast)
+                    for _ in 0..5000 {
+                        observe(&mut conn, &mut epochs, &mut saw_pre, &mut saw_post);
+                        if saw_post > 0 {
+                            break;
+                        }
+                    }
+                    (epochs, saw_pre, saw_post)
+                })
+            })
+            .collect();
+        for _ in 0..n_readers {
+            ready_rx.recv().unwrap();
+        }
+        // commit one epoch while the readers hammer the read path
+        let mut writer_conn = Connection::open(addr).unwrap();
+        let res = writer_conn.post("/ingest", &ingest_body).unwrap();
+        assert_eq!(res.status, 200, "{}", res.body);
+        readers.into_iter().map(|r| r.join().expect("reader panicked")).collect()
+    });
+    for (epochs, saw_pre, saw_post) in &reader_reports {
+        assert!(
+            epochs.windows(2).all(|w| w[0] <= w[1]),
+            "epochs regressed: {epochs:?}"
+        );
+        // every reader crossed the commit: consistent pre-commit answers
+        // while holding the pre-ingest connection, then the new epoch
+        assert!(*saw_pre >= 5, "reader lost its pre-commit answers");
+        assert!(*saw_post > 0, "reader never observed the committed epoch");
+    }
+
+    // once the ingest response returned, a fresh request serves post-commit
+    let mut conn = Connection::open(addr).unwrap();
+    let res = conn.post("/solve", &q_body).unwrap();
+    let outcome: SolveOutcome = serde_json::from_str(&res.body).unwrap();
+    assert_outcomes_equal(&outcome, &post_outcome, "after commit");
+    handle.shutdown();
+}
+
+/// Concurrent single-problem ingests: whatever micro-batching the writer
+/// applies, the distinct commits must partition the arrivals and epochs
+/// must advance per commit.
+#[test]
+fn concurrent_ingests_partition_into_commits() {
+    let morer = built_morer();
+    let base_epoch = morer.epoch();
+    let handle = MorerServer::start(morer, &serve_config()).unwrap();
+    let n_clients = 4;
+    let addr = handle.addr();
+    let reports: Vec<IngestReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut conn = Connection::open(addr).unwrap();
+                    let p = family_problem(500 + i, (i % 2) as u8, 100);
+                    let res = conn.post("/ingest", &serde_json::to_string(&p).unwrap()).unwrap();
+                    assert_eq!(res.status, 200, "{}", res.body);
+                    serde_json::from_str::<IngestReport>(&res.body).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("ingest client panicked")).collect()
+    });
+    // requests that shared a commit received the same combined report;
+    // distinct commits partition the arrivals
+    let mut by_epoch: Vec<&IngestReport> = Vec::new();
+    for r in &reports {
+        assert!(r.epoch > base_epoch);
+        if let Some(prev) = by_epoch.iter().find(|p| p.epoch == r.epoch) {
+            assert_eq!(*prev, r, "same-epoch requesters must share one report");
+        } else {
+            by_epoch.push(r);
+        }
+    }
+    let total: usize = by_epoch.iter().map(|r| r.problems_added).sum();
+    assert_eq!(total, n_clients, "commits must account for every arrival exactly once");
+    assert_eq!(handle.epoch(), by_epoch.iter().map(|r| r.epoch).max().unwrap());
+    handle.shutdown();
+}
+
+#[test]
+fn protocol_errors_are_typed_4xx_and_never_kill_the_worker() {
+    let morer = built_morer();
+    let handle = MorerServer::start(
+        morer,
+        &ServeConfig { max_body_bytes: 4096, ..serve_config() },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // invalid JSON → 400 parse, on a keep-alive connection that stays usable
+    let mut conn = Connection::open(addr).unwrap();
+    let res = conn.post("/solve", "{not json").unwrap();
+    assert_eq!(res.status, 400);
+    let env: ErrorEnvelope = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(env.error.kind, "parse");
+    // structurally wrong JSON → 400 parse
+    let res = conn.post("/solve", "{\"id\": 3}").unwrap();
+    assert_eq!(res.status, 400);
+    let env: ErrorEnvelope = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(env.error.kind, "parse");
+    // unknown route → 404
+    let res = conn.post("/nope", "{}").unwrap();
+    assert_eq!(res.status, 404);
+    let env: ErrorEnvelope = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(env.error.kind, "not_found");
+    // wrong method on a known route → 405
+    let res = conn.get("/solve").unwrap();
+    assert_eq!(res.status, 405);
+    let env: ErrorEnvelope = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(env.error.kind, "method_not_allowed");
+    // the same connection still answers after four error responses
+    let res = conn.get("/healthz").unwrap();
+    assert_eq!(res.status, 200);
+
+    // declared body over the cap → 413, before the body is transmitted
+    let mut conn = Connection::open(addr).unwrap();
+    let res = conn
+        .send_raw(b"POST /ingest HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
+        .unwrap();
+    assert_eq!(res.status, 413);
+    let env: ErrorEnvelope = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(env.error.kind, "payload_too_large");
+    assert!(!res.keep_alive);
+
+    // non-HTTP garbage → 400 and the connection closes
+    let mut conn = Connection::open(addr).unwrap();
+    let res = conn.send_raw(b"EHLO mail.example.com\r\n\r\n").unwrap();
+    assert_eq!(res.status, 400);
+    assert!(!res.keep_alive);
+
+    // all workers survived the abuse: fresh connections still served, and
+    // the error counters saw every 4xx
+    let mut conn = Connection::open(addr).unwrap();
+    let res = conn.get("/stats").unwrap();
+    assert_eq!(res.status, 200);
+    let stats: StatsResponse = serde_json::from_str(&res.body).unwrap();
+    let other = stats.endpoints.iter().find(|e| e.endpoint == "other").unwrap();
+    assert!(other.errors >= 4, "expected 404/405/413/garbage in `other`: {other:?}");
+    let solve = stats.endpoints.iter().find(|e| e.endpoint == "solve").unwrap();
+    assert_eq!(solve.errors, 2);
+    handle.shutdown();
+}
+
+/// Well-typed but internally inconsistent problems (the pipeline's inner
+/// loops index on cross-field invariants) and feature-space mismatches
+/// must be 400s — never panics that kill a read worker or, worse, the
+/// single writer thread.
+#[test]
+fn inconsistent_and_mismatched_problems_are_rejected_without_killing_threads() {
+    let morer = built_morer(); // scores 2 features
+    let handle = MorerServer::start(morer, &serve_config()).unwrap();
+    let mut conn = Connection::open(handle.addr()).unwrap();
+
+    // labels shorter than pairs (constructible: the fields are public) —
+    // well-formed JSON, so the kind distinguishes it from a parse failure
+    let mut truncated = family_problem(700, 0, 50);
+    truncated.labels.truncate(10);
+    let body = serde_json::to_string(&truncated).unwrap();
+    for path in ["/search", "/solve", "/ingest"] {
+        let res = conn.post(path, &body).unwrap();
+        assert_eq!(res.status, 400, "{path}: {}", res.body);
+        let env: ErrorEnvelope = serde_json::from_str(&res.body).unwrap();
+        assert_eq!(env.error.kind, "invalid_problem", "{path}");
+    }
+
+    // a matrix whose declared shape disagrees with its buffer can only be
+    // smuggled in as raw JSON — the shape-checked deserializer rejects it
+    let smuggled = r#"{"id":0,"sources":[0,1],"pairs":[[0,1]],
+        "features":{"data":[],"rows":100,"cols":6},
+        "labels":[true],"feature_names":["a","b","c","d","e","f"]}"#;
+    let res = conn.post("/solve", smuggled).unwrap();
+    assert_eq!(res.status, 400, "{}", res.body);
+    assert!(res.body.contains("shape mismatch"), "{}", res.body);
+
+    // an overflow literal parses to f64::INFINITY — rejected at validate
+    // (ingesting it would poison representatives, and the JSON writer's
+    // null-for-non-finite would make the persisted repository unloadable)
+    let infinite = r#"{"id":0,"sources":[0,1],"pairs":[[0,1]],
+        "features":{"data":[1e999,0.5],"rows":1,"cols":2},
+        "labels":[true],"feature_names":["f0","f1"]}"#;
+    for path in ["/solve", "/ingest"] {
+        let res = conn.post(path, infinite).unwrap();
+        assert_eq!(res.status, 400, "{path}: {}", res.body);
+        assert!(res.body.contains("non-finite"), "{path}: {}", res.body);
+    }
+
+    // a consistent problem in the wrong feature space (3-wide vs 2-wide)
+    let mut wide_features = FeatureMatrix::new(3);
+    let mut wide = family_problem(701, 0, 30);
+    for i in 0..wide.num_pairs() {
+        let row = [wide.features.get(i, 0), wide.features.get(i, 1), 0.5];
+        wide_features.push_row(&row);
+    }
+    wide.features = wide_features;
+    wide.feature_names = vec!["f0".into(), "f1".into(), "f2".into()];
+    assert!(wide.validate().is_ok());
+    let body = serde_json::to_string(&wide).unwrap();
+    for path in ["/search", "/solve", "/solve_batch", "/ingest"] {
+        let res = conn.post(path, &body).unwrap();
+        assert_eq!(res.status, 400, "{path}: {}", res.body);
+        assert!(res.body.contains("feature space mismatch"), "{path}: {}", res.body);
+    }
+
+    // every thread survived: reads still answer and — critically — the
+    // writer still commits
+    let res = conn.get("/healthz").unwrap();
+    assert_eq!(res.status, 200);
+    let good = family_problem(702, 0, 100);
+    let res = conn.post("/ingest", &serde_json::to_string(&good).unwrap()).unwrap();
+    assert_eq!(res.status, 200, "writer must survive rejected ingests: {}", res.body);
+    let report: IngestReport = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(report.problems_added, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn empty_repository_serves_typed_404_search_and_degraded_solve() {
+    let morer = Morer::from_repository(ModelRepository::default(), &config());
+    let handle = MorerServer::start(morer, &serve_config()).unwrap();
+    let mut conn = Connection::open(handle.addr()).unwrap();
+    let q = family_problem(600, 0, 60);
+    let body = serde_json::to_string(&q).unwrap();
+
+    let res = conn.post("/search", &body).unwrap();
+    assert_eq!(res.status, 404);
+    let env: ErrorEnvelope = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(env.error.kind, "empty_repository");
+
+    // solve degrades to the conservative all-non-match outcome instead
+    let res = conn.post("/solve", &body).unwrap();
+    assert_eq!(res.status, 200);
+    let outcome: SolveOutcome = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(outcome.entry, None);
+    assert!(outcome.predictions.iter().all(|&p| !p));
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_joins_all_threads_and_closes_connections() {
+    let morer = built_morer();
+    let handle = MorerServer::start(morer, &serve_config()).unwrap();
+    let addr = handle.addr();
+    let mut conn = Connection::open(addr).unwrap();
+    assert_eq!(conn.get("/healthz").unwrap().status, 200);
+    // shutdown() joins every worker and the writer; it must not hang on
+    // the idle keep-alive connection we still hold
+    handle.shutdown();
+    // the held connection is dead now: the next request fails instead of
+    // hanging (the server closed its end)
+    assert!(conn.get("/healthz").is_err());
+}

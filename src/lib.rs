@@ -8,6 +8,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`core`] | `morer-core` | the MoRER pipeline: distribution analysis, ER problem clustering, budgeted model generation, repository search & integration |
+//! | [`serve`] | `morer-serve` | std-only concurrent HTTP/1.1 JSON service over the pipeline: `/search`, `/solve`, `/solve_batch`, `/ingest`, `/healthz`, `/stats` |
 //! | [`data`] | `morer-data` | records, corruption, synthetic multi-source benchmarks, blocking, ER problems |
 //! | [`sim`] | `morer-sim` | string/numeric similarity functions and comparison schemes |
 //! | [`stats`] | `morer-stats` | histograms, ECDFs, KS / Wasserstein / PSI tests |
@@ -37,6 +38,16 @@
 //!   coverage mode trains a fresh model instead of panicking. Concurrent
 //!   readers take epoch-pinned [`core::pipeline::Morer::snapshot`] handles
 //!   that stay consistent while the writer ingests.
+//! * **[`serve::MorerServer`]** — the deployable service over both layers
+//!   (PR 5): a dependency-free HTTP/1.1 JSON server whose read endpoints
+//!   (`POST /search`, `/solve`, `/solve_batch`) answer from the current
+//!   epoch-pinned snapshot without ever blocking on the writer, whose
+//!   `POST /ingest` micro-batches concurrent arrivals through a single
+//!   writer thread into one recluster/retrain commit, and whose
+//!   `GET /healthz` / `GET /stats` report epoch, model counts and lock-free
+//!   per-endpoint latency metrics. Loopback `/solve` responses are
+//!   bit-identical to in-process [`core::searcher::ModelSearcher::solve`]
+//!   calls (see `examples/serve_demo.rs` and `crates/serve/tests/`).
 //! * **[`core::repository::ModelRepository`]** — the persistence artifact.
 //!   Its JSON form is versioned (`{"version": 1, …}`,
 //!   [`core::error::REPOSITORY_FORMAT_VERSION`]); legacy version-less files
@@ -95,5 +106,6 @@ pub use morer_data as data;
 pub use morer_embed as embed;
 pub use morer_graph as graph;
 pub use morer_ml as ml;
+pub use morer_serve as serve;
 pub use morer_sim as sim;
 pub use morer_stats as stats;
