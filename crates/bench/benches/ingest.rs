@@ -43,7 +43,7 @@ fn bench_ingest(c: &mut Criterion) {
         b.iter(|| {
             let (mut morer, _) = Morer::build(base.to_vec(), &ingest_config(ReclusterPolicy::Always));
             for p in arrivals {
-                black_box(morer.add_problem(p));
+                black_box(morer.add_problem(p).unwrap());
             }
             morer.num_models()
         })
@@ -52,7 +52,7 @@ fn bench_ingest(c: &mut Criterion) {
         b.iter(|| {
             let (mut morer, _) = Morer::build(base.to_vec(), &ingest_config(ReclusterPolicy::Never));
             for p in arrivals {
-                black_box(morer.add_problem(p));
+                black_box(morer.add_problem(p).unwrap());
             }
             morer.num_models()
         })
@@ -87,7 +87,7 @@ fn bench_ingest_batch(c: &mut Criterion) {
     group.bench_function("add_problems_one_batch", |b| {
         b.iter(|| {
             let (mut morer, _) = Morer::build(base.to_vec(), &ingest_config(ReclusterPolicy::Always));
-            black_box(morer.add_problems(arrivals));
+            black_box(morer.add_problems(arrivals).unwrap());
             morer.num_models()
         })
     });
@@ -95,7 +95,7 @@ fn bench_ingest_batch(c: &mut Criterion) {
         b.iter(|| {
             let (mut morer, _) = Morer::build(base.to_vec(), &ingest_config(ReclusterPolicy::Always));
             for p in arrivals {
-                black_box(morer.add_problem(p));
+                black_box(morer.add_problem(p).unwrap());
             }
             morer.num_models()
         })

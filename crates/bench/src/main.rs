@@ -167,15 +167,19 @@ fn main() {
 /// (`search_solves_per_s`) and through one shared `ModelSearcher` hammered
 /// by scoped threads (`search_solves_per_s_mt`) — incremental ingest
 /// into a 40-problem repository (`ingest_problems_per_s` /
-/// `ingest_speedup` of `add_problem` over a per-insert full rebuild), and
+/// `ingest_speedup` of `add_problem` over a per-insert full rebuild) —
 /// the deployed serving layer (`serve_requests_per_s`: 4 loopback
-/// connections hammering `morer-serve`'s `/solve` on a warmed snapshot).
+/// connections hammering `morer-serve`'s `/solve` on a warmed snapshot) —
+/// and the durability subsystem (`wal_appends_per_s` fsync'd commit-log
+/// appends, `recovery_replay_s` cold-start log replay,
+/// `serve_durable_ingest_per_s` fsync-acknowledged `/ingest` round trips).
 /// Every fast path is asserted against its reference implementation before
 /// being timed: the multi-threaded search results must equal the
 /// single-threaded ones, the incrementally ingested repository must be
-/// bit-identical to batch construction after every arrival, and every
-/// served solve response must decode bit-identical to its in-process
-/// equivalent.
+/// bit-identical to batch construction after every arrival, every served
+/// solve response must decode bit-identical to its in-process equivalent,
+/// and the replayed write-ahead log must reproduce the in-memory snapshot
+/// byte-for-byte.
 ///
 /// ```text
 /// cargo run -p morer-bench --release -- quick-bench
@@ -405,7 +409,7 @@ fn quick_bench(seed: u64) {
     let mut ingest_rebuild_s = 0.0f64;
     for k in 0..ingest_arrivals {
         let start = Instant::now();
-        let report = incremental.add_problem(ingest_refs[ingest_base + k]);
+        let report = incremental.add_problem(ingest_refs[ingest_base + k]).expect("in-memory ingest cannot fail");
         ingest_incremental_s += start.elapsed().as_secs_f64();
         assert!(report.reclustered, "Always policy must fully recluster");
 
@@ -482,6 +486,89 @@ fn quick_bench(seed: u64) {
     let serve_requests = serve_conns * rounds * queries.len();
     handle.shutdown();
 
+    // --- durability: WAL appends, recovery replay, fsync-acknowledged serve
+    // The write-ahead log's hot loop (canonical-JSON encode + FNV-1a hash +
+    // fsync'd append), cold-start recovery replay, and the served `/ingest`
+    // path under fsync acknowledgement. Recovery is asserted bit-identical
+    // to the in-memory state before any rate is printed.
+    use morer_core::wal::{CommitRecord, Durability, Wal, WalOptions};
+
+    let wal_dir = std::env::temp_dir().join(format!("morer_qb_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let wal_opts = WalOptions { durability: Durability::Fsync, compact_every: 0 };
+    let wal_repo = searcher.repository();
+    let mut wal = Wal::create(&wal_dir, wal_opts, &wal_repo, 0).expect("create WAL");
+    // each record touches entry 0 and keeps the store length: replaying the
+    // whole log must land exactly back on the base state
+    let wal_appends = 64usize;
+    let start = Instant::now();
+    for i in 0..wal_appends {
+        let record = CommitRecord {
+            epoch: (i + 1) as u64,
+            num_entries: wal_repo.entries.len(),
+            entries: vec![wal_repo.entries[0].clone()],
+            report: None,
+        };
+        wal.append(&record).expect("append commit record");
+    }
+    let wal_append_s = start.elapsed().as_secs_f64();
+    drop(wal);
+
+    let start = Instant::now();
+    let recovered = Wal::open(&wal_dir, wal_opts).expect("recover WAL");
+    let recovery_replay_s = start.elapsed().as_secs_f64();
+    assert_eq!(recovered.epoch, wal_appends as u64, "every appended epoch must replay");
+    assert_eq!(recovered.replayed, wal_appends as u64);
+    let canonical = |repo: &morer_core::repository::ModelRepository| {
+        let mut buf = Vec::new();
+        repo.save_json(&mut buf).expect("encode repository");
+        buf
+    };
+    assert_eq!(
+        canonical(&recovered.repository),
+        canonical(&wal_repo),
+        "log-replay state diverged from the in-memory snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    // fsync-acknowledged serving: every `/ingest` reply waits for the
+    // commit record to hit disk. A twin replays the same arrivals
+    // in-process; after shutdown the served WAL is recovered and must be
+    // bit-identical to the twin.
+    let serve_wal_dir =
+        std::env::temp_dir().join(format!("morer_qb_serve_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&serve_wal_dir);
+    let durable_handle = MorerServer::start(
+        Morer::from_repository(searcher.repository(), &serve_cfg),
+        &ServeConfig { wal_dir: Some(serve_wal_dir.clone()), ..ServeConfig::default() },
+    )
+    .expect("start durable morer-serve");
+    let mut durable_twin = Morer::from_repository(searcher.repository(), &serve_cfg);
+    let durable_arrivals = &ingest_refs[ingest_base..];
+    let start = Instant::now();
+    {
+        let mut conn =
+            Connection::open(durable_handle.addr()).expect("connect to durable morer-serve");
+        for p in durable_arrivals {
+            let body = serde_json::to_string(p).expect("encode arrival");
+            let res = conn.post("/ingest", &body).expect("durable ingest");
+            assert_eq!(res.status, 200, "durable ingest error: {}", res.body);
+        }
+    }
+    let serve_durable_ingest_s = start.elapsed().as_secs_f64();
+    durable_handle.shutdown();
+    for p in durable_arrivals {
+        durable_twin.add_problem(p).expect("twin ingest");
+    }
+    let served_recovery = Morer::open(&serve_wal_dir, &serve_cfg).expect("recover served WAL");
+    assert_eq!(served_recovery.epoch(), durable_twin.epoch(), "served epochs must replay");
+    assert_eq!(
+        canonical(&served_recovery.searcher().repository()),
+        canonical(&durable_twin.searcher().repository()),
+        "recovered served state diverged from the in-process twin"
+    );
+    let _ = std::fs::remove_dir_all(&serve_wal_dir);
+
     let analysis_direct_rate = an_pairs as f64 / analysis_direct_s;
     let analysis_sketched_rate = an_pairs as f64 / analysis_sketched_s;
     println!(
@@ -502,7 +589,11 @@ fn quick_bench(seed: u64) {
          \"ingest_incremental_s\":{:.4},\"ingest_rebuild_s\":{:.4},\
          \"ingest_problems_per_s\":{:.1},\"ingest_speedup\":{:.2},\
          \"serve_connections\":{},\"serve_requests\":{},\"serve_s\":{:.4},\
-         \"serve_requests_per_s\":{:.1}}}",
+         \"serve_requests_per_s\":{:.1},\
+         \"wal_appends\":{},\"wal_append_s\":{:.4},\"wal_appends_per_s\":{:.1},\
+         \"recovery_replay_s\":{:.4},\
+         \"serve_durable_ingests\":{},\"serve_durable_ingest_s\":{:.4},\
+         \"serve_durable_ingest_per_s\":{:.1}}}",
         workload.dataset.num_records(),
         pairs,
         workload.scheme.num_features(),
@@ -541,5 +632,12 @@ fn quick_bench(seed: u64) {
         serve_requests,
         serve_s,
         serve_requests as f64 / serve_s,
+        wal_appends,
+        wal_append_s,
+        wal_appends as f64 / wal_append_s,
+        recovery_replay_s,
+        durable_arrivals.len(),
+        serve_durable_ingest_s,
+        durable_arrivals.len() as f64 / serve_durable_ingest_s,
     );
 }

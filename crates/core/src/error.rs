@@ -14,6 +14,11 @@ use serde::{Serialize, Value};
 /// writes (see [`crate::repository::ModelRepository::save_json`]).
 pub const REPOSITORY_FORMAT_VERSION: u64 = 1;
 
+/// Newest write-ahead-log format this build can read and the version it
+/// writes (the `u32` in the log file header — see [`crate::wal`] for the
+/// on-disk specification).
+pub const WAL_FORMAT_VERSION: u64 = 1;
+
 /// Every failure mode of the MoRER service API.
 #[derive(Debug)]
 pub enum MorerError {
@@ -36,6 +41,20 @@ pub enum MorerError {
     /// tell "re-encode your request" from "this problem cannot be scored
     /// here".
     InvalidProblem(String),
+    /// The write-ahead log (or its base snapshot) holds bytes that are
+    /// structurally wrong *before* the torn-tail cutoff recovery handles: a
+    /// foreign file where the log header should be, an undecodable base
+    /// snapshot, or an attach over existing durable state. Distinct from
+    /// [`MorerError::Parse`] (a repository document failed to decode) and
+    /// from the silent truncation path: a clean torn/bit-flipped *tail* is
+    /// recovered from, never reported as this error.
+    LogCorrupt {
+        /// Byte offset into the log (or base snapshot) where the corruption
+        /// was detected.
+        offset: u64,
+        /// What was found there.
+        reason: String,
+    },
     /// An I/O error while reading or writing a repository file.
     Io(std::io::Error),
 }
@@ -53,6 +72,9 @@ impl fmt::Display for MorerError {
             ),
             Self::Parse(msg) => write!(f, "malformed repository: {msg}"),
             Self::InvalidProblem(msg) => write!(f, "invalid problem: {msg}"),
+            Self::LogCorrupt { offset, reason } => {
+                write!(f, "corrupt write-ahead log at byte {offset}: {reason}")
+            }
             Self::Io(e) => write!(f, "repository I/O error: {e}"),
         }
     }
@@ -76,7 +98,28 @@ impl MorerError {
             Self::UnsupportedVersion { .. } => "unsupported_version",
             Self::Parse(_) => "parse",
             Self::InvalidProblem(_) => "invalid_problem",
+            Self::LogCorrupt { .. } => "log_corrupt",
             Self::Io(_) => "io",
+        }
+    }
+
+    /// A semantically equivalent copy of this error. `MorerError` cannot
+    /// derive `Clone` (`std::io::Error` is not `Clone`), but fan-out paths
+    /// — e.g. a server answering every waiter of one failed commit — need
+    /// one failure delivered to several receivers. The copy preserves
+    /// [`MorerError::kind`], the display message and the variant payloads;
+    /// a wrapped I/O error keeps its `ErrorKind` with its source chain
+    /// flattened into the message.
+    pub fn duplicate(&self) -> Self {
+        match self {
+            Self::EmptyRepository => Self::EmptyRepository,
+            Self::UnsupportedVersion { found } => Self::UnsupportedVersion { found: *found },
+            Self::Parse(m) => Self::Parse(m.clone()),
+            Self::InvalidProblem(m) => Self::InvalidProblem(m.clone()),
+            Self::LogCorrupt { offset, reason } => {
+                Self::LogCorrupt { offset: *offset, reason: reason.clone() }
+            }
+            Self::Io(e) => Self::Io(std::io::Error::new(e.kind(), e.to_string())),
         }
     }
 }
@@ -92,6 +135,9 @@ impl Serialize for MorerError {
         ];
         if let Self::UnsupportedVersion { found } = self {
             map.push(("found".to_owned(), Value::U64(*found)));
+        }
+        if let Self::LogCorrupt { offset, .. } = self {
+            map.push(("offset".to_owned(), Value::U64(*offset)));
         }
         Value::Map(map)
     }
@@ -128,6 +174,37 @@ mod tests {
         let invalid = MorerError::InvalidProblem("labels misaligned".into());
         assert!(invalid.to_string().contains("labels misaligned"));
         assert_eq!(invalid.kind(), "invalid_problem");
+    }
+
+    #[test]
+    fn log_corrupt_carries_its_offset() {
+        let err = MorerError::LogCorrupt { offset: 42, reason: "bad magic".into() };
+        assert_eq!(err.kind(), "log_corrupt");
+        assert!(err.to_string().contains("byte 42"));
+        assert!(err.to_string().contains("bad magic"));
+        match err.to_value() {
+            Value::Map(fields) => {
+                assert!(fields.contains(&("offset".to_owned(), Value::U64(42))));
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_preserves_kind_message_and_payloads() {
+        let io = MorerError::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"));
+        let copy = io.duplicate();
+        assert_eq!(copy.kind(), io.kind());
+        assert_eq!(copy.to_string(), io.to_string());
+        match copy {
+            MorerError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        let log = MorerError::LogCorrupt { offset: 7, reason: "torn".into() };
+        match log.duplicate() {
+            MorerError::LogCorrupt { offset: 7, reason } => assert_eq!(reason, "torn"),
+            other => panic!("expected LogCorrupt, got {other:?}"),
+        }
     }
 
     #[test]

@@ -47,6 +47,14 @@
 //! ([`error::REPOSITORY_FORMAT_VERSION`]), loads legacy version-less files,
 //! and rejects unknown future versions with a typed error.
 //!
+//! The writer can additionally be made crash-safe ([`wal`]): an attached
+//! append-only commit log persists every committed mutation batch at
+//! O(dirty) cost (optionally fsync-acknowledged), and
+//! [`pipeline::Morer::open`] recovers the exact last-committed state by
+//! loading the latest base snapshot and replaying the valid log suffix —
+//! torn or bit-flipped log tails are detected by per-record length prefix
+//! + content hash and truncated, never replayed.
+//!
 //! ```
 //! use morer_core::prelude::*;
 //! use morer_data::{computer, DatasetScale};
@@ -73,17 +81,19 @@ pub mod stability;
 #[cfg(any(test, feature = "testutil"))]
 #[doc(hidden)]
 pub mod testutil;
+pub mod wal;
 
 /// Convenient re-exports of the main API surface.
 pub mod prelude {
     pub use crate::clustering::{ClusteringAlgorithm, ReclusterPolicy};
     pub use crate::config::{AlMethod, MorerConfig, SelectionStrategy, TrainingMode};
     pub use crate::distribution::{AnalysisOptions, DistributionSketch, DistributionTest};
-    pub use crate::error::{MorerError, REPOSITORY_FORMAT_VERSION};
+    pub use crate::error::{MorerError, REPOSITORY_FORMAT_VERSION, WAL_FORMAT_VERSION};
     pub use crate::pipeline::{BuildReport, IngestReport, Morer};
     pub use crate::repository::{ClusterEntry, ModelRepository};
     pub use crate::searcher::{EntryId, ModelSearcher, SearchHit, SolveOutcome};
     pub use crate::stability::{ClusterStability, StabilityReport};
+    pub use crate::wal::{Durability, DurabilityState, WalOptions};
 }
 
 pub use prelude::*;

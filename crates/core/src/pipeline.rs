@@ -32,6 +32,7 @@
 //! serving its epoch unchanged.
 
 use std::collections::BTreeSet;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,10 +42,12 @@ use crate::budget::{allocate, BudgetAllocation};
 use crate::clustering::attach_node;
 use crate::config::{MorerConfig, SelectionStrategy, TrainingMode};
 use crate::distribution::{extend_problem_graph_sketched, DistributionSketch};
+use crate::error::MorerError;
 use crate::generation::{
     build_uniqueness_index, cluster_seed, make_learner, supervised_training, train_cluster,
 };
 use crate::repository::{ClusterEntry, ModelRepository};
+use crate::wal::{CommitRecord, DurabilityState, Wal, WalOptions};
 use crate::searcher::ModelSearcher;
 pub use crate::searcher::SolveOutcome;
 use crate::selection::{classify, coverage, retrain_budget};
@@ -113,7 +116,7 @@ pub struct IngestReport {
 
 /// The MoRER pipeline writer: repository construction, streaming ingest,
 /// search, and integration.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Morer {
     pub(crate) config: MorerConfig,
     /// All integrated problems (positional indexing; `ErProblem::id` is kept
@@ -154,8 +157,48 @@ pub struct Morer {
     epoch: u64,
     /// The current snapshot handle, rebuilt lazily after each commit.
     snapshot: Option<Arc<ModelSearcher>>,
+    /// Entry positions touched since the last commit — the O(dirty) set a
+    /// WAL commit record carries. Tracked explicitly (not by `Arc` pointer
+    /// comparison: `Arc::make_mut` keeps the pointer at refcount 1) and
+    /// drained by [`Morer::commit`] whether or not a log is attached.
+    dirty: BTreeSet<usize>,
+    /// The attached write-ahead log, when this writer is durable.
+    wal: Option<Wal>,
+    /// Set when a WAL append/compaction failed: the log tail is suspect, so
+    /// further commits are refused (typed I/O error from
+    /// [`Morer::add_problems`]) until the state is recovered via
+    /// [`Morer::open`]. The in-memory pipeline itself stays valid for reads.
+    wal_poisoned: Option<String>,
     /// Accumulated phase timings.
     pub timings: Timings,
+}
+
+/// Cloning a writer duplicates its in-memory state but **detaches
+/// durability**: two writers appending to the same log would interleave
+/// epochs, so the clone's write-ahead log is `None` — attach its own with
+/// [`Morer::attach_wal`] if the twin should persist too.
+impl Clone for Morer {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            problems: self.problems.clone(),
+            in_t: self.in_t.clone(),
+            graph: self.graph.clone(),
+            sketches: self.sketches.clone(),
+            clustering: self.clustering.clone(),
+            searcher: self.searcher.clone(),
+            initial_vectors: self.initial_vectors,
+            labels_used: self.labels_used,
+            inserts_since_recluster: self.inserts_since_recluster,
+            orphan_entries: self.orphan_entries,
+            epoch: self.epoch,
+            snapshot: self.snapshot.clone(),
+            dirty: self.dirty.clone(),
+            wal: None,
+            wal_poisoned: self.wal_poisoned.clone(),
+            timings: self.timings,
+        }
+    }
 }
 
 impl Morer {
@@ -175,6 +218,9 @@ impl Morer {
             orphan_entries: 0,
             epoch: 0,
             snapshot: None,
+            dirty: BTreeSet::new(),
+            wal: None,
+            wal_poisoned: None,
             timings: Timings::default(),
         }
     }
@@ -187,7 +233,9 @@ impl Morer {
     /// arrivals — construction always clusters the whole graph).
     pub fn build(initial: Vec<&ErProblem>, config: &MorerConfig) -> (Self, BuildReport) {
         let mut morer = Self::empty(config);
-        let ingest = morer.ingest(&initial, true);
+        let ingest = morer
+            .ingest(&initial, true)
+            .expect("a fresh pipeline has no write-ahead log to fail on");
         let report = BuildReport {
             num_clusters: morer.searcher.num_models(),
             labels_used: ingest.labels_spent,
@@ -214,6 +262,75 @@ impl Morer {
             orphan_entries,
             ..Self::empty(config)
         }
+    }
+
+    /// Recover a durable writer from a write-ahead-log directory (see
+    /// [`crate::wal`]): load the latest base snapshot, replay the valid log
+    /// records to the last committed epoch — stopping cleanly at the first
+    /// torn/corrupt record — and return the pipeline with the log attached
+    /// (default [`WalOptions`]: fsync-acknowledged appends). A directory
+    /// with no durable state yet starts a fresh empty durable pipeline, so
+    /// `open` doubles as "create or recover". Like
+    /// [`Morer::from_repository`], the recovered writer treats its restored
+    /// entries as search-only history and trains fresh models for new
+    /// arrivals.
+    ///
+    /// # Errors
+    /// See [`Wal::open`] — torn/bit-flipped log *tails* are recovered from,
+    /// never reported as errors.
+    pub fn open(dir: &Path, config: &MorerConfig) -> Result<Self, MorerError> {
+        Self::open_with(dir, config, WalOptions::default())
+    }
+
+    /// [`Morer::open`] with explicit [`WalOptions`] (durability mode and
+    /// auto-compaction threshold).
+    pub fn open_with(
+        dir: &Path,
+        config: &MorerConfig,
+        options: WalOptions,
+    ) -> Result<Self, MorerError> {
+        let recovered = Wal::open(dir, options)?;
+        let mut morer = Self::from_repository(recovered.repository, config);
+        morer.epoch = recovered.epoch;
+        morer.wal = Some(recovered.wal);
+        Ok(morer)
+    }
+
+    /// Make this writer durable: publish the current repository as the base
+    /// snapshot in `dir` and append a commit record there on every later
+    /// commit. Refuses (typed `AlreadyExists` I/O error) to attach over a
+    /// directory that already holds durable state — recover that with
+    /// [`Morer::open`] instead.
+    pub fn attach_wal(&mut self, dir: &Path, options: WalOptions) -> Result<(), MorerError> {
+        let wal = Wal::create(dir, options, &self.searcher.repository(), self.epoch)?;
+        self.wal = Some(wal);
+        self.wal_poisoned = None;
+        Ok(())
+    }
+
+    /// Fold the attached log into a fresh base snapshot (atomic tmp-file +
+    /// rename publication, then log truncation). A no-op without an
+    /// attached log. Also runs automatically after a commit once the log
+    /// holds [`WalOptions::compact_every`] records.
+    pub fn compact(&mut self) -> Result<(), MorerError> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let repository = self.searcher.repository();
+        let epoch = self.epoch;
+        let wal = self.wal.as_mut().expect("checked above");
+        if let Err(e) = wal.compact(&repository, epoch) {
+            self.wal_poisoned = Some(e.to_string());
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Durability observability of the attached log (log length, last
+    /// durable epoch, compaction count), or `None` for an in-memory-only
+    /// writer.
+    pub fn durability(&self) -> Option<DurabilityState> {
+        self.wal.as_ref().map(Wal::state)
     }
 
     /// The shared-read search layer. Borrow it to serve `sel_base`
@@ -285,8 +402,8 @@ impl Morer {
     /// The feature-space width `t` every integrated problem shares (§4.2:
     /// one comparison scheme per repository), or `None` while the pipeline
     /// is empty — the first arrival fixes it. [`Morer::add_problems`]
-    /// panics on problems of a different width, so service frontends check
-    /// against this before ingesting.
+    /// rejects problems of a different width with
+    /// [`MorerError::InvalidProblem`].
     pub fn num_features(&self) -> Option<usize> {
         self.problems
             .first()
@@ -303,7 +420,7 @@ impl Morer {
 
     /// Ingest one newly solved problem into the repository — see
     /// [`Morer::add_problems`].
-    pub fn add_problem(&mut self, problem: &ErProblem) -> IngestReport {
+    pub fn add_problem(&mut self, problem: &ErProblem) -> Result<IngestReport, MorerError> {
         self.add_problems(&[problem])
     }
 
@@ -324,12 +441,40 @@ impl Morer {
     ///
     /// The batch commits atomically with respect to [`Morer::snapshot`]
     /// readers: handles taken before the call keep serving the previous
-    /// epoch.
+    /// epoch. With a write-ahead log attached ([`Morer::open`],
+    /// [`Morer::attach_wal`]), the commit record is appended — and, under
+    /// [`crate::wal::Durability::Fsync`], on disk — before this returns.
     ///
-    /// # Panics
-    /// Panics if a problem's feature space disagrees with the already
-    /// ingested problems (§4.2).
-    pub fn add_problems(&mut self, problems: &[&ErProblem]) -> IngestReport {
+    /// # Errors
+    /// [`MorerError::InvalidProblem`] when a problem's feature space
+    /// disagrees with the already ingested problems (§4.2) — the batch is
+    /// rejected up front and the pipeline is untouched.
+    /// [`MorerError::Io`] when appending the commit record to the attached
+    /// write-ahead log fails; the log is then poisoned and every later
+    /// commit is refused until the state is recovered via [`Morer::open`].
+    pub fn add_problems(&mut self, problems: &[&ErProblem]) -> Result<IngestReport, MorerError> {
+        if let Some(reason) = &self.wal_poisoned {
+            return Err(MorerError::Io(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                format!(
+                    "write-ahead log poisoned by an earlier failure: {reason}; \
+                     recover the durable state with Morer::open"
+                ),
+            )));
+        }
+        let expected = self
+            .num_features()
+            .or_else(|| problems.first().map(|p| p.num_features()));
+        if let Some(expected) = expected {
+            if let Some(bad) = problems.iter().find(|p| p.num_features() != expected) {
+                return Err(MorerError::InvalidProblem(format!(
+                    "problem {} has {} features but the repository's comparison scheme \
+                     has {expected} (§4.2: one feature space per repository)",
+                    bad.id,
+                    bad.num_features(),
+                )));
+            }
+        }
         let full = self.orphan_entries == 0
             && self.config.recluster.should_recluster(
                 self.inserts_since_recluster,
@@ -341,10 +486,14 @@ impl Morer {
 
     /// The ingest subsystem shared by [`Morer::build`] (forced full
     /// recluster) and [`Morer::add_problems`] (policy-driven).
-    fn ingest(&mut self, new: &[&ErProblem], full_recluster: bool) -> IngestReport {
+    fn ingest(
+        &mut self,
+        new: &[&ErProblem],
+        full_recluster: bool,
+    ) -> Result<IngestReport, MorerError> {
         let mut report = IngestReport { epoch: self.epoch, ..IngestReport::default() };
         if new.is_empty() {
-            return report;
+            return Ok(report);
         }
         report.problems_added = new.len();
 
@@ -374,17 +523,60 @@ impl Morer {
             self.inserts_since_recluster += new.len();
         }
 
-        self.commit();
-        report.epoch = self.epoch;
-        report
+        self.commit(Some(&mut report))?;
+        Ok(report)
     }
 
-    /// Commit a repository mutation batch: advance the epoch and drop the
+    /// Commit a repository mutation batch: advance the epoch, drop the
     /// snapshot handle so the next [`Morer::snapshot`] observes the new
-    /// state (handles already taken keep the previous epoch).
-    fn commit(&mut self) {
+    /// state (handles already taken keep the previous epoch), and — with a
+    /// write-ahead log attached — append one [`CommitRecord`] carrying the
+    /// drained dirty-entry set. The report (when the commit has one) is
+    /// stamped with the post-commit epoch *before* the record is built, so
+    /// the persisted report matches what the caller receives.
+    ///
+    /// An append failure poisons the pipeline (see
+    /// [`Morer::add_problems`]); a *compaction* failure after a durable
+    /// append also poisons — the commit itself is safe on disk, but the
+    /// maintenance failure must surface rather than silently recur.
+    fn commit(&mut self, mut report: Option<&mut IngestReport>) -> Result<(), MorerError> {
         self.epoch += 1;
         self.snapshot = None;
+        if let Some(r) = report.as_deref_mut() {
+            r.epoch = self.epoch;
+        }
+        let touched = std::mem::take(&mut self.dirty);
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let entries = self.searcher.entries();
+        let record = CommitRecord {
+            epoch: self.epoch,
+            num_entries: entries.len(),
+            entries: touched
+                .iter()
+                .filter(|&&i| i < entries.len())
+                .map(|&i| (*entries[i]).clone())
+                .collect(),
+            report: report.as_deref().cloned(),
+        };
+        let wal = self.wal.as_mut().expect("checked above");
+        if let Err(e) = wal.append(&record) {
+            self.wal_poisoned = Some(e.to_string());
+            return Err(e);
+        }
+        if wal.due_for_compaction() {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Commit from the infallible `solve` path: a WAL failure cannot
+    /// surface through [`SolveOutcome`], so it poisons the pipeline
+    /// instead — the next [`Morer::add_problems`] reports it as a typed
+    /// I/O error.
+    fn commit_infallible(&mut self) {
+        let _ = self.commit(None);
     }
 
     /// Full recluster + dirty-tracked regeneration: rerun the configured
@@ -436,6 +628,7 @@ impl Morer {
                 continue;
             }
             report.clusters_touched += 1;
+            self.dirty.insert(cid);
             let trained = train_cluster(
                 &problems,
                 members,
@@ -583,6 +776,7 @@ impl Morer {
         let entry = ClusterEntry::new(entries.len(), members.to_vec(), model, training, spent);
         let entry_id = entry.id;
         entries.push(Arc::new(entry));
+        self.dirty.insert(entry_id);
         for &p in members {
             self.in_t[p] = true;
         }
@@ -619,6 +813,7 @@ impl Morer {
         // the representatives changed: the cached sketch and the generation
         // fingerprint are both stale
         entry.mark_mutated();
+        self.dirty.insert(entry_idx);
         for &p in &unsolved {
             self.in_t[p] = true;
         }
@@ -701,7 +896,7 @@ impl Morer {
             let t = Instant::now();
             let (entry_id, spent) = self.train_fresh_entry(&members, &sizes);
             self.timings.training += t.elapsed();
-            self.commit();
+            self.commit_infallible();
             let (predictions, probabilities) =
                 classify(&self.searcher.entries()[entry_id], problem);
             return SolveOutcome {
@@ -724,7 +919,7 @@ impl Morer {
             spent = self.retrain_entry(entry_idx, &members, &sizes);
             retrained = true;
             self.timings.training += t.elapsed();
-            self.commit();
+            self.commit_infallible();
         }
 
         let entry = &self.searcher.entries()[entry_idx];
@@ -1019,7 +1214,7 @@ mod tests {
         // build on the first half, stream the rest one problem at a time
         let (mut inc, _) = Morer::build(refs[..4].to_vec(), &config());
         for p in &refs[4..] {
-            let report = inc.add_problem(p);
+            let report = inc.add_problem(p).unwrap();
             assert!(report.reclustered, "Always policy must fully recluster");
             assert_eq!(report.problems_added, 1);
         }
@@ -1047,7 +1242,7 @@ mod tests {
         };
         let (mut inc, _) = Morer::build(refs.clone(), &cfg);
         let arrival = family_problem(9, 0, 150); // joins family-0's cluster
-        let report = inc.add_problem(&arrival);
+        let report = inc.add_problem(&arrival).unwrap();
         assert!(report.reclustered);
         assert_eq!(
             report.models_retrained + report.new_models,
@@ -1072,7 +1267,7 @@ mod tests {
         let (mut morer, _) = Morer::build(refs, &cfg);
         let before_models = morer.num_models();
         // an in-family arrival attaches to the existing cluster
-        let report = morer.add_problem(&family_problem(10, 0, 150));
+        let report = morer.add_problem(&family_problem(10, 0, 150)).unwrap();
         assert!(!report.reclustered);
         assert_eq!(report.clusters_touched, 1);
         assert_eq!(report.models_retrained, 1);
@@ -1087,7 +1282,7 @@ mod tests {
             }
             novel.features.push_row(&[v, v * 0.9]);
         }
-        let report = morer.add_problem(&novel);
+        let report = morer.add_problem(&novel).unwrap();
         assert!(!report.reclustered);
         assert_eq!(report.new_models, 1);
         assert_eq!(morer.num_models(), before_models + 1);
@@ -1099,13 +1294,13 @@ mod tests {
         let refs: Vec<&ErProblem> = problems.iter().collect();
         let cfg = MorerConfig { recluster: ReclusterPolicy::EveryN(3), ..config() };
         let (mut morer, _) = Morer::build(refs, &cfg);
-        let r1 = morer.add_problem(&family_problem(10, 0, 150));
-        let r2 = morer.add_problem(&family_problem(11, 1, 150));
-        let r3 = morer.add_problem(&family_problem(12, 0, 150));
+        let r1 = morer.add_problem(&family_problem(10, 0, 150)).unwrap();
+        let r2 = morer.add_problem(&family_problem(11, 1, 150)).unwrap();
+        let r3 = morer.add_problem(&family_problem(12, 0, 150)).unwrap();
         assert!(!r1.reclustered && !r2.reclustered);
         assert!(r3.reclustered, "third insert must trigger the full recluster");
         // the counter reset: the next insert attaches again
-        let r4 = morer.add_problem(&family_problem(13, 1, 150));
+        let r4 = morer.add_problem(&family_problem(13, 1, 150)).unwrap();
         assert!(!r4.reclustered);
     }
 
@@ -1120,7 +1315,7 @@ mod tests {
         assert!(Arc::ptr_eq(&snap, &morer.snapshot()));
         let q = family_problem(31, 0, 150);
         let before = snap.solve(&q);
-        let report = morer.add_problem(&family_problem(32, 0, 150));
+        let report = morer.add_problem(&family_problem(32, 0, 150)).unwrap();
         assert_eq!(report.epoch, morer.epoch());
         assert!(morer.epoch() > epoch_before);
         // the old handle still serves the old repository state
@@ -1139,9 +1334,51 @@ mod tests {
         let refs: Vec<&ErProblem> = problems.iter().collect();
         let (mut morer, _) = Morer::build(refs, &config());
         let epoch = morer.epoch();
-        let report = morer.add_problems(&[]);
+        let report = morer.add_problems(&[]).unwrap();
         assert_eq!(report, IngestReport { epoch, ..IngestReport::default() });
         assert_eq!(morer.epoch(), epoch);
+    }
+
+    #[test]
+    fn mismatched_feature_width_is_a_typed_error_not_a_panic() {
+        let problems = initial_problems();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let (mut morer, _) = Morer::build(refs, &config());
+        let before_models = morer.num_models();
+        let before_epoch = morer.epoch();
+        // a 3-feature problem against a 2-feature repository (§4.2)
+        let mut wide = family_problem(60, 0, 40);
+        let mut features = FeatureMatrix::new(3);
+        for i in 0..wide.num_pairs() {
+            features.push_row(&[0.5, 0.5, i as f64 / 40.0]);
+        }
+        wide.features = features;
+        let err = morer.add_problem(&wide).unwrap_err();
+        assert!(matches!(err, MorerError::InvalidProblem(_)), "got {err:?}");
+        assert!(err.to_string().contains("3 features"));
+        // the rejected batch left the pipeline untouched...
+        assert_eq!(morer.num_models(), before_models);
+        assert_eq!(morer.epoch(), before_epoch);
+        // ...and healthy ingests still work afterwards
+        let report = morer.add_problem(&family_problem(61, 0, 150)).unwrap();
+        assert_eq!(report.problems_added, 1);
+    }
+
+    #[test]
+    fn batch_internal_width_mismatch_is_rejected_up_front() {
+        // an empty pipeline: the first batch fixes the width, so a mixed
+        // batch must be rejected before anything is ingested
+        let mut morer = Morer::from_repository(ModelRepository::default(), &config());
+        let two = family_problem(0, 0, 40);
+        let mut three = family_problem(1, 0, 40);
+        let mut features = FeatureMatrix::new(3);
+        for _ in 0..three.num_pairs() {
+            features.push_row(&[0.5, 0.5, 0.5]);
+        }
+        three.features = features;
+        let err = morer.add_problems(&[&two, &three]).unwrap_err();
+        assert!(matches!(err, MorerError::InvalidProblem(_)), "got {err:?}");
+        assert_eq!(morer.num_problems(), 0);
     }
 
     #[test]
@@ -1155,7 +1392,7 @@ mod tests {
         let restored_entries: Vec<Vec<usize>> =
             morer.repository().entries.iter().map(|e| e.problem_ids.clone()).collect();
         let mut restored = Morer::from_repository(morer.repository(), &config());
-        let report = restored.add_problem(&family_problem(50, 0, 150));
+        let report = restored.add_problem(&family_problem(50, 0, 150)).unwrap();
         assert_eq!(report.problems_added, 1);
         assert_eq!(report.edges_added, 0);
         // restored writers pin the attach path (a full recluster could not
@@ -1167,7 +1404,7 @@ mod tests {
         // a second similar arrival attaches to the first one's cluster; it
         // must retrain the *fresh* entry, never repurpose a restored entry
         // whose problem_ids live in the old writer's index space
-        let report = restored.add_problem(&family_problem(51, 0, 150));
+        let report = restored.add_problem(&family_problem(51, 0, 150)).unwrap();
         assert!(!report.reclustered);
         assert_eq!(report.new_models, 0, "{report:?}");
         assert_eq!(report.models_retrained, 1, "{report:?}");

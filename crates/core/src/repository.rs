@@ -239,6 +239,45 @@ impl ModelRepository {
         self.entries.iter().map(|e| e.labels_used).sum()
     }
 
+    /// The versioned value tree `save_json` renders:
+    /// `{"version": 1, "entries": [...]}`. Shared with the WAL base-snapshot
+    /// writer ([`crate::wal`]) so a compacted base embeds a `repository`
+    /// sub-document byte-identical to a `save_json` file.
+    pub(crate) fn versioned_value(&self) -> Value {
+        Value::Map(vec![
+            ("version".into(), Value::U64(REPOSITORY_FORMAT_VERSION)),
+            ("entries".into(), self.entries.to_value()),
+        ])
+    }
+
+    /// Decode a repository from an already-parsed versioned value tree
+    /// (the version header is inspected before the — possibly
+    /// incompatible — entries are decoded). Shared by [`Self::load_json`]
+    /// and the WAL base-snapshot reader.
+    pub(crate) fn from_versioned_value(envelope: &Value) -> Result<Self, MorerError> {
+        let version = match serde::map_get(envelope, "version")
+            .map_err(|e| MorerError::Parse(e.to_string()))?
+        {
+            // legacy version-less file: same entry encoding as version 1
+            Value::Null => 0,
+            Value::U64(v) => *v,
+            Value::I64(v) if *v >= 0 => *v as u64,
+            other => {
+                return Err(MorerError::Parse(format!(
+                    "repository version must be an integer, found {other:?}"
+                )))
+            }
+        };
+        if version > REPOSITORY_FORMAT_VERSION {
+            return Err(MorerError::UnsupportedVersion { found: version });
+        }
+        let entries_value = serde::map_get(envelope, "entries")
+            .map_err(|e| MorerError::Parse(e.to_string()))?;
+        let entries = Vec::<ClusterEntry>::from_value(entries_value)
+            .map_err(|e| MorerError::Parse(e.to_string()))?;
+        Ok(Self { entries })
+    }
+
     /// Serialize as JSON to any writer, in the current versioned format:
     /// `{"version": 1, "entries": [...]}` (see
     /// [`REPOSITORY_FORMAT_VERSION`]).
@@ -253,10 +292,7 @@ impl ModelRepository {
         struct Envelope<'a>(&'a ModelRepository);
         impl Serialize for Envelope<'_> {
             fn to_value(&self) -> Value {
-                Value::Map(vec![
-                    ("version".into(), Value::U64(REPOSITORY_FORMAT_VERSION)),
-                    ("entries".into(), self.0.entries.to_value()),
-                ])
+                self.0.versioned_value()
             }
         }
         let text = serde_json::to_string(&Envelope(self))
@@ -285,32 +321,40 @@ impl ModelRepository {
         BufReader::new(reader).read_to_string(&mut text)?;
         let envelope =
             serde_json::from_str_value(&text).map_err(|e| MorerError::Parse(e.to_string()))?;
-        let version = match serde::map_get(&envelope, "version")
-            .map_err(|e| MorerError::Parse(e.to_string()))?
-        {
-            // legacy version-less file: same entry encoding as version 1
-            Value::Null => 0,
-            Value::U64(v) => *v,
-            Value::I64(v) if *v >= 0 => *v as u64,
-            other => {
-                return Err(MorerError::Parse(format!(
-                    "repository version must be an integer, found {other:?}"
-                )))
-            }
-        };
-        if version > REPOSITORY_FORMAT_VERSION {
-            return Err(MorerError::UnsupportedVersion { found: version });
-        }
-        let entries_value = serde::map_get(&envelope, "entries")
-            .map_err(|e| MorerError::Parse(e.to_string()))?;
-        let entries = Vec::<ClusterEntry>::from_value(entries_value)
-            .map_err(|e| MorerError::Parse(e.to_string()))?;
-        Ok(Self { entries })
+        Self::from_versioned_value(&envelope)
     }
 
-    /// Save to a file path (versioned format).
+    /// Save to a file path (versioned format), crash-safely: the document
+    /// is rendered to a temporary file in the target directory, synced,
+    /// and atomically renamed over `path` — a crash mid-save leaves either
+    /// the previous file or the complete new one, never a torn hybrid.
     pub fn save(&self, path: &Path) -> Result<(), MorerError> {
-        self.save_json(std::fs::File::create(path)?)
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        let file_name = path.file_name().ok_or_else(|| {
+            MorerError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("repository path {} has no file name", path.display()),
+            ))
+        })?;
+        let tmp = dir.join(format!(".{}.tmp", file_name.to_string_lossy()));
+        let publish = (|| -> Result<(), MorerError> {
+            let file = std::fs::File::create(&tmp)?;
+            self.save_json(&file)?;
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)?;
+            Ok(())
+        })();
+        if publish.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        } else {
+            // best-effort directory sync so the rename itself survives
+            // power loss (not all platforms allow syncing a directory)
+            let _ = std::fs::File::open(dir).and_then(|d| d.sync_all());
+        }
+        publish
     }
 
     /// Load from a file path.
@@ -360,6 +404,31 @@ mod tests {
         let loaded = ModelRepository::load(&path).unwrap();
         assert_eq!(repo, loaded);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_replaces_an_existing_file_atomically() {
+        let dir = std::env::temp_dir().join(format!("morer_atomic_save_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.json");
+        ModelRepository { entries: vec![sample_entry(0)] }.save(&path).unwrap();
+        let next = ModelRepository { entries: vec![sample_entry(0), sample_entry(1)] };
+        next.save(&path).unwrap();
+        assert_eq!(ModelRepository::load(&path).unwrap(), next);
+        // the scratch file never outlives the save
+        assert!(!dir.join(".repo.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_save_is_a_typed_io_error() {
+        // the parent "directory" is a regular file: the tmp file cannot be
+        // created, and the failure must surface as Io, not a panic
+        let dir = std::env::temp_dir().join(format!("morer_notadir_{}", std::process::id()));
+        std::fs::write(&dir, b"i am a file").unwrap();
+        let err = ModelRepository::default().save(&dir.join("repo.json")).unwrap_err();
+        assert!(matches!(err, MorerError::Io(_)), "got {err:?}");
+        std::fs::remove_file(&dir).ok();
     }
 
     #[test]

@@ -90,7 +90,7 @@ fn always_ingest_is_bit_identical_to_batch_build_under_random_chunking() {
         let mut lo = first;
         while lo < n {
             let hi = rng.gen_range(lo + 1..=n);
-            let report = inc.add_problems(&refs[lo..hi]);
+            let report = inc.add_problems(&refs[lo..hi]).unwrap();
             assert!(report.reclustered, "case {case}: Always must fully recluster");
             assert_eq!(report.problems_added, hi - lo, "case {case}");
             lo = hi;
@@ -119,7 +119,7 @@ fn capped_always_ingest_stays_batch_equivalent() {
     let (batch, _) = Morer::build(refs.clone(), &cfg);
     let (mut inc, _) = Morer::build(refs[..3].to_vec(), &cfg);
     for p in &refs[3..] {
-        inc.add_problem(p);
+        inc.add_problem(p).unwrap();
     }
     assert_eq!(inc.repository(), batch.repository());
 }
@@ -147,7 +147,7 @@ fn problem_graph_is_insertion_order_invariant() {
 
         let (mut one_by_one, _) = Morer::build(refs[..1].to_vec(), &cfg);
         for p in &refs[1..] {
-            one_by_one.add_problem(p);
+            one_by_one.add_problem(p).unwrap();
         }
         let (batch, _) = Morer::build(refs.clone(), &cfg);
         assert_eq!(
@@ -209,11 +209,11 @@ fn every_n_policy_converges_to_batch_state_on_recluster() {
         ..config(3)
     };
     let (mut inc, _) = Morer::build(refs[..6].to_vec(), &cfg);
-    let r7 = inc.add_problem(refs[6]);
-    let r8 = inc.add_problem(refs[7]);
-    let r9 = inc.add_problem(refs[8]);
+    let r7 = inc.add_problem(refs[6]).unwrap();
+    let r8 = inc.add_problem(refs[7]).unwrap();
+    let r9 = inc.add_problem(refs[8]).unwrap();
     assert!(!r7.reclustered && !r8.reclustered && !r9.reclustered);
-    let r10 = inc.add_problem(refs[9]);
+    let r10 = inc.add_problem(refs[9]).unwrap();
     assert!(r10.reclustered, "4th insert since the last recluster must trigger");
     let (batch, _) = Morer::build(refs.clone(), &cfg);
     assert_eq!(inc.repository(), batch.repository());
@@ -254,8 +254,8 @@ fn snapshot_serves_its_epoch_during_concurrent_ingest() {
             })
             .collect();
         // concurrent writes: two committed ingest batches
-        morer.add_problems(&refs[6..9]);
-        morer.add_problems(&refs[9..]);
+        morer.add_problems(&refs[6..9]).unwrap();
+        morer.add_problems(&refs[9..]).unwrap();
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("reader thread panicked"))
@@ -303,7 +303,7 @@ fn snapshot_publication_shares_untouched_entries_across_epochs() {
         let snap1 = morer.snapshot();
         // a family-0 arrival touches exactly family-0's cluster
         let arrival = family_problem(6, 0, 150);
-        let report = morer.add_problem(&arrival);
+        let report = morer.add_problem(&arrival).unwrap();
         assert_eq!(
             report.models_retrained + report.new_models,
             1,
@@ -357,7 +357,7 @@ fn ingest_reports_account_for_state_changes() {
         let mut labels_before = morer.labels_used();
         let mut epoch = morer.epoch();
         for p in &refs[5..] {
-            let report = morer.add_problem(p);
+            let report = morer.add_problem(p).unwrap();
             assert_eq!(report.problems_added, 1, "{policy:?}");
             assert_eq!(
                 report.labels_spent,

@@ -1,6 +1,9 @@
 //! Server configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
+
+use morer_core::wal::Durability;
 
 /// Configuration of a [`crate::MorerServer`].
 #[derive(Debug, Clone)]
@@ -31,6 +34,20 @@ pub struct ServeConfig {
     /// a worker thread forever. Does not limit how long a request takes to
     /// *process* once received.
     pub idle_timeout: Duration,
+    /// Directory for the write-ahead log. `Some` makes the writer durable:
+    /// the server attaches a [`morer_core::wal::Wal`] there (unless the
+    /// `Morer` handed to [`crate::MorerServer::start`] already carries one)
+    /// and every `/ingest` response is sent only after the commit record is
+    /// written — on-disk-acknowledged under [`Durability::Fsync`]. `None`
+    /// serves purely in memory.
+    pub wal_dir: Option<PathBuf>,
+    /// Whether WAL appends are fsync'd before `/ingest` replies. Only
+    /// consulted when `wal_dir` is set.
+    pub durability: Durability,
+    /// Fold the log into a fresh base snapshot every this many records
+    /// (0 disables automatic compaction). Only consulted when `wal_dir`
+    /// is set.
+    pub compact_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +60,9 @@ impl Default for ServeConfig {
             ingest_queue: 32,
             poll_interval: Duration::from_millis(50),
             idle_timeout: Duration::from_secs(30),
+            wal_dir: None,
+            durability: Durability::Fsync,
+            compact_every: 1024,
         }
     }
 }
@@ -62,5 +82,10 @@ mod tests {
         assert!(c.idle_timeout > c.poll_interval * 4);
         // port 0: tests and examples never collide on a fixed port
         assert!(c.addr.ends_with(":0"));
+        // durability is opt-in, but once opted in it defaults to the
+        // strongest acknowledgement with periodic compaction
+        assert!(c.wal_dir.is_none());
+        assert_eq!(c.durability, Durability::Fsync);
+        assert!(c.compact_every > 0);
     }
 }

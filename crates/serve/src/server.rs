@@ -24,12 +24,19 @@
 //! * Untrusted input can never take a thread down: bodies are validated at
 //!   decode ([`ErProblem::validate`] plus the shape-checked
 //!   `FeatureMatrix` deserializer), feature-space mismatches are rejected
-//!   before they reach the panicking pipeline preconditions, and dispatch
-//!   runs under `catch_unwind` as a last line of defense (a panic answers
-//!   500 and closes the connection; the worker lives on).
+//!   per job with a typed 400 (and [`Morer::add_problems`] itself rejects
+//!   them with [`MorerError::InvalidProblem`] as a second line), and
+//!   dispatch runs under `catch_unwind` as a last line of defense (a panic
+//!   answers 500 and closes the connection; the worker lives on).
 //! * Shutdown is cooperative: the listener is non-blocking and workers
 //!   poll a flag between accepts and on read timeouts; the ingest channel
 //!   closes when the last worker exits, which ends the writer.
+//! * Durability is opt-in ([`ServeConfig::wal_dir`]): the writer commits
+//!   through an attached write-ahead log, and because the log append (and
+//!   its fsync, under [`morer_core::wal::Durability::Fsync`]) happens
+//!   inside [`Morer::add_problems`] *before* the reply is sent, every
+//!   acknowledged `/ingest` response names an epoch that
+//!   [`Morer::open`] can recover after a crash.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,6 +54,7 @@ use crate::wire::{error_json, status_for, ErrorBody, ErrorEnvelope, HealthRespon
 use morer_core::error::MorerError;
 use morer_core::pipeline::{IngestReport, Morer};
 use morer_core::searcher::ModelSearcher;
+use morer_core::wal::{DurabilityState, WalOptions};
 use morer_data::ErProblem;
 
 /// One queued `/ingest` request: the decoded problems and where to send
@@ -76,10 +84,14 @@ struct ServerState {
     metrics: MetricsRegistry,
     /// Cooperative shutdown flag.
     shutdown: AtomicBool,
-    /// Cleared if the writer thread dies abnormally (a panic escaped
-    /// `Morer::add_problems`): the read path keeps serving the last
-    /// committed epoch, `/healthz` reports `degraded`.
+    /// Cleared if the writer thread dies abnormally (a panic escaped the
+    /// commit, or the write-ahead log failed and poisoned the pipeline):
+    /// the read path keeps serving the last committed epoch, `/healthz`
+    /// reports `degraded`.
     writer_alive: AtomicBool,
+    /// Write-ahead-log state as of the last published commit (`None` when
+    /// serving without durability); reported by `/healthz` and `/stats`.
+    durability: Mutex<Option<DurabilityState>>,
 }
 
 impl ServerState {
@@ -92,6 +104,11 @@ impl ServerState {
     /// Clone the current `(epoch, snapshot)` pair atomically.
     fn published(&self) -> Published {
         self.published.lock().expect("published slot poisoned").clone()
+    }
+
+    /// The durability state of the last published commit.
+    fn durability(&self) -> Option<DurabilityState> {
+        *self.durability.lock().expect("durability slot poisoned")
     }
 
     /// `"ok"` while fully serving, `"degraded"` once the write path died.
@@ -115,10 +132,29 @@ impl MorerServer {
     /// running; serving continues until [`ServerHandle::shutdown`] (or the
     /// handle is dropped).
     ///
+    /// When [`ServeConfig::wal_dir`] is set and `morer` does not already
+    /// carry a write-ahead log, one is attached there before serving, so
+    /// every committed `/ingest` survives a crash (recover with
+    /// [`Morer::open`] and restart). A `morer` recovered by `Morer::open`
+    /// keeps its own log; the config's `wal_dir` is then ignored.
+    ///
     /// # Errors
     /// [`MorerError::Io`] when the address cannot be bound or threads
-    /// cannot be spawned.
+    /// cannot be spawned, and the [`morer_core::wal::Wal::create`] errors
+    /// (including attaching over an existing log directory — `Morer::open`
+    /// it instead) when `wal_dir` is set.
     pub fn start(mut morer: Morer, config: &ServeConfig) -> Result<ServerHandle, MorerError> {
+        if let Some(dir) = &config.wal_dir {
+            if morer.durability().is_none() {
+                morer.attach_wal(
+                    dir,
+                    WalOptions {
+                        durability: config.durability,
+                        compact_every: config.compact_every,
+                    },
+                )?;
+            }
+        }
         let listener = TcpListener::bind(config.addr.as_str())?;
         // workers poll accept() cooperatively (see worker_loop): shutdown
         // must not depend on being able to connect to the bound address
@@ -131,6 +167,7 @@ impl MorerServer {
             metrics: MetricsRegistry::default(),
             shutdown: AtomicBool::new(false),
             writer_alive: AtomicBool::new(true),
+            durability: Mutex::new(morer.durability()),
         });
 
         let (ingest_tx, ingest_rx) = mpsc::sync_channel::<IngestJob>(config.ingest_queue.max(1));
@@ -231,12 +268,16 @@ impl Drop for ServerHandle {
 }
 
 /// The single writer: drain the ingest queue, micro-batch everything
-/// queued, commit, publish the new snapshot, answer the requesters.
+/// queued, commit (through the write-ahead log when one is attached, so
+/// the reply is only sent once the commit record is persisted), publish
+/// the new snapshot, answer the requesters.
 ///
 /// Jobs whose problems do not fit the repository's feature space (§4.2:
-/// one comparison scheme per repository; `Morer::add_problems` panics on a
-/// width mismatch, which must never take the writer down) are rejected
-/// with an error reply instead of joining the commit.
+/// one comparison scheme per repository) are rejected with an error reply
+/// instead of joining the commit — `Morer::add_problems` would reject the
+/// whole micro-batch with one typed error, but the pre-partition keeps the
+/// rejection per job, so a well-formed request still commits when it was
+/// batched alongside a bad one.
 fn writer_loop(mut morer: Morer, rx: Receiver<IngestJob>, state: &ServerState) {
     while let Ok(first) = rx.recv() {
         let mut jobs = vec![first];
@@ -282,19 +323,42 @@ fn writer_loop(mut morer: Morer, rx: Receiver<IngestJob>, state: &ServerState) {
         // state is suspect — stop writing, keep serving the last committed
         // snapshot, and report degraded health.
         let commit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let report = morer.add_problems(&problems);
-            let snapshot = morer.snapshot();
-            snapshot.warm();
-            (report, snapshot, morer.epoch())
+            morer.add_problems(&problems).map(|report| {
+                let snapshot = morer.snapshot();
+                snapshot.warm();
+                (report, snapshot, morer.epoch(), morer.durability())
+            })
         }));
         match commit {
-            Ok((report, snapshot, epoch)) => {
+            Ok(Ok((report, snapshot, epoch, durability))) => {
                 *state.published.lock().expect("published slot poisoned") =
                     Published { epoch, searcher: snapshot };
+                *state.durability.lock().expect("durability slot poisoned") = durability;
                 // publish before replying: a requester that sees its report
-                // also sees (at least) that epoch on the read path
+                // also sees (at least) that epoch on the read path — and
+                // with a WAL attached, the commit record (fsync'd under
+                // Durability::Fsync) is already on disk by this point, so
+                // an acknowledged ingest is a recoverable one
                 for job in accepted {
                     let _ = job.reply.send(Ok(report.clone()));
+                }
+            }
+            Ok(Err(e)) => {
+                // a typed commit failure: every requester of this
+                // micro-batch gets the same error. I/O and log-corruption
+                // failures mean the write-ahead log could not persist the
+                // commit (the pipeline poisons itself) — stop writing and
+                // report degraded health rather than silently serving
+                // acknowledgements that a crash would lose.
+                let fatal = matches!(e.kind(), "io" | "log_corrupt");
+                if fatal {
+                    state.writer_alive.store(false, Ordering::Release);
+                }
+                for job in accepted {
+                    let _ = job.reply.send(Err(e.duplicate()));
+                }
+                if fatal {
+                    return;
                 }
             }
             Err(_) => {
@@ -518,10 +582,15 @@ fn dispatch(request: &Request, state: &ServerState, ingest_tx: &SyncSender<Inges
 
 fn healthz(state: &ServerState) -> Reply {
     let published = state.published();
+    let wal = state.durability();
     let body = HealthResponse {
         status: state.health().to_owned(),
         epoch: published.epoch,
         models: published.searcher.num_models(),
+        durability: wal
+            .map_or("none", |d| if d.fsync { "fsync" } else { "buffered" })
+            .to_owned(),
+        durable_epoch: wal.map(|d| d.durable_epoch),
     };
     json_reply(&body, Endpoint::Healthz)
 }
@@ -537,6 +606,7 @@ fn stats(state: &ServerState) -> Reply {
             .iter()
             .filter(|e| !e.representatives.is_empty())
             .count(),
+        wal: state.durability(),
         endpoints: state.metrics.snapshot(),
     };
     json_reply(&body, Endpoint::Stats)

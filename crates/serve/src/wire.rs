@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize, Value};
 
 use crate::metrics::EndpointStats;
 use morer_core::error::MorerError;
+use morer_core::wal::DurabilityState;
 
 /// `GET /healthz` response body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -19,6 +20,13 @@ pub struct HealthResponse {
     pub epoch: u64,
     /// Number of stored models (= repository entries).
     pub models: usize,
+    /// Durability mode of the write path: `"fsync"` (ingest replies only
+    /// after the commit record is on disk), `"buffered"` (logged but
+    /// OS-buffered), or `"none"` (in-memory only, no write-ahead log).
+    pub durability: String,
+    /// Last epoch guaranteed recoverable by [`morer_core::pipeline::Morer::open`]
+    /// (absent without a write-ahead log).
+    pub durable_epoch: Option<u64>,
 }
 
 /// `GET /stats` response body.
@@ -30,6 +38,9 @@ pub struct StatsResponse {
     pub entries: usize,
     /// Entries with representative vectors (the ones `sel_base` can score).
     pub searchable_entries: usize,
+    /// Write-ahead-log state (durable epoch, log length, compaction count);
+    /// absent when the server runs without durability.
+    pub wal: Option<DurabilityState>,
     /// Per-endpoint request counters and latency aggregates.
     pub endpoints: Vec<EndpointStats>,
 }
@@ -62,8 +73,9 @@ pub fn status_for(err: &MorerError) -> u16 {
         MorerError::Parse(_)
         | MorerError::InvalidProblem(_)
         | MorerError::UnsupportedVersion { .. } => 400,
-        // server-side failure
-        MorerError::Io(_) => 500,
+        // server-side failure: the durable state on disk, not the request,
+        // is what's wrong
+        MorerError::LogCorrupt { .. } | MorerError::Io(_) => 500,
     }
 }
 
@@ -91,6 +103,10 @@ mod tests {
         assert_eq!(status_for(&MorerError::InvalidProblem("x".into())), 400);
         assert_eq!(status_for(&MorerError::UnsupportedVersion { found: 9 }), 400);
         assert_eq!(
+            status_for(&MorerError::LogCorrupt { offset: 12, reason: "torn".into() }),
+            500
+        );
+        assert_eq!(
             status_for(&MorerError::Io(std::io::Error::new(
                 std::io::ErrorKind::BrokenPipe,
                 "gone"
@@ -115,7 +131,13 @@ mod tests {
 
     #[test]
     fn health_and_stats_round_trip() {
-        let h = HealthResponse { status: "ok".into(), epoch: 3, models: 2 };
+        let h = HealthResponse {
+            status: "ok".into(),
+            epoch: 3,
+            models: 2,
+            durability: "fsync".into(),
+            durable_epoch: Some(3),
+        };
         let back: HealthResponse =
             serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
         assert_eq!(back, h);
@@ -123,8 +145,20 @@ mod tests {
             epoch: 3,
             entries: 2,
             searchable_entries: 2,
+            wal: Some(DurabilityState {
+                durable_epoch: 3,
+                log_records: 2,
+                log_bytes: 512,
+                compactions: 1,
+                fsync: true,
+            }),
             endpoints: Vec::new(),
         };
+        let back: StatsResponse =
+            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+        // an in-memory server reports no durability
+        let s = StatsResponse { wal: None, ..s };
         let back: StatsResponse =
             serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(back, s);

@@ -62,12 +62,16 @@ fn health_and_stats_report_server_state() {
     assert_eq!(health.status, "ok");
     assert_eq!(health.models, models);
     assert_eq!(health.epoch, handle.epoch());
+    // no wal_dir configured: the server is explicit about serving in memory
+    assert_eq!(health.durability, "none");
+    assert_eq!(health.durable_epoch, None);
 
     let res = conn.get("/stats").unwrap();
     assert_eq!(res.status, 200);
     let stats: StatsResponse = serde_json::from_str(&res.body).unwrap();
     assert_eq!(stats.entries, models);
     assert_eq!(stats.searchable_entries, models);
+    assert_eq!(stats.wal, None);
     // the healthz request above is already on the counters
     let healthz = stats.endpoints.iter().find(|e| e.endpoint == "healthz").unwrap();
     assert_eq!(healthz.requests, 1);
@@ -170,7 +174,7 @@ fn ingest_commits_a_new_epoch_and_the_read_path_serves_it() {
     assert_eq!(res.status, 200, "{}", res.body);
     let report: IngestReport = serde_json::from_str(&res.body).unwrap();
     let arrival_refs: Vec<&ErProblem> = arrivals.iter().collect();
-    let twin_report = twin.add_problems(&arrival_refs);
+    let twin_report = twin.add_problems(&arrival_refs).unwrap();
     assert_eq!(report, twin_report);
     assert!(report.epoch > epoch_before);
     assert_eq!(handle.epoch(), report.epoch);
@@ -211,7 +215,7 @@ fn readers_stay_consistent_while_ingest_commits() {
     let arrivals: Vec<ErProblem> =
         (0..3).map(|i| family_problem(410 + i, 1, 150)).collect();
     let arrival_refs: Vec<&ErProblem> = arrivals.iter().collect();
-    twin.add_problems(&arrival_refs);
+    twin.add_problems(&arrival_refs).unwrap();
     let post_outcome = twin.searcher().solve(&q);
 
     let addr = handle.addr();
@@ -492,6 +496,70 @@ fn empty_repository_serves_typed_404_search_and_degraded_solve() {
     assert_eq!(outcome.entry, None);
     assert!(outcome.predictions.iter().all(|&p| !p));
     handle.shutdown();
+}
+
+/// Durability acceptance (PR 6): with [`ServeConfig::wal_dir`] set, every
+/// acknowledged `/ingest` is recoverable. The "kill" is simulated by
+/// copying the WAL directory while the server is live — exactly the
+/// on-disk state a crash right after the last acknowledgement leaves —
+/// then `Morer::open`ing the copy and checking it serves the acknowledged
+/// epoch with solve answers bit-identical to the live read path.
+#[test]
+fn acknowledged_durable_ingests_survive_a_simulated_kill() {
+    let dir =
+        std::env::temp_dir().join(format!("morer_serve_wal_{}_live", std::process::id()));
+    let killed =
+        std::env::temp_dir().join(format!("morer_serve_wal_{}_killed", std::process::id()));
+    for d in [&dir, &killed] {
+        let _ = std::fs::remove_dir_all(d);
+        std::fs::create_dir_all(d).unwrap();
+    }
+    let cfg = ServeConfig { wal_dir: Some(dir.clone()), ..serve_config() };
+    let handle = MorerServer::start(built_morer(), &cfg).unwrap();
+    let mut conn = Connection::open(handle.addr()).unwrap();
+
+    // the server reports fsync-acknowledged durability from the start
+    let health: HealthResponse =
+        serde_json::from_str(&conn.get("/healthz").unwrap().body).unwrap();
+    assert_eq!(health.durability, "fsync");
+    assert_eq!(health.durable_epoch, Some(health.epoch));
+
+    // three acknowledged commits
+    let mut last_epoch = 0;
+    for i in 0..3 {
+        let p = family_problem(800 + i, (i % 2) as u8, 100);
+        let res = conn.post("/ingest", &serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(res.status, 200, "{}", res.body);
+        last_epoch = serde_json::from_str::<IngestReport>(&res.body).unwrap().epoch;
+    }
+    // /stats exposes the log state: every acknowledged commit is durable
+    let stats: StatsResponse =
+        serde_json::from_str(&conn.get("/stats").unwrap().body).unwrap();
+    let wal = stats.wal.expect("a durable server must report WAL state");
+    assert!(wal.fsync);
+    assert_eq!(wal.durable_epoch, last_epoch);
+    assert!(wal.log_records >= 1);
+
+    // simulate the kill: snapshot the on-disk state out from under the
+    // still-running server
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), killed.join(entry.file_name())).unwrap();
+    }
+
+    let q = family_problem(810, 1, 80);
+    let res = conn.post("/solve", &serde_json::to_string(&q).unwrap()).unwrap();
+    assert_eq!(res.status, 200, "{}", res.body);
+    let live: SolveOutcome = serde_json::from_str(&res.body).unwrap();
+    handle.shutdown();
+
+    let recovered = Morer::open(&killed, &config()).unwrap();
+    assert_eq!(recovered.epoch(), last_epoch, "recovery must reach the acknowledged epoch");
+    assert_outcomes_equal(&recovered.searcher().solve(&q), &live, "recovered solve");
+
+    for d in [&dir, &killed] {
+        let _ = std::fs::remove_dir_all(d);
+    }
 }
 
 #[test]

@@ -1,14 +1,21 @@
-//! The "ER matching service" deployment (§1): a repository is built once,
-//! persisted to a backend, and later loaded into a fresh process —
-//! "enabling users to solve any ER problem by leveraging existing models".
+//! The "ER matching service" deployment (§1), now crash-safe: a durable
+//! writer commits every ingest through an append-only write-ahead log, is
+//! killed mid-stream, and a fresh process recovers the exact last-committed
+//! state with [`Morer::open`] — "enabling users to solve any ER problem by
+//! leveraging existing models", even across crashes.
 //!
-//! The on-disk format is versioned JSON (`{"version": 1, "entries": ...}`);
-//! legacy version-less files still load, and files written by a newer build
-//! fail with the typed [`MorerError::UnsupportedVersion`] instead of a
-//! parse panic. The serving side is a [`ModelSearcher`]: immutable,
-//! `Send + Sync`, so one instance handles every concurrent caller —
-//! `solve_and_score` below fans the whole query load over scoped worker
-//! threads sharing it.
+//! The walkthrough stages a full lifecycle:
+//!
+//! 1. **service A** opens a durable pipeline on an empty directory, builds
+//!    the initial repository, and streams further problems in — each commit
+//!    is an O(dirty) fsync-acknowledged log append;
+//! 2. a **simulated kill** snapshots the WAL directory mid-stream (exactly
+//!    the bytes a crash would leave) and even tears the final record;
+//! 3. **service B** recovers from the copy: the torn tail is detected by
+//!    the per-record length prefix + content hash and truncated, every
+//!    fully committed epoch is replayed, and serving resumes;
+//! 4. the one-shot snapshot path ([`ModelRepository::save`], now an atomic
+//!    tmp-file + rename) still works for log-free deployments.
 //!
 //! ```text
 //! cargo run --release --example repository_persistence
@@ -20,41 +27,66 @@ use morer::data::{computer, DatasetScale};
 fn main() -> std::io::Result<()> {
     let bench = computer(DatasetScale::Default, 42);
     let config = MorerConfig { budget: 800, ..MorerConfig::default() };
+    let live_dir = std::env::temp_dir().join("morer_wal_live");
+    let crash_dir = std::env::temp_dir().join("morer_wal_crashed");
+    for d in [&live_dir, &crash_dir] {
+        std::fs::remove_dir_all(d).ok();
+        std::fs::create_dir_all(d)?;
+    }
 
-    // --- service A: build and persist -------------------------------------
-    let (builder, report) = Morer::build(bench.initial_problems(), &config);
-    let repo = builder.repository();
-    let path = std::env::temp_dir().join("morer_repository.json");
-    repo.save(&path)?;
-    let bytes = std::fs::metadata(&path)?.len();
+    // --- service A: durable writer ----------------------------------------
+    // open on an empty directory = start a fresh crash-safe pipeline
+    let mut writer = Morer::open(&live_dir, &config)?;
+    let problems = bench.initial_problems();
+    let (seed, rest) = problems.split_at(problems.len() / 2);
+    writer.add_problems(seed)?;
     println!(
-        "service A built {} models with {} labels and persisted them \
-         (format v{REPOSITORY_FORMAT_VERSION}, {} KiB)",
-        report.num_clusters,
-        report.labels_used,
-        bytes / 1024
+        "service A committed {} seed problems -> {} models at epoch {}",
+        seed.len(),
+        writer.num_models(),
+        writer.epoch()
     );
-
-    // --- service B: load and serve concurrently ---------------------------
-    let loaded = ModelRepository::load(&path)?;
-    println!(
-        "service B loaded {} models ({} stored representative vectors)",
-        loaded.num_models(),
-        loaded.entries.iter().map(|e| e.representatives.len()).sum::<usize>()
-    );
-    // a file from a future build would have surfaced as a typed error:
-    // Err(MorerError::UnsupportedVersion { found }) => refuse + report
-    let service = ModelSearcher::from_repository(loaded, &config);
-    let (counts, outcomes) = service.solve_and_score(&bench.unsolved_problems());
-    for (p, o) in bench.unsolved_problems().iter().zip(&outcomes) {
+    // stream the remainder one problem per commit: each acknowledgement
+    // means the commit record is fsync'd (Durability::Fsync is the default)
+    for p in rest {
+        let report = writer.add_problem(p)?;
+        let state = writer.durability().expect("writer is durable");
         println!(
-            "  query D{}–D{} -> model {} (sim_p {:.3})",
-            p.sources.0,
-            p.sources.1,
-            o.entry.map_or_else(|| "-".into(), |e| e.to_string()),
-            o.similarity
+            "  epoch {}: +{} edges, {} clusters touched — durable at {} log bytes",
+            report.epoch, report.edges_added, report.clusters_touched, state.log_bytes
         );
     }
+    let final_epoch = writer.epoch();
+
+    // --- the kill ----------------------------------------------------------
+    // copy the WAL directory out from under the still-live writer: this is
+    // bit-for-bit what a crash right now would leave on disk
+    for entry in std::fs::read_dir(&live_dir)? {
+        let entry = entry?;
+        std::fs::copy(entry.path(), crash_dir.join(entry.file_name()))?;
+    }
+    drop(writer); // the process is "gone"
+
+    // make the crash nastier: tear 5 bytes off the log tail, as if the
+    // machine died mid-append of a record that was never acknowledged
+    let log_path = crash_dir.join("wal.log");
+    let torn_len = std::fs::metadata(&log_path)?.len().saturating_sub(5);
+    std::fs::OpenOptions::new().write(true).open(&log_path)?.set_len(torn_len)?;
+
+    // --- service B: recover and serve --------------------------------------
+    let recovered = Morer::open(&crash_dir, &config)?;
+    println!(
+        "service B recovered epoch {} / {} models from the crashed directory \
+         (WAL format v{WAL_FORMAT_VERSION}, torn tail truncated)",
+        recovered.epoch(),
+        recovered.num_models()
+    );
+    assert_eq!(
+        recovered.epoch(),
+        final_epoch - 1,
+        "every acknowledged epoch except the torn final record must replay"
+    );
+    let (counts, outcomes) = recovered.searcher().solve_and_score(&bench.unsolved_problems());
     println!(
         "served {} problems without any new labels: P {:.3} / R {:.3} / F1 {:.3}",
         outcomes.len(),
@@ -63,6 +95,24 @@ fn main() -> std::io::Result<()> {
         counts.f1()
     );
 
+    // --- log-free deployments: the atomic snapshot path ---------------------
+    // a single versioned-JSON artifact (crash-safe too: written to a tmp
+    // file, fsync'd, then renamed into place) for read-only services
+    let path = std::env::temp_dir().join("morer_repository.json");
+    let repo = recovered.repository();
+    repo.save(&path)?;
+    let loaded = ModelRepository::load(&path)?;
+    println!(
+        "snapshot round trip: {} models, {} KiB (format v{REPOSITORY_FORMAT_VERSION})",
+        loaded.num_models(),
+        std::fs::metadata(&path)?.len() / 1024
+    );
+    // a file from a future build would have surfaced as a typed error:
+    // Err(MorerError::UnsupportedVersion { found }) => refuse + report
+
     std::fs::remove_file(&path).ok();
+    for d in [&live_dir, &crash_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
     Ok(())
 }

@@ -46,7 +46,7 @@ fn main() {
     let mut incremental_s = 0.0f64;
     for (k, problem) in initial[boot..].iter().enumerate() {
         let start = Instant::now();
-        let r = morer.add_problem(problem);
+        let r = morer.add_problem(problem).expect("in-memory ingest cannot fail");
         let elapsed = start.elapsed().as_secs_f64();
         incremental_s += elapsed;
         println!(

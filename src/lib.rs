@@ -78,7 +78,7 @@
 //! // comparisons per insert and dirty-tracked retraining — under the
 //! // default ReclusterPolicy::Always this is bit-identical to rebuilding
 //! // the repository from scratch over all problems
-//! let ingest = morer.add_problem(bench.unsolved_problems()[0]);
+//! let ingest = morer.add_problem(bench.unsolved_problems()[0]).unwrap();
 //! println!(
 //!     "+{} edges, {} clusters touched, {} labels",
 //!     ingest.edges_added, ingest.clusters_touched, ingest.labels_spent,

@@ -192,3 +192,159 @@ fn adversarial_label_noise_degrades_gracefully() {
     assert!(counts.f1().is_finite());
     assert!(counts.total() == 80);
 }
+
+// ---- write-ahead-log corruption (PR 6) -------------------------------------
+//
+// Every corruption below must either recover to the last valid epoch or
+// fail with a typed error — never panic, never silently replay bad bytes.
+
+use std::path::{Path, PathBuf};
+
+use morer::core::wal::{content_hash, LOG_FILE};
+
+fn wal_config() -> MorerConfig {
+    MorerConfig { budget: 60, budget_min: 10, ..MorerConfig::default() }
+}
+
+fn wal_scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("morer_fi_wal_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Two durable commits; returns the frame boundary after the first commit
+/// and the canonical repository bytes at each epoch.
+fn two_commits(dir: &Path) -> (u64, Vec<Vec<u8>>) {
+    let options = WalOptions { durability: Durability::Fsync, compact_every: 0 };
+    let mut morer = Morer::open_with(dir, &wal_config(), options).unwrap();
+    let canonical = |m: &Morer| {
+        let mut buf = Vec::new();
+        m.searcher().repository().save_json(&mut buf).unwrap();
+        buf
+    };
+    let mut repos = vec![canonical(&morer)];
+    let p = healthy_problem(0);
+    morer.add_problems(&[&p]).unwrap();
+    let boundary = morer.durability().unwrap().log_bytes;
+    repos.push(canonical(&morer));
+    let p = healthy_problem(1);
+    morer.add_problems(&[&p]).unwrap();
+    repos.push(canonical(&morer));
+    (boundary, repos)
+}
+
+fn reopen(dir: &Path) -> Morer {
+    Morer::open(dir, &wal_config()).unwrap()
+}
+
+fn canonical_of(m: &Morer) -> Vec<u8> {
+    let mut buf = Vec::new();
+    m.searcher().repository().save_json(&mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn zero_length_log_file_recovers_to_the_base_snapshot() {
+    let dir = wal_scratch("zero");
+    let (_, repos) = two_commits(&dir);
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join(LOG_FILE))
+        .unwrap()
+        .set_len(0)
+        .unwrap();
+    let mut m = reopen(&dir);
+    assert_eq!(m.epoch(), 0);
+    assert_eq!(canonical_of(&m), repos[0]);
+    // the restarted log accepts new commits immediately
+    let p = healthy_problem(5);
+    let report = m.add_problems(&[&p]).unwrap();
+    assert_eq!(report.epoch, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_log_tail_recovers_to_the_last_valid_epoch() {
+    let dir = wal_scratch("tail");
+    let (boundary, repos) = two_commits(&dir);
+    // cut into the middle of the second record's frame
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join(LOG_FILE))
+        .unwrap()
+        .set_len(boundary + 3)
+        .unwrap();
+    let m = reopen(&dir);
+    assert_eq!(m.epoch(), 1, "the torn second commit must not be replayed");
+    assert_eq!(canonical_of(&m), repos[1]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_record_body_is_detected_and_never_replayed() {
+    let dir = wal_scratch("flip");
+    let (boundary, repos) = two_commits(&dir);
+    let log_path = dir.join(LOG_FILE);
+    let mut bytes = std::fs::read(&log_path).unwrap();
+    // flip one bit in the second record's payload (past its frame header)
+    let target = boundary as usize + 20;
+    bytes[target] ^= 0x01;
+    std::fs::write(&log_path, &bytes).unwrap();
+    let m = reopen(&dir);
+    assert_eq!(m.epoch(), 1, "the hash check must reject the flipped record");
+    assert_eq!(canonical_of(&m), repos[1]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_and_out_of_order_epoch_records_never_corrupt_state() {
+    let dir = wal_scratch("dup");
+    let (boundary, repos) = two_commits(&dir);
+    let log_path = dir.join(LOG_FILE);
+    let pristine = std::fs::read(&log_path).unwrap();
+    let second_frame = &pristine[boundary as usize..];
+
+    // a duplicated record (epoch 2 again — a compaction-leftover shape) is
+    // integrity-checked, then skipped: replaying it would double-apply
+    let mut duplicated = pristine.clone();
+    duplicated.extend_from_slice(second_frame);
+    std::fs::write(&log_path, &duplicated).unwrap();
+    let m = reopen(&dir);
+    assert_eq!(m.epoch(), 2);
+    assert_eq!(canonical_of(&m), repos[2]);
+
+    // an out-of-order record (epoch jumps 2 -> 7) marks a missing commit:
+    // replay stops before it and the tail is truncated away
+    let payload = &second_frame[12..];
+    let jumped =
+        String::from_utf8(payload.to_vec()).unwrap().replacen("\"epoch\":2", "\"epoch\":7", 1);
+    assert!(jumped.contains("\"epoch\":7"), "fixture must actually change the epoch");
+    let mut corrupted = pristine.clone();
+    corrupted.extend_from_slice(&(jumped.len() as u32).to_le_bytes());
+    corrupted.extend_from_slice(&content_hash(jumped.as_bytes()).to_le_bytes());
+    corrupted.extend_from_slice(jumped.as_bytes());
+    std::fs::write(&log_path, &corrupted).unwrap();
+    let m = reopen(&dir);
+    assert_eq!(m.epoch(), 2, "the gap record must not be applied");
+    assert_eq!(canonical_of(&m), repos[2]);
+    // the truncation is durable: the poisoned tail cannot resurface
+    assert_eq!(std::fs::read(&log_path).unwrap(), pristine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_log_file_is_a_typed_error_and_left_untouched() {
+    let dir = wal_scratch("foreign");
+    let _ = two_commits(&dir);
+    let log_path = dir.join(LOG_FILE);
+    let foreign = b"#!/bin/sh\necho this is not a MoRER log\n".to_vec();
+    std::fs::write(&log_path, &foreign).unwrap();
+    match Morer::open(&dir, &wal_config()) {
+        Err(MorerError::LogCorrupt { offset: 0, .. }) => {}
+        other => panic!("expected LogCorrupt at offset 0, got {other:?}"),
+    }
+    // a foreign file is refused, never wiped or "recovered"
+    assert_eq!(std::fs::read(&log_path).unwrap(), foreign);
+    let _ = std::fs::remove_dir_all(&dir);
+}
