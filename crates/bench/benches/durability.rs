@@ -80,6 +80,23 @@ fn bench_append(c: &mut Criterion) {
         });
         let _ = std::fs::remove_dir_all(&dir);
     }
+    // group commit: the same records as `fsync`, but every append defers
+    // its sync and one final fdatasync covers the whole batch — the
+    // throughput headroom the serve writer's group commit exploits
+    let dir = scratch("fsync_grouped");
+    group.bench_function("fsync_grouped", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let options = WalOptions { durability: Durability::Fsync, compact_every: 0 };
+            let mut wal = Wal::create(&dir, options, &repo, 0).expect("create WAL");
+            for i in 0..appends {
+                wal.append_deferred(&record(&repo, (i + 1) as u64)).expect("deferred append");
+            }
+            wal.sync().expect("group sync");
+            black_box(wal.state().log_bytes)
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
     group.finish();
 }
 
@@ -173,5 +190,48 @@ fn bench_compaction(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_append, bench_recovery, bench_durable_ingest, bench_compaction);
+fn bench_replica_catchup(c: &mut Criterion) {
+    // a follower's cold catch-up: bootstrap from the base snapshot, then
+    // verify-and-apply the whole shipped log through the streaming frame
+    // reader (hash check + replay per frame — the `GET /wal` consumer path)
+    use morer_core::replication::{FollowerState, SegmentStatus};
+    use morer_core::wal::{BASE_FILE, HEADER_LEN, LOG_FILE};
+
+    let repo = repository(4);
+    let appends = 64usize;
+    let dir = scratch("catchup");
+    let options = WalOptions { durability: Durability::Buffered, compact_every: 0 };
+    let mut wal = Wal::create(&dir, options, &repo, 0).expect("create WAL");
+    for i in 0..appends {
+        wal.append(&record(&repo, (i + 1) as u64)).expect("append");
+    }
+    drop(wal);
+    let base = std::fs::read_to_string(dir.join(BASE_FILE)).expect("read base");
+    let shipped = std::fs::read(dir.join(LOG_FILE)).expect("read log");
+    let frames = &shipped[HEADER_LEN as usize..];
+
+    let mut group = c.benchmark_group("replica_catchup");
+    group.throughput(Throughput::Elements(appends as u64));
+    group.sample_size(10);
+    group.bench_function("base_plus_64_records", |b| {
+        b.iter(|| {
+            let mut follower = FollowerState::from_base(&base).expect("bootstrap");
+            let segment = follower.ingest_segment(HEADER_LEN, frames);
+            assert_eq!(segment.status, SegmentStatus::Clean);
+            assert_eq!(follower.epoch(), appends as u64);
+            black_box(follower.entries().len())
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_append,
+    bench_recovery,
+    bench_durable_ingest,
+    bench_compaction,
+    bench_replica_catchup
+);
 criterion_main!(benches);

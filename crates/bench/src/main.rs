@@ -171,15 +171,19 @@ fn main() {
 /// the deployed serving layer (`serve_requests_per_s`: 4 loopback
 /// connections hammering `morer-serve`'s `/solve` on a warmed snapshot) —
 /// and the durability subsystem (`wal_appends_per_s` fsync'd commit-log
-/// appends, `recovery_replay_s` cold-start log replay,
+/// appends, `wal_appends_per_s_grouped` deferred appends sharing one
+/// group-commit sync, `recovery_replay_s` cold-start log replay,
+/// `replica_catchup_records_per_s` follower bootstrap-plus-tail over the
+/// shipped log with `replica_lag_epochs` the post-catch-up lag,
 /// `serve_durable_ingest_per_s` fsync-acknowledged `/ingest` round trips).
 /// Every fast path is asserted against its reference implementation before
 /// being timed: the multi-threaded search results must equal the
 /// single-threaded ones, the incrementally ingested repository must be
 /// bit-identical to batch construction after every arrival, every served
 /// solve response must decode bit-identical to its in-process equivalent,
-/// and the replayed write-ahead log must reproduce the in-memory snapshot
-/// byte-for-byte.
+/// the replayed write-ahead log (per-commit and group-commit alike) must
+/// reproduce the in-memory snapshot byte-for-byte, and the caught-up
+/// follower must be bit-identical to the recovered writer.
 ///
 /// ```text
 /// cargo run -p morer-bench --release -- quick-bench
@@ -529,7 +533,57 @@ fn quick_bench(seed: u64) {
         canonical(&wal_repo),
         "log-replay state diverged from the in-memory snapshot"
     );
+
+    // replica catch-up: a follower bootstraps from the base snapshot and
+    // applies the whole shipped log through the verified frame reader —
+    // bit-identity with the recovered writer is asserted before any rate
+    use morer_core::replication::{FollowerState, SegmentStatus};
+    use morer_core::wal::{BASE_FILE, HEADER_LEN, LOG_FILE};
+    let start = Instant::now();
+    let base_text = std::fs::read_to_string(wal_dir.join(BASE_FILE)).expect("read base snapshot");
+    let mut follower = FollowerState::from_base(&base_text).expect("bootstrap follower");
+    let shipped = std::fs::read(wal_dir.join(LOG_FILE)).expect("read shipped log");
+    let segment = follower.ingest_segment(HEADER_LEN, &shipped[HEADER_LEN as usize..]);
+    let replica_catchup_s = start.elapsed().as_secs_f64();
+    assert_eq!(segment.status, SegmentStatus::Clean, "shipped log must verify frame by frame");
+    assert_eq!(segment.applied, wal_appends as u64, "every shipped record must apply");
+    assert_eq!(
+        canonical(&follower.repository()),
+        canonical(&recovered.repository),
+        "caught-up follower diverged from the recovered writer"
+    );
+    let replica_lag_epochs = recovered.epoch - follower.epoch();
     let _ = std::fs::remove_dir_all(&wal_dir);
+
+    // group commit: the same records written through deferred appends that
+    // share one final fsync — the throughput the serve writer's group
+    // commit buys over per-commit fsync
+    let grouped_dir =
+        std::env::temp_dir().join(format!("morer_qb_wal_grouped_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&grouped_dir);
+    let mut grouped_wal =
+        Wal::create(&grouped_dir, wal_opts, &wal_repo, 0).expect("create grouped WAL");
+    let start = Instant::now();
+    for i in 0..wal_appends {
+        let record = CommitRecord {
+            epoch: (i + 1) as u64,
+            num_entries: wal_repo.entries.len(),
+            entries: vec![wal_repo.entries[0].clone()],
+            report: None,
+        };
+        grouped_wal.append_deferred(&record).expect("deferred append");
+    }
+    grouped_wal.sync().expect("group sync");
+    let wal_grouped_s = start.elapsed().as_secs_f64();
+    drop(grouped_wal);
+    let regrouped = Wal::open(&grouped_dir, wal_opts).expect("recover grouped WAL");
+    assert_eq!(regrouped.epoch, wal_appends as u64, "grouped appends must replay");
+    assert_eq!(
+        canonical(&regrouped.repository),
+        canonical(&wal_repo),
+        "group-commit replay diverged from per-commit fsync"
+    );
+    let _ = std::fs::remove_dir_all(&grouped_dir);
 
     // fsync-acknowledged serving: every `/ingest` reply waits for the
     // commit record to hit disk. A twin replays the same arrivals
@@ -591,7 +645,10 @@ fn quick_bench(seed: u64) {
          \"serve_connections\":{},\"serve_requests\":{},\"serve_s\":{:.4},\
          \"serve_requests_per_s\":{:.1},\
          \"wal_appends\":{},\"wal_append_s\":{:.4},\"wal_appends_per_s\":{:.1},\
+         \"wal_grouped_s\":{:.4},\"wal_appends_per_s_grouped\":{:.1},\
          \"recovery_replay_s\":{:.4},\
+         \"replica_catchup_s\":{:.4},\"replica_catchup_records_per_s\":{:.1},\
+         \"replica_lag_epochs\":{},\
          \"serve_durable_ingests\":{},\"serve_durable_ingest_s\":{:.4},\
          \"serve_durable_ingest_per_s\":{:.1}}}",
         workload.dataset.num_records(),
@@ -635,7 +692,12 @@ fn quick_bench(seed: u64) {
         wal_appends,
         wal_append_s,
         wal_appends as f64 / wal_append_s,
+        wal_grouped_s,
+        wal_appends as f64 / wal_grouped_s,
         recovery_replay_s,
+        replica_catchup_s,
+        wal_appends as f64 / replica_catchup_s,
+        replica_lag_epochs,
         durable_arrivals.len(),
         serve_durable_ingest_s,
         durable_arrivals.len() as f64 / serve_durable_ingest_s,

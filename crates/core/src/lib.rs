@@ -53,7 +53,12 @@
 //! [`pipeline::Morer::open`] recovers the exact last-committed state by
 //! loading the latest base snapshot and replaying the valid log suffix —
 //! torn or bit-flipped log tails are detected by per-record length prefix
-//! + content hash and truncated, never replayed.
+//! + content hash and truncated, never replayed. The same self-delimiting,
+//! content-hashed framing makes the log *shippable*: [`replication`] holds
+//! the follower-side machinery (segment verification, the one shared
+//! replay path, offset/generation bookkeeping) that lets a replica tail a
+//! leader's log over any byte transport and serve reads at a bounded
+//! epoch lag — the HTTP transport lives in `morer-serve`.
 //!
 //! ```
 //! use morer_core::prelude::*;
@@ -74,6 +79,7 @@ pub mod distribution;
 pub mod error;
 pub mod generation;
 pub mod pipeline;
+pub mod replication;
 pub mod repository;
 pub mod searcher;
 pub mod selection;
@@ -90,6 +96,10 @@ pub mod prelude {
     pub use crate::distribution::{AnalysisOptions, DistributionSketch, DistributionTest};
     pub use crate::error::{MorerError, REPOSITORY_FORMAT_VERSION, WAL_FORMAT_VERSION};
     pub use crate::pipeline::{BuildReport, IngestReport, Morer};
+    pub use crate::replication::{
+        ApplyOutcome, BaseSnapshot, FollowerState, FrameReader, LogSegment, ReplicaApplier,
+        SegmentReport, SegmentStatus,
+    };
     pub use crate::repository::{ClusterEntry, ModelRepository};
     pub use crate::searcher::{EntryId, ModelSearcher, SearchHit, SolveOutcome};
     pub use crate::stability::{ClusterStability, StabilityReport};

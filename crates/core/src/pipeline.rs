@@ -32,7 +32,7 @@
 //! serving its epoch unchanged.
 
 use std::collections::BTreeSet;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -167,8 +167,14 @@ pub struct Morer {
     /// Set when a WAL append/compaction failed: the log tail is suspect, so
     /// further commits are refused (typed I/O error from
     /// [`Morer::add_problems`]) until the state is recovered via
-    /// [`Morer::open`]. The in-memory pipeline itself stays valid for reads.
+    /// [`Morer::open`] — or repaired in place with [`Morer::repair_wal`]
+    /// when the failure was transient. The in-memory pipeline itself stays
+    /// valid for reads.
     wal_poisoned: Option<String>,
+    /// When set, commits append *deferred* (no per-record fsync) and only
+    /// become durable at the next [`Morer::flush_wal`] — group commit. See
+    /// [`Morer::set_group_commit`].
+    group_commit: bool,
     /// Accumulated phase timings.
     pub timings: Timings,
 }
@@ -196,6 +202,7 @@ impl Clone for Morer {
             dirty: self.dirty.clone(),
             wal: None,
             wal_poisoned: self.wal_poisoned.clone(),
+            group_commit: self.group_commit,
             timings: self.timings,
         }
     }
@@ -221,6 +228,7 @@ impl Morer {
             dirty: BTreeSet::new(),
             wal: None,
             wal_poisoned: None,
+            group_commit: false,
             timings: Timings::default(),
         }
     }
@@ -331,6 +339,103 @@ impl Morer {
     /// writer.
     pub fn durability(&self) -> Option<DurabilityState> {
         self.wal.as_ref().map(Wal::state)
+    }
+
+    /// The directory of the attached write-ahead log, or `None` for an
+    /// in-memory-only writer (a log-shipping leader reads segments from
+    /// this directory concurrently with the writer).
+    pub fn wal_dir(&self) -> Option<PathBuf> {
+        self.wal.as_ref().map(|w| w.dir().to_path_buf())
+    }
+
+    /// Switch the attached log between per-commit fsync (the default) and
+    /// **group commit**: with group commit on, each commit's record is
+    /// written but not synced, and one [`Morer::flush_wal`] makes every
+    /// commit since the last flush durable with a single `fdatasync`.
+    ///
+    /// The acknowledgement contract moves with the mode: under group commit
+    /// a commit must not be acknowledged to anyone until `flush_wal`
+    /// returns `Ok` — exactly how the `morer-serve` writer batches several
+    /// queued `/ingest` micro-batches into one sync. In-memory-only writers
+    /// ignore the flag.
+    pub fn set_group_commit(&mut self, enabled: bool) {
+        self.group_commit = enabled;
+    }
+
+    /// Whether commits defer their fsync to [`Morer::flush_wal`].
+    pub fn group_commit(&self) -> bool {
+        self.group_commit
+    }
+
+    /// The poison message of a failed log write, or `None` while the write
+    /// path is healthy. While poisoned, commits are refused;
+    /// [`Morer::repair_wal`] attempts recovery.
+    pub fn wal_poisoned(&self) -> Option<&str> {
+        self.wal_poisoned.as_deref()
+    }
+
+    /// Make every deferred (group-commit) append durable: one `fdatasync`
+    /// covering all commits since the last flush. A no-op without an
+    /// attached log, without pending appends, or under
+    /// [`crate::wal::Durability::Buffered`].
+    ///
+    /// # Errors
+    /// [`MorerError::Io`] when the sync fails — the pending commits are
+    /// *not* durable and the pipeline poisons itself, exactly as a failed
+    /// [`Wal::append`] would.
+    pub fn flush_wal(&mut self) -> Result<(), MorerError> {
+        let Some(wal) = self.wal.as_mut() else { return Ok(()) };
+        if let Err(e) = wal.sync() {
+            self.wal_poisoned = Some(e.to_string());
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Attempt to recover a poisoned write-ahead log **in place**, without
+    /// abandoning the in-memory pipeline: re-open the log directory (which
+    /// truncates whatever suspect tail the failed append left behind), then
+    /// publish the *current in-memory repository* as a fresh base snapshot
+    /// at the current epoch. On success the poison is cleared and commits
+    /// flow again — nothing that was acknowledged is lost, and the commits
+    /// that failed (in memory, never acknowledged durable) are folded into
+    /// the new base rather than replayed.
+    ///
+    /// Returns `Ok(false)` when there was nothing to repair (not poisoned),
+    /// `Ok(true)` when the log is healthy again. The intended caller is a
+    /// serving layer probing periodically after a transient disk failure
+    /// (the `morer-serve` writer does exactly that, with bounded pacing).
+    ///
+    /// # Errors
+    /// [`MorerError::Io`] / [`MorerError::LogCorrupt`] when the disk is
+    /// still failing — the pipeline stays poisoned and the probe can simply
+    /// be retried later; no state is modified on failure.
+    pub fn repair_wal(&mut self) -> Result<bool, MorerError> {
+        if self.wal_poisoned.is_none() {
+            return Ok(false);
+        }
+        let Some(old) = self.wal.as_ref() else {
+            // poisoned but log-less (a detached clone): the in-memory state
+            // is the only truth there is — clearing the flag is the repair
+            self.wal_poisoned = None;
+            return Ok(true);
+        };
+        let (dir, options) = (old.dir().to_path_buf(), old.options());
+        // re-open first: this truncates the suspect tail the failed append
+        // left, and fails cleanly (old wal + poison kept) if the disk is
+        // still gone
+        let recovered = Wal::open(&dir, options)?;
+        let mut wal = recovered.wal;
+        // the in-memory pipeline is ahead of the durable state (the failed
+        // commits mutated memory but never reached disk): publish it
+        // wholesale as the new base at the in-memory epoch
+        wal.compact(&self.searcher.repository(), self.epoch)?;
+        self.wal = Some(wal);
+        self.wal_poisoned = None;
+        // any dirty ids drained by the failed commits are covered by the
+        // full base publication
+        self.dirty.clear();
+        Ok(true)
     }
 
     /// The shared-read search layer. Borrow it to serve `sel_base`
@@ -561,7 +666,12 @@ impl Morer {
             report: report.as_deref().cloned(),
         };
         let wal = self.wal.as_mut().expect("checked above");
-        if let Err(e) = wal.append(&record) {
+        let appended = if self.group_commit {
+            wal.append_deferred(&record)
+        } else {
+            wal.append(&record)
+        };
+        if let Err(e) = appended {
             self.wal_poisoned = Some(e.to_string());
             return Err(e);
         }

@@ -97,6 +97,49 @@
 //! commit throughput for workloads that tolerate losing the last few
 //! commits on power failure (a *process* crash loses nothing either way:
 //! the bytes are in the page cache).
+//!
+//! **Group commit** keeps the fsync acknowledgement but amortizes the sync:
+//! [`Wal::append_deferred`] writes the frame without syncing and marks the
+//! log *pending*, and one [`Wal::sync`] then makes every deferred append
+//! durable at once. The caller's contract is "nothing is acknowledged
+//! until `sync` returns" — which is exactly how the `morer-serve` writer
+//! uses it: several queued ingest micro-batches commit back to back, share
+//! one `fdatasync`, and only then are their replies sent.
+//!
+//! # Log-shipping wire/offset protocol
+//!
+//! The framing above is deliberately self-delimiting and content-hashed so
+//! the log can be **shipped verbatim**: a follower
+//! ([`crate::replication`]) streams raw frame bytes from a leader and
+//! re-verifies every frame itself — no trust in the transport. The
+//! protocol, as spoken over `GET /wal` on `morer-serve` (any byte
+//! transport works; only offsets and framing matter here):
+//!
+//! * **Offsets are byte offsets into `wal.log`**, header included. The
+//!   first frame lives at [`HEADER_LEN`] (= 12); a log containing no
+//!   records has length `HEADER_LEN`. [`DurabilityState::log_bytes`] is
+//!   the current append offset — a follower at that offset is caught up.
+//! * **A segment request** names `(generation, from_offset)`, where
+//!   `generation` is the leader's compaction counter
+//!   ([`DurabilityState::compactions`]). The leader answers with raw,
+//!   *leader-verified* whole frames starting at exactly `from_offset`
+//!   (possibly zero bytes when the follower is caught up), plus its
+//!   current generation, log length and durable epoch.
+//! * **Renegotiation:** compaction truncates `wal.log` back to
+//!   `HEADER_LEN`, so follower offsets do not survive it. A request whose
+//!   `generation` is stale, or whose `from_offset` exceeds the current log
+//!   length (leader restarted after losing a suffix, or compacted), is
+//!   answered with a *resync* signal instead of bytes. The follower then
+//!   fetches the **base snapshot** (the `base.json` bytes, which embed
+//!   `epoch` and `compactions`), replaces its state wholesale, and resumes
+//!   tailing from `(new_generation, HEADER_LEN)`.
+//! * **Follower-side verification** re-checks every frame: length prefix
+//!   bounded by [`MAX_RECORD_BYTES`], FNV-1a content hash, decodability,
+//!   and epoch continuity (`epoch == applied + 1` applies; `epoch <=
+//!   applied` is a compaction leftover and is skipped; anything else is a
+//!   gap → resync). A short/torn frame at the end of a segment is *not* an
+//!   error — the follower re-fetches from the last fully applied offset,
+//!   so a partial record is never applied.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -116,14 +159,16 @@ pub const LOG_FILE: &str = "wal.log";
 /// rename; a leftover (crash between write and rename) is discarded on open.
 const BASE_TMP: &str = "base.json.tmp";
 
-const WAL_MAGIC: [u8; 8] = *b"MORERWAL";
-/// Log file header: 8 magic bytes + u32 LE format version.
-const HEADER_LEN: u64 = 12;
+pub(crate) const WAL_MAGIC: [u8; 8] = *b"MORERWAL";
+/// Log file header: 8 magic bytes + u32 LE format version. Also the byte
+/// offset of the first record frame — the offset a log-shipping follower
+/// tails from after a (re)sync (see the module docs).
+pub const HEADER_LEN: u64 = 12;
 /// Record frame header: u32 LE payload length + u64 LE FNV-1a payload hash.
-const FRAME_HEADER_LEN: usize = 12;
+pub const FRAME_HEADER_LEN: usize = 12;
 /// Upper bound a frame's length prefix is sanity-checked against — a
 /// corrupted prefix must not provoke a gigantic allocation.
-const MAX_RECORD_BYTES: u32 = 1 << 30;
+pub const MAX_RECORD_BYTES: u32 = 1 << 30;
 
 /// FNV-1a 64-bit content hash of `bytes` (the per-record integrity check;
 /// dependency-free and byte-order independent).
@@ -239,6 +284,9 @@ pub struct Wal {
     durable_epoch: u64,
     compactions: u64,
     options: WalOptions,
+    /// Whether deferred (group-commit) appends are awaiting their shared
+    /// [`Wal::sync`]. Only ever true under [`Durability::Fsync`].
+    pending_sync: bool,
 }
 
 impl Wal {
@@ -283,6 +331,7 @@ impl Wal {
             durable_epoch: epoch,
             compactions: 0,
             options,
+            pending_sync: false,
         })
     }
 
@@ -401,6 +450,7 @@ impl Wal {
                 durable_epoch: epoch,
                 compactions,
                 options,
+                pending_sync: false,
             },
             repository,
             epoch,
@@ -417,6 +467,50 @@ impl Wal {
     /// then suspect and the owning pipeline poisons itself (a later
     /// [`Wal::open`] recovers to the last fully appended record).
     pub fn append(&mut self, record: &CommitRecord) -> Result<(), MorerError> {
+        self.write_frame(record)?;
+        if self.options.durability == Durability::Fsync {
+            // covers this record and any still-pending deferred appends
+            self.log.sync_data()?;
+            self.pending_sync = false;
+        }
+        Ok(())
+    }
+
+    /// [`Wal::append`] without the per-record sync: the frame is written,
+    /// the log is marked *pending*, and the record only becomes
+    /// fsync-acknowledged at the next [`Wal::sync`] (group commit — several
+    /// appends share one `fdatasync`). Callers must not acknowledge the
+    /// commit to anyone before that sync returns. Under
+    /// [`Durability::Buffered`] this is identical to `append`.
+    pub fn append_deferred(&mut self, record: &CommitRecord) -> Result<(), MorerError> {
+        self.write_frame(record)?;
+        if self.options.durability == Durability::Fsync {
+            self.pending_sync = true;
+        }
+        Ok(())
+    }
+
+    /// Make every deferred append durable: one `fdatasync` for the whole
+    /// group. A no-op when nothing is pending (or under
+    /// [`Durability::Buffered`]).
+    ///
+    /// # Errors
+    /// [`MorerError::Io`] when the sync fails — the pending appends are
+    /// then *not* durable and the owning pipeline poisons itself.
+    pub fn sync(&mut self) -> Result<(), MorerError> {
+        if self.pending_sync {
+            self.log.sync_data()?;
+            self.pending_sync = false;
+        }
+        Ok(())
+    }
+
+    /// Whether deferred appends are awaiting their shared [`Wal::sync`].
+    pub fn sync_pending(&self) -> bool {
+        self.pending_sync
+    }
+
+    fn write_frame(&mut self, record: &CommitRecord) -> Result<(), MorerError> {
         let payload =
             serde_json::to_string(record).map_err(|e| MorerError::Parse(e.to_string()))?;
         let payload = payload.into_bytes();
@@ -431,9 +525,6 @@ impl Wal {
         frame.extend_from_slice(&content_hash(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
         self.log.write_all(&frame)?;
-        if self.options.durability == Durability::Fsync {
-            self.log.sync_data()?;
-        }
         self.log_bytes += frame.len() as u64;
         self.log_records += 1;
         self.durable_epoch = record.epoch;
@@ -467,12 +558,19 @@ impl Wal {
         self.log_bytes = HEADER_LEN;
         self.log_records = 0;
         self.durable_epoch = epoch;
+        // deferred appends were folded into the (synced) base snapshot
+        self.pending_sync = false;
         Ok(())
     }
 
     /// The directory this log lives in.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The options this log was attached with.
+    pub fn options(&self) -> WalOptions {
+        self.options
     }
 
     /// Current durability observability snapshot.
@@ -487,14 +585,14 @@ impl Wal {
     }
 }
 
-fn header_bytes() -> [u8; HEADER_LEN as usize] {
+pub(crate) fn header_bytes() -> [u8; HEADER_LEN as usize] {
     let mut header = [0u8; HEADER_LEN as usize];
     header[..8].copy_from_slice(&WAL_MAGIC);
     header[8..].copy_from_slice(&(WAL_FORMAT_VERSION as u32).to_le_bytes());
     header
 }
 
-fn decode_record(payload: &[u8]) -> Option<CommitRecord> {
+pub(crate) fn decode_record(payload: &[u8]) -> Option<CommitRecord> {
     let text = std::str::from_utf8(payload).ok()?;
     serde_json::from_str(text).ok()
 }
@@ -502,8 +600,13 @@ fn decode_record(payload: &[u8]) -> Option<CommitRecord> {
 /// Validate then apply one replayed record: every touched entry either
 /// replaces the entry at its id or appends at the store's end, and the
 /// store is truncated to the recorded post-commit length. Validation runs
-/// first so an inconsistent record mutates nothing.
-fn apply_record(entries: &mut Vec<ClusterEntry>, record: CommitRecord) -> Result<(), ()> {
+/// first so an inconsistent record mutates nothing. Shared by recovery
+/// ([`Wal::open`]) and the log-shipping follower ([`crate::replication`]) —
+/// the one replay path.
+pub(crate) fn apply_record(
+    entries: &mut Vec<ClusterEntry>,
+    record: CommitRecord,
+) -> Result<(), ()> {
     let mut len = entries.len();
     for entry in &record.entries {
         if entry.id > len {
@@ -581,6 +684,14 @@ fn read_base(dir: &Path) -> Result<(ModelRepository, u64, u64), MorerError> {
         }
         Err(e) => return Err(e.into()),
     };
+    decode_base(&text)
+}
+
+/// Decode a base-snapshot envelope (`base.json` contents) into
+/// `(repository, epoch, compactions)`. Shared by [`Wal::open`] and the
+/// log-shipping follower's bootstrap path, which receives the same bytes
+/// over the wire.
+pub(crate) fn decode_base(text: &str) -> Result<(ModelRepository, u64, u64), MorerError> {
     let corrupt = |reason: String| MorerError::LogCorrupt { offset: 0, reason };
     let envelope = serde_json::from_str_value(&text)
         .map_err(|e| corrupt(format!("base snapshot is not valid JSON: {e}")))?;
@@ -792,6 +903,31 @@ mod tests {
         let recovered = Wal::open(&dir, WalOptions::default()).unwrap();
         assert_eq!(recovered.epoch, 1);
         assert_eq!(recovered.repository.entries.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deferred_appends_share_one_sync_and_recover_identically() {
+        let dir = tmp("group");
+        let mut wal =
+            Wal::create(&dir, WalOptions::default(), &ModelRepository::default(), 0).unwrap();
+        wal.append_deferred(&record(1, &[0], 1)).unwrap();
+        wal.append_deferred(&record(2, &[1], 2)).unwrap();
+        assert!(wal.sync_pending(), "deferred appends must await their group sync");
+        wal.sync().unwrap();
+        assert!(!wal.sync_pending());
+        wal.sync().unwrap(); // idempotent no-op
+        // a plain append after deferred ones covers any pending group
+        wal.append_deferred(&record(3, &[0], 2)).unwrap();
+        wal.append(&record(4, &[1], 2)).unwrap();
+        assert!(!wal.sync_pending());
+        assert_eq!(wal.state().durable_epoch, 4);
+        drop(wal);
+
+        let recovered = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(recovered.epoch, 4);
+        assert_eq!(recovered.replayed, 4);
+        assert_eq!(recovered.truncated_bytes, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

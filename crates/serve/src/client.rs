@@ -1,15 +1,19 @@
 //! A tiny blocking HTTP/1.1 client for the loopback use cases that ship
-//! with the repo: integration tests, the `serve` benchmarks, quick-bench
-//! and `examples/serve_demo.rs`. One keep-alive connection per
-//! [`Connection`]; requests are strictly sequential (send, then read the
-//! full response).
+//! with the repo: integration tests, the `serve` benchmarks, quick-bench,
+//! `examples/serve_demo.rs` — and the log-shipping follower
+//! ([`crate::replica::Replica`]), which is why responses are also
+//! available in raw binary form with headers, and why reads can carry a
+//! deadline (a follower must detect a dead leader, not hang on it). One
+//! keep-alive connection per [`Connection`]; requests are strictly
+//! sequential (send, then read the full response).
 
 use std::io::{ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use crate::http;
 
-/// One parsed HTTP response.
+/// One parsed HTTP response with a text body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HttpResponse {
     /// Status code from the status line.
@@ -36,28 +40,85 @@ impl HttpResponse {
     }
 }
 
+/// One parsed HTTP response in raw form: binary body plus the response
+/// headers (what the log-shipping follower consumes — frame bytes are not
+/// UTF-8, and the shipping metadata travels in `x-morer-*` headers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Response headers as `(name, value)` pairs, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The response body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+    /// Whether the server announced it keeps the connection open.
+    pub keep_alive: bool,
+}
+
+impl RawResponse {
+    /// The value of the first header matching `name` (ASCII
+    /// case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A named header parsed as `u64`.
+    pub fn header_u64(&self, name: &str) -> Option<u64> {
+        self.header(name).and_then(|v| v.parse().ok())
+    }
+}
+
 /// A persistent (keep-alive) client connection.
 pub struct Connection {
     stream: TcpStream,
     carry: Vec<u8>,
+    /// Per-response receive deadline; `None` blocks indefinitely.
+    io_timeout: Option<Duration>,
 }
 
 impl Connection {
     /// Connect to a server (e.g. the [`crate::ServerHandle::addr`]).
+    /// Response reads block until the server answers.
     pub fn open(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream, carry: Vec::new() })
+        Ok(Self { stream, carry: Vec::new(), io_timeout: None })
+    }
+
+    /// [`Connection::open`] with a per-response receive deadline: a read
+    /// that has not produced a complete response within `io_timeout` fails
+    /// with `TimedOut` instead of hanging — the follower's defense against
+    /// a leader that accepts connections but never answers.
+    pub fn open_timeout(
+        addr: impl ToSocketAddrs,
+        io_timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // the socket read timeout is only the poll granularity; the real
+        // deadline is enforced per response in read_raw_response
+        let tick = io_timeout.min(Duration::from_millis(50)).max(Duration::from_millis(1));
+        stream.set_read_timeout(Some(tick))?;
+        Ok(Self { stream, carry: Vec::new(), io_timeout: Some(io_timeout) })
     }
 
     /// `GET path`.
     pub fn get(&mut self, path: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", path, None).and_then(Self::text_response)
+    }
+
+    /// `GET path`, keeping the body binary and the headers accessible.
+    pub fn get_raw(&mut self, path: &str) -> std::io::Result<RawResponse> {
         self.request("GET", path, None)
     }
 
     /// `POST path` with a JSON body.
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
         self.request("POST", path, Some(body.as_bytes()))
+            .and_then(Self::text_response)
     }
 
     fn request(
@@ -65,7 +126,7 @@ impl Connection {
         method: &str,
         path: &str,
         body: Option<&[u8]>,
-    ) -> std::io::Result<HttpResponse> {
+    ) -> std::io::Result<RawResponse> {
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: morer\r\nContent-Length: {}\r\n\r\n",
             body.map_or(0, <[u8]>::len)
@@ -75,7 +136,7 @@ impl Connection {
             self.stream.write_all(body)?;
         }
         self.stream.flush()?;
-        self.read_response()
+        self.read_raw_response()
     }
 
     /// Send raw bytes as-is and read one response (for protocol-level
@@ -83,20 +144,34 @@ impl Connection {
     pub fn send_raw(&mut self, raw: &[u8]) -> std::io::Result<HttpResponse> {
         self.stream.write_all(raw)?;
         self.stream.flush()?;
-        self.read_response()
+        self.read_raw_response().and_then(Self::text_response)
     }
 
-    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+    fn text_response(raw: RawResponse) -> std::io::Result<HttpResponse> {
+        let body = String::from_utf8(raw.body)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+        Ok(HttpResponse { status: raw.status, body, keep_alive: raw.keep_alive })
+    }
+
+    fn read_raw_response(&mut self) -> std::io::Result<RawResponse> {
+        let deadline = self.io_timeout.map(|t| Instant::now() + t);
+        let timed_out = || deadline.is_some_and(|d| Instant::now() >= d);
         let mut buf = std::mem::take(&mut self.carry);
-        // head: same accumulation core as the server's request reader (the
-        // client sets no read timeout, so timeouts never fire)
+        // head: same accumulation core as the server's request reader (with
+        // no timeout configured, timeout ticks never fire)
         let head_end =
-            match http::fill_until(&mut self.stream, &mut buf, http::find_head_end, || false)? {
+            match http::fill_until(&mut self.stream, &mut buf, http::find_head_end, timed_out)? {
                 http::Fill::Done(pos) => pos,
-                http::Fill::Eof | http::Fill::Aborted => {
+                http::Fill::Eof => {
                     return Err(std::io::Error::new(
                         ErrorKind::UnexpectedEof,
                         "server closed before a full response head",
+                    ))
+                }
+                http::Fill::Aborted => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "response head did not arrive within the io timeout",
                     ))
                 }
             };
@@ -117,6 +192,7 @@ impl Connection {
             })?;
         let mut content_length = 0usize;
         let mut keep_alive = true;
+        let mut headers = Vec::new();
         for line in lines {
             let Some((name, value)) = line.split_once(':') else { continue };
             let value = value.trim();
@@ -132,22 +208,28 @@ impl Connection {
             {
                 keep_alive = false;
             }
+            headers.push((name.to_owned(), value.to_owned()));
         }
         // body: length is known, read straight into the final buffer
         let body_start = head_end + 4;
         let body_end = body_start + content_length;
-        match http::fill_exact(&mut self.stream, &mut buf, body_end, || false)? {
+        match http::fill_exact(&mut self.stream, &mut buf, body_end, timed_out)? {
             http::Fill::Done(()) => {}
-            http::Fill::Eof | http::Fill::Aborted => {
+            http::Fill::Eof => {
                 return Err(std::io::Error::new(
                     ErrorKind::UnexpectedEof,
                     "server closed mid-body",
                 ))
             }
+            http::Fill::Aborted => {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "response body did not arrive within the io timeout",
+                ))
+            }
         }
         self.carry = buf.split_off(body_end);
-        let body = String::from_utf8(buf.split_off(body_start))
-            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
-        Ok(HttpResponse { status, body, keep_alive })
+        let body = buf.split_off(body_start);
+        Ok(RawResponse { status, headers, body, keep_alive })
     }
 }

@@ -48,6 +48,20 @@ pub struct ServeConfig {
     /// (0 disables automatic compaction). Only consulted when `wal_dir`
     /// is set.
     pub compact_every: u64,
+    /// Group commit: when several `/ingest` micro-batches are queued, the
+    /// writer commits them back to back with deferred appends and shares
+    /// **one** `fdatasync` across the group — replies are still only sent
+    /// after that sync, so the fsync-acknowledgement contract is
+    /// unchanged while the per-commit sync cost is amortized. Only
+    /// effective with a write-ahead log under
+    /// [`Durability::Fsync`].
+    pub group_commit: bool,
+    /// How often the writer probes a poisoned write-ahead log for repair
+    /// ([`morer_core::pipeline::Morer::repair_wal`]) after a transient
+    /// commit failure. While poisoned, `/ingest` answers errors and
+    /// `/healthz` reports `degraded`; once a probe succeeds the writer
+    /// resumes acknowledging durable commits.
+    pub writer_retry: Duration,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +77,8 @@ impl Default for ServeConfig {
             wal_dir: None,
             durability: Durability::Fsync,
             compact_every: 1024,
+            group_commit: true,
+            writer_retry: Duration::from_secs(1),
         }
     }
 }
@@ -87,5 +103,10 @@ mod tests {
         assert!(c.wal_dir.is_none());
         assert_eq!(c.durability, Durability::Fsync);
         assert!(c.compact_every > 0);
+        // group commit keeps the fsync-acknowledgement contract while
+        // amortizing the sync, so it is on by default
+        assert!(c.group_commit);
+        // repair probes must be paced well above the poll tick
+        assert!(c.writer_retry > c.poll_interval);
     }
 }

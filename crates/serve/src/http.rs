@@ -26,7 +26,8 @@ pub enum Method {
 pub struct Request {
     /// Request method.
     pub method: Method,
-    /// Request target as sent (no query parsing; routes match exactly).
+    /// Request target as sent, query string included (the router splits
+    /// path from query at dispatch time).
     pub path: String,
     /// The request body (exactly `Content-Length` bytes).
     pub body: Vec<u8>,
@@ -304,13 +305,35 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    write_response_with(stream, status, "application/json", &[], body, keep_alive)
+}
+
+/// Write one fixed-length response with an explicit content type and extra
+/// headers (the log-shipping endpoints answer raw frame bytes with
+/// `application/octet-stream` plus offset/generation metadata headers).
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason(status),
+        content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -323,8 +346,10 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -511,5 +536,22 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 413 Payload Too Large\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn responses_can_carry_binary_bodies_and_extra_headers() {
+        let mut out = Vec::new();
+        let extra = vec![("x-morer-generation".to_owned(), "3".to_owned())];
+        write_response_with(&mut out, 200, "application/octet-stream", &extra, &[0, 159, 7], true)
+            .unwrap();
+        let head_end = find_head_end(&out).unwrap();
+        let head = std::str::from_utf8(&out[..head_end]).unwrap();
+        assert!(head.contains("Content-Type: application/octet-stream\r\n"));
+        // the extra header is the last line: its CRLF is the terminator's
+        assert!(head.ends_with("x-morer-generation: 3"));
+        assert!(head.contains("Content-Length: 3\r\n"));
+        assert_eq!(&out[head_end + 4..], &[0, 159, 7]);
+        assert_eq!(reason(409), "Conflict");
+        assert_eq!(reason(503), "Service Unavailable");
     }
 }

@@ -24,6 +24,14 @@
 //!   entry/model counts and per-endpoint request counters and latency
 //!   aggregates from a lock-free [`metrics::MetricsRegistry`] (plain
 //!   `AtomicU64`s, no locks on the request path).
+//! * **Replication** — a durable leader also ships its write-ahead log:
+//!   `GET /wal?from=..&gen=..` streams hash-verified commit frames and
+//!   `GET /wal/base` serves the compaction base snapshot, which a
+//!   [`replica::Replica`] tails to serve bounded-lag follower reads
+//!   (`MorerServer::serve_replica`). Followers survive leader
+//!   restarts, mid-tail compaction and corrupt streams by renegotiating
+//!   offsets and resyncing from base — they degrade to stale-but-consistent
+//!   reads instead of crashing.
 //!
 //! Failure modes are typed end-to-end: malformed HTTP or JSON is `400`,
 //! searching an empty repository is `404`, an oversized body is `413`
@@ -75,6 +83,11 @@
 //! # integrate newly solved problems (body: JSON array of problems);
 //! # answers with the IngestReport of the commit they were part of
 //! curl -X POST --data @problems.json http://127.0.0.1:7878/ingest
+//!
+//! # log shipping (requires a WAL-attached leader): raw commit frames
+//! # from a byte offset, and the base snapshot for bootstrap/resync
+//! curl "http://127.0.0.1:7878/wal?from=12&gen=0"
+//! curl http://127.0.0.1:7878/wal/base
 //! ```
 //!
 //! ## Consistency contract
@@ -91,11 +104,13 @@ pub mod client;
 pub mod config;
 pub mod http;
 pub mod metrics;
+pub mod replica;
 pub mod server;
 pub mod wire;
 
-pub use client::{Connection, HttpResponse};
+pub use client::{Connection, HttpResponse, RawResponse};
 pub use config::ServeConfig;
 pub use metrics::{Endpoint, EndpointStats, MetricsRegistry};
+pub use replica::{Replica, ReplicaConfig, ReplicaStatus};
 pub use server::{MorerServer, ServerHandle};
 pub use wire::{ErrorBody, ErrorEnvelope, HealthResponse, StatsResponse};

@@ -28,19 +28,22 @@ pub enum Endpoint {
     Healthz,
     /// `GET /stats`
     Stats,
+    /// `GET /wal` and `GET /wal/base` (log shipping to followers).
+    Wal,
     /// Everything else: unknown routes, wrong methods, unreadable requests.
     Other,
 }
 
 impl Endpoint {
     /// All endpoints, in stats-report order.
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Search,
         Endpoint::Solve,
         Endpoint::SolveBatch,
         Endpoint::Ingest,
         Endpoint::Healthz,
         Endpoint::Stats,
+        Endpoint::Wal,
         Endpoint::Other,
     ];
 
@@ -53,6 +56,7 @@ impl Endpoint {
             Endpoint::Ingest => "ingest",
             Endpoint::Healthz => "healthz",
             Endpoint::Stats => "stats",
+            Endpoint::Wal => "wal",
             Endpoint::Other => "other",
         }
     }

@@ -21,6 +21,18 @@
 //!   concurrent `/ingest` requests micro-batch into one
 //!   [`Morer::add_problems`] recluster/retrain commit. Each requester gets
 //!   the combined [`IngestReport`] of the commit its problems were part of.
+//! * With a write-ahead log under fsync durability, the writer **group
+//!   commits** ([`ServeConfig::group_commit`]): micro-batches that queued
+//!   up while a commit was running are committed back to back with
+//!   deferred appends, then one `fdatasync` covers the whole group and
+//!   only then are the replies sent — same acknowledgement contract, a
+//!   fraction of the syncs.
+//! * A *transient* log failure (disk full, transient I/O error) does not
+//!   kill the writer anymore: the pipeline poisons itself, `/ingest`
+//!   answers errors, `/healthz` reports `degraded`, and the writer probes
+//!   [`Morer::repair_wal`] every [`ServeConfig::writer_retry`] until the
+//!   log is healthy again — at which point acknowledged-durable ingest
+//!   resumes. Nothing unpersisted is ever acknowledged in between.
 //! * Untrusted input can never take a thread down: bodies are validated at
 //!   decode ([`ErProblem::validate`] plus the shape-checked
 //!   `FeatureMatrix` deserializer), feature-space mismatches are rejected
@@ -32,15 +44,22 @@
 //!   poll a flag between accepts and on read timeouts; the ingest channel
 //!   closes when the last worker exits, which ends the writer.
 //! * Durability is opt-in ([`ServeConfig::wal_dir`]): the writer commits
-//!   through an attached write-ahead log, and because the log append (and
-//!   its fsync, under [`morer_core::wal::Durability::Fsync`]) happens
-//!   inside [`Morer::add_problems`] *before* the reply is sent, every
-//!   acknowledged `/ingest` response names an epoch that
-//!   [`Morer::open`] can recover after a crash.
+//!   through an attached write-ahead log, and because the log append and
+//!   its fsync (under [`morer_core::wal::Durability::Fsync`]) happen
+//!   *before* the reply is sent, every acknowledged `/ingest` response
+//!   names an epoch that [`Morer::open`] can recover after a crash.
+//! * A durable leader is also a **log-shipping leader**: `GET /wal`
+//!   streams hash-verified commit frames from a byte offset and
+//!   `GET /wal/base` serves the compaction base snapshot, which a
+//!   [`Replica`] tails ([`MorerServer::serve_replica`]) to serve
+//!   bounded-lag follower reads. Offsets are renegotiated with a `409`
+//!   whenever the follower's generation or offset no longer matches the
+//!   log (leader restart, compaction mid-tail).
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -50,12 +69,24 @@ use serde::Deserialize;
 use crate::config::ServeConfig;
 use crate::http::{self, Method, Request, RequestError};
 use crate::metrics::{Endpoint, EndpointStats, MetricsRegistry};
+use crate::replica::{Replica, ReplicaCore, HDR_EPOCH, HDR_GENERATION, HDR_LOG_LEN};
 use crate::wire::{error_json, status_for, ErrorBody, ErrorEnvelope, HealthResponse, StatsResponse};
 use morer_core::error::MorerError;
 use morer_core::pipeline::{IngestReport, Morer};
+use morer_core::replication::read_log_segment;
 use morer_core::searcher::ModelSearcher;
-use morer_core::wal::{DurabilityState, WalOptions};
+use morer_core::wal::{DurabilityState, WalOptions, HEADER_LEN};
 use morer_data::ErProblem;
+
+/// Upper bound on the frame bytes one `/wal` response ships (a single
+/// oversized frame still ships whole — [`read_log_segment`] guarantees
+/// progress past the cap).
+const MAX_SEGMENT_BYTES: usize = 1 << 20;
+
+/// How many commit rounds one group shares a sync across. Bounds reply
+/// latency for the first requester of a group: later arrivals queue for
+/// the next group instead of extending this one forever.
+const GROUP_ROUNDS: usize = 16;
 
 /// One queued `/ingest` request: the decoded problems and where to send
 /// the commit report (or the rejection — the writer checks feature-space
@@ -78,31 +109,46 @@ struct Published {
 /// State shared by every worker, the writer and the handle.
 struct ServerState {
     /// The epoch-pinned read snapshot (plus its epoch), swapped — never
-    /// mutated — per commit.
+    /// mutated — per commit. In replica mode this slot is bypassed: reads
+    /// come from the replica's own published snapshot.
     published: Mutex<Published>,
     /// Per-endpoint request counters.
     metrics: MetricsRegistry,
     /// Cooperative shutdown flag.
     shutdown: AtomicBool,
-    /// Cleared if the writer thread dies abnormally (a panic escaped the
-    /// commit, or the write-ahead log failed and poisoned the pipeline):
-    /// the read path keeps serving the last committed epoch, `/healthz`
-    /// reports `degraded`.
+    /// Cleared while the write path cannot acknowledge durable commits: a
+    /// panic escaped a commit (permanent until restart), or the
+    /// write-ahead log failed and poisoned the pipeline (the writer then
+    /// probes [`Morer::repair_wal`] and sets this back once the log is
+    /// healthy). The read path keeps serving the last committed epoch
+    /// either way; `/healthz` reports `degraded`.
     writer_alive: AtomicBool,
     /// Write-ahead-log state as of the last published commit (`None` when
     /// serving without durability); reported by `/healthz` and `/stats`.
     durability: Mutex<Option<DurabilityState>>,
+    /// The write-ahead-log directory when this server ships its log
+    /// (`GET /wal`, `GET /wal/base`); `None` without durability and in
+    /// replica mode.
+    wal_dir: Option<PathBuf>,
+    /// Set in replica mode: reads are served from the replica's published
+    /// snapshot, `/ingest` answers `503`, `/healthz` reports the
+    /// [`crate::replica::ReplicaStatus`].
+    replica: Option<Arc<ReplicaCore>>,
 }
 
 impl ServerState {
     /// Clone the current snapshot handle (brief lock; the solve itself
     /// runs lock-free on the cloned `Arc`).
     fn snapshot(&self) -> Arc<ModelSearcher> {
-        Arc::clone(&self.published.lock().expect("published slot poisoned").searcher)
+        self.published().searcher
     }
 
     /// Clone the current `(epoch, snapshot)` pair atomically.
     fn published(&self) -> Published {
+        if let Some(replica) = &self.replica {
+            let (epoch, searcher) = replica.published_pair();
+            return Published { epoch, searcher };
+        }
         self.published.lock().expect("published slot poisoned").clone()
     }
 
@@ -111,8 +157,12 @@ impl ServerState {
         *self.durability.lock().expect("durability slot poisoned")
     }
 
-    /// `"ok"` while fully serving, `"degraded"` once the write path died.
+    /// `"ok"` while fully serving, `"degraded"` while the write path
+    /// cannot commit (leader) or the leader is unreachable (replica).
     fn health(&self) -> &'static str {
+        if let Some(replica) = &self.replica {
+            return if replica.status().state == "disconnected" { "degraded" } else { "ok" };
+        }
         if self.writer_alive.load(Ordering::Acquire) {
             "ok"
         } else {
@@ -136,7 +186,8 @@ impl MorerServer {
     /// carry a write-ahead log, one is attached there before serving, so
     /// every committed `/ingest` survives a crash (recover with
     /// [`Morer::open`] and restart). A `morer` recovered by `Morer::open`
-    /// keeps its own log; the config's `wal_dir` is then ignored.
+    /// keeps its own log; the config's `wal_dir` is then ignored. Any
+    /// attached log is also *shipped*: followers tail it via `GET /wal`.
     ///
     /// # Errors
     /// [`MorerError::Io`] when the address cannot be bound or threads
@@ -168,50 +219,107 @@ impl MorerServer {
             shutdown: AtomicBool::new(false),
             writer_alive: AtomicBool::new(true),
             durability: Mutex::new(morer.durability()),
+            wal_dir: morer.wal_dir(),
+            replica: None,
         });
 
         let (ingest_tx, ingest_rx) = mpsc::sync_channel::<IngestJob>(config.ingest_queue.max(1));
         let writer = {
             let state = Arc::clone(&state);
+            let group_commit = config.group_commit;
+            let writer_retry = config.writer_retry;
             std::thread::Builder::new()
                 .name("morer-serve-writer".into())
-                .spawn(move || writer_loop(morer, ingest_rx, &state))?
+                .spawn(move || writer_loop(morer, ingest_rx, &state, group_commit, writer_retry))?
         };
 
-        let mut workers = Vec::with_capacity(config.workers.max(1));
-        let mut spawn_error: Option<std::io::Error> = None;
-        for i in 0..config.workers.max(1) {
-            let spawned = listener.try_clone().and_then(|listener| {
-                let state = Arc::clone(&state);
-                let ingest_tx = ingest_tx.clone();
-                let config = config.clone();
-                std::thread::Builder::new()
-                    .name(format!("morer-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&listener, &state, &ingest_tx, &config))
-            });
-            match spawned {
-                Ok(worker) => workers.push(worker),
-                Err(e) => {
-                    spawn_error = Some(e);
-                    break;
-                }
-            }
-        }
+        let workers = spawn_workers(&listener, &state, &ingest_tx, config);
         // the workers hold the only remaining senders: when the last worker
         // exits, the channel closes and the writer drains out
         drop(ingest_tx);
-        if let Some(e) = spawn_error {
-            // tear the partial server down — already-running threads must
-            // not keep serving a port the caller believes never started
-            state.shutdown.store(true, Ordering::Release);
-            for worker in workers {
-                let _ = worker.join();
+        match workers {
+            Ok(workers) => {
+                Ok(ServerHandle { addr, state, workers, writer: Some(writer), replica: None })
             }
-            let _ = writer.join();
-            return Err(e.into());
+            Err(e) => {
+                // spawn_workers already tore its threads down; the writer
+                // sees the closed channel and drains out
+                let _ = writer.join();
+                Err(e.into())
+            }
         }
-        Ok(ServerHandle { addr, state, workers, writer: Some(writer) })
     }
+
+    /// Serve a log-shipping [`Replica`] read-only on [`ServeConfig::addr`]:
+    /// `/search`, `/solve`, `/solve_batch`, `/healthz` and `/stats` answer
+    /// from the replica's bounded-lag snapshot, `/ingest` answers `503`
+    /// (writes belong on the leader). `/healthz` carries the
+    /// [`crate::replica::ReplicaStatus`] — `lag_epochs`, `last_contact_ms`,
+    /// reconnect/resync counters — and reports `degraded` while the leader
+    /// is unreachable, during which reads keep serving the last applied
+    /// epoch (stale-but-consistent) instead of failing.
+    ///
+    /// The durability knobs of `config` (`wal_dir`, `group_commit`, ...)
+    /// are ignored: a replica's persistence is the leader's log.
+    ///
+    /// # Errors
+    /// [`MorerError::Io`] when the address cannot be bound or threads
+    /// cannot be spawned.
+    pub fn serve_replica(replica: Replica, config: &ServeConfig) -> Result<ServerHandle, MorerError> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let core = replica.core();
+        let state = Arc::new(ServerState {
+            // bypassed (published() reads the replica), but kept coherent
+            published: Mutex::new(Published { epoch: replica.epoch(), searcher: replica.snapshot() }),
+            metrics: MetricsRegistry::default(),
+            shutdown: AtomicBool::new(false),
+            writer_alive: AtomicBool::new(true),
+            durability: Mutex::new(None),
+            wal_dir: None,
+            replica: Some(core),
+        });
+        // replica mode has no writer: /ingest is refused at dispatch, so
+        // this channel is never sent on
+        let (ingest_tx, ingest_rx) = mpsc::sync_channel::<IngestJob>(1);
+        drop(ingest_rx);
+        let workers = spawn_workers(&listener, &state, &ingest_tx, config)?;
+        Ok(ServerHandle { addr, state, workers, writer: None, replica: Some(replica) })
+    }
+}
+
+/// Spawn the worker pool. On a spawn failure the already-running workers
+/// are shut down and joined before the error returns — a partial server
+/// must not keep serving a port the caller believes never started.
+fn spawn_workers(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    ingest_tx: &SyncSender<IngestJob>,
+    config: &ServeConfig,
+) -> Result<Vec<JoinHandle<()>>, std::io::Error> {
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let spawned = listener.try_clone().and_then(|listener| {
+            let state = Arc::clone(state);
+            let ingest_tx = ingest_tx.clone();
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name(format!("morer-serve-worker-{i}"))
+                .spawn(move || worker_loop(&listener, &state, &ingest_tx, &config))
+        });
+        match spawned {
+            Ok(worker) => workers.push(worker),
+            Err(e) => {
+                state.shutdown.store(true, Ordering::Release);
+                for worker in workers {
+                    let _ = worker.join();
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(workers)
 }
 
 /// Handle to a running server: address introspection and graceful
@@ -221,6 +329,7 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     workers: Vec<JoinHandle<()>>,
     writer: Option<JoinHandle<()>>,
+    replica: Option<Replica>,
 }
 
 impl ServerHandle {
@@ -229,7 +338,8 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The committed repository epoch the read path currently serves.
+    /// The committed repository epoch the read path currently serves (in
+    /// replica mode: the last epoch the replica applied and published).
     pub fn epoch(&self) -> u64 {
         self.state.published().epoch
     }
@@ -240,9 +350,16 @@ impl ServerHandle {
         self.state.metrics.snapshot()
     }
 
+    /// The replica this server fronts, when started with
+    /// [`MorerServer::serve_replica`] (e.g. to
+    /// [`Replica::set_leader`] after a leader restart).
+    pub fn replica(&self) -> Option<&Replica> {
+        self.replica.as_ref()
+    }
+
     /// Gracefully stop the server: in-flight requests finish, every worker
     /// and the writer thread are joined. Queued ingest jobs still commit
-    /// before the writer exits.
+    /// before the writer exits; a fronted replica stops tailing.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -258,6 +375,9 @@ impl ServerHandle {
         if let Some(writer) = self.writer.take() {
             let _ = writer.join();
         }
+        if let Some(replica) = self.replica.take() {
+            replica.shutdown();
+        }
     }
 }
 
@@ -272,106 +392,216 @@ impl Drop for ServerHandle {
 /// the reply is only sent once the commit record is persisted), publish
 /// the new snapshot, answer the requesters.
 ///
+/// **Group commit** (`group_commit`): each drained micro-batch commits
+/// with a *deferred* append, and as long as more jobs are already queued
+/// (up to [`GROUP_ROUNDS`] rounds) they commit back to back; then a single
+/// [`Morer::flush_wal`] makes the whole group durable and only then are
+/// the replies sent. Nothing is acknowledged before its bytes are synced.
+///
+/// **Failure envelope**: a typed I/O or log-corruption failure poisons the
+/// pipeline — every unacknowledged requester of the group gets the error
+/// (their commits were never synced), `/healthz` turns `degraded`, and the
+/// writer stays alive, probing [`Morer::repair_wal`] every `writer_retry`
+/// until the log heals; then durable ingest resumes. A panic still ends
+/// the write path for good (the in-memory pipeline state is suspect).
+///
 /// Jobs whose problems do not fit the repository's feature space (§4.2:
 /// one comparison scheme per repository) are rejected with an error reply
 /// instead of joining the commit — `Morer::add_problems` would reject the
 /// whole micro-batch with one typed error, but the pre-partition keeps the
 /// rejection per job, so a well-formed request still commits when it was
 /// batched alongside a bad one.
-fn writer_loop(mut morer: Morer, rx: Receiver<IngestJob>, state: &ServerState) {
-    while let Ok(first) = rx.recv() {
-        let mut jobs = vec![first];
-        while let Ok(more) = rx.try_recv() {
-            jobs.push(more);
-        }
-        // partition this micro-batch by feature-space compatibility; an
-        // empty pipeline's width is fixed by the first accepted problem
-        let mut width = morer.num_features();
-        let mut accepted = Vec::new();
-        let mut rejected = Vec::new();
-        for job in jobs {
-            let mut job_width = width;
-            let ok = job.problems.iter().all(|p| match job_width {
-                Some(t) => p.num_features() == t,
-                None => {
-                    job_width = Some(p.num_features());
-                    true
+fn writer_loop(
+    mut morer: Morer,
+    rx: Receiver<IngestJob>,
+    state: &ServerState,
+    group_commit: bool,
+    writer_retry: Duration,
+) {
+    morer.set_group_commit(group_commit);
+    let retry = writer_retry.max(Duration::from_millis(10));
+    let mut last_probe: Option<Instant> = None;
+    loop {
+        // timed receive so a poisoned log is probed for repair even while
+        // no requests arrive
+        let first = match rx.recv_timeout(retry) {
+            Ok(job) => Some(job),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        if morer.wal_poisoned().is_some() {
+            let due = last_probe.map_or(true, |t| t.elapsed() >= writer_retry);
+            if due {
+                last_probe = Some(Instant::now());
+                if matches!(morer.repair_wal(), Ok(true)) {
+                    *state.durability.lock().expect("durability slot poisoned") =
+                        morer.durability();
+                    state.writer_alive.store(true, Ordering::Release);
                 }
-            });
-            if ok {
-                width = job_width;
-                accepted.push(job);
-            } else {
-                rejected.push(job);
             }
         }
-        for job in rejected {
-            let _ = job.reply.send(Err(MorerError::InvalidProblem(format!(
-                "feature space mismatch: this repository scores {} features",
-                width.map_or_else(|| "an as-yet-unfixed number of".to_owned(), |t| t.to_string())
+        let Some(first) = first else { continue };
+        if morer.wal_poisoned().is_some() {
+            // still degraded: refuse rather than acknowledge a commit the
+            // log cannot persist (the requester can retry after repair)
+            let _ = first.reply.send(Err(MorerError::Io(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                "write-ahead log failed; ingest is disabled until repair succeeds",
             ))));
-        }
-        if accepted.is_empty() {
             continue;
         }
-        let problems: Vec<&ErProblem> =
-            accepted.iter().flat_map(|j| j.problems.iter()).collect();
-        // last line of defense: decode validation and the width check above
-        // stop every known panic path, but an unforeseen panic inside the
-        // recluster/retrain machinery must not silently kill the write path
-        // while /healthz keeps answering "ok". On a panic the pipeline
-        // state is suspect — stop writing, keep serving the last committed
-        // snapshot, and report degraded health.
-        let commit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            morer.add_problems(&problems).map(|report| {
-                let snapshot = morer.snapshot();
-                snapshot.warm();
-                (report, snapshot, morer.epoch(), morer.durability())
-            })
-        }));
-        match commit {
-            Ok(Ok((report, snapshot, epoch, durability))) => {
-                *state.published.lock().expect("published slot poisoned") =
-                    Published { epoch, searcher: snapshot };
-                *state.durability.lock().expect("durability slot poisoned") = durability;
-                // publish before replying: a requester that sees its report
-                // also sees (at least) that epoch on the read path — and
-                // with a WAL attached, the commit record (fsync'd under
-                // Durability::Fsync) is already on disk by this point, so
-                // an acknowledged ingest is a recoverable one
-                for job in accepted {
-                    let _ = job.reply.send(Ok(report.clone()));
+
+        // one commit group: rounds of micro-batches sharing a final sync
+        let mut pending: Vec<(IngestReport, Vec<IngestJob>)> = Vec::new();
+        let mut batch = vec![first];
+        let mut fatal = false;
+        let mut panicked = false;
+        for round in 0..GROUP_ROUNDS {
+            while let Ok(more) = rx.try_recv() {
+                batch.push(more);
+            }
+            // partition this micro-batch by feature-space compatibility; an
+            // empty pipeline's width is fixed by the first accepted problem
+            let mut width = morer.num_features();
+            let mut accepted = Vec::new();
+            let mut rejected = Vec::new();
+            for job in batch.drain(..) {
+                let mut job_width = width;
+                let ok = job.problems.iter().all(|p| match job_width {
+                    Some(t) => p.num_features() == t,
+                    None => {
+                        job_width = Some(p.num_features());
+                        true
+                    }
+                });
+                if ok {
+                    width = job_width;
+                    accepted.push(job);
+                } else {
+                    rejected.push(job);
                 }
             }
-            Ok(Err(e)) => {
-                // a typed commit failure: every requester of this
-                // micro-batch gets the same error. I/O and log-corruption
-                // failures mean the write-ahead log could not persist the
-                // commit (the pipeline poisons itself) — stop writing and
-                // report degraded health rather than silently serving
-                // acknowledgements that a crash would lose.
-                let fatal = matches!(e.kind(), "io" | "log_corrupt");
-                if fatal {
-                    state.writer_alive.store(false, Ordering::Release);
-                }
-                for job in accepted {
-                    let _ = job.reply.send(Err(e.duplicate()));
-                }
-                if fatal {
-                    return;
+            for job in rejected {
+                let _ = job.reply.send(Err(MorerError::InvalidProblem(format!(
+                    "feature space mismatch: this repository scores {} features",
+                    width.map_or_else(
+                        || "an as-yet-unfixed number of".to_owned(),
+                        |t| t.to_string()
+                    )
+                ))));
+            }
+            if !accepted.is_empty() {
+                let problems: Vec<&ErProblem> =
+                    accepted.iter().flat_map(|j| j.problems.iter()).collect();
+                // last line of defense: decode validation and the width
+                // check above stop every known panic path, but an unforeseen
+                // panic inside the recluster/retrain machinery must not
+                // silently kill the write path while /healthz answers "ok"
+                let commit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    morer.add_problems(&problems)
+                }));
+                match commit {
+                    Ok(Ok(report)) => pending.push((report, accepted)),
+                    Ok(Err(e)) => {
+                        // a typed commit failure: this round's requesters
+                        // get the error; I/O and log-corruption failures
+                        // also poison the pipeline and end the group (the
+                        // earlier rounds' deferred appends can no longer be
+                        // promised durable)
+                        fatal = matches!(e.kind(), "io" | "log_corrupt");
+                        if fatal {
+                            // flip health *before* replying: a requester
+                            // that sees this failure must also see
+                            // `/healthz` degraded
+                            state.writer_alive.store(false, Ordering::Release);
+                        }
+                        for job in accepted {
+                            let _ = job.reply.send(Err(e.duplicate()));
+                        }
+                        if fatal {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        panicked = true;
+                        state.writer_alive.store(false, Ordering::Release);
+                        // a server fault, not a client one: requesters get
+                        // a 500, never a 400 suggesting their problems were
+                        // bad
+                        for job in accepted {
+                            let _ = job.reply.send(Err(MorerError::Io(std::io::Error::new(
+                                std::io::ErrorKind::Other,
+                                "ingest commit panicked; the write path is disabled until restart",
+                            ))));
+                        }
+                        break;
+                    }
                 }
             }
-            Err(_) => {
-                state.writer_alive.store(false, Ordering::Release);
-                // a server fault, not a client one: requesters get a 500,
-                // never a 400 suggesting their problems were bad
-                for job in accepted {
+            // only pull the next round's first job when another round will
+            // actually run — jobs must never be popped and then dropped
+            if round + 1 >= GROUP_ROUNDS {
+                break;
+            }
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        if panicked || fatal {
+            state.writer_alive.store(false, Ordering::Release);
+            // the group's earlier rounds were never synced: their
+            // requesters must not be acknowledged
+            let reason = if panicked {
+                "ingest commit panicked before this group's sync; nothing was acknowledged"
+            } else {
+                "write-ahead log failed before this group's sync; nothing was acknowledged"
+            };
+            for (_, jobs) in pending {
+                for job in jobs {
                     let _ = job.reply.send(Err(MorerError::Io(std::io::Error::new(
                         std::io::ErrorKind::Other,
-                        "ingest commit panicked; the write path is disabled until restart",
+                        reason,
                     ))));
                 }
-                return;
+            }
+            if panicked {
+                return; // in-memory pipeline state is suspect: stop writing
+            }
+            last_probe = None; // probe repair on the next loop turn
+            continue;
+        }
+        if pending.is_empty() {
+            continue;
+        }
+        // one sync for the whole group (a no-op without deferred appends);
+        // only a successful sync acknowledges anything
+        match morer.flush_wal() {
+            Ok(()) => {
+                let snapshot = morer.snapshot();
+                snapshot.warm();
+                *state.published.lock().expect("published slot poisoned") =
+                    Published { epoch: morer.epoch(), searcher: snapshot };
+                *state.durability.lock().expect("durability slot poisoned") =
+                    morer.durability();
+                // publish before replying: a requester that sees its report
+                // also sees (at least) that epoch on the read path — and the
+                // group's commit records are on disk by this point, so an
+                // acknowledged ingest is a recoverable one
+                for (report, jobs) in pending {
+                    for job in jobs {
+                        let _ = job.reply.send(Ok(report.clone()));
+                    }
+                }
+            }
+            Err(e) => {
+                state.writer_alive.store(false, Ordering::Release);
+                last_probe = None;
+                for (_, jobs) in pending {
+                    for job in jobs {
+                        let _ = job.reply.send(Err(e.duplicate()));
+                    }
+                }
             }
         }
     }
@@ -453,15 +683,22 @@ fn handle_connection(
                 }))
                 .unwrap_or_else(|_| {
                     keep_alive = false;
-                    Reply {
-                        status: 500,
-                        body: plain_error("internal", "request handler panicked"),
-                        endpoint: Endpoint::Other,
-                    }
+                    Reply::json(
+                        500,
+                        plain_error("internal", "request handler panicked"),
+                        Endpoint::Other,
+                    )
                 });
                 state.metrics.record(reply.endpoint, started.elapsed(), reply.status >= 400);
-                if http::write_response(&mut stream, reply.status, reply.body.as_bytes(), keep_alive)
-                    .is_err()
+                if http::write_response_with(
+                    &mut stream,
+                    reply.status,
+                    reply.content_type,
+                    &reply.headers,
+                    &reply.body,
+                    keep_alive,
+                )
+                .is_err()
                     || !keep_alive
                 {
                     return;
@@ -517,20 +754,34 @@ fn drain_briefly(stream: &mut TcpStream) {
     }
 }
 
-/// A routed response.
+/// A routed response: status, binary body, content type, extra headers
+/// (the `/wal` shipping metadata) and the metrics endpoint it counts
+/// against.
 struct Reply {
     status: u16,
-    body: String,
+    body: Vec<u8>,
+    content_type: &'static str,
+    headers: Vec<(String, String)>,
     endpoint: Endpoint,
 }
 
 impl Reply {
+    fn json(status: u16, body: String, endpoint: Endpoint) -> Self {
+        Self {
+            status,
+            body: body.into_bytes(),
+            content_type: "application/json",
+            headers: Vec::new(),
+            endpoint,
+        }
+    }
+
     fn ok(body: String, endpoint: Endpoint) -> Self {
-        Self { status: 200, body, endpoint }
+        Self::json(200, body, endpoint)
     }
 
     fn error(err: &MorerError, endpoint: Endpoint) -> Self {
-        Self { status: status_for(err), body: error_json(err), endpoint }
+        Self::json(status_for(err), error_json(err), endpoint)
     }
 }
 
@@ -540,11 +791,11 @@ impl Reply {
 fn json_reply<T: serde::Serialize>(value: &T, endpoint: Endpoint) -> Reply {
     match serde_json::to_string(value) {
         Ok(json) => Reply::ok(json, endpoint),
-        Err(e) => Reply {
-            status: 500,
-            body: plain_error("internal", &format!("response encoding failed: {e}")),
+        Err(e) => Reply::json(
+            500,
+            plain_error("internal", &format!("response encoding failed: {e}")),
             endpoint,
-        },
+        ),
     }
 }
 
@@ -557,26 +808,54 @@ fn plain_error(kind: &str, message: &str) -> String {
     .unwrap_or_else(|_| "{\"error\":{\"kind\":\"io\",\"message\":\"render failed\"}}".into())
 }
 
-const ROUTES: [&str; 6] = ["/healthz", "/stats", "/search", "/solve", "/solve_batch", "/ingest"];
+const ROUTES: [&str; 8] = [
+    "/healthz",
+    "/stats",
+    "/search",
+    "/solve",
+    "/solve_batch",
+    "/ingest",
+    "/wal",
+    "/wal/base",
+];
+
+/// The value of `key` in a raw query string (`a=1&b=2`; no percent
+/// decoding — the shipping protocol only passes integers).
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .find_map(|kv| kv.split_once('=').filter(|(k, _)| *k == key).map(|(_, v)| v))
+}
 
 fn dispatch(request: &Request, state: &ServerState, ingest_tx: &SyncSender<IngestJob>) -> Reply {
-    match (request.method, request.path.as_str()) {
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (request.path.as_str(), ""),
+    };
+    match (request.method, path) {
         (Method::Get, "/healthz") => healthz(state),
         (Method::Get, "/stats") => stats(state),
+        (Method::Get, "/wal") => wal_segment(state, query),
+        (Method::Get, "/wal/base") => wal_base(state),
         (Method::Post, "/search") => search(state, &request.body),
         (Method::Post, "/solve") => solve(state, &request.body),
         (Method::Post, "/solve_batch") => solve_batch(state, &request.body),
+        (Method::Post, "/ingest") if state.replica.is_some() => Reply::json(
+            503,
+            plain_error("read_only", "this server is a replica; send writes to the leader"),
+            Endpoint::Ingest,
+        ),
         (Method::Post, "/ingest") => ingest(ingest_tx, &request.body),
-        (_, path) if ROUTES.contains(&path) => Reply {
-            status: 405,
-            body: plain_error("method_not_allowed", &format!("wrong method for {path}")),
-            endpoint: Endpoint::Other,
-        },
-        (_, path) => Reply {
-            status: 404,
-            body: plain_error("not_found", &format!("unknown route {path}")),
-            endpoint: Endpoint::Other,
-        },
+        (_, path) if ROUTES.contains(&path) => Reply::json(
+            405,
+            plain_error("method_not_allowed", &format!("wrong method for {path}")),
+            Endpoint::Other,
+        ),
+        (_, path) => Reply::json(
+            404,
+            plain_error("not_found", &format!("unknown route {path}")),
+            Endpoint::Other,
+        ),
     }
 }
 
@@ -591,6 +870,7 @@ fn healthz(state: &ServerState) -> Reply {
             .map_or("none", |d| if d.fsync { "fsync" } else { "buffered" })
             .to_owned(),
         durable_epoch: wal.map(|d| d.durable_epoch),
+        replica: state.replica.as_ref().map(|r| r.status()),
     };
     json_reply(&body, Endpoint::Healthz)
 }
@@ -610,6 +890,111 @@ fn stats(state: &ServerState) -> Reply {
         endpoints: state.metrics.snapshot(),
     };
     json_reply(&body, Endpoint::Stats)
+}
+
+/// `GET /wal?from=..&gen=..[&max=..]` — ship hash-verified whole commit
+/// frames from byte offset `from` of the log, as long as the follower's
+/// compaction generation still matches. Answers:
+///
+/// * `200 application/octet-stream` with the frame bytes (empty body =
+///   caught up) and `x-morer-generation` / `x-morer-log-len` /
+///   `x-morer-epoch` headers;
+/// * `409` when the offset or generation no longer exists on this leader
+///   (compaction or restart truncated past it) — the follower must resync
+///   from `GET /wal/base`;
+/// * `404` when this server ships no log (no `wal_dir`, or replica mode).
+fn wal_segment(state: &ServerState, query: &str) -> Reply {
+    let (Some(dir), Some(wal)) = (state.wal_dir.as_ref(), state.durability()) else {
+        return no_wal();
+    };
+    let from = query_param(query, "from")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(HEADER_LEN);
+    let generation = query_param(query, "gen")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    let max = query_param(query, "max")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(MAX_SEGMENT_BYTES)
+        .min(MAX_SEGMENT_BYTES);
+    let meta = |log_len: u64| {
+        vec![
+            (HDR_GENERATION.to_owned(), wal.compactions.to_string()),
+            (HDR_LOG_LEN.to_owned(), log_len.to_string()),
+            (HDR_EPOCH.to_owned(), wal.durable_epoch.to_string()),
+        ]
+    };
+    let resync = |log_len: u64, why: String| Reply {
+        status: 409,
+        body: plain_error("resync", &why).into_bytes(),
+        content_type: "application/json",
+        headers: meta(log_len),
+        endpoint: Endpoint::Wal,
+    };
+    if generation != wal.compactions || from < HEADER_LEN {
+        return resync(
+            wal.log_bytes,
+            format!(
+                "offset {from} of generation {generation} is gone (leader is at generation {})",
+                wal.compactions
+            ),
+        );
+    }
+    let segment = match read_log_segment(dir, from, max) {
+        Ok(segment) => segment,
+        Err(e) => return Reply::error(&e, Endpoint::Wal),
+    };
+    if from > segment.log_len {
+        // the log is shorter than the follower's offset (restart truncated
+        // a suffix, or a compaction raced the generation check above)
+        return resync(
+            segment.log_len,
+            format!("offset {from} is beyond the log ({} bytes)", segment.log_len),
+        );
+    }
+    Reply {
+        status: 200,
+        body: segment.bytes,
+        content_type: "application/octet-stream",
+        headers: meta(segment.log_len),
+        endpoint: Endpoint::Wal,
+    }
+}
+
+/// `GET /wal/base` — the leader's base snapshot (`base.json`) for follower
+/// bootstrap/resync. An empty `200` body means no compaction has published
+/// a base yet: the follower starts from the empty generation-0 state and
+/// replays the whole log. The base file is written with atomic
+/// tmp-file + rename, so this read never observes a half-written base.
+fn wal_base(state: &ServerState) -> Reply {
+    let Some(dir) = state.wal_dir.as_ref() else {
+        return no_wal();
+    };
+    match std::fs::read(dir.join(morer_core::wal::BASE_FILE)) {
+        Ok(bytes) => Reply {
+            status: 200,
+            body: bytes,
+            content_type: "application/json",
+            headers: Vec::new(),
+            endpoint: Endpoint::Wal,
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Reply {
+            status: 200,
+            body: Vec::new(),
+            content_type: "application/json",
+            headers: Vec::new(),
+            endpoint: Endpoint::Wal,
+        },
+        Err(e) => Reply::error(&MorerError::Io(e), Endpoint::Wal),
+    }
+}
+
+fn no_wal() -> Reply {
+    Reply::json(
+        404,
+        plain_error("no_wal", "this server has no write-ahead log attached; nothing to ship"),
+        Endpoint::Wal,
+    )
 }
 
 /// Decode a request body as one `T`.

@@ -7,14 +7,17 @@
 use serde::{Deserialize, Serialize, Value};
 
 use crate::metrics::EndpointStats;
+use crate::replica::ReplicaStatus;
 use morer_core::error::MorerError;
 use morer_core::wal::DurabilityState;
 
 /// `GET /healthz` response body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HealthResponse {
-    /// `"ok"` while fully serving; `"degraded"` when the write path died
-    /// abnormally (reads keep serving the last committed epoch).
+    /// `"ok"` while fully serving; `"degraded"` when the write path cannot
+    /// commit (reads keep serving the last committed epoch) or — in
+    /// replica mode — while the leader is unreachable (reads keep serving
+    /// the last applied epoch).
     pub status: String,
     /// The committed repository epoch the read path currently serves.
     pub epoch: u64,
@@ -27,6 +30,10 @@ pub struct HealthResponse {
     /// Last epoch guaranteed recoverable by [`morer_core::pipeline::Morer::open`]
     /// (absent without a write-ahead log).
     pub durable_epoch: Option<u64>,
+    /// Replica observability (`lag_epochs`, `last_contact_ms`, reconnect
+    /// and resync counters) when this server fronts a log-shipping
+    /// follower; absent on leaders.
+    pub replica: Option<ReplicaStatus>,
 }
 
 /// `GET /stats` response body.
@@ -137,6 +144,25 @@ mod tests {
             models: 2,
             durability: "fsync".into(),
             durable_epoch: Some(3),
+            replica: None,
+        };
+        let back: HealthResponse =
+            serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
+        assert_eq!(back, h);
+        // a follower's health carries the replica lag/contact counters
+        let h = HealthResponse {
+            replica: Some(ReplicaStatus {
+                state: "streaming".into(),
+                epoch: 3,
+                leader_epoch: 5,
+                lag_epochs: 2,
+                last_contact_ms: Some(12),
+                reconnects: 1,
+                resyncs: 1,
+                frames_applied: 3,
+                corrupt_segments: 0,
+            }),
+            ..h
         };
         let back: HealthResponse =
             serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
