@@ -1,0 +1,62 @@
+//! Throughput benchmark of sub-linear model search: solves/second through
+//! the two-level `morer_core::index::SearchIndex` (quantized-signature
+//! shortlist + pivot/triangle pruning) against the exhaustive `sel_base`
+//! scan, across repository sizes P ∈ {8, 100, 500, 2000}.
+//!
+//! The index is exact — hit-for-hit identical to the exhaustive scan, which
+//! this bench asserts on every query before timing anything — so the curves
+//! measure pure pruning: the exhaustive path grows linearly in P while the
+//! indexed path is dominated by the shortlist (the bound scan is O(P) but
+//! ~30 flops/entry against an exact score's ~2000).
+//!
+//! The acceptance bar is ≥ 10× indexed-over-exhaustive at P = 500
+//! (`cargo run -p morer-bench --release -- quick-bench` reports the same
+//! comparison as `search_index_speedup` in its JSON line).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use morer_bench::workload::{repository_problems, repository_workload};
+use morer_core::distribution::{AnalysisOptions, DistributionTest};
+use morer_core::searcher::ModelSearcher;
+
+fn bench_search_index(c: &mut Criterion) {
+    let queries = repository_problems(8, 160, 6, 0x9E77);
+
+    for p in [8usize, 100, 500, 2000] {
+        let opts = AnalysisOptions::new(DistributionTest::KolmogorovSmirnov, usize::MAX, 42);
+        let entries = repository_workload(p, 160, 6, 0x5EA2);
+        let searcher = ModelSearcher::new(entries, opts);
+        searcher.warm(); // pre-sketches every entry and builds the index
+
+        // recall-1 guard: the indexed path must return exactly the
+        // exhaustive winner before its throughput means anything
+        for q in &queries {
+            assert_eq!(
+                searcher.search(q).expect("non-empty repository"),
+                searcher.search_exhaustive(q).expect("non-empty repository"),
+                "indexed search diverged from exhaustive at P={p}"
+            );
+        }
+
+        let mut group = c.benchmark_group(format!("search_index_p{p}"));
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.sample_size(10);
+        group.bench_function("exhaustive", |b| {
+            b.iter(|| {
+                for q in &queries {
+                    let _ = black_box(searcher.search_exhaustive(q));
+                }
+            })
+        });
+        group.bench_function("indexed", |b| {
+            b.iter(|| {
+                for q in &queries {
+                    let _ = black_box(searcher.search(q));
+                }
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_search_index);
+criterion_main!(benches);

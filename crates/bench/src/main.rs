@@ -165,7 +165,11 @@ fn main() {
 /// direct vs sketched), `sel_base` model search (solves/second with
 /// cached representative sketches) — single-threaded
 /// (`search_solves_per_s`) and through one shared `ModelSearcher` hammered
-/// by scoped threads (`search_solves_per_s_mt`) — incremental ingest
+/// by scoped threads (`search_solves_per_s_mt`) — the two-level search
+/// index on a 500-entry repository (`search_indexed_per_s` /
+/// `search_index_speedup` over the exhaustive scan, asserted hit-for-hit
+/// identical first; `index_shortlist_frac` is the fraction of entries that
+/// needed exact scoring) — incremental ingest
 /// into a 40-problem repository (`ingest_problems_per_s` /
 /// `ingest_speedup` of `add_problem` over a per-insert full rebuild) —
 /// the deployed serving layer (`serve_requests_per_s`: 4 loopback
@@ -178,7 +182,8 @@ fn main() {
 /// `serve_durable_ingest_per_s` fsync-acknowledged `/ingest` round trips).
 /// Every fast path is asserted against its reference implementation before
 /// being timed: the multi-threaded search results must equal the
-/// single-threaded ones, the incrementally ingested repository must be
+/// single-threaded ones, the indexed search must return exactly the
+/// exhaustive winner on every query, the incrementally ingested repository must be
 /// bit-identical to batch construction after every arrival, every served
 /// solve response must decode bit-identical to its in-process equivalent,
 /// the replayed write-ahead log (per-commit and group-commit alike) must
@@ -383,6 +388,50 @@ fn quick_bench(seed: u64) {
         }
     }
     let search_solves_mt = mt_threads * rounds * queries.len();
+
+    // --- sub-linear indexed search at repository scale ---------------------
+    // the two-level SearchIndex (quantized-signature shortlist + pivot
+    // pruning) against the exhaustive scan on a 500-entry repository. The
+    // index must return exactly the exhaustive winner — hit-for-hit
+    // identity is asserted on every query before any rate is printed —
+    // so the speedup is free of any recall trade-off.
+    use morer_bench::workload::{repository_problems, repository_workload};
+
+    let scale_p = 500usize;
+    let scale_opts =
+        AnalysisOptions::new(DistributionTest::KolmogorovSmirnov, usize::MAX, seed);
+    let scale_entries = repository_workload(scale_p, 160, 6, seed ^ 0x5EA2);
+    let scale_queries = repository_problems(24, 160, 6, seed ^ 0x9E77);
+    let scale_searcher = ModelSearcher::new(scale_entries, scale_opts);
+    scale_searcher.warm(); // pre-sketches every entry and builds the index
+    for q in &scale_queries {
+        let indexed = scale_searcher.search(q).expect("non-empty repository");
+        let exhaustive =
+            scale_searcher.search_exhaustive(q).expect("non-empty repository");
+        assert_eq!(indexed, exhaustive, "indexed search diverged from exhaustive");
+    }
+    let scale_solves = rounds * scale_queries.len();
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..rounds {
+        for q in &scale_queries {
+            sink += scale_searcher
+                .search_exhaustive(q)
+                .expect("non-empty repository")
+                .entry_id;
+        }
+    }
+    let search_exhaustive_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for q in &scale_queries {
+            sink += scale_searcher.search(q).expect("non-empty repository").entry_id;
+        }
+    }
+    let search_indexed_s = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    let index_overview =
+        scale_searcher.index_overview().expect("warmed searcher has an index");
 
     // --- incremental ingest vs per-insert full rebuild ---------------------
     // the streaming-construction path: insert arrivals into a 40-problem
@@ -639,6 +688,10 @@ fn quick_bench(seed: u64) {
          \"search_solves_per_s\":{:.1},\
          \"search_threads_mt\":{},\"search_solves_mt\":{},\"search_mt_s\":{:.4},\
          \"search_solves_per_s_mt\":{:.1},\
+         \"search_scale_entries\":{},\"search_scale_solves\":{},\
+         \"search_exhaustive_s\":{:.4},\"search_indexed_s\":{:.4},\
+         \"search_exhaustive_per_s\":{:.1},\"search_indexed_per_s\":{:.1},\
+         \"search_index_speedup\":{:.2},\"index_shortlist_frac\":{:.4},\
          \"ingest_repository\":{},\"ingest_arrivals\":{},\
          \"ingest_incremental_s\":{:.4},\"ingest_rebuild_s\":{:.4},\
          \"ingest_problems_per_s\":{:.1},\"ingest_speedup\":{:.2},\
@@ -679,6 +732,14 @@ fn quick_bench(seed: u64) {
         search_solves_mt,
         search_mt_s,
         search_solves_mt as f64 / search_mt_s,
+        scale_p,
+        scale_solves,
+        search_exhaustive_s,
+        search_indexed_s,
+        scale_solves as f64 / search_exhaustive_s,
+        scale_solves as f64 / search_indexed_s,
+        search_exhaustive_s / search_indexed_s,
+        index_overview.shortlist_frac,
         ingest_base,
         ingest_arrivals,
         ingest_incremental_s,

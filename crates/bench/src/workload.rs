@@ -6,10 +6,12 @@
 //! builds that workload deterministically so numbers are comparable across
 //! runs and machines.
 
+use morer_core::repository::ClusterEntry;
 use morer_data::record::{DataSource, MultiSourceDataset, Record, Schema};
 use morer_data::vocab::{CAMERA_BRANDS, PRODUCT_ADJECTIVES, SONG_WORDS};
 use morer_data::ErProblem;
 use morer_ml::dataset::FeatureMatrix;
+use morer_ml::model::{ModelConfig, TrainedModel};
 use morer_sim::{AttributeComparator, ComparisonScheme, SimilarityFunction};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -186,6 +188,80 @@ pub fn analysis_workload(
         .collect()
 }
 
+/// Build a deterministic repository-scale problem set: `n_problems` ER
+/// problems drawn from **twelve** distribution families with per-problem
+/// jitter in match/non-match locations, spread and match rate — a much
+/// wider spread than [`analysis_workload`] so the coarse signatures of
+/// [`morer_core::index`] actually separate the entries. This is the scale
+/// knob behind the `search_index` bench and the indexed-search section of
+/// `quick-bench` (≥500-entry repositories).
+pub fn repository_problems(
+    n_problems: usize,
+    rows: usize,
+    features: usize,
+    seed: u64,
+) -> Vec<ErProblem> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5CA1E);
+    (0..n_problems)
+        .map(|id| {
+            let family = id % 12;
+            let match_mu: f64 = 0.35 + 0.05 * family as f64 + rng.gen_range(-0.03..0.03f64);
+            let nonmatch_mu: f64 = 0.04 + 0.02 * family as f64 + rng.gen_range(-0.015..0.015f64);
+            let spread: f64 = rng.gen_range(0.03..0.15);
+            // match rate varies 1/2..1/5 per family so PSI-bin proportions
+            // (not just moments) differ across entries
+            let match_every = 2 + family % 4;
+            let mut matrix = FeatureMatrix::new(features);
+            let mut labels = Vec::with_capacity(rows);
+            let mut pairs = Vec::with_capacity(rows);
+            for i in 0..rows {
+                let is_match = i % match_every == 0;
+                let mu = if is_match { match_mu } else { nonmatch_mu };
+                let row: Vec<f64> = (0..features)
+                    .map(|f| {
+                        let jitter: f64 = rng.gen_range(-spread..spread);
+                        (mu + 0.02 * f as f64 + jitter).clamp(0.0, 1.0)
+                    })
+                    .collect();
+                matrix.push_row(&row);
+                labels.push(is_match);
+                pairs.push((i as u32, (i + rows) as u32));
+            }
+            ErProblem {
+                id,
+                sources: (id, id + 1),
+                pairs,
+                features: matrix,
+                labels,
+                feature_names: (0..features).map(|f| format!("f{f}")).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Build a deterministic model repository at a chosen scale: one
+/// [`ClusterEntry`] per [`repository_problems`] problem, each holding a
+/// trained `GaussianNb` model and the problem's labelled training set as
+/// representatives. The entries are exactly what `Morer::build` would
+/// store for singleton clusters, so searches over them exercise the real
+/// `sel_base` path.
+pub fn repository_workload(
+    n_entries: usize,
+    rows: usize,
+    features: usize,
+    seed: u64,
+) -> Vec<ClusterEntry> {
+    repository_problems(n_entries, rows, features, seed)
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let training = p.to_training_set();
+            let model = TrainedModel::train(&ModelConfig::GaussianNb, &training);
+            ClusterEntry::new(i, vec![i], model, training, 0)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +297,19 @@ mod tests {
         }
         let c = analysis_workload(8, 50, 3, 8);
         assert_ne!(a[0].features, c[0].features);
+    }
+
+    #[test]
+    fn repository_workload_is_deterministic_and_searchable() {
+        let a = repository_workload(60, 80, 4, 7);
+        let b = repository_workload(60, 80, 4, 7);
+        assert_eq!(a.len(), 60);
+        assert_eq!(a, b);
+        // every entry is searchable (non-empty representatives) and the
+        // twelve families give the index real signature spread
+        assert!(a.iter().all(|e| !e.representatives.is_empty()));
+        let c = repository_workload(60, 80, 4, 8);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -71,7 +71,7 @@ impl DistributionTest {
         [Self::KolmogorovSmirnov, Self::Wasserstein, Self::Psi, Self::C2st]
     }
 
-    fn univariate(self) -> Option<UnivariateTest> {
+    pub(crate) fn univariate(self) -> Option<UnivariateTest> {
         match self {
             Self::KolmogorovSmirnov => Some(UnivariateTest::KolmogorovSmirnov),
             Self::Wasserstein => Some(UnivariateTest::Wasserstein),
@@ -118,7 +118,7 @@ impl FeatureSample for FeatureMatrix {
 }
 
 /// Options for the distribution analysis.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnalysisOptions {
     /// Which two-sample test computes per-feature similarity.
     pub test: DistributionTest,

@@ -32,7 +32,11 @@
 //!   through `&self` (`search`, `solve`, `solve_batch`), so one searcher can
 //!   be shared by any number of threads. Failure modes are typed
 //!   ([`error::MorerError`], e.g. `EmptyRepository` from `search`), never
-//!   sentinels.
+//!   sentinels. Search runs sub-linearly through an [`index::SearchIndex`]
+//!   — a two-level candidate index (quantized signatures + pivot/triangle
+//!   pruning) over the entries' distribution sketches, published
+//!   copy-on-write like the entry store and bit-identical to exhaustive
+//!   scoring (recall-1; C2ST and options drift fall back exhaustively).
 //! * [`pipeline::Morer`] — the writer. It wraps a searcher and adds
 //!   everything that mutates state: construction, streaming ingest
 //!   ([`pipeline::Morer::add_problems`] — O(P) analysis per insert,
@@ -78,6 +82,7 @@ pub mod config;
 pub mod distribution;
 pub mod error;
 pub mod generation;
+pub mod index;
 pub mod pipeline;
 pub mod replication;
 pub mod repository;
@@ -95,6 +100,7 @@ pub mod prelude {
     pub use crate::config::{AlMethod, MorerConfig, SelectionStrategy, TrainingMode};
     pub use crate::distribution::{AnalysisOptions, DistributionSketch, DistributionTest};
     pub use crate::error::{MorerError, REPOSITORY_FORMAT_VERSION, WAL_FORMAT_VERSION};
+    pub use crate::index::{IndexOverview, SearchIndex};
     pub use crate::pipeline::{BuildReport, IngestReport, Morer};
     pub use crate::replication::{
         ApplyOutcome, BaseSnapshot, FollowerState, FrameReader, LogSegment, ReplicaApplier,

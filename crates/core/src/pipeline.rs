@@ -647,6 +647,11 @@ impl Morer {
     fn commit(&mut self, mut report: Option<&mut IngestReport>) -> Result<(), MorerError> {
         self.epoch += 1;
         self.snapshot = None;
+        // validate-or-rebuild the search index against the committed state
+        // (O(dirty) — mutated entries carry fresh sketch Arcs, unchanged
+        // entries are reused by pointer identity), so every snapshot clone
+        // published from here inherits an index consistent with its entries
+        self.searcher.refresh_index();
         if let Some(r) = report.as_deref_mut() {
             r.epoch = self.epoch;
         }

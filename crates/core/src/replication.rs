@@ -29,6 +29,7 @@
 //!   follower discards nothing it already applied, but must rebuild from
 //!   the leader's base snapshot before applying anything further.
 
+use std::collections::BTreeSet;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
 
@@ -298,12 +299,17 @@ pub enum ApplyOutcome {
 pub struct ReplicaApplier {
     entries: Vec<ClusterEntry>,
     epoch: u64,
+    /// Store positions mutated by records applied since the last
+    /// [`ReplicaApplier::take_dirty`] — what an O(dirty) snapshot
+    /// republication must deep-copy (every other position is unchanged
+    /// and can be reused by reference).
+    dirty: BTreeSet<usize>,
 }
 
 impl ReplicaApplier {
     /// Start from a bootstrap state (usually a leader base snapshot).
     pub fn new(repository: ModelRepository, epoch: u64) -> Self {
-        Self { entries: repository.entries, epoch }
+        Self { entries: repository.entries, epoch, dirty: BTreeSet::new() }
     }
 
     /// The last applied epoch.
@@ -322,13 +328,24 @@ impl ReplicaApplier {
             return ApplyOutcome::Gap;
         }
         let epoch = record.epoch;
+        // collect the touched positions before the record is consumed;
+        // only recorded as dirty if the apply actually mutates the store
+        let touched: Vec<usize> = record.entries.iter().map(|e| e.id).collect();
         match wal::apply_record(&mut self.entries, record) {
             Ok(()) => {
                 self.epoch = epoch;
+                self.dirty.extend(touched);
                 ApplyOutcome::Applied
             }
             Err(()) => ApplyOutcome::Invalid,
         }
+    }
+
+    /// Drain the positions mutated since the last call (see the `dirty`
+    /// field). Positions may exceed the current store length when a record
+    /// truncated the store after touching it.
+    pub fn take_dirty(&mut self) -> BTreeSet<usize> {
+        std::mem::take(&mut self.dirty)
     }
 
     /// The current entry store.
@@ -429,6 +446,13 @@ impl FollowerState {
     /// The applied entry store.
     pub fn entries(&self) -> &[ClusterEntry] {
         self.applier.entries()
+    }
+
+    /// Drain the store positions mutated since the last call
+    /// ([`ReplicaApplier::take_dirty`]) — the O(dirty) set a snapshot
+    /// republication must deep-copy.
+    pub fn take_dirty(&mut self) -> BTreeSet<usize> {
+        self.applier.take_dirty()
     }
 
     /// Ingest one shipped segment that starts at exactly
@@ -562,6 +586,23 @@ mod tests {
         assert_eq!(applier.entries().len(), 1);
         assert_eq!(applier.apply(record(2, &[1], 2)), ApplyOutcome::Applied);
         assert_eq!(applier.epoch(), 2);
+    }
+
+    #[test]
+    fn applier_tracks_dirty_positions_per_drain() {
+        let mut applier = ReplicaApplier::new(ModelRepository::default(), 0);
+        assert_eq!(applier.apply(record(1, &[0, 1], 2)), ApplyOutcome::Applied);
+        assert_eq!(applier.apply(record(2, &[1, 2], 3)), ApplyOutcome::Applied);
+        let dirty: Vec<usize> = applier.take_dirty().into_iter().collect();
+        assert_eq!(dirty, vec![0, 1, 2]);
+        // skipped / gapped / invalid records contribute nothing
+        assert_eq!(applier.apply(record(2, &[0], 3)), ApplyOutcome::Skipped);
+        assert_eq!(applier.apply(record(9, &[0], 3)), ApplyOutcome::Gap);
+        assert_eq!(applier.apply(record(3, &[7], 8)), ApplyOutcome::Invalid);
+        assert!(applier.take_dirty().is_empty());
+        // the drain resets: only post-drain mutations accumulate
+        assert_eq!(applier.apply(record(3, &[0], 3)), ApplyOutcome::Applied);
+        assert_eq!(applier.take_dirty().into_iter().collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]

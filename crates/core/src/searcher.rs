@@ -30,6 +30,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::MorerConfig;
 use crate::distribution::AnalysisOptions;
 use crate::error::MorerError;
+use crate::index::{IndexCell, IndexOverview, SearchIndex};
 use crate::repository::{ClusterEntry, ModelRepository};
 use crate::selection::{best_entry_for, classify};
 use morer_data::ErProblem;
@@ -92,6 +93,12 @@ pub struct SolveOutcome {
 pub struct ModelSearcher {
     entries: Vec<Arc<ClusterEntry>>,
     options: AnalysisOptions,
+    /// The sub-linear search index ([`crate::index`]). Cloning a searcher
+    /// copies the current `Arc<SearchIndex>` (copy-on-write, like the entry
+    /// vector) but shares the cumulative query counters, so snapshots keep
+    /// a consistent frozen index while `/stats` aggregates over the whole
+    /// lineage. Pure acceleration state: it never changes search results.
+    index: IndexCell,
 }
 
 // The searcher is the type handed to scoped worker threads; keep the
@@ -111,7 +118,7 @@ impl ModelSearcher {
     /// entries still referenced elsewhere are scored through the same
     /// idempotent sketch caches).
     pub fn from_shared(entries: Vec<Arc<ClusterEntry>>, options: AnalysisOptions) -> Self {
-        Self { entries, options }
+        Self { entries, options, index: IndexCell::default() }
     }
 
     /// Build a search service from a persisted repository. The entry sketch
@@ -124,15 +131,43 @@ impl ModelSearcher {
         searcher
     }
 
-    /// Pre-build every entry's representative sketch under this searcher's
-    /// options. Idempotent; concurrent solves against a cold searcher reach
-    /// the same state lazily.
+    /// Pre-build every entry's representative sketch *and* the search index
+    /// under this searcher's options, so first-query latency is flat.
+    /// Idempotent; concurrent solves against a cold searcher reach the same
+    /// state lazily.
     pub fn warm(&self) {
         for (i, e) in self.entries.iter().enumerate() {
             if !e.representatives.is_empty() {
                 let _ = e.representative_sketch(&self.options.for_entry(i));
             }
         }
+        self.refresh_index();
+    }
+
+    /// Validate-or-rebuild the search index against the current entries
+    /// (O(dirty) signature work; a no-op returning the published `Arc` when
+    /// nothing changed). The writer calls this on every commit so published
+    /// snapshot clones always carry an index consistent with their frozen
+    /// entries.
+    pub fn refresh_index(&self) -> Arc<SearchIndex> {
+        self.index.refresh(&self.entries, &self.options)
+    }
+
+    /// Adopt `prev`'s published index (and its cumulative query counters)
+    /// as this searcher's starting point, then validate-or-rebuild against
+    /// this searcher's entries. This is how republication paths (replica
+    /// apply loops, reload-from-repository) stay O(dirty): unchanged
+    /// entries' signatures are reused through `Arc` identity instead of
+    /// being re-sketched and re-signed from scratch.
+    pub fn adopt_index(&mut self, prev: &ModelSearcher) {
+        self.index = prev.index.clone();
+        self.refresh_index();
+    }
+
+    /// Point-in-time index sizes and query counters (the `morer-serve`
+    /// `/stats` row), or `None` while no index has been built.
+    pub fn index_overview(&self) -> Option<IndexOverview> {
+        self.index.overview()
     }
 
     /// The repository entries, in search order. Each is behind an `Arc`
@@ -179,13 +214,40 @@ impl ModelSearcher {
     }
 
     /// Find the best-fitting stored model for `problem` (paper step 4,
-    /// `sel_base`): the query is sketched once and scored against every
-    /// entry's cached representative sketch.
+    /// `sel_base`): the query is sketched once, the search index prunes
+    /// entries whose similarity upper bound provably loses, and only the
+    /// surviving shortlist is scored against the cached representative
+    /// sketches — bit-identical to scoring every entry
+    /// ([`crate::selection::best_entry_for`], which remains the fallback
+    /// for C2ST scoring and drifted index state).
+    ///
+    /// A cold searcher (no [`ModelSearcher::warm`], no writer commit yet)
+    /// builds the index on first search; rebuilds are idempotent, so
+    /// concurrent first searches stay race-free.
     ///
     /// # Errors
     /// [`MorerError::EmptyRepository`] when no entry has representative
     /// vectors to compare against.
     pub fn search(&self, problem: &ErProblem) -> Result<SearchHit, MorerError> {
+        let index = match self.index.get() {
+            Some(index) => index,
+            None => self.refresh_index(),
+        };
+        index
+            .search(problem, &self.entries, &self.options, self.index.stats())
+            .map(|(entry_index, similarity)| SearchHit {
+                entry_index,
+                entry_id: self.entries[entry_index].id,
+                similarity,
+            })
+            .ok_or(MorerError::EmptyRepository)
+    }
+
+    /// The exhaustive `sel_base` reference path: score every searchable
+    /// entry, no index involved. [`ModelSearcher::search`] must agree with
+    /// this bit-for-bit on every query (recall-1; property-tested) — it
+    /// exists as a public reference for tests and benches.
+    pub fn search_exhaustive(&self, problem: &ErProblem) -> Result<SearchHit, MorerError> {
         best_entry_for(problem, &self.entries, &self.options)
             .map(|(entry_index, similarity)| SearchHit {
                 entry_index,
@@ -321,6 +383,35 @@ mod tests {
         let (counts, outcomes) = s.solve_and_score(&refs);
         assert_eq!(outcomes.len(), refs.len());
         assert_eq!(counts.total(), refs.iter().map(|p| p.num_pairs()).sum::<usize>() as u64);
+    }
+
+    #[test]
+    fn indexed_search_matches_the_exhaustive_reference() {
+        let entries: Vec<_> = (0..16).map(|i| entry_with_mu(i, 0.2 + 0.04 * i as f64)).collect();
+        let s = ModelSearcher::new(entries, opts());
+        s.warm();
+        for q in 0..10 {
+            let p = problem_with_mu(q, 0.25 + 0.05 * q as f64);
+            assert_eq!(s.search(&p).unwrap(), s.search_exhaustive(&p).unwrap());
+        }
+        let overview = s.index_overview().unwrap();
+        assert_eq!(overview.queries, 10);
+        assert_eq!(overview.indexed_entries, 16);
+        assert!(overview.exact_scored <= overview.considered);
+    }
+
+    #[test]
+    fn adopt_index_reuses_the_previous_lineage() {
+        let entries: Vec<_> = (0..8).map(|i| entry_with_mu(i, 0.2 + 0.08 * i as f64)).collect();
+        let prev = ModelSearcher::new(entries, opts());
+        prev.warm();
+        let _ = prev.search(&problem_with_mu(0, 0.4)).unwrap();
+        // a republication over the same shared entries adopts the index
+        // without rebuilding (same Arc) and keeps the lineage counters
+        let mut next = ModelSearcher::from_shared(prev.entries().to_vec(), *prev.options());
+        next.adopt_index(&prev);
+        assert!(Arc::ptr_eq(&prev.refresh_index(), &next.refresh_index()));
+        assert_eq!(next.index_overview().unwrap().queries, 1);
     }
 
     #[test]

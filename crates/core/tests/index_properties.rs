@@ -1,0 +1,240 @@
+//! Randomized correctness properties of the sub-linear search index
+//! (ISSUE 8 satellite): recall-1 (the indexed search returns exactly the
+//! exhaustive winner, hit for hit, over random repositories and queries at
+//! capped and uncapped sampling), incremental maintenance (the index a
+//! writer carries after any chunking of `add_problems` equals a fresh
+//! build's), and snapshot isolation (a snapshot taken before an ingest
+//! never observes a half-updated index).
+//!
+//! Deterministic seeded RNG loops rather than the proptest DSL: the inputs
+//! here are structured (feature matrices, cluster entries, ingest
+//! chunkings) and every case must reproduce exactly from the fixed seeds.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use morer_core::config::{MorerConfig, TrainingMode};
+use morer_core::distribution::{AnalysisOptions, DistributionTest};
+use morer_core::pipeline::Morer;
+use morer_core::repository::ClusterEntry;
+use morer_core::searcher::ModelSearcher;
+use morer_data::ErProblem;
+use morer_ml::dataset::{FeatureMatrix, TrainingSet};
+use morer_ml::model::{ModelConfig, TrainedModel};
+
+/// A random ER problem with `n` rows of `t` features drawn around a
+/// per-problem location, including occasional boundary values.
+fn random_problem(id: usize, n: usize, t: usize, rng: &mut SmallRng) -> ErProblem {
+    let mu: f64 = rng.gen_range(0.1..0.9);
+    let spread: f64 = rng.gen_range(0.03..0.3);
+    let mut features = FeatureMatrix::new(t);
+    let mut labels = Vec::new();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        let row: Vec<f64> = (0..t)
+            .map(|_| {
+                if rng.gen_bool(0.05) {
+                    // exact boundary values exercise clamp/bin/gate edges
+                    if rng.gen_bool(0.5) {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                } else {
+                    (mu + rng.gen_range(-spread..spread)).clamp(0.0, 1.0)
+                }
+            })
+            .collect();
+        features.push_row(&row);
+        labels.push(i % 3 == 0);
+        pairs.push((i as u32, (i + n) as u32));
+    }
+    ErProblem {
+        id,
+        sources: (0, 1),
+        pairs,
+        features,
+        labels,
+        feature_names: (0..t).map(|f| format!("f{f}")).collect(),
+    }
+}
+
+/// A random repository of `p` entries over `t` features; roughly one entry
+/// in eight is unsearchable (empty representatives), exercising the
+/// searchability bookkeeping of the index.
+fn random_entries(p: usize, t: usize, rng: &mut SmallRng) -> Vec<ClusterEntry> {
+    (0..p)
+        .map(|i| {
+            let problem = random_problem(i, rng.gen_range(8..120), t, rng);
+            let training = problem.to_training_set();
+            let model = TrainedModel::train(&ModelConfig::GaussianNb, &training);
+            let representatives =
+                if rng.gen_bool(0.125) { TrainingSet::new(t) } else { training.clone() };
+            ClusterEntry::new(i, vec![i], model, representatives, 0)
+        })
+        .collect()
+}
+
+const UNIVARIATE: [DistributionTest; 3] = [
+    DistributionTest::KolmogorovSmirnov,
+    DistributionTest::Wasserstein,
+    DistributionTest::Psi,
+];
+
+/// Recall-1: over random repositories, queries, univariate families and
+/// both capped and uncapped sampling, the indexed search returns exactly
+/// the exhaustive winner — entry and similarity, bit for bit.
+#[test]
+fn indexed_search_equals_exhaustive_hit_for_hit() {
+    let mut rng = SmallRng::seed_from_u64(0x1DE7);
+    for case in 0..12u64 {
+        let t = rng.gen_range(1..5usize);
+        let entries = random_entries(rng.gen_range(1..40), t, &mut rng);
+        for test in UNIVARIATE {
+            // capped sampling subsamples rows per entry seed; uncapped uses
+            // every row — the index must be exact under both
+            for cap in [64usize, usize::MAX] {
+                let opts = AnalysisOptions::new(test, cap, case);
+                let searcher = ModelSearcher::new(entries.clone(), opts);
+                searcher.warm();
+                for q in 0..6 {
+                    let query = random_problem(1000 + q, rng.gen_range(4..90), t, &mut rng);
+                    let indexed = searcher.search(&query);
+                    let exhaustive = searcher.search_exhaustive(&query);
+                    match (indexed, exhaustive) {
+                        (Ok(a), Ok(b)) => assert_eq!(
+                            a, b,
+                            "indexed hit diverged (case {case}, {test:?}, cap {cap})"
+                        ),
+                        (Err(_), Err(_)) => {}
+                        (a, b) => {
+                            panic!("outcome kind diverged: {a:?} vs {b:?} (case {case})")
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn ingest_config(seed: u64) -> MorerConfig {
+    MorerConfig {
+        training: TrainingMode::Supervised { fraction: 0.5 },
+        model: ModelConfig::GaussianNb,
+        seed,
+        ..MorerConfig::default()
+    }
+}
+
+/// Incremental maintenance: however `add_problems` chunks the arrivals,
+/// the index the writer carries after every commit equals the index of a
+/// from-scratch build over the same problems (same signatures, pivots and
+/// postings — [`morer_core::index::SearchIndex`] equality is structural).
+#[test]
+fn incremental_index_equals_fresh_build_under_random_chunkings() {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    for case in 0..4u64 {
+        let problems: Vec<ErProblem> =
+            (0..14).map(|i| random_problem(i, rng.gen_range(20..80), 3, &mut rng)).collect();
+        let refs: Vec<&ErProblem> = problems.iter().collect();
+        let config = ingest_config(case);
+
+        let base = 4usize;
+        let (mut incremental, _) = Morer::build(refs[..base].to_vec(), &config);
+        let mut done = base;
+        while done < refs.len() {
+            let chunk = rng.gen_range(1..=3usize).min(refs.len() - done);
+            incremental
+                .add_problems(&refs[done..done + chunk])
+                .expect("in-memory ingest cannot fail");
+            done += chunk;
+
+            let (fresh, _) = Morer::build(refs[..done].to_vec(), &config);
+            // the commit refreshed the writer's index, so refresh_index()
+            // returns the already-valid Arc on both sides
+            let a = incremental.searcher().refresh_index();
+            let b = fresh.searcher().refresh_index();
+            assert_eq!(
+                *a, *b,
+                "incremental index diverged from fresh build at {done} problems (case {case})"
+            );
+            // and the indexes drive identical searches
+            for q in 0..3 {
+                let query = random_problem(500 + q, 40, 3, &mut rng);
+                assert_eq!(
+                    incremental.searcher().search(&query).expect("non-empty repository"),
+                    fresh.searcher().search(&query).expect("non-empty repository"),
+                    "incremental search diverged at {done} problems (case {case})"
+                );
+            }
+        }
+    }
+}
+
+/// Snapshot isolation: a snapshot taken before an ingest keeps answering
+/// from its own epoch's index — searches on it stay bit-identical while
+/// (and after) the writer commits new entries, even when probed
+/// concurrently from another thread mid-ingest.
+#[test]
+fn snapshots_never_observe_a_torn_index() {
+    let mut rng = SmallRng::seed_from_u64(0x70B7);
+    let problems: Vec<ErProblem> =
+        (0..20).map(|i| random_problem(i, rng.gen_range(20..70), 3, &mut rng)).collect();
+    let refs: Vec<&ErProblem> = problems.iter().collect();
+    let queries: Vec<ErProblem> =
+        (0..5).map(|q| random_problem(900 + q, 40, 3, &mut rng)).collect();
+
+    let (mut writer, _) = Morer::build(refs[..12].to_vec(), &config_70b7());
+    let snapshot = writer.snapshot();
+    let pinned_entries = snapshot.entries().len();
+    let pinned: Vec<_> = queries
+        .iter()
+        .map(|q| snapshot.search(q).expect("non-empty repository"))
+        .collect();
+
+    std::thread::scope(|scope| {
+        let snapshot = &snapshot;
+        let queries = &queries;
+        let pinned = &pinned;
+        let probe = scope.spawn(move || {
+            for _ in 0..40 {
+                for (q, expect) in queries.iter().zip(pinned.iter()) {
+                    let hit = snapshot.search(q).expect("non-empty repository");
+                    assert_eq!(&hit, expect, "snapshot hit drifted mid-ingest");
+                    let exhaustive =
+                        snapshot.search_exhaustive(q).expect("non-empty repository");
+                    assert_eq!(hit, exhaustive, "snapshot index went torn mid-ingest");
+                }
+            }
+        });
+        // three commits land while the probe thread hammers the snapshot
+        for chunk in refs[12..].chunks(3) {
+            writer.add_problems(chunk).expect("in-memory ingest cannot fail");
+        }
+        probe.join().expect("probe thread panicked");
+    });
+
+    // the pinned epoch still answers identically after every commit, and
+    // its index never grew past its own entries
+    for (q, expect) in queries.iter().zip(&pinned) {
+        assert_eq!(&snapshot.search(q).expect("non-empty repository"), expect);
+    }
+    let overview = snapshot.index_overview().expect("snapshot carries a built index");
+    assert_eq!(overview.indexed_entries, pinned_entries, "snapshot index grew");
+    // the writer committed three more epochs behind the pinned snapshot
+    // (reclustering may merge problems, so the entry count is free to move
+    // either way — the epochs are what prove the commits landed)
+    assert!(writer.epoch() >= 3, "ingest commits must have landed");
+    // the writer's post-ingest index answers for the grown repository and
+    // still matches its exhaustive reference
+    for q in &queries {
+        assert_eq!(
+            writer.searcher().search(q).expect("non-empty repository"),
+            writer.searcher().search_exhaustive(q).expect("non-empty repository"),
+        );
+    }
+}
+
+fn config_70b7() -> MorerConfig {
+    ingest_config(0x70B7)
+}

@@ -12,7 +12,11 @@
 //!   ([`morer_core::pipeline::Morer::snapshot`]). Readers never block on the
 //!   writer: while an ingest batch reclusters and retrains, requests keep
 //!   answering from the previous epoch, bit-identically, until the commit
-//!   swaps the snapshot.
+//!   swaps the snapshot. Model search itself is sub-linear: each snapshot
+//!   carries a [`morer_core::index::SearchIndex`] that prunes entries by
+//!   provable similarity upper bounds (bit-identical results to exhaustive
+//!   scoring; index sizes and shortlist rate on `GET /stats` under
+//!   `search_index`).
 //! * **Write path** — `/ingest` requests enqueue their problems on a bounded
 //!   channel drained by a **single writer thread** that owns the
 //!   [`morer_core::pipeline::Morer`]. Arrivals queued while a commit is in

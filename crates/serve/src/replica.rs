@@ -13,7 +13,11 @@
 //!   verified prefix through [`FollowerState::ingest_segment`]. Each
 //!   applied batch publishes a fresh epoch-pinned
 //!   `Arc<ModelSearcher>` snapshot — readers never see torn state, only
-//!   whole committed epochs.
+//!   whole committed epochs. Publication is O(dirty): untouched entries
+//!   keep their published `Arc` (warmed sketches and search-index
+//!   signatures included), only positions the batch's records listed are
+//!   re-copied and re-sketched, and the search index carries over through
+//!   [`ModelSearcher::adopt_index`].
 //! * **Bootstrap / resync.** On first contact, on a `409` (stale
 //!   generation / offset beyond the log — the leader compacted mid-tail or
 //!   restarted after losing a suffix), or on an epoch gap, the follower
@@ -41,7 +45,7 @@ use serde::{Deserialize, Serialize};
 use crate::client::{Connection, RawResponse};
 use morer_core::config::MorerConfig;
 use morer_core::replication::{FollowerState, SegmentStatus};
-use morer_core::repository::ModelRepository;
+use morer_core::repository::{ClusterEntry, ModelRepository};
 use morer_core::searcher::ModelSearcher;
 
 /// Header carrying the leader's compaction generation on `/wal` responses.
@@ -378,7 +382,7 @@ fn bootstrap(
             std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
         })?
     };
-    publish(core, config, &fresh, "streaming");
+    publish_full(core, config, &fresh, "streaming");
     *state = Some(fresh);
     Ok(Step::Applied)
 }
@@ -435,14 +439,75 @@ fn poll_segment(
     }
 }
 
-/// Publish the follower's applied state as a fresh epoch-pinned snapshot.
-/// The searcher is rebuilt (and warmed) from a clone of the entry store —
-/// an O(entries) copy per applied batch, which is the simple-and-correct
-/// choice at replica scale (the leader's own publication path is the
-/// O(dirty) one).
-fn publish(core: &ReplicaCore, config: &ReplicaConfig, state: &FollowerState, phase: &'static str) {
+/// Publish the follower's applied state as a fresh epoch-pinned snapshot,
+/// reusing the previously published searcher where the applied batch left
+/// entries untouched: a position outside [`FollowerState::take_dirty`]
+/// keeps its published `Arc<ClusterEntry>` — warmed sketch cache and index
+/// signature included — while dirty/new positions are deep-copied from the
+/// store (they arrive cache-empty from record deserialization, so their
+/// sketches and signatures rebuild exactly once). The search index is
+/// adopted from the previous lineage and validated per entry by `Arc`
+/// identity, so each applied batch costs O(dirty) sketch/signature work
+/// plus O(entries) pointer clones — the same bound as the leader's own
+/// snapshot publication.
+///
+/// Reuse is sound because the published snapshot is always derived from
+/// this `state` lineage (wholesale replacements go through
+/// [`publish_full`]) and [`morer_core::wal::apply_record` semantics]
+/// guarantee every mutated-or-recreated position appears in the applied
+/// records' entry ids — positions it did not list are byte-identical to
+/// the previous publication (debug-asserted below).
+fn publish(
+    core: &ReplicaCore,
+    config: &ReplicaConfig,
+    state: &mut FollowerState,
+    phase: &'static str,
+) {
+    let dirty = state.take_dirty();
+    let options = config.morer.analysis_options();
+    let (_, prev) = core.published_pair();
+    let reusable = *prev.options() == options;
+    let prev_entries = prev.entries();
+    let shared: Vec<Arc<ClusterEntry>> = state
+        .entries()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            if reusable && !dirty.contains(&i) {
+                if let Some(p) = prev_entries.get(i) {
+                    debug_assert!(**p == *e, "reused entry {i} drifted from the store");
+                    return Arc::clone(p);
+                }
+            }
+            Arc::new(e.clone())
+        })
+        .collect();
+    let mut searcher = ModelSearcher::from_shared(shared, options);
+    searcher.adopt_index(&prev);
+    searcher.warm();
+    finish_publish(core, Arc::new(searcher), state, phase);
+}
+
+/// Publish after a wholesale state replacement (bootstrap / resync): the
+/// previous snapshot may describe a different history, so nothing is
+/// reused — the searcher is rebuilt and warmed from a full store clone.
+fn publish_full(
+    core: &ReplicaCore,
+    config: &ReplicaConfig,
+    state: &FollowerState,
+    phase: &'static str,
+) {
     let searcher =
         Arc::new(ModelSearcher::from_repository(state.repository(), &config.morer));
+    finish_publish(core, searcher, state, phase);
+}
+
+fn finish_publish(
+    core: &ReplicaCore,
+    searcher: Arc<ModelSearcher>,
+    state: &FollowerState,
+    phase: &'static str,
+) {
     *core.published.lock().expect("replica snapshot poisoned") =
         PublishedSnapshot { epoch: state.epoch(), searcher };
     let mut s = core.status.lock().expect("replica status poisoned");

@@ -887,6 +887,7 @@ fn stats(state: &ServerState) -> Reply {
             .filter(|e| !e.representatives.is_empty())
             .count(),
         wal: state.durability(),
+        search_index: published.searcher.index_overview(),
         endpoints: state.metrics.snapshot(),
     };
     json_reply(&body, Endpoint::Stats)

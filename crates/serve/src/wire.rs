@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize, Value};
 use crate::metrics::EndpointStats;
 use crate::replica::ReplicaStatus;
 use morer_core::error::MorerError;
+use morer_core::index::IndexOverview;
 use morer_core::wal::DurabilityState;
 
 /// `GET /healthz` response body.
@@ -48,6 +49,10 @@ pub struct StatsResponse {
     /// Write-ahead-log state (durable epoch, log length, compaction count);
     /// absent when the server runs without durability.
     pub wal: Option<DurabilityState>,
+    /// Search-index sizes and cumulative shortlist counters
+    /// ([`morer_core::index`]); absent until the served searcher has built
+    /// an index (e.g. a cold repository that has not answered a search).
+    pub search_index: Option<IndexOverview>,
     /// Per-endpoint request counters and latency aggregates.
     pub endpoints: Vec<EndpointStats>,
 }
@@ -178,13 +183,24 @@ mod tests {
                 compactions: 1,
                 fsync: true,
             }),
+            search_index: Some(IndexOverview {
+                indexed_entries: 2,
+                pivots: 2,
+                postings: 4,
+                queries: 10,
+                exact_scored: 12,
+                considered: 20,
+                fallbacks: 0,
+                shortlist_frac: 0.6,
+            }),
             endpoints: Vec::new(),
         };
         let back: StatsResponse =
             serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(back, s);
-        // an in-memory server reports no durability
-        let s = StatsResponse { wal: None, ..s };
+        // an in-memory server reports no durability; a cold searcher has
+        // no index yet
+        let s = StatsResponse { wal: None, search_index: None, ..s };
         let back: StatsResponse =
             serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(back, s);

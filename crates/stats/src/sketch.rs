@@ -77,6 +77,28 @@ impl ColumnSketch {
         &self.moments
     }
 
+    /// The ECDF evaluated on the shared [`CDF_GRID`]-point grid over
+    /// `[0, 1]` — the exact vector [`ColumnSketch::distance`] consumes for
+    /// WD/CvM, exposed so index layers can derive distance *lower bounds*
+    /// from grid subsets (any `|grid_a[k] - grid_b[k]|` lower-bounds the KS
+    /// sup, any partial L1 sum over the grid lower-bounds the full WD sum).
+    pub fn grid(&self) -> &[f64] {
+        &self.grid
+    }
+
+    /// The [`PSI_BINS`]-bin histogram proportions — the exact vector the
+    /// PSI distance consumes. Every per-bin PSI term is non-negative, so a
+    /// partial sum over any bin subset lower-bounds the full PSI distance.
+    pub fn props(&self) -> &[f64] {
+        &self.props
+    }
+
+    /// Total binned count behind [`ColumnSketch::props`] (the PSI
+    /// empty-sample gate fires on `hist_total() == 0`).
+    pub fn hist_total(&self) -> u64 {
+        self.hist_total
+    }
+
     /// Pooled standard deviation of this column and `other` as if both
     /// samples were concatenated — the §4.2 "discriminative power" weight,
     /// via an O(1) moments merge.

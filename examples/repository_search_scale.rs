@@ -1,0 +1,80 @@
+//! Sub-linear model search at repository scale: a 500-entry model
+//! repository, the exhaustive `sel_base` scan, and the two-level
+//! `morer_core::index::SearchIndex` (quantized-signature shortlist +
+//! pivot/triangle pruning) answering the same queries — bit-identically,
+//! but an order of magnitude faster.
+//!
+//! The index is *exact*: every shortlist survivor is re-scored by the
+//! unchanged similarity path and every pruned entry is provably unable to
+//! win, so the winner (entry *and* similarity) equals the exhaustive
+//! scan's on every query. This demo measures both paths and prints the
+//! index's own accounting of how much work the bounds saved.
+//!
+//! ```text
+//! cargo run --release --example repository_search_scale
+//! ```
+
+use std::time::Instant;
+
+use morer::core::distribution::{AnalysisOptions, DistributionTest};
+use morer::core::searcher::ModelSearcher;
+use morer_bench::workload::{repository_problems, repository_workload};
+
+fn main() {
+    // 1. a 500-entry repository: one trained model per entry, drawn from
+    // twelve distribution families with per-entry location/spread/match-rate
+    // jitter — the spread is what gives the coarse signatures their
+    // pruning power
+    let p = 500usize;
+    let entries = repository_workload(p, 160, 6, 0x5EA2);
+    let opts = AnalysisOptions::new(DistributionTest::KolmogorovSmirnov, usize::MAX, 42);
+    let searcher = ModelSearcher::new(entries, opts);
+    searcher.warm(); // pre-sketch every entry and build the index
+    println!("repository: {p} entries, 6 features, KS similarity\n");
+
+    // 2. the two paths must agree hit-for-hit before any timing matters
+    let queries = repository_problems(24, 160, 6, 0x9E77);
+    for q in &queries {
+        let indexed = searcher.search(q).expect("non-empty repository");
+        let exhaustive = searcher.search_exhaustive(q).expect("non-empty repository");
+        assert_eq!(indexed, exhaustive, "the index must be exact");
+    }
+    println!("recall-1 verified: indexed == exhaustive on all {} queries", queries.len());
+
+    // 3. time both paths over a few rounds
+    let rounds = 5usize;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for q in &queries {
+            std::hint::black_box(searcher.search_exhaustive(q).expect("searchable"));
+        }
+    }
+    let exhaustive_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for q in &queries {
+            std::hint::black_box(searcher.search(q).expect("searchable"));
+        }
+    }
+    let indexed_s = start.elapsed().as_secs_f64();
+    let solves = (rounds * queries.len()) as f64;
+    println!("exhaustive: {:8.1} solves/s", solves / exhaustive_s);
+    println!("indexed:    {:8.1} solves/s  ({:.1}x)", solves / indexed_s, exhaustive_s / indexed_s);
+
+    // 4. the index's own accounting: how many entries the bounds let
+    // through to exact scoring (the shortlist), cumulatively over every
+    // search this process ran
+    let overview = searcher.index_overview().expect("warmed searcher has an index");
+    println!(
+        "\nindex: {} entries, {} pivots, {} posting lists",
+        overview.indexed_entries, overview.pivots, overview.postings
+    );
+    println!(
+        "queries: {} ({} fallbacks), exact-scored {} of {} considered entries ({:.2}%)",
+        overview.queries,
+        overview.fallbacks,
+        overview.exact_scored,
+        overview.considered,
+        100.0 * overview.shortlist_frac
+    );
+}

@@ -27,6 +27,13 @@
 //!   `solve_batch(&self, …)` (scoped-thread fan-out) can be called from any
 //!   number of threads on one instance. Searching an empty repository is the
 //!   typed [`core::error::MorerError::EmptyRepository`] — no sentinels.
+//!   Search is **sub-linear**: every searcher carries a
+//!   [`core::index::SearchIndex`] (an inverted index over quantized
+//!   per-column sketch signatures plus a pivot/triangle pruning layer) that
+//!   exactly re-scores only the entries whose provable similarity upper
+//!   bound can still win — bit-identical results to the exhaustive scan
+//!   ([`core::searcher::ModelSearcher::search_exhaustive`]), ~15× faster at
+//!   500 entries (see `examples/repository_search_scale.rs`).
 //! * **[`core::pipeline::Morer`]** — the writer. Wraps a searcher
 //!   ([`core::pipeline::Morer::searcher`]) and adds repository construction,
 //!   **streaming ingest** ([`core::pipeline::Morer::add_problems`]: O(P)
