@@ -173,7 +173,12 @@ fn main() {
 /// into a 40-problem repository (`ingest_problems_per_s` /
 /// `ingest_speedup` of `add_problem` over a per-insert full rebuild) —
 /// the deployed serving layer (`serve_requests_per_s`: 4 loopback
-/// connections hammering `morer-serve`'s `/solve` on a warmed snapshot) —
+/// connections hammering `morer-serve`'s `/solve` on a warmed snapshot;
+/// `serve_reactor_requests_per_s`: the same load on the reactor backend
+/// with 1024 idle keep-alive connections parked — `serve_concurrent_conns`
+/// is the peak open-connection gauge and `serve_idle_conn_reap_ms` how far
+/// past its idle deadline a 256-connection parked cohort was fully
+/// reaped) —
 /// and the durability subsystem (`wal_appends_per_s` fsync'd commit-log
 /// appends, `wal_appends_per_s_grouped` deferred appends sharing one
 /// group-commit sync, `recovery_replay_s` cold-start log replay,
@@ -539,6 +544,119 @@ fn quick_bench(seed: u64) {
     let serve_requests = serve_conns * rounds * queries.len();
     handle.shutdown();
 
+    // --- reactor under parked idle connections (ISSUE 9) -----------------
+    // the event-driven backend's contract: a solve's cost must not depend
+    // on how many idle keep-alive connections are parked. 1024 connections
+    // are parked, served solves are re-asserted bit-identical to the
+    // in-process reference, and only then is throughput measured — with
+    // zero reaps allowed during the measurement, so the capacity provably
+    // did not come from disconnecting the parked cohort. A second server
+    // with a short idle deadline measures how promptly a parked cohort is
+    // reaped (`serve_idle_conn_reap_ms`: cohort reap completion past the
+    // configured deadline).
+    let (serve_concurrent_conns, serve_reactor_rate, serve_idle_conn_reap_ms);
+    if cfg!(target_os = "linux") {
+        use morer_serve::{ServeBackend, StatsResponse};
+        let reactor_cfg = morer_serve::ServeConfig {
+            backend: ServeBackend::Reactor,
+            ..morer_serve::ServeConfig::default()
+        };
+        let reactor_handle = MorerServer::start(
+            Morer::from_repository(searcher.repository(), &serve_cfg),
+            &reactor_cfg,
+        )
+        .expect("start reactor morer-serve");
+        let addr = reactor_handle.addr();
+        let n_parked = 1024usize;
+        let parked: Vec<std::net::TcpStream> = (0..n_parked)
+            .map(|_| std::net::TcpStream::connect(addr).expect("park idle connection"))
+            .collect();
+        {
+            let mut conn = Connection::open(addr).expect("connect to reactor");
+            for (body, reference) in bodies.iter().zip(&serve_reference) {
+                let res = conn.post("/solve", body).expect("reactor solve");
+                assert_eq!(res.status, 200, "reactor solve error: {}", res.body);
+                let served: SolveOutcome = res.json().expect("decode outcome");
+                assert_eq!(
+                    &served, reference,
+                    "reactor solve diverged from the in-process searcher"
+                );
+            }
+            let stats: StatsResponse = conn.get("/stats").expect("stats").json().expect("stats");
+            assert!(
+                stats.connections.open >= n_parked as u64,
+                "parked connections not all open: {:?}",
+                stats.connections
+            );
+        }
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..serve_conns {
+                let bodies = &bodies;
+                scope.spawn(move || {
+                    let mut conn = Connection::open(addr).expect("connect to reactor");
+                    for _ in 0..rounds {
+                        for body in bodies {
+                            let res = conn.post("/solve", body).expect("reactor solve");
+                            assert_eq!(res.status, 200, "reactor solve error: {}", res.body);
+                        }
+                    }
+                });
+            }
+        });
+        let reactor_s = start.elapsed().as_secs_f64();
+        let (peak, reaped) = {
+            let mut conn = Connection::open(addr).expect("connect to reactor");
+            let stats: StatsResponse = conn.get("/stats").expect("stats").json().expect("stats");
+            (stats.connections.peak, stats.connections.idle_reaped)
+        };
+        assert_eq!(reaped, 0, "throughput must not come from reaping the parked cohort");
+        assert!(peak >= n_parked as u64 + 1);
+        drop(parked);
+        reactor_handle.shutdown();
+        serve_concurrent_conns = peak;
+        serve_reactor_rate = serve_requests as f64 / reactor_s;
+
+        // reap promptness: park a cohort against a short idle deadline and
+        // time how long past the deadline the last reap lands
+        let reap_deadline = std::time::Duration::from_millis(500);
+        let reap_handle = MorerServer::start(
+            Morer::from_repository(searcher.repository(), &serve_cfg),
+            &morer_serve::ServeConfig {
+                backend: ServeBackend::Reactor,
+                idle_timeout: reap_deadline,
+                ..morer_serve::ServeConfig::default()
+            },
+        )
+        .expect("start reap-probe morer-serve");
+        let cohort = 256usize;
+        let addr = reap_handle.addr();
+        let _parked: Vec<std::net::TcpStream> = (0..cohort)
+            .map(|_| std::net::TcpStream::connect(addr).expect("park idle connection"))
+            .collect();
+        let t0 = Instant::now();
+        let mut conn = Connection::open(addr).expect("connect to reap probe");
+        loop {
+            let stats: StatsResponse = conn.get("/stats").expect("stats").json().expect("stats");
+            if stats.connections.idle_reaped >= cohort as u64 {
+                break;
+            }
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(15),
+                "parked cohort not reaped: {:?}",
+                stats.connections
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        serve_idle_conn_reap_ms =
+            t0.elapsed().saturating_sub(reap_deadline).as_secs_f64() * 1e3;
+        drop(conn);
+        reap_handle.shutdown();
+    } else {
+        // no epoll shim on this platform: the reactor numbers are absent
+        (serve_concurrent_conns, serve_reactor_rate, serve_idle_conn_reap_ms) = (0, 0.0, 0.0);
+    }
+
     // --- durability: WAL appends, recovery replay, fsync-acknowledged serve
     // The write-ahead log's hot loop (canonical-JSON encode + FNV-1a hash +
     // fsync'd append), cold-start recovery replay, and the served `/ingest`
@@ -697,6 +815,8 @@ fn quick_bench(seed: u64) {
          \"ingest_problems_per_s\":{:.1},\"ingest_speedup\":{:.2},\
          \"serve_connections\":{},\"serve_requests\":{},\"serve_s\":{:.4},\
          \"serve_requests_per_s\":{:.1},\
+         \"serve_concurrent_conns\":{},\"serve_reactor_requests_per_s\":{:.1},\
+         \"serve_idle_conn_reap_ms\":{:.1},\
          \"wal_appends\":{},\"wal_append_s\":{:.4},\"wal_appends_per_s\":{:.1},\
          \"wal_grouped_s\":{:.4},\"wal_appends_per_s_grouped\":{:.1},\
          \"recovery_replay_s\":{:.4},\
@@ -750,6 +870,9 @@ fn quick_bench(seed: u64) {
         serve_requests,
         serve_s,
         serve_requests as f64 / serve_s,
+        serve_concurrent_conns,
+        serve_reactor_rate,
+        serve_idle_conn_reap_ms,
         wal_appends,
         wal_append_s,
         wal_appends as f64 / wal_append_s,

@@ -91,7 +91,12 @@ impl Connection {
     /// [`Connection::open`] with a per-response receive deadline: a read
     /// that has not produced a complete response within `io_timeout` fails
     /// with `TimedOut` instead of hanging — the follower's defense against
-    /// a leader that accepts connections but never answers.
+    /// a leader that accepts connections but never answers. The same
+    /// deadline caps each socket *write*, so a server that stops reading
+    /// (full receive buffer, stalled accept loop) fails the request
+    /// instead of hanging the client in `write_all`. The loopback test
+    /// suites connect through this constructor for exactly that reason: a
+    /// stalled server under test must fail an assertion, not hang CI.
     pub fn open_timeout(
         addr: impl ToSocketAddrs,
         io_timeout: Duration,
@@ -102,6 +107,9 @@ impl Connection {
         // deadline is enforced per response in read_raw_response
         let tick = io_timeout.min(Duration::from_millis(50)).max(Duration::from_millis(1));
         stream.set_read_timeout(Some(tick))?;
+        // writes have no response-level loop to enforce a deadline in, so
+        // the socket timeout is the deadline itself
+        stream.set_write_timeout(Some(io_timeout.max(Duration::from_millis(1))))?;
         Ok(Self { stream, carry: Vec::new(), io_timeout: Some(io_timeout) })
     }
 

@@ -3,13 +3,21 @@
 //! and fixed-length responses. No chunked transfer encoding, no TLS, no
 //! pipelining on the server side (each request is answered before the next
 //! is read; bytes read past the current request are carried over).
+//!
+//! Parsing is a *resumable continuation* ([`RequestParser`]): a pure
+//! function of the bytes accumulated so far that either yields a complete
+//! [`Request`] or asks for more. The blocking transport ([`read_request`],
+//! used by the threaded backend and shared with the loopback client's
+//! accumulation cores) and the non-blocking reactor transport (the
+//! `reactor` module) drive the *same* parser, so request framing cannot
+//! drift between backends.
 
 use std::io::{ErrorKind, Read, Write};
 
 /// The interim response sent when a client declares `Expect: 100-continue`
 /// and the body has not arrived yet (curl does this for bodies over 1 KB
 /// and stalls ~1s waiting for it otherwise).
-const CONTINUE: &[u8] = b"HTTP/1.1 100 Continue\r\n\r\n";
+pub(crate) const CONTINUE: &[u8] = b"HTTP/1.1 100 Continue\r\n\r\n";
 
 /// Request methods the service routes. Anything else is a 400 — the
 /// surface is closed-world.
@@ -150,47 +158,129 @@ pub(crate) fn fill_exact(
     }
 }
 
-/// Read one request from `stream` (writes only the interim
-/// `100 Continue` line when the client expects one).
-///
-/// `carry` holds bytes already read past the previous request on this
-/// connection; leftover bytes beyond this request are left in it. Reads
-/// use the stream's configured read timeout as a poll granularity: on
-/// every timeout tick `abort()` is consulted — returning `true` (server
-/// shutdown, or the caller's idle/receive deadline expired) abandons the
-/// connection as [`RequestError::Closed`], so an idle or byte-trickling
-/// client cannot pin a worker forever.
-pub fn read_request<S: Read + Write>(
-    stream: &mut S,
-    carry: &mut Vec<u8>,
-    limits: &Limits,
-    abort: impl Fn() -> bool,
-) -> Result<Request, RequestError> {
-    let mut buf = std::mem::take(carry);
+/// Head facts of a partially received request: everything the parser
+/// learned from the request line and headers, kept as the continuation
+/// state while the body is still arriving.
+#[derive(Debug, Clone)]
+struct ParsedHead {
+    method: Method,
+    path: String,
+    keep_alive: bool,
+    expect_continue: bool,
+    /// Byte offset where the body starts (head end + `\r\n\r\n`).
+    body_start: usize,
+    /// Byte offset one past the body (`body_start + Content-Length`).
+    body_end: usize,
+}
 
-    // 1. accumulate the head until the \r\n\r\n terminator
-    let max_head = limits.max_header_bytes;
-    let head_probe = |b: &[u8]| match find_head_end(b) {
-        Some(pos) => Some(Ok(pos)),
-        None if b.len() > max_head => Some(Err(())),
-        None => None,
-    };
-    let head_end = match fill_until(stream, &mut buf, head_probe, &abort)
-        .map_err(RequestError::Io)?
-    {
-        Fill::Done(Ok(pos)) if pos <= max_head => pos,
-        Fill::Done(_) => {
-            return Err(RequestError::Bad(format!(
-                "request head exceeds {max_head} bytes"
-            )))
+/// What a [`RequestParser::advance`] call concluded from the bytes
+/// accumulated so far.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// The buffer does not hold a complete request yet — read more bytes
+    /// and call [`RequestParser::advance`] again. When `send_continue` is
+    /// set the client declared `Expect: 100-continue` and is holding the
+    /// body back: write [`CONTINUE`] (via [`write_continue`]) before the
+    /// next read. The flag fires exactly once per request.
+    NeedMore {
+        /// Write the interim `100 Continue` response before reading on.
+        send_continue: bool,
+    },
+    /// A complete request: `consumed` bytes of the buffer belong to it
+    /// (head + body); everything after is pipelined surplus for the next
+    /// request. The parser has reset itself for that next request.
+    Ready {
+        /// The parsed request.
+        request: Request,
+        /// How many buffer bytes this request consumed.
+        consumed: usize,
+    },
+}
+
+/// A resumable HTTP/1.1 request parser: feed it the connection's
+/// accumulated byte buffer as often as you like ([`RequestParser::advance`]
+/// is a pure function of that buffer plus the parser's continuation state)
+/// and it yields a [`Request`] once the bytes are complete. Both the
+/// blocking transport ([`read_request`]) and the reactor's per-connection
+/// state machines drive this parser, so framing is identical by
+/// construction.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    head: Option<ParsedHead>,
+    continue_signalled: bool,
+}
+
+impl RequestParser {
+    /// A parser at the start of a request.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any part of a request head has been parsed — distinguishes
+    /// "peer closed between requests" (a clean keep-alive end) from "peer
+    /// closed mid-request" when EOF arrives. (An empty buffer with no
+    /// parsed head is the clean case.)
+    pub fn mid_body(&self) -> bool {
+        self.head.is_some()
+    }
+
+    /// The byte offset the buffer must reach for the current request to be
+    /// complete, once the head is parsed (lets a blocking caller read the
+    /// remaining body straight into the final buffer).
+    pub fn body_target(&self) -> Option<usize> {
+        self.head.as_ref().map(|h| h.body_end)
+    }
+
+    /// Inspect `buf` (the bytes received so far on this connection) and
+    /// either yield a complete request or ask for more bytes.
+    ///
+    /// # Errors
+    /// [`RequestError::Bad`] / [`RequestError::TooLarge`] exactly as
+    /// [`read_request`] reports them; the parser is not usable for this
+    /// connection afterwards (protocol errors close the connection).
+    pub fn advance(&mut self, buf: &[u8], limits: &Limits) -> Result<ParseStatus, RequestError> {
+        if self.head.is_none() {
+            let max_head = limits.max_header_bytes;
+            let head_end = match find_head_end(buf) {
+                Some(pos) if pos <= max_head => pos,
+                Some(_) => {
+                    return Err(RequestError::Bad(format!(
+                        "request head exceeds {max_head} bytes"
+                    )))
+                }
+                None if buf.len() > max_head => {
+                    return Err(RequestError::Bad(format!(
+                        "request head exceeds {max_head} bytes"
+                    )))
+                }
+                None => return Ok(ParseStatus::NeedMore { send_continue: false }),
+            };
+            self.head = Some(parse_head(&buf[..head_end], head_end, limits)?);
         }
-        Fill::Eof if buf.is_empty() => return Err(RequestError::Closed),
-        Fill::Eof => return Err(RequestError::Bad("connection closed mid-request".into())),
-        Fill::Aborted => return Err(RequestError::Closed),
-    };
+        let head = self.head.as_ref().expect("head parsed above");
+        if buf.len() < head.body_end {
+            // an expecting client holds the body back until the interim
+            // response; signal it exactly once
+            let send_continue = head.expect_continue && !self.continue_signalled;
+            self.continue_signalled |= send_continue;
+            return Ok(ParseStatus::NeedMore { send_continue });
+        }
+        let head = self.head.take().expect("head parsed above");
+        self.continue_signalled = false;
+        let request = Request {
+            method: head.method,
+            path: head.path,
+            body: buf[head.body_start..head.body_end].to_vec(),
+            keep_alive: head.keep_alive,
+        };
+        Ok(ParseStatus::Ready { request, consumed: head.body_end })
+    }
+}
 
-    // 2. parse the request line and headers
-    let head = std::str::from_utf8(&buf[..head_end])
+/// Parse the request line and headers (`head` is the bytes before the
+/// `\r\n\r\n` terminator at offset `head_end`).
+fn parse_head(head: &[u8], head_end: usize, limits: &Limits) -> Result<ParsedHead, RequestError> {
+    let head = std::str::from_utf8(head)
         .map_err(|_| RequestError::Bad("request head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
@@ -272,25 +362,87 @@ pub fn read_request<S: Read + Write>(
             max: limits.max_body_bytes,
         });
     }
-    let content_length = content_length as usize;
-
-    // 3. read exactly the declared body (some of it may already be
-    // buffered), keeping any pipelined surplus for the next request
     let body_start = head_end + 4;
-    let body_end = body_start + content_length;
-    // an expecting client holds the body back until the interim response
-    if expect_continue && buf.len() < body_end {
-        stream.write_all(CONTINUE).map_err(RequestError::Io)?;
-        stream.flush().map_err(RequestError::Io)?;
+    Ok(ParsedHead {
+        method,
+        path,
+        keep_alive,
+        expect_continue,
+        body_start,
+        body_end: body_start + content_length as usize,
+    })
+}
+
+/// Write the interim `100 Continue` response (the reactor calls this when
+/// [`ParseStatus::NeedMore`] carries `send_continue`; [`read_request`]
+/// handles it internally).
+pub fn write_continue(stream: &mut impl Write) -> std::io::Result<()> {
+    stream.write_all(CONTINUE)?;
+    stream.flush()
+}
+
+/// Read one request from `stream` (writes only the interim
+/// `100 Continue` line when the client expects one).
+///
+/// `carry` holds bytes already read past the previous request on this
+/// connection; leftover bytes beyond this request are left in it. Reads
+/// use the stream's configured read timeout as a poll granularity: on
+/// every timeout tick `abort()` is consulted — returning `true` (server
+/// shutdown, or the caller's idle/receive deadline expired) abandons the
+/// connection as [`RequestError::Closed`], so an idle or byte-trickling
+/// client cannot pin a worker forever.
+pub fn read_request<S: Read + Write>(
+    stream: &mut S,
+    carry: &mut Vec<u8>,
+    limits: &Limits,
+    abort: impl Fn() -> bool,
+) -> Result<Request, RequestError> {
+    let mut buf = std::mem::take(carry);
+    let mut parser = RequestParser::new();
+    loop {
+        match parser.advance(&buf, limits)? {
+            ParseStatus::Ready { request, consumed } => {
+                *carry = buf.split_off(consumed);
+                return Ok(request);
+            }
+            ParseStatus::NeedMore { send_continue } => {
+                if send_continue {
+                    write_continue(stream).map_err(RequestError::Io)?;
+                }
+            }
+        }
+        // with the head parsed the body length is known: read straight into
+        // the final buffer; before that, accumulate until the terminator
+        let fill = match parser.body_target() {
+            Some(target) => fill_exact(stream, &mut buf, target, &abort),
+            None => fill_until(
+                stream,
+                &mut buf,
+                |b| if find_head_end(b).is_some() || b.len() > limits.max_header_bytes {
+                    Some(())
+                } else {
+                    None
+                },
+                &abort,
+            )
+            .map(|f| match f {
+                Fill::Done(()) => Fill::Done(()),
+                Fill::Eof => Fill::Eof,
+                Fill::Aborted => Fill::Aborted,
+            }),
+        };
+        match fill.map_err(RequestError::Io)? {
+            Fill::Done(()) => {}
+            Fill::Eof if buf.is_empty() && !parser.mid_body() => {
+                return Err(RequestError::Closed)
+            }
+            Fill::Eof if parser.mid_body() => {
+                return Err(RequestError::Bad("connection closed mid-body".into()))
+            }
+            Fill::Eof => return Err(RequestError::Bad("connection closed mid-request".into())),
+            Fill::Aborted => return Err(RequestError::Closed),
+        }
     }
-    match fill_exact(stream, &mut buf, body_end, &abort).map_err(RequestError::Io)? {
-        Fill::Done(()) => {}
-        Fill::Eof => return Err(RequestError::Bad("connection closed mid-body".into())),
-        Fill::Aborted => return Err(RequestError::Closed),
-    }
-    *carry = buf.split_off(body_end);
-    let body = buf.split_off(body_start);
-    Ok(Request { method, path, body, keep_alive })
 }
 
 /// Index of the `\r\n\r\n` head terminator, if present.
@@ -319,6 +471,22 @@ pub fn write_response_with(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    let bytes = encode_response_with(status, content_type, extra_headers, body, keep_alive);
+    stream.write_all(&bytes)?;
+    stream.flush()
+}
+
+/// Encode one fixed-length response into a byte buffer without writing it
+/// anywhere — the reactor queues these bytes on the connection's write
+/// buffer and drains them as the socket reports writability (partial
+/// writes resume where they left off).
+pub fn encode_response_with(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
@@ -334,9 +502,9 @@ pub fn write_response_with(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
 }
 
 /// Canonical reason phrase for the statuses this service emits.
@@ -394,6 +562,117 @@ mod tests {
 
     fn read(raw: &[u8]) -> Result<Request, RequestError> {
         read_request(&mut Duplex::new(raw), &mut Vec::new(), &limits(), || false)
+    }
+
+    /// Feed a raw request to [`RequestParser`] one byte at a time and
+    /// return the request plus how many bytes it consumed — the reactor's
+    /// drip-fed view of the same bytes the blocking path reads at once.
+    fn parse_incremental(raw: &[u8]) -> Result<(Request, usize), RequestError> {
+        let mut parser = RequestParser::new();
+        let mut continues = 0usize;
+        for end in 0..=raw.len() {
+            match parser.advance(&raw[..end], &limits())? {
+                ParseStatus::Ready { request, consumed } => {
+                    assert!(continues <= 1, "100-continue must be signalled at most once");
+                    return Ok((request, consumed));
+                }
+                ParseStatus::NeedMore { send_continue } => {
+                    if send_continue {
+                        continues += 1;
+                    }
+                }
+            }
+        }
+        panic!("parser never completed on {} bytes", raw.len());
+    }
+
+    #[test]
+    fn incremental_parse_matches_blocking_parse() {
+        let cases: &[&[u8]] = &[
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+            b"POST /solve HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"",
+            b"GET / HTTP/1.0\r\n\r\n",
+            b"POST /ingest HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\n[]",
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+        ];
+        for raw in cases {
+            let blocking = read(raw).expect("blocking parse");
+            let (incremental, consumed) = parse_incremental(raw).expect("incremental parse");
+            assert_eq!(incremental.method, blocking.method);
+            assert_eq!(incremental.path, blocking.path);
+            assert_eq!(incremental.body, blocking.body);
+            assert_eq!(incremental.keep_alive, blocking.keep_alive);
+            assert_eq!(consumed, raw.len(), "whole request consumed, no surplus");
+        }
+    }
+
+    #[test]
+    fn incremental_parse_leaves_pipelined_surplus() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut parser = RequestParser::new();
+        let first = parser.advance(raw, &limits()).unwrap();
+        let consumed = match first {
+            ParseStatus::Ready { request, consumed } => {
+                assert_eq!(request.path, "/a");
+                consumed
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        };
+        // the parser reset itself: the surplus parses as the next request
+        match parser.advance(&raw[consumed..], &limits()).unwrap() {
+            ParseStatus::Ready { request, consumed } => {
+                assert_eq!(request.path, "/b");
+                assert_eq!(consumed, raw.len() - consumed);
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_rejects_the_same_bad_heads() {
+        let bad: &[&[u8]] = &[
+            b"PUT / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nab",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length : 2\r\n\r\nab",
+        ];
+        for raw in bad {
+            let blocking = read(raw);
+            let incremental = (|| -> Result<(), RequestError> {
+                let mut parser = RequestParser::new();
+                for end in 0..=raw.len() {
+                    parser.advance(&raw[..end], &limits())?;
+                }
+                Ok(())
+            })();
+            match (&blocking, &incremental) {
+                (Err(RequestError::Bad(a)), Err(RequestError::Bad(b))) => assert_eq!(a, b),
+                other => panic!("expected matching Bad errors, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn encode_response_matches_streamed_response() {
+        let mut streamed = Vec::new();
+        write_response_with(
+            &mut streamed,
+            200,
+            "application/json",
+            &[("X-Morer-Epoch".into(), "7".into())],
+            b"{\"ok\":true}",
+            true,
+        )
+        .unwrap();
+        let encoded = encode_response_with(
+            200,
+            "application/json",
+            &[("X-Morer-Epoch".into(), "7".into())],
+            b"{\"ok\":true}",
+            true,
+        );
+        assert_eq!(streamed, encoded);
     }
 
     #[test]

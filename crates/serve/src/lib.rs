@@ -3,9 +3,45 @@
 //! The paper's end state (Fig. 3 steps 4-5) is a *service*: clients submit
 //! unsolved ER problems and the repository answers with a reusable model.
 //! This crate turns the library pipeline into that deployable service — an
-//! HTTP/1.1 JSON server built on nothing but `std` (`TcpListener` + a fixed
-//! pool of worker threads; the build environment has no crates.io access,
-//! see `crates/vendor/README.md`) on top of the two-layer pipeline API:
+//! HTTP/1.1 JSON server built on nothing but `std` (the build environment
+//! has no crates.io access, see `crates/vendor/README.md`) on top of the
+//! two-layer pipeline API.
+//!
+//! ## Architecture
+//!
+//! Two connection cores ([`ServeBackend`]) share everything above the
+//! transport — the same resumable [`http::RequestParser`], dispatch table,
+//! single-writer ingest channel, and [`metrics::MetricsRegistry`]:
+//!
+//! * **Reactor** (default on Linux) — an `epoll` readiness loop over a raw
+//!   `extern "C"` FFI shim (`std` already links libc; no crates needed).
+//!   One or more reactor threads own *every* connection as a non-blocking
+//!   state machine: per-connection read buffers feed the incremental
+//!   parser, responses flush with partial-write resume and backpressure,
+//!   keep-alive pipelining carries surplus bytes to the next request, and
+//!   a timer queue fires idle/write-stall deadlines without polling.
+//!   Cheap `GET`s (`/healthz`, `/stats`, `/wal`) are answered inline on
+//!   the reactor thread; `POST` bodies (`/search`, `/solve`,
+//!   `/solve_batch`, `/ingest`) dispatch to a compute pool sized to the
+//!   machine. An idle connection costs a slab slot and a timer entry, so
+//!   thousands of parked keep-alive clients (up to
+//!   [`ServeConfig::max_connections`]) stall nothing.
+//!
+//!   ```text
+//!   listener ──accept──▶ reactor thread(s): epoll { conn slab + timers }
+//!                          │ GET: dispatch inline       ▲ completions
+//!                          └─ POST ──▶ compute pool ────┘  (wake pipe)
+//!                                        │ /ingest
+//!                                        ▼
+//!                              single writer thread ──▶ WAL / snapshot swap
+//!   ```
+//!
+//! * **Threaded** (portable fallback, [`ServeBackend::Threaded`]) — a fixed
+//!   pool of [`ServeConfig::workers`] blocking threads, one connection per
+//!   worker; each idle keep-alive client pins a worker until its
+//!   [`ServeConfig::idle_timeout`].
+//!
+//! The serving contract is backend-independent:
 //!
 //! * **Read path** — every `/search`, `/solve` and `/solve_batch` request is
 //!   served from the current epoch-pinned `Arc<ModelSearcher>` snapshot
@@ -24,10 +60,12 @@
 //!   ingest requests share one recluster/retrain commit (each requester
 //!   receives the combined [`morer_core::pipeline::IngestReport`] of the
 //!   commit its problems were part of).
-//! * **Observability** — `GET /healthz` and `GET /stats` report the epoch,
-//!   entry/model counts and per-endpoint request counters and latency
-//!   aggregates from a lock-free [`metrics::MetricsRegistry`] (plain
-//!   `AtomicU64`s, no locks on the request path).
+//! * **Observability** — `GET /healthz` reports the epoch and which backend
+//!   answered; `GET /stats` adds per-endpoint request counters, latency
+//!   aggregates and connection-lifecycle gauges (open/peak counts, cap
+//!   rejections, idle reaps) from a lock-free
+//!   [`metrics::MetricsRegistry`] (plain `AtomicU64`s, no locks on the
+//!   request path).
 //! * **Replication** — a durable leader also ships its write-ahead log:
 //!   `GET /wal?from=..&gen=..` streams hash-verified commit frames and
 //!   `GET /wal/base` serves the compaction base snapshot, which a
@@ -35,14 +73,17 @@
 //!   (`MorerServer::serve_replica`). Followers survive leader
 //!   restarts, mid-tail compaction and corrupt streams by renegotiating
 //!   offsets and resyncing from base — they degrade to stale-but-consistent
-//!   reads instead of crashing.
+//!   reads instead of crashing. With reactor-cheap connections, fanning one
+//!   leader out to many followers costs the leader a slab slot each.
 //!
 //! Failure modes are typed end-to-end: malformed HTTP or JSON is `400`,
 //! searching an empty repository is `404`, an oversized body is `413`
 //! (bounded by [`ServeConfig::max_body_bytes`]), a dead writer is `500` —
 //! all with a JSON `{"error": {"kind", "message"}}` body derived from
-//! [`morer_core::error::MorerError`], and none of them kill the worker that
-//! answered.
+//! [`morer_core::error::MorerError`], and none of them kill the thread that
+//! answered. Clients that go silent or trickle bytes (slowloris) are
+//! disconnected at [`ServeConfig::idle_timeout`] and counted in the
+//! `idle_reaped` gauge.
 //!
 //! ## Quickstart
 //!
@@ -66,14 +107,20 @@
 //!
 //! With a server on `127.0.0.1:7878` (problems are the JSON form of
 //! [`morer_data::ErProblem`] — see `examples/serve_demo.rs` for a script
-//! that prints ready-made request bodies):
+//! that prints ready-made request bodies). Set `MORER_SERVE_BACKEND` to
+//! `threaded` or `reactor` to override the platform default backend:
 //!
 //! ```text
-//! # liveness + current repository epoch
+//! # liveness, current repository epoch, and which backend is serving
 //! curl http://127.0.0.1:7878/healthz
 //!
-//! # per-endpoint request counters and latency aggregates
+//! # per-endpoint request counters, latency aggregates, and the
+//! # connection gauges (open/peak/accepted/rejected/idle_reaped)
 //! curl http://127.0.0.1:7878/stats
+//!
+//! # park idle keep-alive connections without stalling the lines above
+//! # (reactor backend; each costs the server one slab slot + one timer)
+//! for i in $(seq 1000); do sleep 300 | nc 127.0.0.1 7878 & done
 //!
 //! # sel_base model search: which stored model fits this problem best?
 //! curl -X POST --data @problem.json http://127.0.0.1:7878/search
@@ -108,13 +155,15 @@ pub mod client;
 pub mod config;
 pub mod http;
 pub mod metrics;
+pub(crate) mod reactor;
 pub mod replica;
 pub mod server;
+pub(crate) mod sys;
 pub mod wire;
 
 pub use client::{Connection, HttpResponse, RawResponse};
-pub use config::ServeConfig;
-pub use metrics::{Endpoint, EndpointStats, MetricsRegistry};
+pub use config::{ServeBackend, ServeConfig};
+pub use metrics::{ConnectionStats, Endpoint, EndpointStats, MetricsRegistry};
 pub use replica::{Replica, ReplicaConfig, ReplicaStatus};
 pub use server::{MorerServer, ServerHandle};
 pub use wire::{ErrorBody, ErrorEnvelope, HealthResponse, StatsResponse};

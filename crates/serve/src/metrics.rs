@@ -79,6 +79,19 @@ struct Counters {
 #[derive(Default)]
 pub struct MetricsRegistry {
     counters: [Counters; Endpoint::ALL.len()],
+    connections: ConnGauges,
+}
+
+/// Connection-lifecycle gauges (both backends record them; the reactor is
+/// where they get interesting, since its open-connection count can be
+/// orders of magnitude above the thread count).
+#[derive(Default)]
+struct ConnGauges {
+    open: AtomicU64,
+    peak: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    idle_reaped: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -93,6 +106,55 @@ impl MetricsRegistry {
         }
         c.total_micros.fetch_add(micros, Ordering::Relaxed);
         c.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Record an accepted connection now being served. Returns the open
+    /// count *after* this connection (used by the reactor's
+    /// `max_connections` check — callers that are over a cap undo with
+    /// [`MetricsRegistry::conn_rejected`]).
+    pub fn conn_opened(&self) -> u64 {
+        let c = &self.connections;
+        c.accepted.fetch_add(1, Ordering::Relaxed);
+        let open = c.open.fetch_add(1, Ordering::Relaxed) + 1;
+        c.peak.fetch_max(open, Ordering::Relaxed);
+        open
+    }
+
+    /// Record a connection leaving service (closed for any reason).
+    pub fn conn_closed(&self) {
+        self.connections.open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection refused over the `max_connections` cap — undoes
+    /// the matching [`MetricsRegistry::conn_opened`]'s open increment (the
+    /// accept still counts as accepted).
+    pub fn conn_rejected(&self) {
+        self.connections.rejected.fetch_add(1, Ordering::Relaxed);
+        self.connections.open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record an idle (or byte-trickling) connection reaped at its
+    /// receive deadline. The connection's [`MetricsRegistry::conn_closed`]
+    /// is recorded separately.
+    pub fn conn_idle_reaped(&self) {
+        self.connections.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Currently open connections.
+    pub fn open_connections(&self) -> u64 {
+        self.connections.open.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the connection gauges (the `/stats` `connections` field).
+    pub fn connection_stats(&self) -> ConnectionStats {
+        let c = &self.connections;
+        ConnectionStats {
+            open: c.open.load(Ordering::Relaxed),
+            peak: c.peak.load(Ordering::Relaxed),
+            accepted: c.accepted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            idle_reaped: c.idle_reaped.load(Ordering::Relaxed),
+        }
     }
 
     /// Snapshot every endpoint's counters (the `/stats` payload). Endpoints
@@ -139,9 +201,48 @@ pub struct EndpointStats {
     pub mean_micros: f64,
 }
 
+/// Connection-lifecycle gauge snapshot, as reported by `GET /stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionStats {
+    /// Connections currently being served.
+    pub open: u64,
+    /// High-water mark of `open` since the server started.
+    pub peak: u64,
+    /// Connections accepted (including ones later rejected over the cap).
+    pub accepted: u64,
+    /// Connections closed immediately because `max_connections` was
+    /// reached (reactor backend).
+    pub rejected: u64,
+    /// Connections disconnected at their idle/receive deadline.
+    pub idle_reaped: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn connection_gauges_track_lifecycle() {
+        let m = MetricsRegistry::default();
+        assert_eq!(m.conn_opened(), 1);
+        assert_eq!(m.conn_opened(), 2);
+        m.conn_closed();
+        let over = m.conn_opened(); // would exceed a cap of 1…
+        assert_eq!(over, 2);
+        m.conn_rejected(); // …so it is rejected and the open count undone
+        m.conn_idle_reaped();
+        m.conn_closed();
+        let s = m.connection_stats();
+        assert_eq!(s.open, 0);
+        assert_eq!(s.peak, 2);
+        assert_eq!(s.accepted, 3);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.idle_reaped, 1);
+        assert_eq!(m.open_connections(), 0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ConnectionStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
 
     #[test]
     fn record_accumulates_and_tracks_max() {

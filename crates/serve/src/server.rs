@@ -66,7 +66,7 @@ use std::time::{Duration, Instant};
 
 use serde::Deserialize;
 
-use crate::config::ServeConfig;
+use crate::config::{ServeBackend, ServeConfig};
 use crate::http::{self, Method, Request, RequestError};
 use crate::metrics::{Endpoint, EndpointStats, MetricsRegistry};
 use crate::replica::{Replica, ReplicaCore, HDR_EPOCH, HDR_GENERATION, HDR_LOG_LEN};
@@ -92,7 +92,7 @@ const GROUP_ROUNDS: usize = 16;
 /// the commit report (or the rejection — the writer checks feature-space
 /// compatibility, the one §4.2 precondition a decoded problem can still
 /// violate).
-struct IngestJob {
+pub(crate) struct IngestJob {
     problems: Vec<ErProblem>,
     reply: mpsc::Sender<Result<IngestReport, MorerError>>,
 }
@@ -106,16 +106,17 @@ struct Published {
     searcher: Arc<ModelSearcher>,
 }
 
-/// State shared by every worker, the writer and the handle.
-struct ServerState {
+/// State shared by every worker/reactor thread, the writer and the
+/// handle.
+pub(crate) struct ServerState {
     /// The epoch-pinned read snapshot (plus its epoch), swapped — never
     /// mutated — per commit. In replica mode this slot is bypassed: reads
     /// come from the replica's own published snapshot.
     published: Mutex<Published>,
-    /// Per-endpoint request counters.
-    metrics: MetricsRegistry,
+    /// Per-endpoint request counters and connection gauges.
+    pub(crate) metrics: MetricsRegistry,
     /// Cooperative shutdown flag.
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     /// Cleared while the write path cannot acknowledge durable commits: a
     /// panic escaped a commit (permanent until restart), or the
     /// write-ahead log failed and poisoned the pipeline (the writer then
@@ -134,6 +135,9 @@ struct ServerState {
     /// snapshot, `/ingest` answers `503`, `/healthz` reports the
     /// [`crate::replica::ReplicaStatus`].
     replica: Option<Arc<ReplicaCore>>,
+    /// Which connection core serves this instance ([`ServeBackend::label`];
+    /// reported by `/healthz`).
+    backend: &'static str,
 }
 
 impl ServerState {
@@ -195,6 +199,7 @@ impl MorerServer {
     /// (including attaching over an existing log directory — `Morer::open`
     /// it instead) when `wal_dir` is set.
     pub fn start(mut morer: Morer, config: &ServeConfig) -> Result<ServerHandle, MorerError> {
+        config.validate()?;
         if let Some(dir) = &config.wal_dir {
             if morer.durability().is_none() {
                 morer.attach_wal(
@@ -221,6 +226,7 @@ impl MorerServer {
             durability: Mutex::new(morer.durability()),
             wal_dir: morer.wal_dir(),
             replica: None,
+            backend: config.backend.label(),
         });
 
         let (ingest_tx, ingest_rx) = mpsc::sync_channel::<IngestJob>(config.ingest_queue.max(1));
@@ -233,16 +239,16 @@ impl MorerServer {
                 .spawn(move || writer_loop(morer, ingest_rx, &state, group_commit, writer_retry))?
         };
 
-        let workers = spawn_workers(&listener, &state, &ingest_tx, config);
-        // the workers hold the only remaining senders: when the last worker
-        // exits, the channel closes and the writer drains out
+        let core = spawn_backend(&listener, &state, &ingest_tx, config);
+        // the backend threads hold the only remaining senders: when the
+        // last one exits, the channel closes and the writer drains out
         drop(ingest_tx);
-        match workers {
-            Ok(workers) => {
-                Ok(ServerHandle { addr, state, workers, writer: Some(writer), replica: None })
+        match core {
+            Ok(core) => {
+                Ok(ServerHandle { addr, state, core, writer: Some(writer), replica: None })
             }
             Err(e) => {
-                // spawn_workers already tore its threads down; the writer
+                // spawn_backend already tore its threads down; the writer
                 // sees the closed channel and drains out
                 let _ = writer.join();
                 Err(e.into())
@@ -266,10 +272,11 @@ impl MorerServer {
     /// [`MorerError::Io`] when the address cannot be bound or threads
     /// cannot be spawned.
     pub fn serve_replica(replica: Replica, config: &ServeConfig) -> Result<ServerHandle, MorerError> {
+        config.validate()?;
         let listener = TcpListener::bind(config.addr.as_str())?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let core = replica.core();
+        let replica_core = replica.core();
         let state = Arc::new(ServerState {
             // bypassed (published() reads the replica), but kept coherent
             published: Mutex::new(Published { epoch: replica.epoch(), searcher: replica.snapshot() }),
@@ -278,14 +285,49 @@ impl MorerServer {
             writer_alive: AtomicBool::new(true),
             durability: Mutex::new(None),
             wal_dir: None,
-            replica: Some(core),
+            replica: Some(replica_core),
+            backend: config.backend.label(),
         });
         // replica mode has no writer: /ingest is refused at dispatch, so
         // this channel is never sent on
         let (ingest_tx, ingest_rx) = mpsc::sync_channel::<IngestJob>(1);
         drop(ingest_rx);
-        let workers = spawn_workers(&listener, &state, &ingest_tx, config)?;
-        Ok(ServerHandle { addr, state, workers, writer: None, replica: Some(replica) })
+        let core = spawn_backend(&listener, &state, &ingest_tx, config)?;
+        Ok(ServerHandle { addr, state, core, writer: None, replica: Some(replica) })
+    }
+}
+
+/// The running connection core: the spawned threads plus (reactor backend)
+/// the doorbells shutdown rings to pop reactors out of `epoll_wait`.
+struct ServeCore {
+    threads: Vec<JoinHandle<()>>,
+    #[cfg(target_os = "linux")]
+    bells: Vec<Arc<crate::reactor::Doorbell>>,
+}
+
+/// Spawn the configured backend's threads over the shared listener.
+fn spawn_backend(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    ingest_tx: &SyncSender<IngestJob>,
+    config: &ServeConfig,
+) -> Result<ServeCore, std::io::Error> {
+    match config.backend {
+        ServeBackend::Threaded => Ok(ServeCore {
+            threads: spawn_workers(listener, state, ingest_tx, config)?,
+            #[cfg(target_os = "linux")]
+            bells: Vec::new(),
+        }),
+        #[cfg(target_os = "linux")]
+        ServeBackend::Reactor => {
+            let backend = crate::reactor::spawn_reactors(listener, state, ingest_tx, config)?;
+            Ok(ServeCore { threads: backend.threads, bells: backend.bells })
+        }
+        #[cfg(not(target_os = "linux"))]
+        ServeBackend::Reactor => Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "reactor backend requires Linux (epoll)",
+        )),
     }
 }
 
@@ -327,7 +369,7 @@ fn spawn_workers(
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
-    workers: Vec<JoinHandle<()>>,
+    core: ServeCore,
     writer: Option<JoinHandle<()>>,
     replica: Option<Replica>,
 }
@@ -366,11 +408,18 @@ impl ServerHandle {
 
     fn stop(&mut self) {
         self.state.shutdown.store(true, Ordering::Release);
-        // workers poll the flag between accepts and on read timeouts, so
-        // each exits within ~poll_interval; the last one drops the final
-        // ingest sender, which ends the writer
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // reactors sleep in epoll_wait: ring each doorbell so they see the
+        // flag now instead of at their next timer deadline
+        #[cfg(target_os = "linux")]
+        for bell in &self.core.bells {
+            bell.ring();
+        }
+        // threaded workers poll the flag between accepts and on read
+        // timeouts, so each exits within ~poll_interval; reactors finish
+        // in-flight requests, then exit. Either way the last backend
+        // thread drops the final ingest sender, which ends the writer
+        for thread in self.core.threads.drain(..) {
+            let _ = thread.join();
         }
         if let Some(writer) = self.writer.take() {
             let _ = writer.join();
@@ -636,10 +685,13 @@ fn worker_loop(
         };
         // accepted sockets may inherit non-blocking mode on some platforms;
         // connection handling relies on blocking reads with a timeout
+        state.metrics.conn_opened();
         if stream.set_nonblocking(false).is_err() {
+            state.metrics.conn_closed();
             continue;
         }
         handle_connection(stream, state, ingest_tx, config);
+        state.metrics.conn_closed();
     }
 }
 
@@ -704,7 +756,14 @@ fn handle_connection(
                     return;
                 }
             }
-            Err(RequestError::Closed) => return,
+            Err(RequestError::Closed) => {
+                // distinguish "reaped at the receive deadline" from client
+                // closes and shutdown for the connection gauges
+                if Instant::now() >= deadline && !state.shutdown.load(Ordering::Acquire) {
+                    state.metrics.conn_idle_reaped();
+                }
+                return;
+            }
             Err(RequestError::Io(_)) => return,
             Err(RequestError::Bad(msg)) => {
                 state.metrics.record(Endpoint::Other, Duration::ZERO, true);
@@ -757,16 +816,16 @@ fn drain_briefly(stream: &mut TcpStream) {
 /// A routed response: status, binary body, content type, extra headers
 /// (the `/wal` shipping metadata) and the metrics endpoint it counts
 /// against.
-struct Reply {
-    status: u16,
-    body: Vec<u8>,
-    content_type: &'static str,
-    headers: Vec<(String, String)>,
-    endpoint: Endpoint,
+pub(crate) struct Reply {
+    pub(crate) status: u16,
+    pub(crate) body: Vec<u8>,
+    pub(crate) content_type: &'static str,
+    pub(crate) headers: Vec<(String, String)>,
+    pub(crate) endpoint: Endpoint,
 }
 
 impl Reply {
-    fn json(status: u16, body: String, endpoint: Endpoint) -> Self {
+    pub(crate) fn json(status: u16, body: String, endpoint: Endpoint) -> Self {
         Self {
             status,
             body: body.into_bytes(),
@@ -801,7 +860,7 @@ fn json_reply<T: serde::Serialize>(value: &T, endpoint: Endpoint) -> Reply {
 
 /// The standard error envelope for failures that are not `MorerError`s
 /// (routing and HTTP-layer rejections).
-fn plain_error(kind: &str, message: &str) -> String {
+pub(crate) fn plain_error(kind: &str, message: &str) -> String {
     serde_json::to_string(&ErrorEnvelope {
         error: ErrorBody { kind: kind.to_owned(), message: message.to_owned() },
     })
@@ -827,7 +886,11 @@ fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
         .find_map(|kv| kv.split_once('=').filter(|(k, _)| *k == key).map(|(_, v)| v))
 }
 
-fn dispatch(request: &Request, state: &ServerState, ingest_tx: &SyncSender<IngestJob>) -> Reply {
+pub(crate) fn dispatch(
+    request: &Request,
+    state: &ServerState,
+    ingest_tx: &SyncSender<IngestJob>,
+) -> Reply {
     let (path, query) = match request.path.split_once('?') {
         Some((path, query)) => (path, query),
         None => (request.path.as_str(), ""),
@@ -864,6 +927,7 @@ fn healthz(state: &ServerState) -> Reply {
     let wal = state.durability();
     let body = HealthResponse {
         status: state.health().to_owned(),
+        backend: state.backend.to_owned(),
         epoch: published.epoch,
         models: published.searcher.num_models(),
         durability: wal
@@ -889,6 +953,7 @@ fn stats(state: &ServerState) -> Reply {
         wal: state.durability(),
         search_index: published.searcher.index_overview(),
         endpoints: state.metrics.snapshot(),
+        connections: state.metrics.connection_stats(),
     };
     json_reply(&body, Endpoint::Stats)
 }

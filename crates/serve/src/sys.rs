@@ -1,0 +1,294 @@
+//! Thin FFI shim over the Linux readiness primitives the reactor needs:
+//! `epoll` for socket readiness, a non-blocking self-pipe for cross-thread
+//! wakeups, and `fcntl` to flip descriptors non-blocking.
+//!
+//! The build environment has no crates.io access (see
+//! `crates/vendor/README.md`), so this module declares the handful of
+//! `extern "C"` symbols directly — `std` already links the platform libc on
+//! Linux, no `libc` crate required. Everything unsafe is confined to this
+//! module; the rest of the crate sees two safe types, [`Epoll`] and
+//! [`WakePipe`], plus [`set_nonblocking_fd`].
+//!
+//! Layout caveat: `struct epoll_event` is `__attribute__((packed))` on
+//! x86_64 (a historic ABI wart — the kernel reads 12-byte records there)
+//! and naturally aligned everywhere else; [`EpollEvent`] mirrors that with
+//! a `cfg_attr` so the raw pointer handed to the kernel is layout-correct
+//! on both.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+// ---------------------------------------------------------------------------
+// raw libc surface
+// ---------------------------------------------------------------------------
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0o4000;
+
+/// Mirror of the kernel's `struct epoll_event` (see module docs for the
+/// x86_64 packing wart).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// Zeroed placeholder for the `epoll_wait` output buffer.
+    pub fn empty() -> Self {
+        Self { events: 0, data: 0 }
+    }
+
+    /// Readiness bits reported by the kernel (`EPOLLIN` / `EPOLLOUT` /
+    /// `EPOLLERR` / `EPOLLHUP` / `EPOLLRDHUP`).
+    pub fn events(&self) -> u32 {
+        // copy out of the (possibly packed) struct before use
+        let e = *self;
+        e.events
+    }
+
+    /// The caller-chosen token registered with the descriptor.
+    pub fn token(&self) -> u64 {
+        let e = *self;
+        e.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn pipe(fds: *mut i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Flip a descriptor to non-blocking mode (`O_NONBLOCK`).
+pub fn set_nonblocking_fd(fd: RawFd) -> io::Result<()> {
+    // SAFETY: fcntl on a caller-owned fd with valid commands
+    unsafe {
+        let flags = cvt(fcntl(fd, F_GETFL, 0))?;
+        cvt(fcntl(fd, F_SETFL, flags | O_NONBLOCK))?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Epoll
+// ---------------------------------------------------------------------------
+
+/// An owned epoll instance. Registered descriptors carry a caller-chosen
+/// `u64` token that [`Epoll::wait`] hands back with each readiness event.
+///
+/// The instance does not own registered descriptors — callers must
+/// deregister (or close) them; closing a registered fd removes it from the
+/// interest list automatically (kernel semantics).
+pub struct Epoll {
+    epfd: RawFd,
+}
+
+impl Epoll {
+    /// Create a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall, no pointers
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Self { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        // SAFETY: `ev` is a live, layout-correct epoll_event for the call
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` for `events`, tagging readiness reports with `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Change the interest set of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregister `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // a non-null event pointer keeps pre-2.6.9 kernels happy; reuse ctl
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block up to `timeout_ms` (`None` = forever) for readiness events;
+    /// returns how many entries of `events` were filled. `EINTR` is
+    /// retried internally.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: Option<u64>) -> io::Result<usize> {
+        let timeout = match timeout_ms {
+            None => -1,
+            Some(ms) => i32::try_from(ms).unwrap_or(i32::MAX),
+        };
+        loop {
+            // SAFETY: `events` is a live, writable, layout-correct buffer
+            let n = unsafe {
+                epoll_wait(self.epfd, events.as_mut_ptr(), events.len() as i32, timeout)
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            return Ok(n as usize);
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: epfd is owned by this instance and closed exactly once
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WakePipe
+// ---------------------------------------------------------------------------
+
+/// A non-blocking self-pipe: any thread calls [`WakePipe::wake`] to make
+/// the pipe's read end readable, which pops the owning reactor out of
+/// `epoll_wait`. The reactor drains it with [`WakePipe::drain`] before
+/// processing whatever state the waker updated.
+///
+/// Both ends are `O_NONBLOCK`: `wake` on a full pipe is a no-op (the
+/// reader is already scheduled to wake — coalescing is the point), and
+/// `drain` never blocks.
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    pub fn new() -> io::Result<Self> {
+        let mut fds = [0i32; 2];
+        // SAFETY: fds is a live [i32; 2] as pipe(2) requires
+        cvt(unsafe { pipe(fds.as_mut_ptr()) })?;
+        let pipe = Self { read_fd: fds[0], write_fd: fds[1] };
+        set_nonblocking_fd(pipe.read_fd)?;
+        set_nonblocking_fd(pipe.write_fd)?;
+        Ok(pipe)
+    }
+
+    /// The fd to register for `EPOLLIN` in the reactor's epoll set.
+    pub fn reader_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Make the read end readable (idempotent while undrained).
+    pub fn wake(&self) {
+        let byte = 1u8;
+        // SAFETY: one-byte write from a live buffer; EAGAIN (pipe already
+        // full => reader already pending wakeup) is intentionally ignored
+        unsafe {
+            write(self.write_fd, &byte, 1);
+        }
+    }
+
+    /// Discard all pending wake bytes.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        // SAFETY: reads into a live buffer; stops on EAGAIN/EOF
+        unsafe {
+            while read(self.read_fd, buf.as_mut_ptr(), buf.len()) > 0 {}
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        // SAFETY: both fds are owned by this instance and closed once
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+// wake() can be called from any thread holding a shared reference; the
+// underlying write(2) on O_NONBLOCK pipes is atomic for 1-byte payloads
+unsafe impl Send for WakePipe {}
+unsafe impl Sync for WakePipe {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn wake_pipe_round_trips_and_coalesces() {
+        let pipe = WakePipe::new().unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.add(pipe.reader_fd(), EPOLLIN, 7).unwrap();
+
+        let mut events = [EpollEvent::empty(); 4];
+        // nothing pending: times out with zero events
+        assert_eq!(epoll.wait(&mut events, Some(0)).unwrap(), 0);
+
+        pipe.wake();
+        pipe.wake(); // coalesces, still one readiness report
+        let n = epoll.wait(&mut events, Some(1000)).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert!(events[0].events() & EPOLLIN != 0);
+
+        pipe.drain();
+        assert_eq!(epoll.wait(&mut events, Some(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn epoll_reports_socket_readability_with_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.add(listener.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        let mut events = [EpollEvent::empty(); 4];
+        assert_eq!(epoll.wait(&mut events, Some(0)).unwrap(), 0);
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = epoll.wait(&mut events, Some(2000)).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+
+        epoll.delete(listener.as_raw_fd()).unwrap();
+        let _conn = listener.accept().unwrap();
+        assert_eq!(epoll.wait(&mut events, Some(0)).unwrap(), 0);
+    }
+}

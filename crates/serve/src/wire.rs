@@ -6,7 +6,7 @@
 
 use serde::{Deserialize, Serialize, Value};
 
-use crate::metrics::EndpointStats;
+use crate::metrics::{ConnectionStats, EndpointStats};
 use crate::replica::ReplicaStatus;
 use morer_core::error::MorerError;
 use morer_core::index::IndexOverview;
@@ -20,6 +20,10 @@ pub struct HealthResponse {
     /// replica mode — while the leader is unreachable (reads keep serving
     /// the last applied epoch).
     pub status: String,
+    /// The connection core serving this instance:
+    /// [`crate::config::ServeBackend::label`] (`"threaded"` or
+    /// `"reactor"`).
+    pub backend: String,
     /// The committed repository epoch the read path currently serves.
     pub epoch: u64,
     /// Number of stored models (= repository entries).
@@ -55,6 +59,9 @@ pub struct StatsResponse {
     pub search_index: Option<IndexOverview>,
     /// Per-endpoint request counters and latency aggregates.
     pub endpoints: Vec<EndpointStats>,
+    /// Connection-lifecycle gauges: open/peak counts, accepts, cap
+    /// rejections and idle reaps.
+    pub connections: ConnectionStats,
 }
 
 /// The decoded error body every non-2xx response carries:
@@ -145,6 +152,7 @@ mod tests {
     fn health_and_stats_round_trip() {
         let h = HealthResponse {
             status: "ok".into(),
+            backend: "reactor".into(),
             epoch: 3,
             models: 2,
             durability: "fsync".into(),
@@ -194,6 +202,13 @@ mod tests {
                 shortlist_frac: 0.6,
             }),
             endpoints: Vec::new(),
+            connections: ConnectionStats {
+                open: 1,
+                peak: 4096,
+                accepted: 9000,
+                rejected: 1,
+                idle_reaped: 7,
+            },
         };
         let back: StatsResponse =
             serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();

@@ -250,7 +250,22 @@ fn compaction_mid_tail_forces_a_clean_resync() {
         canonical_bytes(&replica.repository()),
         canonical_bytes(&twin.searcher().repository())
     );
+    // The follower may have raced the fold: applying the whole gen-0 log
+    // (through epoch 3) in the window between the epoch-3 append and the
+    // truncation. Its *next* poll then carries the stale generation and
+    // must 409 into a resync — so wait for the counter rather than
+    // asserting it the instant epoch 3 appears.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while replica.status().resyncs == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
     assert!(replica.status().resyncs >= 1, "the generation bump must have forced a resync");
+    // and the resync must land back on the same bit-identical state
+    assert!(replica.await_epoch(3, Duration::from_secs(10)), "post-resync catch-up timed out");
+    assert_eq!(
+        canonical_bytes(&replica.repository()),
+        canonical_bytes(&twin.searcher().repository())
+    );
     replica.shutdown();
     leader.shutdown();
 }

@@ -3,6 +3,14 @@
 //! `ModelSearcher` calls, ingest-during-read must show monotone epochs and
 //! no torn responses, and malformed/oversized/unknown-route requests must
 //! map to typed 4xx responses without killing the worker that answered.
+//!
+//! The whole suite is backend-parameterized: servers start on
+//! [`ServeBackend::default`], which honors `MORER_SERVE_BACKEND`
+//! (`threaded` / `reactor`), so CI runs one binary against both
+//! connection cores. `cross_backend_solves_are_bit_identical` additionally
+//! pins both backends explicitly in a single run, whatever the env says.
+//! Every client connects through [`Connection::open_timeout`] — a stalled
+//! server under test must fail an assertion, not hang CI forever.
 
 use std::time::Duration;
 
@@ -15,7 +23,8 @@ use morer_data::ErProblem;
 use morer_ml::dataset::FeatureMatrix;
 use morer_ml::model::ModelConfig;
 use morer_serve::{
-    Connection, ErrorEnvelope, HealthResponse, MorerServer, ServeConfig, StatsResponse,
+    Connection, ErrorEnvelope, HealthResponse, MorerServer, ServeBackend, ServeConfig,
+    StatsResponse,
 };
 
 fn config() -> MorerConfig {
@@ -42,6 +51,12 @@ fn serve_config() -> ServeConfig {
     }
 }
 
+/// Open a test client with a receive/send deadline: a stalled server
+/// fails the test instead of hanging it.
+fn connect(addr: std::net::SocketAddr) -> Connection {
+    Connection::open_timeout(addr, Duration::from_secs(30)).unwrap()
+}
+
 fn assert_outcomes_equal(a: &SolveOutcome, b: &SolveOutcome, context: &str) {
     assert_eq!(a.entry, b.entry, "{context}: entry");
     assert_eq!(a.similarity, b.similarity, "{context}: similarity");
@@ -54,7 +69,7 @@ fn health_and_stats_report_server_state() {
     let morer = built_morer();
     let models = morer.num_models();
     let handle = MorerServer::start(morer, &serve_config()).unwrap();
-    let mut conn = Connection::open(handle.addr()).unwrap();
+    let mut conn = connect(handle.addr());
 
     let res = conn.get("/healthz").unwrap();
     assert_eq!(res.status, 200);
@@ -102,7 +117,7 @@ fn concurrent_clients_get_solves_bit_identical_to_in_process() {
                 let bodies = &bodies;
                 let addr = handle.addr();
                 scope.spawn(move || {
-                    let mut conn = Connection::open(addr).unwrap();
+                    let mut conn = connect(addr);
                     bodies
                         .iter()
                         .map(|body| {
@@ -129,7 +144,7 @@ fn search_and_solve_batch_match_the_searcher_api() {
     let morer = built_morer();
     let searcher = morer.searcher().clone();
     let handle = MorerServer::start(morer, &serve_config()).unwrap();
-    let mut conn = Connection::open(handle.addr()).unwrap();
+    let mut conn = connect(handle.addr());
 
     let q = family_problem(200, 0, 80);
     let res = conn.post("/search", &serde_json::to_string(&q).unwrap()).unwrap();
@@ -164,7 +179,7 @@ fn ingest_commits_a_new_epoch_and_the_read_path_serves_it() {
     let mut twin = morer.clone();
     let handle = MorerServer::start(morer, &serve_config()).unwrap();
     let epoch_before = handle.epoch();
-    let mut conn = Connection::open(handle.addr()).unwrap();
+    let mut conn = connect(handle.addr());
 
     let arrivals: Vec<ErProblem> =
         (0..2).map(|i| family_problem(300 + i, 0, 120)).collect();
@@ -231,7 +246,7 @@ fn readers_stay_consistent_while_ingest_commits() {
                 let ready_tx = ready_tx.clone();
                 scope.spawn(move || {
                     // the connection predates the ingest commit
-                    let mut conn = Connection::open(addr).unwrap();
+                    let mut conn = connect(addr);
                     let mut epochs = Vec::new();
                     let (mut saw_pre, mut saw_post) = (0usize, 0usize);
                     let observe = |conn: &mut Connection,
@@ -275,7 +290,7 @@ fn readers_stay_consistent_while_ingest_commits() {
             ready_rx.recv().unwrap();
         }
         // commit one epoch while the readers hammer the read path
-        let mut writer_conn = Connection::open(addr).unwrap();
+        let mut writer_conn = connect(addr);
         let res = writer_conn.post("/ingest", &ingest_body).unwrap();
         assert_eq!(res.status, 200, "{}", res.body);
         readers.into_iter().map(|r| r.join().expect("reader panicked")).collect()
@@ -292,7 +307,7 @@ fn readers_stay_consistent_while_ingest_commits() {
     }
 
     // once the ingest response returned, a fresh request serves post-commit
-    let mut conn = Connection::open(addr).unwrap();
+    let mut conn = connect(addr);
     let res = conn.post("/solve", &q_body).unwrap();
     let outcome: SolveOutcome = serde_json::from_str(&res.body).unwrap();
     assert_outcomes_equal(&outcome, &post_outcome, "after commit");
@@ -313,7 +328,7 @@ fn concurrent_ingests_partition_into_commits() {
         let handles: Vec<_> = (0..n_clients)
             .map(|i| {
                 scope.spawn(move || {
-                    let mut conn = Connection::open(addr).unwrap();
+                    let mut conn = connect(addr);
                     let p = family_problem(500 + i, (i % 2) as u8, 100);
                     let res = conn.post("/ingest", &serde_json::to_string(&p).unwrap()).unwrap();
                     assert_eq!(res.status, 200, "{}", res.body);
@@ -351,7 +366,7 @@ fn protocol_errors_are_typed_4xx_and_never_kill_the_worker() {
     let addr = handle.addr();
 
     // invalid JSON → 400 parse, on a keep-alive connection that stays usable
-    let mut conn = Connection::open(addr).unwrap();
+    let mut conn = connect(addr);
     let res = conn.post("/solve", "{not json").unwrap();
     assert_eq!(res.status, 400);
     let env: ErrorEnvelope = serde_json::from_str(&res.body).unwrap();
@@ -376,7 +391,7 @@ fn protocol_errors_are_typed_4xx_and_never_kill_the_worker() {
     assert_eq!(res.status, 200);
 
     // declared body over the cap → 413, before the body is transmitted
-    let mut conn = Connection::open(addr).unwrap();
+    let mut conn = connect(addr);
     let res = conn
         .send_raw(b"POST /ingest HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
         .unwrap();
@@ -386,14 +401,14 @@ fn protocol_errors_are_typed_4xx_and_never_kill_the_worker() {
     assert!(!res.keep_alive);
 
     // non-HTTP garbage → 400 and the connection closes
-    let mut conn = Connection::open(addr).unwrap();
+    let mut conn = connect(addr);
     let res = conn.send_raw(b"EHLO mail.example.com\r\n\r\n").unwrap();
     assert_eq!(res.status, 400);
     assert!(!res.keep_alive);
 
     // all workers survived the abuse: fresh connections still served, and
     // the error counters saw every 4xx
-    let mut conn = Connection::open(addr).unwrap();
+    let mut conn = connect(addr);
     let res = conn.get("/stats").unwrap();
     assert_eq!(res.status, 200);
     let stats: StatsResponse = serde_json::from_str(&res.body).unwrap();
@@ -412,7 +427,7 @@ fn protocol_errors_are_typed_4xx_and_never_kill_the_worker() {
 fn inconsistent_and_mismatched_problems_are_rejected_without_killing_threads() {
     let morer = built_morer(); // scores 2 features
     let handle = MorerServer::start(morer, &serve_config()).unwrap();
-    let mut conn = Connection::open(handle.addr()).unwrap();
+    let mut conn = connect(handle.addr());
 
     // labels shorter than pairs (constructible: the fields are public) —
     // well-formed JSON, so the kind distinguishes it from a parse failure
@@ -480,7 +495,7 @@ fn inconsistent_and_mismatched_problems_are_rejected_without_killing_threads() {
 fn empty_repository_serves_typed_404_search_and_degraded_solve() {
     let morer = Morer::from_repository(ModelRepository::default(), &config());
     let handle = MorerServer::start(morer, &serve_config()).unwrap();
-    let mut conn = Connection::open(handle.addr()).unwrap();
+    let mut conn = connect(handle.addr());
     let q = family_problem(600, 0, 60);
     let body = serde_json::to_string(&q).unwrap();
 
@@ -516,7 +531,7 @@ fn acknowledged_durable_ingests_survive_a_simulated_kill() {
     }
     let cfg = ServeConfig { wal_dir: Some(dir.clone()), ..serve_config() };
     let handle = MorerServer::start(built_morer(), &cfg).unwrap();
-    let mut conn = Connection::open(handle.addr()).unwrap();
+    let mut conn = connect(handle.addr());
 
     // the server reports fsync-acknowledged durability from the start
     let health: HealthResponse =
@@ -562,12 +577,45 @@ fn acknowledged_durable_ingests_survive_a_simulated_kill() {
     }
 }
 
+/// Whatever `MORER_SERVE_BACKEND` says, pin each backend explicitly and
+/// assert both serve the *same bytes*: solve responses bit-identical to
+/// each other and to the in-process searcher, and `/healthz` reporting
+/// the backend it actually runs.
+#[test]
+fn cross_backend_solves_are_bit_identical() {
+    let mut backends = vec![ServeBackend::Threaded];
+    if cfg!(target_os = "linux") {
+        backends.push(ServeBackend::Reactor);
+    }
+    let morer = built_morer();
+    let searcher = morer.searcher().clone();
+    let queries: Vec<ErProblem> =
+        (0..4).map(|i| family_problem(900 + i, (i % 2) as u8, 80)).collect();
+    let reference: Vec<SolveOutcome> = queries.iter().map(|q| searcher.solve(q)).collect();
+
+    for backend in backends {
+        let cfg = ServeConfig { backend, ..serve_config() };
+        let handle = MorerServer::start(morer.clone(), &cfg).unwrap();
+        let mut conn = connect(handle.addr());
+        let health: HealthResponse =
+            serde_json::from_str(&conn.get("/healthz").unwrap().body).unwrap();
+        assert_eq!(health.backend, backend.label());
+        for (q, direct) in queries.iter().zip(&reference) {
+            let res = conn.post("/solve", &serde_json::to_string(q).unwrap()).unwrap();
+            assert_eq!(res.status, 200, "{}", res.body);
+            let served: SolveOutcome = serde_json::from_str(&res.body).unwrap();
+            assert_outcomes_equal(&served, direct, &format!("{} solve", backend.label()));
+        }
+        handle.shutdown();
+    }
+}
+
 #[test]
 fn graceful_shutdown_joins_all_threads_and_closes_connections() {
     let morer = built_morer();
     let handle = MorerServer::start(morer, &serve_config()).unwrap();
     let addr = handle.addr();
-    let mut conn = Connection::open(addr).unwrap();
+    let mut conn = connect(addr);
     assert_eq!(conn.get("/healthz").unwrap().status, 200);
     // shutdown() joins every worker and the writer; it must not hang on
     // the idle keep-alive connection we still hold
