@@ -173,7 +173,10 @@ fn main() {
 /// into a 40-problem repository (`ingest_problems_per_s` /
 /// `ingest_speedup` of `add_problem` over a per-insert full rebuild) —
 /// the deployed serving layer (`serve_requests_per_s`: 4 loopback
-/// connections hammering `morer-serve`'s `/solve` on a warmed snapshot;
+/// connections hammering `morer-serve`'s `/solve` on a warmed snapshot,
+/// with `serve_p99_micros` the server's own p99 for that load read back
+/// from its lock-free latency histograms, and `metrics_record_ns` the
+/// budget-asserted cost of one observability record on the request path;
 /// `serve_reactor_requests_per_s`: the same load on the reactor backend
 /// with 1024 idle keep-alive connections parked — `serve_concurrent_conns`
 /// is the peak open-connection gauge and `serve_idle_conn_reap_ms` how far
@@ -542,7 +545,41 @@ fn quick_bench(seed: u64) {
     });
     let serve_s = start.elapsed().as_secs_f64();
     let serve_requests = serve_conns * rounds * queries.len();
+    // the server's own view of the load just applied: tail latency from
+    // the lock-free log-linear histograms behind GET /stats
+    let serve_p99_micros = {
+        let mut conn = Connection::open(handle.addr()).expect("connect to morer-serve");
+        let stats: morer_serve::StatsResponse =
+            conn.get("/stats").expect("stats").json().expect("decode stats");
+        stats
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == "solve")
+            .map(|e| e.p99_micros)
+            .expect("solve endpoint on /stats")
+    };
     handle.shutdown();
+
+    // --- observability overhead: one request-path record -------------------
+    // the flight-recorder layer's contract (ISSUE 10): recording an
+    // observation is a handful of relaxed atomic RMWs — lock-free and
+    // allocation-free — budget-asserted so a regression that sneaks a lock
+    // or allocation onto the request path fails the bench, not production
+    let obs_registry = morer_serve::MetricsRegistry::default();
+    let record_iters = 100_000u32;
+    let start = Instant::now();
+    for i in 0..record_iters {
+        obs_registry.record(
+            morer_serve::Endpoint::Solve,
+            std::time::Duration::from_micros(u64::from(i & 1023)),
+            200,
+        );
+    }
+    let metrics_record_ns = start.elapsed().as_nanos() as f64 / f64::from(record_iters);
+    assert!(
+        metrics_record_ns < 2_000.0,
+        "metrics record path regressed: {metrics_record_ns:.0} ns per record (budget 2000 ns)"
+    );
 
     // --- reactor under parked idle connections (ISSUE 9) -----------------
     // the event-driven backend's contract: a solve's cost must not depend
@@ -815,6 +852,7 @@ fn quick_bench(seed: u64) {
          \"ingest_problems_per_s\":{:.1},\"ingest_speedup\":{:.2},\
          \"serve_connections\":{},\"serve_requests\":{},\"serve_s\":{:.4},\
          \"serve_requests_per_s\":{:.1},\
+         \"serve_p99_micros\":{},\"metrics_record_ns\":{:.1},\
          \"serve_concurrent_conns\":{},\"serve_reactor_requests_per_s\":{:.1},\
          \"serve_idle_conn_reap_ms\":{:.1},\
          \"wal_appends\":{},\"wal_append_s\":{:.4},\"wal_appends_per_s\":{:.1},\
@@ -870,6 +908,8 @@ fn quick_bench(seed: u64) {
         serve_requests,
         serve_s,
         serve_requests as f64 / serve_s,
+        serve_p99_micros,
+        metrics_record_ns,
         serve_concurrent_conns,
         serve_reactor_rate,
         serve_idle_conn_reap_ms,

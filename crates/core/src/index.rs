@@ -122,6 +122,9 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use morer_obs::Histogram;
 
 use serde::{Deserialize, Serialize};
 
@@ -477,6 +480,11 @@ impl SearchIndex {
         {
             return fallback(stats);
         }
+        // stage timing: everything from query sketching through the bound
+        // scan and candidate sort is the "bound scan"; the re-scoring loop
+        // below is the "exact score" phase. Pure observability — recording
+        // never changes which entries are scored or in what order.
+        let bound_started = Instant::now();
         let query = DistributionSketch::of(problem, opts);
         if !query.has_univariate_columns() {
             return fallback(stats);
@@ -582,7 +590,10 @@ impl SearchIndex {
             candidates.push((i, ub));
         }
         candidates.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        stats.bound_scan_micros.record_micros(bound_started.elapsed());
+        stats.shortlist.record(candidates.len() as u64);
 
+        let exact_started = Instant::now();
         for &(i, ub) in &candidates {
             if Some(i) == seed {
                 continue;
@@ -611,6 +622,7 @@ impl SearchIndex {
                 best = Some((i, s));
             }
         }
+        stats.exact_score_micros.record_micros(exact_started.elapsed());
         stats.exact_scored.fetch_add(scored, Ordering::Relaxed);
         debug_assert!(best.is_some(), "searchable entries exist but none was scored");
         best
@@ -650,9 +662,32 @@ pub struct IndexStats {
     exact_scored: AtomicU64,
     considered: AtomicU64,
     fallbacks: AtomicU64,
+    /// Per-query shortlist size: candidates surviving the bound scan
+    /// (the entries the exact phase may re-score).
+    shortlist: Histogram,
+    /// Per-query bound-phase cost (query sketching, pivot distances,
+    /// signature bounds, candidate sort), in microseconds.
+    bound_scan_micros: Histogram,
+    /// Per-query exact re-scoring cost, in microseconds.
+    exact_score_micros: Histogram,
 }
 
 impl IndexStats {
+    /// Per-query shortlist-size distribution (indexed path only).
+    pub fn shortlist(&self) -> &Histogram {
+        &self.shortlist
+    }
+
+    /// Per-query bound-scan timing distribution, in microseconds.
+    pub fn bound_scan_micros(&self) -> &Histogram {
+        &self.bound_scan_micros
+    }
+
+    /// Per-query exact re-scoring timing distribution, in microseconds.
+    pub fn exact_score_micros(&self) -> &Histogram {
+        &self.exact_score_micros
+    }
+
     /// Point-in-time report over these counters and `index`'s sizes.
     pub fn overview(&self, index: &SearchIndex) -> IndexOverview {
         let exact_scored = self.exact_scored.load(Ordering::Relaxed);

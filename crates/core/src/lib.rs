@@ -100,7 +100,7 @@ pub mod prelude {
     pub use crate::config::{AlMethod, MorerConfig, SelectionStrategy, TrainingMode};
     pub use crate::distribution::{AnalysisOptions, DistributionSketch, DistributionTest};
     pub use crate::error::{MorerError, REPOSITORY_FORMAT_VERSION, WAL_FORMAT_VERSION};
-    pub use crate::index::{IndexOverview, SearchIndex};
+    pub use crate::index::{IndexOverview, IndexStats, SearchIndex};
     pub use crate::pipeline::{BuildReport, IngestReport, Morer};
     pub use crate::replication::{
         ApplyOutcome, BaseSnapshot, FollowerState, FrameReader, LogSegment, ReplicaApplier,

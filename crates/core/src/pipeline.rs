@@ -47,7 +47,7 @@ use crate::generation::{
     build_uniqueness_index, cluster_seed, make_learner, supervised_training, train_cluster,
 };
 use crate::repository::{ClusterEntry, ModelRepository};
-use crate::wal::{CommitRecord, DurabilityState, Wal, WalOptions};
+use crate::wal::{CommitRecord, DurabilityState, Wal, WalObs, WalOptions};
 use crate::searcher::ModelSearcher;
 pub use crate::searcher::SolveOutcome;
 use crate::selection::{classify, coverage, retrain_budget};
@@ -171,6 +171,11 @@ pub struct Morer {
     /// when the failure was transient. The in-memory pipeline itself stays
     /// valid for reads.
     wal_poisoned: Option<String>,
+    /// Durability stage timings (append/fsync/compact/recovery), injected
+    /// into whatever log is attached so the series survives log
+    /// replacement across [`Morer::repair_wal`]. Always present — an
+    /// in-memory-only writer just never records into it.
+    wal_obs: Arc<WalObs>,
     /// When set, commits append *deferred* (no per-record fsync) and only
     /// become durable at the next [`Morer::flush_wal`] — group commit. See
     /// [`Morer::set_group_commit`].
@@ -202,6 +207,9 @@ impl Clone for Morer {
             dirty: self.dirty.clone(),
             wal: None,
             wal_poisoned: self.wal_poisoned.clone(),
+            // durability is detached, so the twin meters its own (future)
+            // log rather than polluting this writer's series
+            wal_obs: Arc::new(WalObs::default()),
             group_commit: self.group_commit,
             timings: self.timings,
         }
@@ -228,6 +236,7 @@ impl Morer {
             dirty: BTreeSet::new(),
             wal: None,
             wal_poisoned: None,
+            wal_obs: Arc::new(WalObs::default()),
             group_commit: false,
             timings: Timings::default(),
         }
@@ -300,7 +309,10 @@ impl Morer {
         let recovered = Wal::open(dir, options)?;
         let mut morer = Self::from_repository(recovered.repository, config);
         morer.epoch = recovered.epoch;
-        morer.wal = Some(recovered.wal);
+        morer.wal_obs.record_recovery(recovered.replayed, recovered.truncated_bytes);
+        let mut wal = recovered.wal;
+        wal.set_obs(Arc::clone(&morer.wal_obs));
+        morer.wal = Some(wal);
         Ok(morer)
     }
 
@@ -310,7 +322,8 @@ impl Morer {
     /// directory that already holds durable state — recover that with
     /// [`Morer::open`] instead.
     pub fn attach_wal(&mut self, dir: &Path, options: WalOptions) -> Result<(), MorerError> {
-        let wal = Wal::create(dir, options, &self.searcher.repository(), self.epoch)?;
+        let mut wal = Wal::create(dir, options, &self.searcher.repository(), self.epoch)?;
+        wal.set_obs(Arc::clone(&self.wal_obs));
         self.wal = Some(wal);
         self.wal_poisoned = None;
         Ok(())
@@ -374,6 +387,15 @@ impl Morer {
         self.wal_poisoned.as_deref()
     }
 
+    /// The durability stage-timing counters ([`WalObs`]): append, fsync
+    /// and compaction micros plus recovery totals. Stable across
+    /// [`Morer::repair_wal`] log replacement, so a serving layer can
+    /// capture the `Arc` once and scrape it forever (the `morer-serve`
+    /// `/metrics` endpoint does). All zeros for an in-memory-only writer.
+    pub fn wal_obs(&self) -> Arc<WalObs> {
+        Arc::clone(&self.wal_obs)
+    }
+
     /// Make every deferred (group-commit) append durable: one `fdatasync`
     /// covering all commits since the last flush. A no-op without an
     /// attached log, without pending appends, or under
@@ -425,7 +447,9 @@ impl Morer {
         // left, and fails cleanly (old wal + poison kept) if the disk is
         // still gone
         let recovered = Wal::open(&dir, options)?;
+        self.wal_obs.record_recovery(recovered.replayed, recovered.truncated_bytes);
         let mut wal = recovered.wal;
+        wal.set_obs(Arc::clone(&self.wal_obs));
         // the in-memory pipeline is ahead of the durable state (the failed
         // commits mutated memory but never reached disk): publish it
         // wholesale as the new base at the in-memory epoch

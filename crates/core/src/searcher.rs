@@ -30,7 +30,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::MorerConfig;
 use crate::distribution::AnalysisOptions;
 use crate::error::MorerError;
-use crate::index::{IndexCell, IndexOverview, SearchIndex};
+use crate::index::{IndexCell, IndexOverview, IndexStats, SearchIndex};
 use crate::repository::{ClusterEntry, ModelRepository};
 use crate::selection::{best_entry_for, classify};
 use morer_data::ErProblem;
@@ -168,6 +168,13 @@ impl ModelSearcher {
     /// `/stats` row), or `None` while no index has been built.
     pub fn index_overview(&self) -> Option<IndexOverview> {
         self.index.overview()
+    }
+
+    /// Live per-query index observability: shortlist sizes and the
+    /// bound-scan vs exact-score timing split. Counters accumulate across
+    /// [`Self::refresh_index`] swaps (the stats block outlives rebuilds).
+    pub fn index_stats(&self) -> &IndexStats {
+        self.index.stats()
     }
 
     /// The repository entries, in search order. Each is behind an `Arc`

@@ -144,7 +144,11 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
+use morer_obs::Histogram;
 use serde::{Deserialize, Serialize, Value};
 
 use crate::error::{MorerError, WAL_FORMAT_VERSION};
@@ -256,6 +260,45 @@ pub struct DurabilityState {
     pub fsync: bool,
 }
 
+/// Lock-free stage timings and counters of an attached log, shared by
+/// reference with whoever wants to scrape them (the `morer-serve`
+/// `/metrics` endpoint reads these while the writer thread appends).
+///
+/// Lives behind an `Arc` so the owning pipeline can hand the *same*
+/// counters to a replacement log across [`crate::pipeline::Morer::repair_wal`]
+/// — observers keep one continuous series (see [`Wal::set_obs`]).
+/// Recovery counters are recorded by the embedder from [`Recovered`]
+/// (see [`WalObs::record_recovery`]); the append/sync/compact histograms
+/// are recorded by the log itself.
+#[derive(Debug, Default)]
+pub struct WalObs {
+    /// Per-record append cost (serialize + frame + buffered write), in
+    /// microseconds. Excludes the fsync, which is metered separately.
+    pub append_micros: Histogram,
+    /// Per-`fdatasync` cost in microseconds (one sample per physical
+    /// sync: per record under [`Durability::Fsync`] appends, per group
+    /// under group commit).
+    pub fsync_micros: Histogram,
+    /// Whole-[`Wal::compact`] cost in microseconds (base render + write
+    /// + rename + log truncate).
+    pub compact_micros: Histogram,
+    /// Recovery passes ([`Wal::open`]) observed by this series.
+    pub recoveries: AtomicU64,
+    /// Records replayed on top of base snapshots, summed over recoveries.
+    pub replayed_records: AtomicU64,
+    /// Torn/corrupt tail bytes truncated away, summed over recoveries.
+    pub truncated_bytes: AtomicU64,
+}
+
+impl WalObs {
+    /// Fold one [`Recovered`] outcome into the counters.
+    pub fn record_recovery(&self, recovered_replayed: u64, recovered_truncated: u64) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.replayed_records.fetch_add(recovered_replayed, Ordering::Relaxed);
+        self.truncated_bytes.fetch_add(recovered_truncated, Ordering::Relaxed);
+    }
+}
+
 /// What [`Wal::open`] recovered from a WAL directory.
 #[derive(Debug)]
 pub struct Recovered {
@@ -287,6 +330,9 @@ pub struct Wal {
     /// Whether deferred (group-commit) appends are awaiting their shared
     /// [`Wal::sync`]. Only ever true under [`Durability::Fsync`].
     pending_sync: bool,
+    /// Stage timing sink; swappable so an owner can keep one continuous
+    /// series across log replacement ([`Wal::set_obs`]).
+    obs: Arc<WalObs>,
 }
 
 impl Wal {
@@ -332,6 +378,7 @@ impl Wal {
             compactions: 0,
             options,
             pending_sync: false,
+            obs: Arc::new(WalObs::default()),
         })
     }
 
@@ -451,6 +498,7 @@ impl Wal {
                 compactions,
                 options,
                 pending_sync: false,
+                obs: Arc::new(WalObs::default()),
             },
             repository,
             epoch,
@@ -470,7 +518,9 @@ impl Wal {
         self.write_frame(record)?;
         if self.options.durability == Durability::Fsync {
             // covers this record and any still-pending deferred appends
+            let started = Instant::now();
             self.log.sync_data()?;
+            self.obs.fsync_micros.record_micros(started.elapsed());
             self.pending_sync = false;
         }
         Ok(())
@@ -499,7 +549,9 @@ impl Wal {
     /// then *not* durable and the owning pipeline poisons itself.
     pub fn sync(&mut self) -> Result<(), MorerError> {
         if self.pending_sync {
+            let started = Instant::now();
             self.log.sync_data()?;
+            self.obs.fsync_micros.record_micros(started.elapsed());
             self.pending_sync = false;
         }
         Ok(())
@@ -511,6 +563,7 @@ impl Wal {
     }
 
     fn write_frame(&mut self, record: &CommitRecord) -> Result<(), MorerError> {
+        let started = Instant::now();
         let payload =
             serde_json::to_string(record).map_err(|e| MorerError::Parse(e.to_string()))?;
         let payload = payload.into_bytes();
@@ -528,6 +581,7 @@ impl Wal {
         self.log_bytes += frame.len() as u64;
         self.log_records += 1;
         self.durable_epoch = record.epoch;
+        self.obs.append_micros.record_micros(started.elapsed());
         Ok(())
     }
 
@@ -547,6 +601,7 @@ impl Wal {
         repository: &ModelRepository,
         epoch: u64,
     ) -> Result<(), MorerError> {
+        let started = Instant::now();
         let compactions = self.compactions + 1;
         write_base(&self.dir, repository, epoch, compactions)?;
         self.log.set_len(HEADER_LEN)?;
@@ -560,7 +615,21 @@ impl Wal {
         self.durable_epoch = epoch;
         // deferred appends were folded into the (synced) base snapshot
         self.pending_sync = false;
+        self.obs.compact_micros.record_micros(started.elapsed());
         Ok(())
+    }
+
+    /// The stage-timing counters this log records into.
+    pub fn obs(&self) -> Arc<WalObs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// Redirect stage timings into `obs` (future samples only). The
+    /// owning pipeline injects one shared sink here so the series stays
+    /// continuous when the log is replaced by
+    /// [`crate::pipeline::Morer::repair_wal`].
+    pub fn set_obs(&mut self, obs: Arc<WalObs>) {
+        self.obs = obs;
     }
 
     /// The directory this log lives in.
@@ -928,6 +997,29 @@ mod tests {
         assert_eq!(recovered.epoch, 4);
         assert_eq!(recovered.replayed, 4);
         assert_eq!(recovered.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_meters_appends_syncs_and_compactions() {
+        let dir = tmp("obs");
+        let mut wal =
+            Wal::create(&dir, WalOptions::default(), &ModelRepository::default(), 0).unwrap();
+        let shared = Arc::new(WalObs::default());
+        wal.set_obs(Arc::clone(&shared));
+        wal.append(&record(1, &[0], 1)).unwrap();
+        wal.append_deferred(&record(2, &[1], 2)).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(shared.append_micros.count(), 2);
+        assert_eq!(shared.fsync_micros.count(), 2, "one per append, one per group sync");
+        let repo = ModelRepository { entries: vec![sample_entry(0), sample_entry(1)] };
+        wal.compact(&repo, 2).unwrap();
+        assert_eq!(shared.compact_micros.count(), 1);
+        assert!(Arc::ptr_eq(&wal.obs(), &shared));
+        shared.record_recovery(3, 17);
+        assert_eq!(shared.recoveries.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.replayed_records.load(Ordering::Relaxed), 3);
+        assert_eq!(shared.truncated_bytes.load(Ordering::Relaxed), 17);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,49 @@
+//! # morer-obs — lock-free observability primitives for the MoRER stack
+//!
+//! The serving layer's north star is a production service under heavy
+//! traffic; this crate is the flight instrumentation it records itself
+//! with. It is **std-only** (the build environment has no crates.io
+//! access, see `crates/vendor/README.md`) and sits at the bottom of the
+//! workspace dependency graph so both `morer-core` (WAL, search index) and
+//! `morer-serve` (request handling, writer thread, reactor) can record
+//! into the same primitives.
+//!
+//! Three pieces, each wait-free on the record path:
+//!
+//! * [`hist::Histogram`] — an HDR-style **log-linear histogram** over
+//!   `u64` values (latencies in micros, batch sizes, queue depths). A
+//!   fixed array of `AtomicU64` buckets, 16 linear sub-buckets per
+//!   power-of-two octave, so any reported quantile is within **6.25%
+//!   relative error** of a recorded value (exact below 16). Recording is
+//!   a handful of `Relaxed` atomic adds: no locks, no allocation, no
+//!   resizing. Histograms merge losslessly (bucket-wise add), so
+//!   per-shard recorders can be folded into one view.
+//! * [`trace::FlightRecorder`] — a bounded **seqlock ring buffer** of
+//!   [`trace::Span`] records (trace id, stage, start, duration, outcome).
+//!   Writers claim a monotonically increasing ticket and overwrite the
+//!   slot `ticket % capacity` under a per-slot version word; readers
+//!   snapshot without blocking writers and drop any record they observe
+//!   mid-overwrite. The ring keeps the newest `capacity` spans — old
+//!   records are overwritten, never queued (a flight recorder, not a log
+//!   shipper).
+//! * [`prom::PromWriter`] — a minimal **Prometheus text exposition**
+//!   (version 0.0.4) builder: `# HELP`/`# TYPE` headers, counters,
+//!   gauges, and histogram series (`_bucket{le=..}`/`_sum`/`_count`)
+//!   with label escaping.
+//!
+//! ## Naming conventions
+//!
+//! Exported metric names follow Prometheus conventions: a `morer_`
+//! namespace prefix, snake-case names, base-unit suffixes spelled out
+//! (`_micros`, `_bytes`), and `_total` on monotonic counters. Label keys
+//! are stable, low-cardinality enums (`endpoint`, `stage`, `class`) —
+//! never request-scoped values like trace ids (those belong in the
+//! flight recorder, which is bounded by construction).
+
+pub mod hist;
+pub mod prom;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use prom::PromWriter;
+pub use trace::{FlightRecorder, Span, TraceIds};

@@ -1,0 +1,298 @@
+//! The flight recorder: a bounded, lock-free ring of span records.
+//!
+//! ## Overwrite semantics
+//!
+//! The ring keeps (approximately) the **newest** `capacity` spans. A
+//! writer claims a monotonically increasing ticket `t` and overwrites
+//! slot `t % capacity` — old records are silently replaced, never queued
+//! or dropped-at-the-tail. That is the flight-recorder contract:
+//! constant memory forever, and when you look, you see the most recent
+//! window of activity.
+//!
+//! ## Consistency protocol (per-slot seqlock, CAS-claimed)
+//!
+//! Each slot carries a version word: even = complete, odd = a writer is
+//! mid-write. A writer CASes the version from even `v` to odd `v + 1`
+//! (claiming *exclusive* write access to the slot), stores the span
+//! fields, then publishes `v + 2`. A reader loads the version, skips
+//! odd or never-written slots, copies the fields, and re-checks the
+//! version — any change means a writer ran underneath and the copy is
+//! discarded. Because field stores only ever happen under a won CAS,
+//! **a returned record is never torn**, no matter how writers are
+//! scheduled.
+//!
+//! The price is that recording is *best-effort under lap pressure*: a
+//! writer that finds its slot claimed by another writer, or already
+//! holding a newer ticket (it was lapped while the ring wrapped), drops
+//! its own record instead of contending. That only happens when
+//! `capacity` pushes race one ~100ns write window; at sane capacities
+//! (≥ 64) it is vanishingly rare, and the loss is one diagnostic span,
+//! never a block or a torn read.
+
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+
+/// One traced unit of work: a stage of a request (or the request
+/// itself), with its position on the service's own clock.
+///
+/// `stage` and `code` are opaque to this crate — the embedding layer
+/// owns the stage-name table and the outcome encoding (morer-serve uses
+/// HTTP status for root spans, 0 for interior stages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Id shared by every span of one request (echoed to clients as
+    /// `x-morer-trace-id`).
+    pub trace_id: u64,
+    /// Which pipeline stage this span measures (embedder-defined enum).
+    pub stage: u32,
+    /// Start time in microseconds since the recorder owner's epoch.
+    pub start_micros: u64,
+    /// Wall-clock duration of the stage in microseconds.
+    pub duration_micros: u64,
+    /// Outcome code (embedder-defined; HTTP status for request spans).
+    pub code: u32,
+}
+
+struct Slot {
+    /// `0` = never written; odd = claimed by a writer; even `>= 2` = a
+    /// complete record.
+    version: AtomicU64,
+    /// Ticket of the record in the slot (written under the seqlock;
+    /// used to order snapshots and to detect being lapped).
+    ticket: AtomicU64,
+    trace_id: AtomicU64,
+    stage: AtomicU32,
+    start_micros: AtomicU64,
+    duration_micros: AtomicU64,
+    code: AtomicU32,
+}
+
+impl Slot {
+    const fn new() -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            ticket: AtomicU64::new(0),
+            trace_id: AtomicU64::new(0),
+            stage: AtomicU32::new(0),
+            start_micros: AtomicU64::new(0),
+            duration_micros: AtomicU64::new(0),
+            code: AtomicU32::new(0),
+        }
+    }
+}
+
+/// A bounded lock-free ring buffer of [`Span`]s. See the
+/// [module docs](self) for the overwrite and consistency contract.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    /// Tickets issued so far (== total pushes attempted).
+    head: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A ring holding the newest `capacity` spans (`capacity` is clamped
+    /// to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans ever pushed (monotonic; `min(recorded, capacity)`
+    /// bounds how many a snapshot can return).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Record one span. Lock-free and allocation-free; overwrites the
+    /// oldest record once the ring is full. Best-effort: the span is
+    /// dropped (never blocked on) if its slot is being written or was
+    /// already lapped by a newer ticket — see the module docs.
+    pub fn push(&self, span: &Span) {
+        let t = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(t % self.slots.len() as u64) as usize];
+        let v = slot.version.load(Ordering::Relaxed);
+        if v & 1 == 1 || slot.ticket.load(Ordering::Relaxed) > t {
+            return; // claimed by another writer, or we were lapped
+        }
+        if slot.version.compare_exchange(v, v + 1, Ordering::Relaxed, Ordering::Relaxed).is_err() {
+            return; // lost the claim race
+        }
+        // The odd version must become visible before any field store so
+        // a concurrent reader can't pair old-version/new-fields.
+        fence(Ordering::Release);
+        slot.ticket.store(t, Ordering::Relaxed);
+        slot.trace_id.store(span.trace_id, Ordering::Relaxed);
+        slot.stage.store(span.stage, Ordering::Relaxed);
+        slot.start_micros.store(span.start_micros, Ordering::Relaxed);
+        slot.duration_micros.store(span.duration_micros, Ordering::Relaxed);
+        slot.code.store(span.code, Ordering::Relaxed);
+        slot.version.store(v + 2, Ordering::Release);
+    }
+
+    /// Copy out every currently-complete record, oldest first. Never
+    /// blocks writers; records overwritten mid-read are skipped, not
+    /// returned torn.
+    pub fn snapshot(&self) -> Vec<Span> {
+        let mut out: Vec<(u64, Span)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let v1 = slot.version.load(Ordering::Acquire);
+            if v1 == 0 || v1 & 1 == 1 {
+                continue; // empty or mid-write
+            }
+            let ticket = slot.ticket.load(Ordering::Relaxed);
+            let span = Span {
+                trace_id: slot.trace_id.load(Ordering::Relaxed),
+                stage: slot.stage.load(Ordering::Relaxed),
+                start_micros: slot.start_micros.load(Ordering::Relaxed),
+                duration_micros: slot.duration_micros.load(Ordering::Relaxed),
+                code: slot.code.load(Ordering::Relaxed),
+            };
+            fence(Ordering::Acquire);
+            if slot.version.load(Ordering::Relaxed) == v1 {
+                out.push((ticket, span));
+            }
+        }
+        out.sort_unstable_by_key(|(ticket, _)| *ticket);
+        out.into_iter().map(|(_, span)| span).collect()
+    }
+}
+
+/// Generator of request trace ids: a relaxed atomic counter finalized
+/// through SplitMix64, so ids are unique per process, well-mixed (no
+/// visible sequence), cheap (one RMW + a few multiplies), and never 0.
+#[derive(Debug)]
+pub struct TraceIds {
+    seed: u64,
+    counter: AtomicU64,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TraceIds {
+    /// A generator whose id stream is a pure function of `seed`.
+    pub const fn with_seed(seed: u64) -> Self {
+        Self { seed, counter: AtomicU64::new(0) }
+    }
+
+    /// A generator seeded from process-random state, so two server
+    /// processes don't mint colliding id streams.
+    pub fn new() -> Self {
+        use std::hash::{BuildHasher, Hasher};
+        let seed = std::collections::hash_map::RandomState::new().build_hasher().finish();
+        Self::with_seed(seed)
+    }
+
+    /// Mint the next id (never 0, so 0 can mean "untraced").
+    pub fn next(&self) -> u64 {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if id == 0 {
+            0x2545_F491_4F6C_DD1D
+        } else {
+            id
+        }
+    }
+}
+
+impl Default for TraceIds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace_id: u64, stage: u32) -> Span {
+        Span { trace_id, stage, start_micros: 10 * trace_id, duration_micros: 5, code: 200 }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_capacity_records_in_order() {
+        let ring = FlightRecorder::new(4);
+        assert!(ring.snapshot().is_empty());
+        for i in 0..10u64 {
+            ring.push(&span(i, i as u32));
+        }
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got.iter().map(|s| s.trace_id).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_yield_torn_records() {
+        use std::sync::Arc;
+        let ring = Arc::new(FlightRecorder::new(64));
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        // every field derived from trace_id, so a reader
+                        // can detect any cross-record mixing
+                        let id = w * 1_000_000 + i + 1;
+                        ring.push(&Span {
+                            trace_id: id,
+                            stage: (id % 7) as u32,
+                            start_micros: id * 3,
+                            duration_micros: id * 5,
+                            code: (id % 13) as u32,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            for s in ring.snapshot() {
+                assert_eq!(s.stage, (s.trace_id % 7) as u32);
+                assert_eq!(s.start_micros, s.trace_id * 3);
+                assert_eq!(s.duration_micros, s.trace_id * 5);
+                assert_eq!(s.code, (s.trace_id % 13) as u32);
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(ring.recorded(), 8_000);
+        // every slot holds a complete record once the dust settles
+        // (pushes dropped under lap pressure don't leave holes — the
+        // slot keeps its previous complete record)
+        for s in ring.snapshot() {
+            assert_eq!(s.start_micros, s.trace_id * 3);
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let ids = TraceIds::with_seed(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = ids.next();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate id {id:#x}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the histogram contract documented in
+//! `morer_obs::hist`: bounded relative error on quantiles, lossless
+//! concurrent recording, and merge == recording into one.
+
+use morer_obs::hist::Histogram;
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    // mixed magnitudes: sub-16 exact range, realistic micros, and the
+    // far tail, so every bucket regime is exercised
+    proptest::collection::vec(any::<u64>().prop_map(|v| v >> (v % 60)), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any reported quantile shares a bucket with an actually-recorded
+    /// value, and is therefore within the documented 6.25% relative
+    /// error of it (exact below 16).
+    #[test]
+    fn quantiles_stay_within_the_relative_error_bound(
+        vals in values(),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, vals.len() as u64);
+        let r = snap.quantile(q);
+        let bucket = Histogram::index_of(r);
+        let witness = vals.iter().copied().find(|&v| Histogram::index_of(v) == bucket);
+        prop_assert!(witness.is_some(), "quantile {r} in bucket {bucket} has no recorded witness");
+        let v = witness.unwrap();
+        if v < 16 {
+            prop_assert_eq!(r, v);
+        } else {
+            let err = (r as f64 - v as f64).abs() / v as f64;
+            prop_assert!(err <= 1.0 / 16.0, "relative error {err} for quantile {r} vs {v}");
+        }
+    }
+
+    /// Rank correctness, not just bucket membership: at least
+    /// `ceil(q * n)` recorded values are <= the reported quantile's
+    /// bucket upper bound, and the quantile never exceeds the max.
+    #[test]
+    fn quantiles_cover_the_requested_rank(
+        vals in values(),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let r = snap.quantile(q);
+        prop_assert!(r <= snap.max);
+        let target = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+        let covered = vals.iter().filter(|&&v| v <= Histogram::bucket_upper(Histogram::index_of(r))).count();
+        prop_assert!(covered >= target, "rank {target} not covered: only {covered} of {} <= {r}", vals.len());
+    }
+
+    /// Merging two histograms is indistinguishable from recording both
+    /// value streams into one.
+    #[test]
+    fn merge_equals_recording_into_one(a in values(), b in values()) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hall = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        let (m, all) = (ha.snapshot(), hall.snapshot());
+        prop_assert_eq!(m.buckets, all.buckets);
+        prop_assert_eq!(m.count, all.count);
+        prop_assert_eq!(m.sum, all.sum);
+        prop_assert_eq!(m.max, all.max);
+    }
+}
+
+/// Concurrent recording loses nothing: every value recorded by any
+/// thread lands in exactly one bucket, and count/sum agree.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    use std::sync::Arc;
+    let h = Arc::new(Histogram::new());
+    let threads = 8u64;
+    let per_thread = 10_000u64;
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    h.record(t * per_thread + i);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let snap = h.snapshot();
+    let total = threads * per_thread;
+    assert_eq!(snap.count, total);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), total);
+    assert_eq!(snap.sum, total * (total - 1) / 2);
+    assert_eq!(snap.max, total - 1);
+}

@@ -129,6 +129,12 @@ impl Connection {
             .and_then(Self::text_response)
     }
 
+    /// `POST path` with a JSON body, keeping the headers accessible (e.g.
+    /// the `x-morer-trace-id` every response carries).
+    pub fn post_raw(&mut self, path: &str, body: &str) -> std::io::Result<RawResponse> {
+        self.request("POST", path, Some(body.as_bytes()))
+    }
+
     fn request(
         &mut self,
         method: &str,

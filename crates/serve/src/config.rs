@@ -155,6 +155,15 @@ pub struct ServeConfig {
     /// `/healthz` reports `degraded`; once a probe succeeds the writer
     /// resumes acknowledging durable commits.
     pub writer_retry: Duration,
+    /// Requests taking at least this many microseconds are copied into
+    /// the slow-request flight recorder (`GET /debug/trace`, `slow`
+    /// ring) and logged with their trace id. `0` treats every request as
+    /// slow (useful in tests); the default is 100 ms.
+    pub slow_request_micros: u64,
+    /// Capacity of the recent-requests flight recorder ring, in spans
+    /// (`GET /debug/trace`, `recent` ring; the slow ring holds a quarter
+    /// of this, floor 64). Clamped to at least 1.
+    pub trace_events: usize,
 }
 
 impl Default for ServeConfig {
@@ -176,6 +185,8 @@ impl Default for ServeConfig {
             compact_every: 1024,
             group_commit: true,
             writer_retry: Duration::from_secs(1),
+            slow_request_micros: 100_000,
+            trace_events: 512,
         }
     }
 }
@@ -258,6 +269,10 @@ mod tests {
         assert!(c.group_commit);
         // repair probes must be paced well above the poll tick
         assert!(c.writer_retry > c.poll_interval);
+        // observability defaults: a 100 ms slow threshold and a ring big
+        // enough for a few hundred traced requests
+        assert_eq!(c.slow_request_micros, 100_000);
+        assert!(c.trace_events >= 64);
         // defaults validate on every backend this platform offers
         for backend in [ServeBackend::Threaded, ServeBackend::platform_default()] {
             let mut c = ServeConfig::default();

@@ -60,12 +60,22 @@
 //!   ingest requests share one recluster/retrain commit (each requester
 //!   receives the combined [`morer_core::pipeline::IngestReport`] of the
 //!   commit its problems were part of).
-//! * **Observability** — `GET /healthz` reports the epoch and which backend
-//!   answered; `GET /stats` adds per-endpoint request counters, latency
-//!   aggregates and connection-lifecycle gauges (open/peak counts, cap
-//!   rejections, idle reaps) from a lock-free
-//!   [`metrics::MetricsRegistry`] (plain `AtomicU64`s, no locks on the
-//!   request path).
+//! * **Observability** — a flight-recorder layer built on `morer_obs`,
+//!   lock-free and allocation-free on the request path. `GET /healthz`
+//!   reports the epoch and which backend answered; `GET /stats` adds
+//!   per-endpoint counters split by status class plus latency quantiles
+//!   (p50/p90/p99/p999 from log-linear [`morer_obs::Histogram`]s, ≤6.25%
+//!   relative error) and connection-lifecycle gauges; `GET /metrics`
+//!   exposes the whole pipeline — endpoint latency histograms, writer
+//!   stage timings (queue wait, batch size, commit time, group-commit
+//!   rounds), WAL append/fsync/compaction cost, per-query index
+//!   shortlist/bound-scan/exact-score splits, reactor epoll internals,
+//!   replica lag — in Prometheus text exposition. Every response carries
+//!   an `x-morer-trace-id` header; per-stage span records
+//!   (decode/search/solve/encode/writer-wait) flow into a bounded
+//!   lock-free ring dumpable via `GET /debug/trace`, and requests over
+//!   [`ServeConfig::slow_request_micros`] are additionally copied into a
+//!   slow-request ring and logged to stderr.
 //! * **Replication** — a durable leader also ships its write-ahead log:
 //!   `GET /wal?from=..&gen=..` streams hash-verified commit frames and
 //!   `GET /wal/base` serves the compaction base snapshot, which a
@@ -114,9 +124,19 @@
 //! # liveness, current repository epoch, and which backend is serving
 //! curl http://127.0.0.1:7878/healthz
 //!
-//! # per-endpoint request counters, latency aggregates, and the
-//! # connection gauges (open/peak/accepted/rejected/idle_reaped)
+//! # per-endpoint request counters (split 2xx/4xx/5xx), latency
+//! # quantiles (p50/p90/p99/p999), and the connection gauges
+//! # (open/peak/accepted/rejected/idle_reaped)
 //! curl http://127.0.0.1:7878/stats
+//!
+//! # the same and more — writer stages, WAL, index, reactor, replica
+//! # lag — as Prometheus text exposition for scraping
+//! curl http://127.0.0.1:7878/metrics
+//!
+//! # the flight recorder: per-stage spans of recent + slow requests;
+//! # filter to one request by its x-morer-trace-id response header
+//! curl http://127.0.0.1:7878/debug/trace
+//! curl "http://127.0.0.1:7878/debug/trace?id=00f1e2d3c4b5a697"
 //!
 //! # park idle keep-alive connections without stalling the lines above
 //! # (reactor backend; each costs the server one slab slot + one timer)
@@ -166,4 +186,4 @@ pub use config::{ServeBackend, ServeConfig};
 pub use metrics::{ConnectionStats, Endpoint, EndpointStats, MetricsRegistry};
 pub use replica::{Replica, ReplicaConfig, ReplicaStatus};
 pub use server::{MorerServer, ServerHandle};
-pub use wire::{ErrorBody, ErrorEnvelope, HealthResponse, StatsResponse};
+pub use wire::{ErrorBody, ErrorEnvelope, HealthResponse, StatsResponse, TraceDump, TraceSpan};

@@ -67,7 +67,7 @@ use std::time::{Duration, Instant};
 use crate::config::ServeConfig;
 use crate::http::{self, Method, ParseStatus, Request, RequestError, RequestParser};
 use crate::metrics::Endpoint;
-use crate::server::{dispatch, plain_error, IngestJob, Reply, ServerState};
+use crate::server::{dispatch, plain_error, IngestJob, Reply, ServerState, TRACE_HEADER};
 use crate::sys::{Epoll, EpollEvent, WakePipe, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
 /// Token of the shared listener in every reactor's epoll set.
@@ -385,15 +385,17 @@ fn compute_loop(
         };
         let Ok(job) = job else { return };
         let started = Instant::now();
+        let mut trace = state.metrics.begin_trace();
         let mut keep_alive = job.keep_alive && !state.shutdown.load(Ordering::Acquire);
-        let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dispatch(&job.request, state, ingest_tx)
+        let mut reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dispatch(&job.request, state, ingest_tx, &mut trace)
         }))
         .unwrap_or_else(|_| {
             keep_alive = false;
             Reply::json(500, plain_error("internal", "request handler panicked"), Endpoint::Other)
         });
-        state.metrics.record(reply.endpoint, started.elapsed(), reply.status >= 400);
+        reply.headers.push((TRACE_HEADER.to_owned(), trace.id_hex()));
+        state.metrics.finish_trace(&mut trace, reply.endpoint, reply.status, started);
         let bytes = http::encode_response_with(
             reply.status,
             reply.content_type,
@@ -418,10 +420,14 @@ impl Reactor {
                 let now = Instant::now();
                 d.saturating_duration_since(now).as_millis().min(u128::from(u64::MAX)) as u64
             });
+            let wait_started = Instant::now();
             let n = match self.epoll.wait(&mut events, timeout) {
                 Ok(n) => n,
                 Err(_) => 0,
             };
+            let stages = self.state.metrics.stages();
+            stages.epoll_wait_micros.record_micros(wait_started.elapsed());
+            stages.dispatch_depth.record(n as u64);
             if self.state.shutdown.load(Ordering::Acquire) && !self.winding_down {
                 self.begin_winding_down();
             }
@@ -481,9 +487,7 @@ impl Reactor {
                 // next readiness report rather than spinning
                 Err(_) => return,
             };
-            let open = self.state.metrics.conn_opened();
-            if open > self.max_connections as u64 {
-                self.state.metrics.conn_rejected();
+            if self.state.metrics.try_conn_opened(self.max_connections as u64).is_none() {
                 continue; // accepted-and-dropped: backlog never silently fills
             }
             if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
@@ -700,7 +704,7 @@ impl Reactor {
                     } else {
                         "connection closed mid-request"
                     };
-                    self.state.metrics.record(Endpoint::Other, Duration::ZERO, true);
+                    self.state.metrics.record(Endpoint::Other, Duration::ZERO, 400);
                     self.queue_reply(
                         slot,
                         400,
@@ -730,7 +734,7 @@ impl Reactor {
                         return false;
                     }
                 };
-                self.state.metrics.record(Endpoint::Other, Duration::ZERO, true);
+                self.state.metrics.record(Endpoint::Other, Duration::ZERO, status);
                 self.queue_reply(slot, status, body.into_bytes(), false, true);
                 true
             }
@@ -745,9 +749,10 @@ impl Reactor {
         match request.method {
             Method::Get => {
                 let started = Instant::now();
+                let mut trace = self.state.metrics.begin_trace();
                 let mut close_for_panic = false;
-                let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    dispatch(&request, &self.state, &self.ingest_tx)
+                let mut reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    dispatch(&request, &self.state, &self.ingest_tx, &mut trace)
                 }))
                 .unwrap_or_else(|_| {
                     close_for_panic = true;
@@ -757,7 +762,8 @@ impl Reactor {
                         Endpoint::Other,
                     )
                 });
-                self.state.metrics.record(reply.endpoint, started.elapsed(), reply.status >= 400);
+                reply.headers.push((TRACE_HEADER.to_owned(), trace.id_hex()));
+                self.state.metrics.finish_trace(&mut trace, reply.endpoint, reply.status, started);
                 let bytes = http::encode_response_with(
                     reply.status,
                     reply.content_type,
@@ -783,7 +789,7 @@ impl Reactor {
                 };
                 if self.job_tx.send(job).is_err() {
                     // pool gone (shutdown race): answer like a dead writer
-                    self.state.metrics.record(Endpoint::Other, Duration::ZERO, true);
+                    self.state.metrics.record(Endpoint::Other, Duration::ZERO, 500);
                     self.queue_reply(
                         slot,
                         500,

@@ -68,15 +68,22 @@ use serde::Deserialize;
 
 use crate::config::{ServeBackend, ServeConfig};
 use crate::http::{self, Method, Request, RequestError};
-use crate::metrics::{Endpoint, EndpointStats, MetricsRegistry};
+use crate::metrics::{
+    stage_name, Endpoint, EndpointStats, MetricsRegistry, Trace, STAGE_DECODE, STAGE_ENCODE,
+    STAGE_SEARCH, STAGE_SOLVE, STAGE_WRITER_WAIT,
+};
 use crate::replica::{Replica, ReplicaCore, HDR_EPOCH, HDR_GENERATION, HDR_LOG_LEN};
-use crate::wire::{error_json, status_for, ErrorBody, ErrorEnvelope, HealthResponse, StatsResponse};
+use crate::wire::{
+    error_json, status_for, ErrorBody, ErrorEnvelope, HealthResponse, StatsResponse, TraceDump,
+    TraceSpan,
+};
 use morer_core::error::MorerError;
 use morer_core::pipeline::{IngestReport, Morer};
 use morer_core::replication::read_log_segment;
 use morer_core::searcher::ModelSearcher;
-use morer_core::wal::{DurabilityState, WalOptions, HEADER_LEN};
+use morer_core::wal::{DurabilityState, WalObs, WalOptions, HEADER_LEN};
 use morer_data::ErProblem;
+use morer_obs::{PromWriter, Span};
 
 /// Upper bound on the frame bytes one `/wal` response ships (a single
 /// oversized frame still ships whole — [`read_log_segment`] guarantees
@@ -95,7 +102,14 @@ const GROUP_ROUNDS: usize = 16;
 pub(crate) struct IngestJob {
     problems: Vec<ErProblem>,
     reply: mpsc::Sender<Result<IngestReport, MorerError>>,
+    /// When the job entered the channel — the writer meters the queue
+    /// wait (`morer_writer_queue_wait_micros`) from it.
+    enqueued: Instant,
 }
+
+/// The response header carrying the request's trace id (16 hex digits;
+/// feed it to `GET /debug/trace?id=..` to retrieve the span breakdown).
+pub(crate) const TRACE_HEADER: &str = "x-morer-trace-id";
 
 /// One published read epoch: the epoch counter and the snapshot that
 /// serves it, swapped together under one lock so an observer can never
@@ -138,6 +152,11 @@ pub(crate) struct ServerState {
     /// Which connection core serves this instance ([`ServeBackend::label`];
     /// reported by `/healthz`).
     backend: &'static str,
+    /// The pipeline's write-ahead-log meters (append/fsync/compact
+    /// timings, recovery counters). The `Arc` outlives any WAL repair or
+    /// replacement, so `/metrics` series stay continuous; in replica mode
+    /// it is a detached zero registry.
+    wal_obs: Arc<WalObs>,
 }
 
 impl ServerState {
@@ -220,13 +239,16 @@ impl MorerServer {
         snapshot.warm();
         let state = Arc::new(ServerState {
             published: Mutex::new(Published { epoch: morer.epoch(), searcher: snapshot }),
-            metrics: MetricsRegistry::default(),
+            metrics: MetricsRegistry::new(config.slow_request_micros, config.trace_events),
             shutdown: AtomicBool::new(false),
             writer_alive: AtomicBool::new(true),
             durability: Mutex::new(morer.durability()),
             wal_dir: morer.wal_dir(),
             replica: None,
             backend: config.backend.label(),
+            // captured once: Morer re-injects this Arc into any repaired
+            // or replaced Wal, so the meters survive `repair_wal`
+            wal_obs: morer.wal_obs(),
         });
 
         let (ingest_tx, ingest_rx) = mpsc::sync_channel::<IngestJob>(config.ingest_queue.max(1));
@@ -280,13 +302,15 @@ impl MorerServer {
         let state = Arc::new(ServerState {
             // bypassed (published() reads the replica), but kept coherent
             published: Mutex::new(Published { epoch: replica.epoch(), searcher: replica.snapshot() }),
-            metrics: MetricsRegistry::default(),
+            metrics: MetricsRegistry::new(config.slow_request_micros, config.trace_events),
             shutdown: AtomicBool::new(false),
             writer_alive: AtomicBool::new(true),
             durability: Mutex::new(None),
             wal_dir: None,
             replica: Some(replica_core),
             backend: config.backend.label(),
+            // a replica has no local WAL: zero meters keep /metrics stable
+            wal_obs: Arc::new(WalObs::default()),
         });
         // replica mode has no writer: /ingest is refused at dispatch, so
         // this channel is never sent on
@@ -460,6 +484,15 @@ impl Drop for ServerHandle {
 /// whole micro-batch with one typed error, but the pre-partition keeps the
 /// rejection per job, so a well-formed request still commits when it was
 /// batched alongside a bad one.
+/// Flip the write path to degraded, counting the healthy → degraded edge
+/// (`morer_writer_degraded_transitions_total`). Repair flips back via a
+/// plain store; only the downward edge is a counted event.
+fn mark_degraded(state: &ServerState) {
+    if state.writer_alive.swap(false, Ordering::Release) {
+        state.metrics.stages().degraded_transitions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 fn writer_loop(
     mut morer: Morer,
     rx: Receiver<IngestJob>,
@@ -505,6 +538,7 @@ fn writer_loop(
         let mut batch = vec![first];
         let mut fatal = false;
         let mut panicked = false;
+        let mut rounds_committed = 0u64;
         for round in 0..GROUP_ROUNDS {
             while let Ok(more) = rx.try_recv() {
                 batch.push(more);
@@ -515,6 +549,7 @@ fn writer_loop(
             let mut accepted = Vec::new();
             let mut rejected = Vec::new();
             for job in batch.drain(..) {
+                state.metrics.stages().queue_wait_micros.record_micros(job.enqueued.elapsed());
                 let mut job_width = width;
                 let ok = job.problems.iter().all(|p| match job_width {
                     Some(t) => p.num_features() == t,
@@ -542,13 +577,17 @@ fn writer_loop(
             if !accepted.is_empty() {
                 let problems: Vec<&ErProblem> =
                     accepted.iter().flat_map(|j| j.problems.iter()).collect();
+                state.metrics.stages().batch_size.record(problems.len() as u64);
+                rounds_committed += 1;
                 // last line of defense: decode validation and the width
                 // check above stop every known panic path, but an unforeseen
                 // panic inside the recluster/retrain machinery must not
                 // silently kill the write path while /healthz answers "ok"
+                let commit_started = Instant::now();
                 let commit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     morer.add_problems(&problems)
                 }));
+                state.metrics.stages().commit_micros.record_micros(commit_started.elapsed());
                 match commit {
                     Ok(Ok(report)) => pending.push((report, accepted)),
                     Ok(Err(e)) => {
@@ -562,7 +601,7 @@ fn writer_loop(
                             // flip health *before* replying: a requester
                             // that sees this failure must also see
                             // `/healthz` degraded
-                            state.writer_alive.store(false, Ordering::Release);
+                            mark_degraded(state);
                         }
                         for job in accepted {
                             let _ = job.reply.send(Err(e.duplicate()));
@@ -573,7 +612,7 @@ fn writer_loop(
                     }
                     Err(_) => {
                         panicked = true;
-                        state.writer_alive.store(false, Ordering::Release);
+                        mark_degraded(state);
                         // a server fault, not a client one: requesters get
                         // a 500, never a 400 suggesting their problems were
                         // bad
@@ -597,8 +636,11 @@ fn writer_loop(
                 Err(_) => break,
             }
         }
+        if rounds_committed > 0 {
+            state.metrics.stages().group_rounds.record(rounds_committed);
+        }
         if panicked || fatal {
-            state.writer_alive.store(false, Ordering::Release);
+            mark_degraded(state);
             // the group's earlier rounds were never synced: their
             // requesters must not be acknowledged
             let reason = if panicked {
@@ -644,7 +686,7 @@ fn writer_loop(
                 }
             }
             Err(e) => {
-                state.writer_alive.store(false, Ordering::Release);
+                mark_degraded(state);
                 last_probe = None;
                 for (_, jobs) in pending {
                     for job in jobs {
@@ -726,12 +768,13 @@ fn handle_connection(
                 let mut keep_alive =
                     request.keep_alive && !state.shutdown.load(Ordering::Acquire);
                 let started = Instant::now();
+                let mut trace = state.metrics.begin_trace();
                 // last line of defense behind decode-time validation: a
                 // handler panic answers 500 and closes this connection
                 // instead of silently shrinking the worker pool (dispatch
                 // only reads shared state, so continuing is safe)
-                let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    dispatch(&request, state, ingest_tx)
+                let mut reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    dispatch(&request, state, ingest_tx, &mut trace)
                 }))
                 .unwrap_or_else(|_| {
                     keep_alive = false;
@@ -741,7 +784,8 @@ fn handle_connection(
                         Endpoint::Other,
                     )
                 });
-                state.metrics.record(reply.endpoint, started.elapsed(), reply.status >= 400);
+                reply.headers.push((TRACE_HEADER.to_owned(), trace.id_hex()));
+                state.metrics.finish_trace(&mut trace, reply.endpoint, reply.status, started);
                 if http::write_response_with(
                     &mut stream,
                     reply.status,
@@ -766,7 +810,7 @@ fn handle_connection(
             }
             Err(RequestError::Io(_)) => return,
             Err(RequestError::Bad(msg)) => {
-                state.metrics.record(Endpoint::Other, Duration::ZERO, true);
+                state.metrics.record(Endpoint::Other, Duration::ZERO, 400);
                 let body = plain_error("bad_request", &msg);
                 if http::write_response(&mut stream, 400, body.as_bytes(), false).is_ok() {
                     drain_briefly(&mut stream);
@@ -774,7 +818,7 @@ fn handle_connection(
                 return;
             }
             Err(RequestError::TooLarge { declared, max }) => {
-                state.metrics.record(Endpoint::Other, Duration::ZERO, true);
+                state.metrics.record(Endpoint::Other, Duration::ZERO, 413);
                 let body = plain_error(
                     "payload_too_large",
                     &format!("declared body of {declared} bytes exceeds the {max} byte limit"),
@@ -867,9 +911,11 @@ pub(crate) fn plain_error(kind: &str, message: &str) -> String {
     .unwrap_or_else(|_| "{\"error\":{\"kind\":\"io\",\"message\":\"render failed\"}}".into())
 }
 
-const ROUTES: [&str; 8] = [
+const ROUTES: [&str; 10] = [
     "/healthz",
     "/stats",
+    "/metrics",
+    "/debug/trace",
     "/search",
     "/solve",
     "/solve_batch",
@@ -890,6 +936,7 @@ pub(crate) fn dispatch(
     request: &Request,
     state: &ServerState,
     ingest_tx: &SyncSender<IngestJob>,
+    trace: &mut Trace,
 ) -> Reply {
     let (path, query) = match request.path.split_once('?') {
         Some((path, query)) => (path, query),
@@ -898,17 +945,19 @@ pub(crate) fn dispatch(
     match (request.method, path) {
         (Method::Get, "/healthz") => healthz(state),
         (Method::Get, "/stats") => stats(state),
+        (Method::Get, "/metrics") => metrics_text(state),
+        (Method::Get, "/debug/trace") => trace_dump(state, query),
         (Method::Get, "/wal") => wal_segment(state, query),
         (Method::Get, "/wal/base") => wal_base(state),
-        (Method::Post, "/search") => search(state, &request.body),
-        (Method::Post, "/solve") => solve(state, &request.body),
-        (Method::Post, "/solve_batch") => solve_batch(state, &request.body),
+        (Method::Post, "/search") => search(state, &request.body, trace),
+        (Method::Post, "/solve") => solve(state, &request.body, trace),
+        (Method::Post, "/solve_batch") => solve_batch(state, &request.body, trace),
         (Method::Post, "/ingest") if state.replica.is_some() => Reply::json(
             503,
             plain_error("read_only", "this server is a replica; send writes to the leader"),
             Endpoint::Ingest,
         ),
-        (Method::Post, "/ingest") => ingest(ingest_tx, &request.body),
+        (Method::Post, "/ingest") => ingest(ingest_tx, &request.body, trace),
         (_, path) if ROUTES.contains(&path) => Reply::json(
             405,
             plain_error("method_not_allowed", &format!("wrong method for {path}")),
@@ -956,6 +1005,253 @@ fn stats(state: &ServerState) -> Reply {
         connections: state.metrics.connection_stats(),
     };
     json_reply(&body, Endpoint::Stats)
+}
+
+/// `GET /metrics` — the whole pipeline's counters, gauges and histograms
+/// in Prometheus text exposition (version 0.0.4). Histogram `le` buckets
+/// are the stable power-of-two ladder of [`morer_obs::prom::LE_BOUNDS`];
+/// p50/p99 are derivable from them the standard `histogram_quantile` way.
+fn metrics_text(state: &ServerState) -> Reply {
+    Reply {
+        status: 200,
+        body: render_metrics(state).into_bytes(),
+        content_type: "text/plain; version=0.0.4",
+        headers: Vec::new(),
+        endpoint: Endpoint::Metrics,
+    }
+}
+
+fn render_metrics(state: &ServerState) -> String {
+    let mut w = PromWriter::new();
+    let published = state.published();
+
+    // -- request path ----------------------------------------------------
+    let snaps = state.metrics.snapshot();
+    w.header(
+        "morer_requests_total",
+        "counter",
+        "Requests answered, by endpoint and status class.",
+    );
+    for s in &snaps {
+        for (class, n) in
+            [("2xx", s.status_2xx), ("4xx", s.status_4xx), ("5xx", s.status_5xx)]
+        {
+            w.sample(
+                "morer_requests_total",
+                &[("endpoint", &s.endpoint), ("class", class)],
+                n as f64,
+            );
+        }
+    }
+    w.header(
+        "morer_request_duration_micros",
+        "histogram",
+        "Request latency by endpoint, microseconds.",
+    );
+    for e in Endpoint::ALL {
+        w.histogram(
+            "morer_request_duration_micros",
+            &[("endpoint", e.name())],
+            &state.metrics.latency(e).snapshot(),
+        );
+    }
+
+    // -- connections -------------------------------------------------------
+    let c = state.metrics.connection_stats();
+    for (name, kind, help, value) in [
+        ("morer_connections_open", "gauge", "Connections currently being served.", c.open),
+        ("morer_connections_peak", "gauge", "High-water mark of open connections.", c.peak),
+        ("morer_connections_accepted_total", "counter", "Connections accepted.", c.accepted),
+        (
+            "morer_connections_rejected_total",
+            "counter",
+            "Connections refused over the max_connections cap.",
+            c.rejected,
+        ),
+        (
+            "morer_connections_idle_reaped_total",
+            "counter",
+            "Connections disconnected at their idle deadline.",
+            c.idle_reaped,
+        ),
+    ] {
+        w.header(name, kind, help);
+        w.sample(name, &[], value as f64);
+    }
+
+    // -- writer stages -----------------------------------------------------
+    let st = state.metrics.stages();
+    for (name, help, hist) in [
+        (
+            "morer_writer_queue_wait_micros",
+            "Ingest-job wait between enqueue and writer pickup, microseconds.",
+            &st.queue_wait_micros,
+        ),
+        ("morer_writer_batch_size", "Problems per writer commit round.", &st.batch_size),
+        (
+            "morer_writer_commit_micros",
+            "Per-round recluster/retrain commit time, microseconds.",
+            &st.commit_micros,
+        ),
+        (
+            "morer_writer_group_rounds",
+            "Commit rounds sharing one group fsync.",
+            &st.group_rounds,
+        ),
+    ] {
+        w.header(name, "histogram", help);
+        w.histogram(name, &[], &hist.snapshot());
+    }
+    w.header(
+        "morer_writer_degraded_transitions_total",
+        "counter",
+        "Times the write path flipped healthy to degraded.",
+    );
+    w.sample(
+        "morer_writer_degraded_transitions_total",
+        &[],
+        st.degraded_transitions.load(Ordering::Relaxed) as f64,
+    );
+    w.header("morer_writer_healthy", "gauge", "1 while the write path can commit, else 0.");
+    w.sample(
+        "morer_writer_healthy",
+        &[],
+        if state.writer_alive.load(Ordering::Acquire) { 1.0 } else { 0.0 },
+    );
+
+    // -- write-ahead log ---------------------------------------------------
+    let wal = &state.wal_obs;
+    for (name, help, hist) in [
+        (
+            "morer_wal_append_micros",
+            "Per-record WAL append cost (excluding fsync), microseconds.",
+            &wal.append_micros,
+        ),
+        ("morer_wal_fsync_micros", "Per-fdatasync cost, microseconds.", &wal.fsync_micros),
+        ("morer_wal_compact_micros", "Whole-compaction cost, microseconds.", &wal.compact_micros),
+    ] {
+        w.header(name, "histogram", help);
+        w.histogram(name, &[], &hist.snapshot());
+    }
+    for (name, help, value) in [
+        ("morer_wal_recoveries_total", "WAL recovery passes.", &wal.recoveries),
+        (
+            "morer_wal_replayed_records_total",
+            "Log records replayed over base snapshots at recovery.",
+            &wal.replayed_records,
+        ),
+        (
+            "morer_wal_truncated_bytes_total",
+            "Torn/corrupt tail bytes truncated at recovery.",
+            &wal.truncated_bytes,
+        ),
+    ] {
+        w.header(name, "counter", help);
+        w.sample(name, &[], value.load(Ordering::Relaxed) as f64);
+    }
+
+    // -- search index ------------------------------------------------------
+    let idx = published.searcher.index_stats();
+    for (name, help, hist) in [
+        (
+            "morer_index_shortlist_size",
+            "Candidates surviving the bound scan, per query.",
+            idx.shortlist(),
+        ),
+        (
+            "morer_index_bound_scan_micros",
+            "Query sketch + signature bound scan time, microseconds.",
+            idx.bound_scan_micros(),
+        ),
+        (
+            "morer_index_exact_score_micros",
+            "Exact re-scoring time over the shortlist, microseconds.",
+            idx.exact_score_micros(),
+        ),
+    ] {
+        w.header(name, "histogram", help);
+        w.histogram(name, &[], &hist.snapshot());
+    }
+    if let Some(overview) = published.searcher.index_overview() {
+        for (name, help, value) in [
+            ("morer_index_queries_total", "Queries answered through the index.", overview.queries),
+            (
+                "morer_index_exact_scored_total",
+                "Entries exactly scored across all queries.",
+                overview.exact_scored,
+            ),
+            (
+                "morer_index_fallbacks_total",
+                "Queries answered by exhaustive fallback.",
+                overview.fallbacks,
+            ),
+        ] {
+            w.header(name, "counter", help);
+            w.sample(name, &[], value as f64);
+        }
+    }
+
+    // -- reactor internals -------------------------------------------------
+    for (name, help, hist) in [
+        (
+            "morer_reactor_epoll_wait_micros",
+            "epoll_wait blocking time per reactor loop turn, microseconds.",
+            &st.epoll_wait_micros,
+        ),
+        (
+            "morer_reactor_dispatch_depth",
+            "Readiness events delivered per reactor loop turn.",
+            &st.dispatch_depth,
+        ),
+    ] {
+        w.header(name, "histogram", help);
+        w.histogram(name, &[], &hist.snapshot());
+    }
+
+    // -- epochs and replication --------------------------------------------
+    w.header("morer_epoch", "gauge", "Committed repository epoch the read path serves.");
+    w.sample("morer_epoch", &[], published.epoch as f64);
+    if let Some(wal) = state.durability() {
+        w.header("morer_wal_durable_epoch", "gauge", "Last crash-recoverable epoch.");
+        w.sample("morer_wal_durable_epoch", &[], wal.durable_epoch as f64);
+    }
+    if let Some(replica) = &state.replica {
+        let status = replica.status();
+        w.header(
+            "morer_replica_lag_epochs",
+            "gauge",
+            "Epochs this follower trails its leader by.",
+        );
+        w.sample("morer_replica_lag_epochs", &[], status.lag_epochs as f64);
+    }
+    w.finish()
+}
+
+/// `GET /debug/trace[?id=HEX]` — dump the flight recorder: every span of
+/// the newest traced requests (`recent`) and of threshold-crossing slow
+/// requests (`slow`), optionally filtered to one trace id (the
+/// `x-morer-trace-id` response-header value).
+fn trace_dump(state: &ServerState, query: &str) -> Reply {
+    let filter = query_param(query, "id").and_then(|v| u64::from_str_radix(v, 16).ok());
+    let to_wire = |spans: Vec<Span>| -> Vec<TraceSpan> {
+        spans
+            .into_iter()
+            .filter(|s| filter.is_none_or(|id| s.trace_id == id))
+            .map(|s| TraceSpan {
+                trace_id: format!("{:016x}", s.trace_id),
+                stage: stage_name(s.stage).to_owned(),
+                start_micros: s.start_micros,
+                duration_micros: s.duration_micros,
+                code: s.code,
+            })
+            .collect()
+    };
+    let body = TraceDump {
+        slow_threshold_micros: state.metrics.slow_threshold_micros(),
+        recent: to_wire(state.metrics.recent_spans()),
+        slow: to_wire(state.metrics.slow_spans()),
+    };
+    json_reply(&body, Endpoint::Trace)
 }
 
 /// `GET /wal?from=..&gen=..[&max=..]` — ship hash-verified whole commit
@@ -1112,60 +1408,91 @@ fn check_query_width(
     }
 }
 
-fn search(state: &ServerState, body: &[u8]) -> Reply {
+fn search(state: &ServerState, body: &[u8], trace: &mut Trace) -> Reply {
+    let decode_started = Instant::now();
     let problem = match decode_problem(body) {
         Ok(p) => p,
         Err(e) => return Reply::error(&e, Endpoint::Search),
     };
+    trace.span(STAGE_DECODE, decode_started, 0);
     let snapshot = state.snapshot();
     if let Err(e) = check_query_width(&snapshot, &problem) {
         return Reply::error(&e, Endpoint::Search);
     }
-    match snapshot.search(&problem) {
+    let search_started = Instant::now();
+    let hit = snapshot.search(&problem);
+    trace.span(STAGE_SEARCH, search_started, 0);
+    match hit {
         Ok(hit) => json_reply(&hit, Endpoint::Search),
         Err(e) => Reply::error(&e, Endpoint::Search),
     }
 }
 
-fn solve(state: &ServerState, body: &[u8]) -> Reply {
+fn solve(state: &ServerState, body: &[u8], trace: &mut Trace) -> Reply {
+    let decode_started = Instant::now();
     let problem = match decode_problem(body) {
         Ok(p) => p,
         Err(e) => return Reply::error(&e, Endpoint::Solve),
     };
+    trace.span(STAGE_DECODE, decode_started, 0);
     let snapshot = state.snapshot();
     if let Err(e) = check_query_width(&snapshot, &problem) {
         return Reply::error(&e, Endpoint::Solve);
     }
-    json_reply(&snapshot.solve(&problem), Endpoint::Solve)
+    let solve_started = Instant::now();
+    let outcome = snapshot.solve(&problem);
+    trace.span(STAGE_SOLVE, solve_started, 0);
+    let encode_started = Instant::now();
+    let reply = json_reply(&outcome, Endpoint::Solve);
+    trace.span(STAGE_ENCODE, encode_started, 0);
+    reply
 }
 
-fn solve_batch(state: &ServerState, body: &[u8]) -> Reply {
+fn solve_batch(state: &ServerState, body: &[u8], trace: &mut Trace) -> Reply {
+    let decode_started = Instant::now();
     let problems = match decode_problems(body) {
         Ok(p) => p,
         Err(e) => return Reply::error(&e, Endpoint::SolveBatch),
     };
+    trace.span(STAGE_DECODE, decode_started, 0);
     let snapshot = state.snapshot();
     for problem in &problems {
         if let Err(e) = check_query_width(&snapshot, problem) {
             return Reply::error(&e, Endpoint::SolveBatch);
         }
     }
+    let solve_started = Instant::now();
     let refs: Vec<&ErProblem> = problems.iter().collect();
-    json_reply(&snapshot.solve_batch(&refs), Endpoint::SolveBatch)
+    let outcomes = snapshot.solve_batch(&refs);
+    trace.span(STAGE_SOLVE, solve_started, 0);
+    let encode_started = Instant::now();
+    let reply = json_reply(&outcomes, Endpoint::SolveBatch);
+    trace.span(STAGE_ENCODE, encode_started, 0);
+    reply
 }
 
-fn ingest(ingest_tx: &SyncSender<IngestJob>, body: &[u8]) -> Reply {
+fn ingest(ingest_tx: &SyncSender<IngestJob>, body: &[u8], trace: &mut Trace) -> Reply {
+    let decode_started = Instant::now();
     let problems = match decode_problems(body) {
         Ok(p) => p,
         Err(e) => return Reply::error(&e, Endpoint::Ingest),
     };
+    trace.span(STAGE_DECODE, decode_started, 0);
     let (reply_tx, reply_rx) = mpsc::channel();
     // a full queue blocks here (bounded-channel backpressure) until the
     // writer drains it
-    if ingest_tx.send(IngestJob { problems, reply: reply_tx }).is_err() {
+    let wait_started = Instant::now();
+    if ingest_tx
+        .send(IngestJob { problems, reply: reply_tx, enqueued: Instant::now() })
+        .is_err()
+    {
         return writer_gone();
     }
-    match reply_rx.recv() {
+    let outcome = reply_rx.recv();
+    // writer_wait covers enqueue-to-commit-ack: queue time plus the
+    // writer's recluster/retrain/fsync round for this batch
+    trace.span(STAGE_WRITER_WAIT, wait_started, 0);
+    match outcome {
         Ok(Ok(report)) => json_reply(&report, Endpoint::Ingest),
         Ok(Err(rejection)) => Reply::error(&rejection, Endpoint::Ingest),
         Err(_) => writer_gone(),

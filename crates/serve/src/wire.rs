@@ -64,6 +64,37 @@ pub struct StatsResponse {
     pub connections: ConnectionStats,
 }
 
+/// One span as reported by `GET /debug/trace`: a stage of one traced
+/// request on the service's own microsecond clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// The request's trace id, 16 lowercase hex digits — the same string
+    /// the response's `x-morer-trace-id` header carried.
+    pub trace_id: String,
+    /// Stage name ([`crate::metrics::stage_name`]): `request` for the
+    /// root span, `decode`/`search`/`solve`/`encode`/`writer_wait` for
+    /// interior stages.
+    pub stage: String,
+    /// Start offset in microseconds since the server's metrics epoch.
+    pub start_micros: u64,
+    /// Stage duration, microseconds.
+    pub duration_micros: u64,
+    /// Outcome: the HTTP status for `request` spans, 0 for interior
+    /// stages.
+    pub code: u32,
+}
+
+/// `GET /debug/trace` response body: the flight recorder's two rings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceDump {
+    /// Requests at/over this many microseconds were copied into `slow`.
+    pub slow_threshold_micros: u64,
+    /// Spans of the newest traced requests, oldest first.
+    pub recent: Vec<TraceSpan>,
+    /// Spans of slow requests only (longer retention than `recent`).
+    pub slow: Vec<TraceSpan>,
+}
+
 /// The decoded error body every non-2xx response carries:
 /// `{"error": {"kind": "...", "message": "..."}}`. `kind` is
 /// [`MorerError::kind`] (clients branch on it); extra variant payloads
@@ -201,7 +232,21 @@ mod tests {
                 fallbacks: 0,
                 shortlist_frac: 0.6,
             }),
-            endpoints: Vec::new(),
+            endpoints: vec![EndpointStats {
+                endpoint: "solve".into(),
+                requests: 10,
+                errors: 3,
+                status_2xx: 7,
+                status_4xx: 2,
+                status_5xx: 1,
+                total_micros: 5000,
+                max_micros: 900,
+                mean_micros: 500.0,
+                p50_micros: 400,
+                p90_micros: 800,
+                p99_micros: 896,
+                p999_micros: 900,
+            }],
             connections: ConnectionStats {
                 open: 1,
                 peak: 4096,
@@ -219,5 +264,22 @@ mod tests {
         let back: StatsResponse =
             serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn trace_dumps_round_trip() {
+        let d = TraceDump {
+            slow_threshold_micros: 100_000,
+            recent: vec![TraceSpan {
+                trace_id: "00f1e2d3c4b5a697".into(),
+                stage: "request".into(),
+                start_micros: 1234,
+                duration_micros: 56,
+                code: 200,
+            }],
+            slow: Vec::new(),
+        };
+        let back: TraceDump = serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+        assert_eq!(back, d);
     }
 }

@@ -624,3 +624,145 @@ fn graceful_shutdown_joins_all_threads_and_closes_connections() {
     // hanging (the server closed its end)
     assert!(conn.get("/healthz").is_err());
 }
+
+/// Observability acceptance (ISSUE 10): `GET /metrics` serves valid
+/// Prometheus text exposition covering the whole pipeline — endpoint
+/// counters and latency histograms, writer stages, connection gauges —
+/// and histogram bucket lines are a monotone cumulative ladder ending in
+/// `+Inf` that agrees with the `_count` sample.
+#[test]
+fn metrics_exposition_is_valid_and_covers_the_pipeline() {
+    let morer = built_morer();
+    let handle = MorerServer::start(morer, &serve_config()).unwrap();
+    let mut conn = connect(handle.addr());
+
+    // drive every class: a 2xx solve, a 4xx parse error
+    let q = family_problem(700, 0, 80);
+    assert_eq!(conn.post("/solve", &serde_json::to_string(&q).unwrap()).unwrap().status, 200);
+    assert_eq!(conn.post("/solve", "not json").unwrap().status, 400);
+
+    let res = conn.get_raw("/metrics").unwrap();
+    assert_eq!(res.status, 200);
+    assert!(res
+        .header("content-type")
+        .unwrap()
+        .starts_with("text/plain; version=0.0.4"));
+    let text = String::from_utf8(res.body).unwrap();
+
+    // every non-comment line must parse as `name{labels} value` with a
+    // finite float value (the whole-exposition validity check)
+    let mut samples = 0usize;
+    for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let (_, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("unparseable: {line}"));
+        let v: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-float value in: {line}"));
+        assert!(v.is_finite() && v >= 0.0, "negative/NaN sample: {line}");
+        samples += 1;
+    }
+    assert!(samples > 50, "suspiciously small exposition: {samples} samples");
+
+    // pipeline coverage: request, writer, WAL, connection and index
+    // families are all present
+    for family in [
+        "morer_requests_total",
+        "morer_request_duration_micros_bucket",
+        "morer_request_duration_micros_count",
+        "morer_writer_queue_wait_micros_bucket",
+        "morer_wal_append_micros_count",
+        "morer_connections_open",
+        "morer_connections_accepted_total",
+        "morer_index_shortlist_size_count",
+        "morer_writer_healthy",
+        "morer_epoch",
+    ] {
+        assert!(text.contains(family), "missing metric family {family} in:\n{text}");
+    }
+    // the driven requests are visible with their status classes
+    assert!(text.contains(r#"morer_requests_total{endpoint="solve",class="2xx"} 1"#));
+    assert!(text.contains(r#"morer_requests_total{endpoint="solve",class="4xx"} 1"#));
+
+    // the solve histogram's bucket ladder is cumulative-monotone, ends at
+    // +Inf, and its total equals the _count sample
+    let mut last = 0.0f64;
+    let mut inf = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(r#"morer_request_duration_micros_bucket{endpoint="solve","#) {
+            let v: f64 = rest.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(v >= last, "non-monotone bucket ladder at: {line}");
+            last = v;
+            if rest.contains(r#"le="+Inf""#) {
+                inf = Some(v);
+            }
+        }
+    }
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with(r#"morer_request_duration_micros_count{endpoint="solve"}"#))
+        .unwrap();
+    let count: f64 = count_line.rsplit_once(' ').unwrap().1.parse().unwrap();
+    assert_eq!(inf, Some(count), "+Inf bucket must equal _count");
+    assert_eq!(count, 2.0, "both solve requests must be in the histogram");
+    handle.shutdown();
+}
+
+/// Observability acceptance (ISSUE 10): a slow request's
+/// `x-morer-trace-id` response header retrieves its per-stage span
+/// breakdown from `GET /debug/trace`, the slow ring holds it, and fast
+/// requests stay out of the slow ring.
+#[test]
+fn slow_requests_are_traced_and_fast_ones_skip_the_slow_log() {
+    use morer_serve::TraceDump;
+
+    let morer = built_morer();
+    // a fat ingest batch (recluster + retrain + commit over 8 new
+    // problems) reliably exceeds 2ms; healthz reliably stays under it
+    let cfg = ServeConfig { slow_request_micros: 2_000, ..serve_config() };
+    let handle = MorerServer::start(morer, &cfg).unwrap();
+    let mut conn = connect(handle.addr());
+
+    // fast control requests first, so their ids cannot be lapped out of
+    // the recent ring by the slow request's spans
+    let fast_res = conn.get_raw("/healthz").unwrap();
+    assert_eq!(fast_res.status, 200);
+    let fast_id = fast_res.header("x-morer-trace-id").unwrap().to_owned();
+    assert_eq!(fast_id.len(), 16, "trace id must be 16 hex digits: {fast_id}");
+
+    let arrivals: Vec<ErProblem> =
+        (0..8).map(|i| family_problem(800 + i, (i % 2) as u8, 400)).collect();
+    let slow_res = conn
+        .post_raw("/ingest", &serde_json::to_string(&arrivals).unwrap())
+        .unwrap();
+    assert_eq!(slow_res.status, 200);
+    let slow_id = slow_res.header("x-morer-trace-id").unwrap().to_owned();
+    assert_ne!(slow_id, fast_id, "every request gets its own trace id");
+
+    // filtered dump: exactly the slow request's spans, with its stages
+    let res = conn.get(&format!("/debug/trace?id={slow_id}")).unwrap();
+    assert_eq!(res.status, 200, "{}", res.body);
+    let dump: TraceDump = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(dump.slow_threshold_micros, 2_000);
+    assert!(dump.recent.iter().all(|s| s.trace_id == slow_id));
+    let stages: Vec<&str> = dump.recent.iter().map(|s| s.stage.as_str()).collect();
+    assert!(stages.contains(&"decode"), "missing decode span: {stages:?}");
+    assert!(stages.contains(&"writer_wait"), "missing writer_wait span: {stages:?}");
+    let root = dump.recent.iter().find(|s| s.stage == "request").unwrap();
+    assert_eq!(root.code, 200);
+    assert!(root.duration_micros >= 2_000, "ingest was unexpectedly fast");
+    // the slow ring holds the threshold-crossing request...
+    assert!(dump.slow.iter().any(|s| s.trace_id == slow_id && s.stage == "request"));
+
+    // ...and not the fast one: its id appears in recent but never in slow
+    let res = conn.get(&format!("/debug/trace?id={fast_id}")).unwrap();
+    let dump: TraceDump = serde_json::from_str(&res.body).unwrap();
+    assert!(
+        dump.recent.iter().any(|s| s.trace_id == fast_id && s.stage == "request"),
+        "fast request missing from the recent ring"
+    );
+    assert!(
+        dump.slow.is_empty(),
+        "fast request leaked into the slow ring: {:?}",
+        dump.slow
+    );
+    handle.shutdown();
+}

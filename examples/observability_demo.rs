@@ -1,0 +1,109 @@
+//! The flight-recorder observability layer end to end: start a server,
+//! drive mixed traffic, then read the service the way an operator would —
+//! latency percentiles per endpoint from `GET /stats`, the Prometheus
+//! text exposition from `GET /metrics`, and one slow request's per-stage
+//! span breakdown retrieved from `GET /debug/trace` by the
+//! `x-morer-trace-id` header its response carried.
+//!
+//! ```text
+//! cargo run --release --example observability_demo
+//! ```
+
+use morer::core::prelude::*;
+use morer::data::{computer, DatasetScale};
+use morer::serve::{Connection, MorerServer, ServeConfig, StatsResponse, TraceDump};
+
+fn main() -> std::io::Result<()> {
+    // 1. a repository behind the server, with a deliberately low slow-request
+    // threshold so the ingest below lands in the slow ring
+    let bench = computer(DatasetScale::Tiny, 42);
+    let config = MorerConfig { budget: 300, ..MorerConfig::default() };
+    let (morer, _) = Morer::build(bench.initial_problems(), &config);
+    let serve_config = ServeConfig { slow_request_micros: 2_000, ..ServeConfig::default() };
+    let handle = MorerServer::start(morer, &serve_config)?;
+    let addr = handle.addr();
+    println!("serving on http://{addr}  (slow-request threshold: 2 ms)\n");
+
+    // 2. mixed traffic: fast reads and one heavyweight ingest
+    let mut conn = Connection::open(addr)?;
+    let queries = &bench.problems;
+    for unsolved in bench.unsolved.iter().take(8) {
+        let body = serde_json::to_string(&queries[*unsolved]).expect("encode query");
+        let res = conn.post("/solve", &body)?;
+        assert_eq!(res.status, 200, "{}", res.body);
+    }
+    for _ in 0..4 {
+        conn.get("/healthz")?;
+    }
+    let arrivals: Vec<&_> = bench.unsolved.iter().take(3).map(|i| &queries[*i]).collect();
+    let ingest_res =
+        conn.post_raw("/ingest", &serde_json::to_string(&arrivals).expect("encode arrivals"))?;
+    assert_eq!(ingest_res.status, 200);
+    // every response carries its trace id; this one will be in the slow ring
+    let trace_id = ingest_res
+        .header("x-morer-trace-id")
+        .expect("every response carries a trace id")
+        .to_owned();
+    println!("ingested {} problems; x-morer-trace-id: {trace_id}\n", arrivals.len());
+
+    // 3. the operator's first look: latency percentiles per endpoint
+    let stats: StatsResponse = conn.get("/stats")?.json()?;
+    println!(
+        "{:<12} {:>6} {:>5} {:>5} {:>5} {:>9} {:>9} {:>9} {:>9}",
+        "endpoint", "reqs", "2xx", "4xx", "5xx", "p50 us", "p90 us", "p99 us", "max us"
+    );
+    for e in &stats.endpoints {
+        if e.requests == 0 {
+            continue;
+        }
+        println!(
+            "{:<12} {:>6} {:>5} {:>5} {:>5} {:>9} {:>9} {:>9} {:>9}",
+            e.endpoint,
+            e.requests,
+            e.status_2xx,
+            e.status_4xx,
+            e.status_5xx,
+            e.p50_micros,
+            e.p90_micros,
+            e.p99_micros,
+            e.max_micros
+        );
+    }
+
+    // 4. the scrape target: a few families of the Prometheus exposition
+    let metrics = conn.get("/metrics")?;
+    assert_eq!(metrics.status, 200);
+    println!("\nGET /metrics ({} lines); the writer's view of that ingest:", metrics.body.lines().count());
+    for line in metrics.body.lines().filter(|l| {
+        l.starts_with("morer_writer_batch_size_")
+            || l.starts_with("morer_writer_commit_micros_sum")
+            || l.starts_with("morer_writer_healthy")
+    }) {
+        println!("  {line}");
+    }
+
+    // 5. the flight recorder: the slow ingest's per-stage breakdown,
+    // retrieved by the trace id its own response carried
+    let dump: TraceDump = conn.get(&format!("/debug/trace?id={trace_id}"))?.json()?;
+    println!(
+        "\nGET /debug/trace?id={trace_id}  (slow threshold {} us):",
+        dump.slow_threshold_micros
+    );
+    for span in &dump.recent {
+        println!(
+            "  {:<12} +{:>8} us  for {:>8} us{}",
+            span.stage,
+            span.start_micros,
+            span.duration_micros,
+            if span.code != 0 { format!("  -> {}", span.code) } else { String::new() }
+        );
+    }
+    assert!(
+        dump.slow.iter().any(|s| s.trace_id == trace_id),
+        "the ingest crossed the threshold, so the slow ring must hold it"
+    );
+    println!("\nthe ingest is in the slow ring ({} slow spans retained)", dump.slow.len());
+
+    handle.shutdown();
+    Ok(())
+}
